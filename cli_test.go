@@ -1,0 +1,188 @@
+package cspsat_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end tests of the command-line tools: each binary is built once
+// into a temporary directory and driven against the specs/ files, checking
+// exit codes and the load-bearing lines of output. These are the tests a
+// downstream user's shell session relies on.
+
+var cliTools = []string{"cspcheck", "csptrace", "cspsim", "cspproof", "cspprove", "cspeq", "cspi", "cspexperiments"}
+
+// buildTools compiles every cmd/ tool once per test binary run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range cliTools {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, stdin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+func TestCLITools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := buildTools(t)
+	bin := func(name string) string { return filepath.Join(dir, name) }
+
+	t.Run("cspcheck protocol", func(t *testing.T) {
+		out, code := run(t, bin("cspcheck"), "", "-depth", "7", "specs/protocol.csp")
+		if code != 0 || strings.Contains(out, "FAIL") {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+		if strings.Count(out, "OK") != 4 {
+			t.Errorf("want 4 OK lines:\n%s", out)
+		}
+	})
+
+	t.Run("cspcheck catches violations", func(t *testing.T) {
+		spec := filepath.Join(t.TempDir(), "bad.csp")
+		if err := os.WriteFile(spec, []byte("p = a!1 -> p\nassert p sat #a <= 1\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, code := run(t, bin("cspcheck"), "", "-depth", "4", spec)
+		if code != 1 || !strings.Contains(out, "counterexample") {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+	})
+
+	t.Run("cspcheck deadlocks", func(t *testing.T) {
+		out, code := run(t, bin("cspcheck"), "", "-depth", "6", "-deadlocks", "specs/buffers.csp")
+		if code != 0 || !strings.Contains(out, "deadlock-free") {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+	})
+
+	t.Run("csptrace", func(t *testing.T) {
+		out, code := run(t, bin("csptrace"), "", "-depth", "3", "specs/copier.csp", "copier")
+		if code != 0 || !strings.Contains(out, "<input.0, wire.0>") {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+		out, code = run(t, bin("csptrace"), "", "-den", "-depth", "3", "specs/copier.csp", "copier")
+		if code != 0 || !strings.Contains(out, "approximation chain stabilised") {
+			t.Fatalf("denotational: code=%d\n%s", code, out)
+		}
+		out, code = run(t, bin("csptrace"), "", "-dot", "-depth", "3", "specs/copier.csp", "copysys")
+		if code != 0 || !strings.Contains(out, "digraph lts") {
+			t.Fatalf("dot: code=%d\n%s", code, out)
+		}
+	})
+
+	t.Run("cspsim", func(t *testing.T) {
+		out, code := run(t, bin("cspsim"), "", "-events", "12", "-seed", "3", "specs/protocol.csp", "protocol")
+		if code != 0 || !strings.Contains(out, "monitoring: output <= input") {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+	})
+
+	t.Run("cspproof", func(t *testing.T) {
+		out, code := run(t, bin("cspproof"), "")
+		if code != 0 || strings.Count(out, "ok   ") < 10 {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+		out, code = run(t, bin("cspproof"), "", "-which", "protocol", "-show")
+		if code != 0 || !strings.Contains(out, "[recursion") {
+			t.Fatalf("show: code=%d\n%s", code, out)
+		}
+	})
+
+	t.Run("cspprove proves both paper specs", func(t *testing.T) {
+		for _, spec := range []string{"specs/copier.csp", "specs/protocol.csp"} {
+			out, code := run(t, bin("cspprove"), "", spec)
+			if code != 0 || strings.Contains(out, "FAIL") {
+				t.Fatalf("%s: code=%d\n%s", spec, code, out)
+			}
+		}
+	})
+
+	t.Run("cspeq distinguishes internal choice", func(t *testing.T) {
+		spec := filepath.Join(t.TempDir(), "ic.csp")
+		src := "copier = input?x:NAT -> wire!x -> copier\nmaybe = STOP |~| copier\n"
+		if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, code := run(t, bin("cspeq"), "", "-depth", "3", "-nat", "2", spec, "maybe", "copier")
+		if code != 0 {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+		if !strings.Contains(out, "trace-equivalent") {
+			t.Errorf("trace equivalence missing:\n%s", out)
+		}
+		if !strings.Contains(out, "maybe ⊑ copier FAILS") {
+			t.Errorf("failures distinction missing:\n%s", out)
+		}
+		if !strings.Contains(out, "maybe can deadlock") {
+			t.Errorf("deadlock report missing:\n%s", out)
+		}
+	})
+
+	t.Run("cspi scripted session", func(t *testing.T) {
+		script := "1\n:trace\n:quit\n"
+		out, code := run(t, bin("cspi"), script, "specs/copier.csp", "copier")
+		if code != 0 || !strings.Contains(out, "input.0") {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+	})
+
+	t.Run("cspexperiments regenerates the table", func(t *testing.T) {
+		out, code := run(t, bin("cspexperiments"), "", "-depth", "6")
+		if code != 0 {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+		for _, id := range []string{"E1 ", "E7 ", "E15", "E18"} {
+			if !strings.Contains(out, id) {
+				t.Errorf("row %s missing:\n%s", id, out)
+			}
+		}
+		if strings.Contains(out, "FAIL") {
+			t.Fatalf("experiment failed:\n%s", out)
+		}
+		// Single-experiment selection.
+		out, code = run(t, bin("cspexperiments"), "", "-only", "E10")
+		if code != 0 || strings.Count(out, "\n") != 1 {
+			t.Fatalf("-only: code=%d\n%s", code, out)
+		}
+	})
+
+	t.Run("usage errors exit 2", func(t *testing.T) {
+		for _, tool := range cliTools {
+			if tool == "cspproof" || tool == "cspexperiments" {
+				continue // take no file arguments; no-args is a valid run
+			}
+			_, code := run(t, bin(tool), "")
+			if code != 2 {
+				t.Errorf("%s with no args: exit %d, want 2", tool, code)
+			}
+		}
+	})
+}

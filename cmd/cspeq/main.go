@@ -1,0 +1,138 @@
+// Command cspeq compares two processes from a .csp file under both
+// semantic models this repository implements:
+//
+//   - the paper's trace (prefix-closure) model — partial correctness,
+//     where STOP | P = P and deadlock is invisible; and
+//   - the stable-failures model (the §4 "more realistic model of
+//     non-determinism"), where refusals distinguish internal choice and
+//     deadlock potential is observable.
+//
+// Usage:
+//
+//	cspeq [-depth N] [-nat W] file.csp P Q
+//
+// Exit status is 0 regardless of the verdicts (the comparison itself is
+// the output); 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cspsat/internal/core"
+	"cspsat/internal/failures"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+)
+
+func main() {
+	depth := flag.Int("depth", 6, "trace-length bound for both models")
+	nat := flag.Int("nat", 3, "enumeration width of the NAT domain")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cspeq [-depth N] [-nat W] file.csp P Q\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 3 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sys, err := core.LoadFile(flag.Arg(0), core.Options{NatWidth: *nat})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cspeq:", err)
+		os.Exit(2)
+	}
+	p, err := sys.Proc(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cspeq:", err)
+		os.Exit(2)
+	}
+	q, err := sys.Proc(flag.Arg(2))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cspeq:", err)
+		os.Exit(2)
+	}
+	pName, qName := flag.Arg(1), flag.Arg(2)
+
+	// --- trace model ---
+	ck := sys.Checker(*depth)
+	fmt.Printf("== trace model (the paper's §3 prefix closures, depth %d) ==\n", *depth)
+	pq, err := ck.Refines(p, q)
+	exitOn(err)
+	qp, err := ck.Refines(q, p)
+	exitOn(err)
+	printRefine(pName, qName, pq.OK, traceWitness(pq.Witness))
+	printRefine(qName, pName, qp.OK, traceWitness(qp.Witness))
+	if pq.OK && qp.OK {
+		fmt.Printf("   %s and %s are trace-equivalent\n", pName, qName)
+	}
+
+	// --- failures model ---
+	fmt.Printf("\n== stable-failures model (the §4 extension, depth %d) ==\n", *depth)
+	mp, err := computeModel(p, sys.Env(), *depth)
+	exitOn(err)
+	mq, err := computeModel(q, sys.Env(), *depth)
+	exitOn(err)
+	fpq, err := failures.Refines(mp, mq)
+	exitOn(err)
+	fqp, err := failures.Refines(mq, mp)
+	exitOn(err)
+	printRefine(pName, qName, fpq == nil, cexString(fpq))
+	printRefine(qName, pName, fqp == nil, cexString(fqp))
+	if fpq == nil && fqp == nil {
+		fmt.Printf("   %s and %s are failures-equivalent\n", pName, qName)
+	}
+	for _, pr := range []struct {
+		name string
+		proc syntax.Proc
+		m    *failures.Model
+	}{{pName, p, mp}, {qName, q, mq}} {
+		if tr, can := pr.m.CanDeadlock(); can {
+			fmt.Printf("   %s can deadlock (after %s)\n", pr.name, tr)
+		} else {
+			fmt.Printf("   %s is deadlock-free to this depth\n", pr.name)
+		}
+		dtr, div, err := failures.Diverges(pr.proc, sys.Env(), *depth)
+		exitOn(err)
+		if div {
+			fmt.Printf("   %s can diverge (internal chatter forever, after %s)\n", pr.name, dtr)
+		} else {
+			fmt.Printf("   %s is divergence-free to this depth\n", pr.name)
+		}
+	}
+}
+
+func computeModel(p syntax.Proc, env sem.Env, depth int) (*failures.Model, error) {
+	return failures.Compute(p, env, depth)
+}
+
+func printRefine(a, b string, ok bool, why string) {
+	if ok {
+		fmt.Printf("   %s ⊑ %s holds\n", a, b)
+		return
+	}
+	fmt.Printf("   %s ⊑ %s FAILS: %s\n", a, b, why)
+}
+
+func traceWitness(w trace.T) string {
+	if w == nil {
+		return ""
+	}
+	return "witness " + w.String()
+}
+
+func cexString(c *failures.Counterexample) string {
+	if c == nil {
+		return ""
+	}
+	return c.String()
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cspeq:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"cspsat/internal/parser"
+	"cspsat/internal/syntax"
+)
+
+// parseSpec parses .csp source into its module.
+func parseSpec(src string) (*syntax.Module, error) {
+	f, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return f.Module, nil
+}

@@ -1,0 +1,56 @@
+// Command cspi is an interactive process stepper: it presents the menu of
+// communications a process currently offers, performs the one you pick,
+// and tracks the growing trace — with the file's sat-assertions evaluated
+// live after every step.
+//
+// Usage:
+//
+//	cspi [-nat W] file.csp process
+//
+// Inside the session: enter a number to perform that communication;
+// :menu :trace :hist :accept :random [n] :undo :reset :quit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+
+	"cspsat/internal/core"
+	"cspsat/internal/repl"
+)
+
+func main() {
+	nat := flag.Int("nat", 3, "enumeration width of the NAT domain")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cspi [-nat W] file.csp process\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sys, err := core.LoadFile(flag.Arg(0), core.Options{NatWidth: *nat})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cspi:", err)
+		os.Exit(2)
+	}
+	p, err := sys.Proc(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cspi:", err)
+		os.Exit(2)
+	}
+	r := repl.New(p, sys.Env(), sys.Funcs())
+	for _, decl := range sys.Asserts {
+		if decl.A != nil && len(decl.Quants) == 0 && reflect.DeepEqual(decl.Proc, p) {
+			r.Monitor(decl.A)
+		}
+	}
+	fmt.Printf("stepping %s from %s (:help for commands)\n", flag.Arg(1), flag.Arg(0))
+	if err := r.Run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cspi:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+// Command cspproof replays the machine-encoded proofs from the paper —
+// §2.1's copier examples, Table 1's sender proof, the §2.2 receiver
+// exercise, and the six-step protocol proof — through the proof checker,
+// printing each verified rule application. It then cross-checks every
+// conclusion with the model checker.
+//
+// Usage:
+//
+//	cspproof [-which all|copier|protocol] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/check"
+	"cspsat/internal/paper"
+	"cspsat/internal/proof"
+	"cspsat/internal/proofs"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/value"
+)
+
+func main() {
+	which := flag.String("which", "all", "proof group to replay: all, copier, protocol")
+	verbose := flag.Bool("v", false, "print every verified rule application")
+	show := flag.Bool("show", false, "render each proof in the paper's Table-1 style")
+	flag.Parse()
+	showSteps = *show
+
+	ok := true
+	if *which == "all" || *which == "copier" {
+		ok = runGroup("copier system", copierChecker(*verbose), copierGroup(), copierCrossChecks()) && ok
+	}
+	if *which == "all" || *which == "protocol" {
+		ok = runGroup("protocol", protocolChecker(*verbose), protocolGroup(), protocolCrossChecks()) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+type namedProof struct {
+	name string
+	p    proof.Proof
+}
+
+type crossCheck struct {
+	name  string
+	ck    *check.Checker
+	proc  syntax.Proc
+	claim assertion.A
+}
+
+func copierChecker(verbose bool) *proof.Checker {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	c := proof.NewChecker(env, nil)
+	c.Validity = assertion.ValidityConfig{MaxLen: 3}
+	if verbose {
+		c.Log = func(s string) { fmt.Println("   ", s) }
+	}
+	return c
+}
+
+func protocolChecker(verbose bool) *proof.Checker {
+	env := sem.NewEnv(paper.ProtocolSystem(2), 2)
+	c := proof.NewChecker(env, nil)
+	msgs := value.Domain(value.IntRange{Lo: 0, Hi: 1})
+	c.Validity = assertion.ValidityConfig{
+		MaxLen: 3,
+		ChanDom: map[string]value.Domain{
+			"wire":   value.Union{A: msgs, B: value.NewEnum(value.Sym("ACK"), value.Sym("NACK"))},
+			"input":  msgs,
+			"output": msgs,
+		},
+		DefaultDom: msgs,
+	}
+	if verbose {
+		c.Log = func(s string) { fmt.Println("   ", s) }
+	}
+	return c
+}
+
+func copierGroup() []namedProof {
+	return []namedProof{
+		{"STOP sat wire<=input (emptiness, §2.1(4))", proofs.StopSatExample()},
+		{"copier sat wire<=input (§2.1(6),(10))", proofs.CopierProof()},
+		{"recopier sat output<=wire", proofs.RecopierProof()},
+		{"copysys sat output<=input (§2.1(8),(9))", proofs.CopyNetworkProof()},
+	}
+}
+
+func protocolGroup() []namedProof {
+	return []namedProof{
+		{"sender sat f(wire)<=input (Table 1)", proofs.SenderTable1Proof()},
+		{"receiver sat output<=f(wire) (§2.2(2), the exercise)", proofs.ReceiverProof()},
+		{"protocol sat output<=input (§2.2(3))", proofs.ProtocolProof()},
+	}
+}
+
+func copierCrossChecks() []crossCheck {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	ck := check.New(env, nil, 7)
+	return []crossCheck{
+		{"copier", ck, syntax.Ref{Name: paper.NameCopier}, paper.CopierSat()},
+		{"recopier", ck, syntax.Ref{Name: paper.NameRecopier}, paper.RecopierSat()},
+		{"copysys", ck, syntax.Ref{Name: paper.NameCopySys}, paper.CopyNetSat()},
+	}
+}
+
+func protocolCrossChecks() []crossCheck {
+	env := sem.NewEnv(paper.ProtocolSystem(2), 2)
+	ck := check.New(env, nil, 7)
+	return []crossCheck{
+		{"sender", ck, syntax.Ref{Name: paper.NameSender}, paper.SenderSat()},
+		{"receiver", ck, syntax.Ref{Name: paper.NameReceiver}, paper.ReceiverSat()},
+		{"protocol", ck, syntax.Ref{Name: paper.NameProtocol}, paper.ProtocolSat()},
+	}
+}
+
+var showSteps bool
+
+func runGroup(title string, checker *proof.Checker, group []namedProof, crosses []crossCheck) bool {
+	fmt.Printf("== %s ==\n", title)
+	ok := true
+	for _, np := range group {
+		var steps []proof.Step
+		if showSteps {
+			checker.Steps = &steps
+		}
+		cl, err := checker.Check(np.p)
+		if err != nil {
+			fmt.Printf("FAIL %s\n     %v\n", np.name, err)
+			ok = false
+			continue
+		}
+		fmt.Printf("ok   %-55s ⊢ %s\n", np.name, cl)
+		if showSteps {
+			_ = proof.Render(os.Stdout, steps)
+			fmt.Println()
+		}
+	}
+	for _, cc := range crosses {
+		res, err := cc.ck.Sat(cc.proc, cc.claim)
+		if err != nil {
+			fmt.Printf("FAIL model-check %s: %v\n", cc.name, err)
+			ok = false
+			continue
+		}
+		if !res.OK {
+			fmt.Printf("FAIL model-check %s: %s\n", cc.name, res)
+			ok = false
+			continue
+		}
+		fmt.Printf("ok   model-check %-43s (%d traces, depth %d)\n", cc.name, res.TracesChecked, res.Depth)
+	}
+	return ok
+}

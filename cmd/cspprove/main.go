@@ -1,0 +1,345 @@
+// Command cspprove synthesises and checks §2.1-style proofs for the assert
+// clauses of a .csp file, using the automatic prover of internal/auto.
+//
+// Strategy, mirroring the shape of the paper's own development:
+//
+//  1. Asserts about (possibly arrayed) recursive definitions become goals
+//     for the recursion rule, attempted jointly first (mutual recursion, as
+//     in Table 1 where sender's claim needs q's); goals whose synthesis
+//     fails are dropped from the joint attempt and retried individually.
+//  2. Asserts about network definitions (parallel compositions, possibly
+//     hidden and named) are assembled from the proofs of phase 1 with the
+//     parallelism/consequence/chan/unfold glue — the §2.2(3) six-step shape.
+//
+// Pure side conditions are discharged by bounded validity; every accepted
+// proof is fully re-verified by the rule checker.
+//
+// Usage:
+//
+//	cspprove [-nat W] [-maxlen L] [-v] file.csp
+//
+// Exit status 1 when any assert cannot be proved (it may still hold — use
+// cspcheck for refutation), 2 on load errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/auto"
+	"cspsat/internal/core"
+	"cspsat/internal/parser"
+	"cspsat/internal/proof"
+	"cspsat/internal/syntax"
+	"cspsat/internal/value"
+)
+
+func main() {
+	nat := flag.Int("nat", 2, "enumeration width of the NAT domain")
+	maxLen := flag.Int("maxlen", 3, "history-length bound for validity obligations")
+	verbose := flag.Bool("v", false, "print each verified rule application")
+	show := flag.Bool("show", false, "render each successful proof in the paper's Table-1 style")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cspprove [-nat W] [-maxlen L] [-v] file.csp\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sys, err := core.LoadFile(flag.Arg(0), core.Options{NatWidth: *nat})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cspprove:", err)
+		os.Exit(2)
+	}
+	if len(sys.Asserts) == 0 {
+		fmt.Println("cspprove: no assert clauses in file")
+		return
+	}
+
+	prover := sys.Prover(&assertion.ValidityConfig{
+		MaxLen: *maxLen,
+		DefaultDom: value.Union{
+			A: value.Nat{SampleWidth: *nat},
+			B: value.NewEnum(value.Sym("ACK"), value.Sym("NACK")),
+		},
+	})
+	if *verbose {
+		prover.Log = func(s string) { fmt.Println("   ", s) }
+	}
+
+	d := driver{sys: sys, prover: prover, show: *show}
+	d.run()
+	if d.failed {
+		os.Exit(1)
+	}
+}
+
+type driver struct {
+	sys    *core.System
+	prover *proof.Checker
+	failed bool
+	show   bool
+	// proved collects every established claim (with its proof) per
+	// definition; phase 2's network glue picks the combination that makes
+	// the final weakening go through.
+	proved map[string][]provedEntry
+}
+
+type provedEntry struct {
+	a  assertion.A
+	pr proof.Proof
+}
+
+func (d *driver) run() {
+	d.proved = map[string][]provedEntry{}
+
+	recGoals, netDecls := d.classify()
+
+	// Phase 1: joint recursion, shedding unsynthesisable goals.
+	pending := make([]auto.Goal, 0, len(recGoals))
+	seenName := map[string]bool{}
+	for _, e := range recGoals {
+		// Conflicting claims about the same definition cannot share one
+		// recursion application; keep the first for the joint attempt.
+		if !seenName[e.goal.Name] {
+			seenName[e.goal.Name] = true
+			pending = append(pending, e.goal)
+		}
+	}
+	for len(pending) > 0 {
+		pr, err := auto.Recursive(d.sys.Env(), pending)
+		if err != nil {
+			var ge *auto.GoalError
+			if errors.As(err, &ge) {
+				pending = dropGoal(pending, ge.Name)
+				continue
+			}
+			break
+		}
+		if _, err := d.prover.Check(pr); err != nil {
+			// The joint candidate failed checking; fall back to
+			// individual attempts for everything.
+			break
+		}
+		for i, g := range pending {
+			d.markProved(g, pending, i)
+		}
+		break
+	}
+	// Individual fallback for anything not yet proved (including second
+	// claims about a definition already proved for another claim).
+	for _, e := range recGoals {
+		if d.hasProved(e.goal.Name, e.goal.A) {
+			fmt.Printf("ok   proved %s\n", e.decl)
+			continue
+		}
+		if err := d.proveIndividually(e.goal); err != nil {
+			d.failed = true
+			fmt.Printf("FAIL %s\n     %v\n", e.decl, err)
+		} else {
+			fmt.Printf("ok   proved %s\n", e.decl)
+		}
+	}
+	if d.show {
+		d.renderProved()
+	}
+
+	// Phase 2: network asserts glued from phase 1's component proofs,
+	// trying every combination of established component claims.
+	for _, decl := range netDecls {
+		ref := decl.Proc.(syntax.Ref)
+		if err := d.proveNetwork(ref.Name, decl.A); err != nil {
+			d.failed = true
+			fmt.Printf("FAIL %s\n     %v\n", decl, err)
+			continue
+		}
+		fmt.Printf("ok   proved %s (network glue)\n", decl)
+	}
+}
+
+// renderProved re-checks each recorded proof with step collection on and
+// prints it in the paper's numbered style.
+func (d *driver) renderProved() {
+	names := make([]string, 0, len(d.proved))
+	for n := range d.proved {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, e := range d.proved[n] {
+			var steps []proof.Step
+			d.prover.Steps = &steps
+			if _, err := d.prover.Check(e.pr); err != nil {
+				continue
+			}
+			d.prover.Steps = nil
+			fmt.Printf("\n-- proof of %s sat %s --\n", n, e.a)
+			_ = proof.Render(os.Stdout, steps)
+		}
+	}
+	fmt.Println()
+}
+
+// proveNetwork tries the network glue with each combination of proved
+// component claims (the combination count is the product of per-name claim
+// counts, small in practice).
+func (d *driver) proveNetwork(name string, final assertion.A) error {
+	names := make([]string, 0, len(d.proved))
+	for n := range d.proved {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	idx := make([]int, len(names))
+	var lastErr error
+	for {
+		comps := map[string]proof.Proof{}
+		claims := map[string]assertion.A{}
+		for i, n := range names {
+			e := d.proved[n][idx[i]]
+			comps[n] = e.pr
+			claims[n] = e.a
+		}
+		pr, err := auto.Network(d.sys.Env(), name, comps, claims, final)
+		if err == nil {
+			if _, err = d.prover.Check(pr); err == nil {
+				return nil
+			}
+		}
+		lastErr = err
+		i := 0
+		for ; i < len(names); i++ {
+			idx[i]++
+			if idx[i] < len(d.proved[names[i]]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(names) {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("no proved component claims available")
+			}
+			return lastErr
+		}
+	}
+}
+
+func (d *driver) hasProved(name string, a assertion.A) bool {
+	want := fmt.Sprint(a)
+	for _, e := range d.proved[name] {
+		if fmt.Sprint(e.a) == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *driver) proveIndividually(g auto.Goal) error {
+	pr, err := auto.Recursive(d.sys.Env(), []auto.Goal{g})
+	if err != nil {
+		return err
+	}
+	if _, err := d.prover.Check(pr); err != nil {
+		return err
+	}
+	d.addProved(g.Name, g.A, pr)
+	return nil
+}
+
+func (d *driver) addProved(name string, a assertion.A, pr proof.Proof) {
+	if d.hasProved(name, a) {
+		return
+	}
+	d.proved[name] = append(d.proved[name], provedEntry{a: a, pr: pr})
+}
+
+// markProved records a joint-recursion goal's proof for reuse by the
+// network glue: the same joint proof is regenerated with this goal's
+// definition leading, so its claim is the conclusion (the recursion rule
+// establishes all participating claims; Main selects which one the proof
+// object reports).
+func (d *driver) markProved(g auto.Goal, joint []auto.Goal, idx int) {
+	if d.hasProved(g.Name, g.A) {
+		return
+	}
+	rotated := make([]auto.Goal, 0, len(joint))
+	rotated = append(rotated, joint[idx])
+	rotated = append(rotated, joint[:idx]...)
+	rotated = append(rotated, joint[idx+1:]...)
+	if pr, err := auto.Recursive(d.sys.Env(), rotated); err == nil {
+		d.addProved(g.Name, g.A, pr)
+	}
+}
+
+// goalEntry pairs a recursion goal with the assert text it came from.
+type goalEntry struct {
+	goal auto.Goal
+	decl string
+}
+
+// classify splits asserts into recursion goals and network-shaped asserts.
+func (d *driver) classify() (goals []goalEntry, netDecls []parser.AssertDecl) {
+	for _, decl := range d.sys.Asserts {
+		if decl.A == nil {
+			continue // refinement asserts are cspcheck's business
+		}
+		ref, ok := decl.Proc.(syntax.Ref)
+		if !ok {
+			continue
+		}
+		def, found := d.sys.Module.Lookup(ref.Name)
+		if !found {
+			continue
+		}
+		if len(decl.Quants) == 0 && ref.Sub == nil {
+			if isNetworkDef(def.Body) {
+				netDecls = append(netDecls, decl)
+				continue
+			}
+			goals = append(goals, goalEntry{goal: auto.Goal{Name: ref.Name, A: decl.A}, decl: decl.String()})
+			continue
+		}
+		if len(decl.Quants) == 1 && ref.Sub != nil && def.IsArray() {
+			v, isVar := ref.Sub.(syntax.Var)
+			if !isVar || v.Name != decl.Quants[0].Var {
+				continue
+			}
+			a := decl.A
+			if v.Name != def.Param {
+				a = assertion.SubstVar(a, v.Name, assertion.Var(def.Param))
+			}
+			goals = append(goals, goalEntry{goal: auto.Goal{Name: ref.Name, A: a}, decl: decl.String()})
+		}
+	}
+	return goals, netDecls
+}
+
+// isNetworkDef reports whether a definition's body is a composition shape
+// (parallel or hiding, possibly through references) rather than a
+// communicating process.
+func isNetworkDef(p syntax.Proc) bool {
+	switch t := p.(type) {
+	case syntax.Par, syntax.Hiding:
+		return true
+	case syntax.Ref:
+		_ = t
+		return false
+	default:
+		return false
+	}
+}
+
+func dropGoal(gs []auto.Goal, name string) []auto.Goal {
+	out := gs[:0]
+	for _, g := range gs {
+		if g.Name != name {
+			out = append(out, g)
+		}
+	}
+	return out
+}

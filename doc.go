@@ -1,0 +1,14 @@
+// Package cspsat reproduces, as a working Go library, the system of
+// Zhou Chao Chen and C. A. R. Hoare's "Partial Correctness of Communicating
+// Sequential Processes" (PRG, Oxford, 1980/81; ICDCS 1981): the process
+// notation of §1, the sat-assertion language and ten inference rules of §2,
+// and the prefix-closure trace model of §3, together with a parser for the
+// notation, a model checker, a machine-checked encoding of every proof in
+// the paper, and a concurrent runtime that executes process networks as
+// goroutines with true rendezvous and online sat-monitoring.
+//
+// The implementation lives under internal/; see README.md for the tour,
+// DESIGN.md for the architecture and the paper-to-code map, and
+// EXPERIMENTS.md for the per-claim reproduction record. The benchmark
+// harness regenerating every experiment is bench_test.go in this directory.
+package cspsat

@@ -1,0 +1,3 @@
+module cspsat
+
+go 1.22

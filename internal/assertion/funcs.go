@@ -1,0 +1,151 @@
+package assertion
+
+import (
+	"fmt"
+
+	"cspsat/internal/value"
+)
+
+// Func is a registered total function over values, used by Apply terms.
+type Func func(args []value.V) (value.V, error)
+
+// PredFunc is a registered boolean predicate, used by Pred formulas.
+type PredFunc func(args []value.V) (bool, error)
+
+// Registry resolves function and predicate names appearing in assertions.
+// A registry pre-populated with the paper's functions is returned by
+// NewRegistry; modules may register additional ones.
+type Registry struct {
+	funcs map[string]Func
+	preds map[string]PredFunc
+}
+
+// NewRegistry returns a registry containing the built-in functions:
+//
+//	f(s)       the §2.2 protocol function: cancels every ACK and every
+//	           consecutive ⟨x, NACK⟩ pair, leaving the successfully
+//	           delivered messages
+//	front(s)   s without its last element (<> for <>)
+//	last1(s)   the one-element sequence holding s's last element (<> for <>)
+//	take(n,s)  the first n elements of s
+func NewRegistry() *Registry {
+	r := &Registry{funcs: map[string]Func{}, preds: map[string]PredFunc{}}
+	r.RegisterFunc("f", ProtocolF)
+	r.RegisterFunc("front", seqFront)
+	r.RegisterFunc("last1", seqLast1)
+	r.RegisterFunc("take", seqTake)
+	return r
+}
+
+// RegisterFunc adds (or replaces) a function binding.
+func (r *Registry) RegisterFunc(name string, fn Func) { r.funcs[name] = fn }
+
+// RegisterPred adds (or replaces) a predicate binding.
+func (r *Registry) RegisterPred(name string, p PredFunc) { r.preds[name] = p }
+
+// Func looks up a function by name.
+func (r *Registry) Func(name string) (Func, bool) {
+	fn, ok := r.funcs[name]
+	return fn, ok
+}
+
+// Pred looks up a predicate by name.
+func (r *Registry) Pred(name string) (PredFunc, bool) {
+	p, ok := r.preds[name]
+	return p, ok
+}
+
+// ProtocolF is the paper's §2.2 function f: (M ∪ {ACK,NACK})* → M*. The
+// value of f(s) is obtained from s by cancelling all occurrences of ACK and
+// all consecutive ⟨x, NACK⟩ pairs, e.g. f(<x, NACK, x, ACK>) = <x>.
+// Operationally, it recovers from the wire history the messages the
+// receiver has accepted (plus a possibly in-flight final message).
+//
+// The defining equations from the paper, which the implementation follows
+// literally (and tests check one by one):
+//
+//	f(<>)            = <>
+//	f(<x>)           = <x>           for x ∈ M
+//	f(x⌢ACK⌢rest)    = x⌢f(rest)
+//	f(x⌢NACK⌢rest)   = f(rest)
+func ProtocolF(args []value.V) (value.V, error) {
+	if len(args) != 1 {
+		return value.V{}, fmt.Errorf("f: want 1 argument, got %d", len(args))
+	}
+	s := args[0]
+	if s.Kind() != value.KindSeq {
+		return value.V{}, fmt.Errorf("f: want a sequence, got %v", s)
+	}
+	in := s.AsSeq()
+	var out []value.V
+	for i := 0; i < len(in); i++ {
+		cur := in[i]
+		if isSig(cur) {
+			// A bare ACK/NACK not paired with a preceding message: the
+			// paper cancels ACKs outright; an unpaired NACK likewise
+			// disappears (it acknowledges nothing).
+			continue
+		}
+		if i+1 < len(in) {
+			next := in[i+1]
+			if isAck(next) {
+				out = append(out, cur)
+				i++
+				continue
+			}
+			if isNack(next) {
+				i++ // cancel the ⟨x, NACK⟩ pair
+				continue
+			}
+			// Next is another message: the paper's grammar never produces
+			// two consecutive data messages on the wire, but f must be
+			// total; we keep cur (it is the latest in-flight message).
+			out = append(out, cur)
+			continue
+		}
+		// Final, unacknowledged in-flight message: f(<x>) = <x>.
+		out = append(out, cur)
+	}
+	return value.SeqOf(out), nil
+}
+
+func isAck(v value.V) bool  { return v.Kind() == value.KindSym && v.AsSym() == "ACK" }
+func isNack(v value.V) bool { return v.Kind() == value.KindSym && v.AsSym() == "NACK" }
+func isSig(v value.V) bool  { return isAck(v) || isNack(v) }
+
+func seqFront(args []value.V) (value.V, error) {
+	if len(args) != 1 || args[0].Kind() != value.KindSeq {
+		return value.V{}, fmt.Errorf("front: want one sequence argument")
+	}
+	s := args[0].AsSeq()
+	if len(s) == 0 {
+		return value.Seq(), nil
+	}
+	return value.SeqOf(s[:len(s)-1]), nil
+}
+
+func seqLast1(args []value.V) (value.V, error) {
+	if len(args) != 1 || args[0].Kind() != value.KindSeq {
+		return value.V{}, fmt.Errorf("last1: want one sequence argument")
+	}
+	s := args[0].AsSeq()
+	if len(s) == 0 {
+		return value.Seq(), nil
+	}
+	return value.Seq(s[len(s)-1]), nil
+}
+
+func seqTake(args []value.V) (value.V, error) {
+	if len(args) != 2 || args[0].Kind() != value.KindInt || args[1].Kind() != value.KindSeq {
+		return value.V{}, fmt.Errorf("take: want (n, sequence)")
+	}
+	n := args[0].AsInt()
+	s := args[1].AsSeq()
+	if n < 0 {
+		n = 0
+	}
+	if n > int64(len(s)) {
+		n = int64(len(s))
+	}
+	return value.SeqOf(s[:n]), nil
+}

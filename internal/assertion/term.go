@@ -1,0 +1,208 @@
+// Package assertion implements the paper's §2 assertion language: predicates
+// whose free channel names denote the sequence of values communicated along
+// that channel so far. It provides the term and formula ASTs, evaluation
+// against a channel history ch(s), the substitutions the proof rules need
+// (R_<>, R[e⌢c/c], R[v/x]), registered sequence functions such as the
+// protocol's f, and a bounded-validity checker used to discharge pure
+// logical obligations.
+package assertion
+
+import (
+	"fmt"
+	"strings"
+
+	"cspsat/internal/value"
+)
+
+// Term is an expression of the assertion language. Terms evaluate to a
+// value.V: integers, symbols, booleans, or sequences (channel histories are
+// sequence-valued).
+type Term interface {
+	termNode()
+	String() string
+}
+
+// Lit is a literal value, e.g. 3 or ACK or the empty sequence <>.
+type Lit struct{ Val value.V }
+
+// VarT references a logic variable (bound by ForAll/Exists/Sum) or a free
+// program variable (e.g. the x of an input command, universally quantified
+// in "P sat R").
+type VarT struct{ Name string }
+
+// ChanT denotes the history of a channel: the sequence of messages
+// communicated on it so far. Sub, when non-nil, subscripts a channel array
+// (e.g. row[j]); it must evaluate to an integer.
+type ChanT struct {
+	Name string
+	Sub  Term
+}
+
+// Cons is the paper's x⌢s: the sequence whose first element is Head and
+// whose remainder is Tail.
+type Cons struct{ Head, Tail Term }
+
+// SeqLit is an explicit sequence <a, b, c>.
+type SeqLit struct{ Elems []Term }
+
+// Cat is sequence concatenation s⌢t (both sides sequences).
+type Cat struct{ L, R Term }
+
+// Len is the paper's #s, the length of a sequence.
+type Len struct{ S Term }
+
+// At is the paper's sᵢ: the i-th message of s, 1-based as in §2.
+type At struct {
+	S   Term
+	Idx Term
+}
+
+// ArithOp enumerates the arithmetic operators usable in assertion terms.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	AAdd ArithOp = iota + 1
+	ASub
+	AMul
+	ADiv
+	AMod
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case AAdd:
+		return "+"
+	case ASub:
+		return "-"
+	case AMul:
+		return "*"
+	case ADiv:
+		return "/"
+	case AMod:
+		return "%"
+	default:
+		return "?"
+	}
+}
+
+// Arith is integer arithmetic on terms.
+type Arith struct {
+	Op   ArithOp
+	L, R Term
+}
+
+// Sum is Σ_{Var=Lo..Hi} Body, needed for the multiplier invariant
+// output_i = Σⱼ v[j]·row[j]_i.
+type Sum struct {
+	Var    string
+	Lo, Hi Term
+	Body   Term
+}
+
+// Apply applies a registered sequence function, e.g. the protocol proof's
+// f(wire) which cancels ACKs and ⟨x,NACK⟩ pairs. Functions are looked up in
+// the evaluation context's registry.
+type Apply struct {
+	Fn   string
+	Args []Term
+}
+
+// ConstIndex references a module-level constant array, e.g. the multiplier's
+// fixed vector v[j].
+type ConstIndex struct {
+	Name string
+	Sub  Term
+}
+
+// Unresolved is a parse-time placeholder for a bare identifier whose role —
+// channel, logic variable, symbol, or constant array — is decided against
+// the module after the whole file is parsed. Evaluating it is an error;
+// the parser guarantees none survive in what it returns.
+type Unresolved struct {
+	Name string
+	Sub  Term // non-nil for ident[expr]
+}
+
+func (Lit) termNode()        {}
+func (VarT) termNode()       {}
+func (ChanT) termNode()      {}
+func (Cons) termNode()       {}
+func (SeqLit) termNode()     {}
+func (Cat) termNode()        {}
+func (Len) termNode()        {}
+func (At) termNode()         {}
+func (Arith) termNode()      {}
+func (Sum) termNode()        {}
+func (Apply) termNode()      {}
+func (ConstIndex) termNode() {}
+func (Unresolved) termNode() {}
+
+func (t Unresolved) String() string {
+	if t.Sub == nil {
+		return "?" + t.Name
+	}
+	return "?" + t.Name + "[" + t.Sub.String() + "]"
+}
+
+func (t Lit) String() string  { return t.Val.String() }
+func (t VarT) String() string { return t.Name }
+func (t ChanT) String() string {
+	if t.Sub == nil {
+		return t.Name
+	}
+	return t.Name + "[" + t.Sub.String() + "]"
+}
+func (t Cons) String() string { return t.Head.String() + "^" + t.Tail.String() }
+func (t SeqLit) String() string {
+	parts := make([]string, len(t.Elems))
+	for i, e := range t.Elems {
+		parts[i] = e.String()
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}
+func (t Cat) String() string { return t.L.String() + " ++ " + t.R.String() }
+func (t Len) String() string {
+	switch t.S.(type) {
+	case ChanT, VarT, Lit, SeqLit, Apply:
+		return "#" + t.S.String()
+	default:
+		return "#(" + t.S.String() + ")"
+	}
+}
+func (t At) String() string { return t.S.String() + "[" + t.Idx.String() + "]" }
+func (t Arith) String() string {
+	return "(" + t.L.String() + " " + t.Op.String() + " " + t.R.String() + ")"
+}
+func (t Sum) String() string {
+	return fmt.Sprintf("sum %s:%s..%s. %s", t.Var, t.Lo, t.Hi, t.Body)
+}
+func (t Apply) String() string {
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+	}
+	return t.Fn + "(" + strings.Join(parts, ",") + ")"
+}
+func (t ConstIndex) String() string { return t.Name + "[" + t.Sub.String() + "]" }
+
+// Convenience constructors used pervasively by tests, examples and the
+// machine-encoded paper proofs.
+
+// Chan returns the history term for a plain channel.
+func Chan(name string) ChanT { return ChanT{Name: name} }
+
+// ChanIdx returns the history term for a channel-array element.
+func ChanIdx(name string, sub Term) ChanT { return ChanT{Name: name, Sub: sub} }
+
+// Int returns an integer literal term.
+func Int(i int64) Lit { return Lit{Val: value.Int(i)} }
+
+// Sym returns a symbol literal term.
+func Sym(s string) Lit { return Lit{Val: value.Sym(s)} }
+
+// Empty returns the empty-sequence literal <>.
+func Empty() Lit { return Lit{Val: value.Seq()} }
+
+// Var returns a variable term.
+func Var(name string) VarT { return VarT{Name: name} }

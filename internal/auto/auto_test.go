@@ -1,0 +1,209 @@
+package auto_test
+
+import (
+	"strings"
+	"testing"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/auto"
+	"cspsat/internal/paper"
+	"cspsat/internal/proof"
+	"cspsat/internal/sem"
+	"cspsat/internal/value"
+)
+
+func copierProver() *proof.Checker {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	c := proof.NewChecker(env, nil)
+	c.Validity = assertion.ValidityConfig{MaxLen: 3}
+	return c
+}
+
+func protocolProver() (*proof.Checker, sem.Env) {
+	env := sem.NewEnv(paper.ProtocolSystem(2), 2)
+	c := proof.NewChecker(env, nil)
+	msgs := value.Domain(value.IntRange{Lo: 0, Hi: 1})
+	c.Validity = assertion.ValidityConfig{
+		MaxLen: 3,
+		ChanDom: map[string]value.Domain{
+			"wire":   value.Union{A: msgs, B: value.NewEnum(value.Sym("ACK"), value.Sym("NACK"))},
+			"input":  msgs,
+			"output": msgs,
+		},
+		DefaultDom: msgs,
+	}
+	return c, env
+}
+
+// TestAutoProvesCopier: the synthesiser reproduces the §2.1(6)+(10) proof
+// without human guidance, and the checker accepts it.
+func TestAutoProvesCopier(t *testing.T) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	pr, err := auto.Recursive(env, []auto.Goal{{Name: paper.NameCopier, A: paper.CopierSat()}})
+	if err != nil {
+		t.Fatalf("synthesis: %v", err)
+	}
+	cl, err := copierProver().Check(pr)
+	if err != nil {
+		t.Fatalf("synthesised proof rejected: %v", err)
+	}
+	if cl.String() != "copier sat wire <= input" {
+		t.Errorf("conclusion = %s", cl)
+	}
+}
+
+func TestAutoProvesRecopierAndLengthInvariant(t *testing.T) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	cases := []auto.Goal{
+		{Name: paper.NameRecopier, A: paper.RecopierSat()},
+		{Name: paper.NameCopier, A: paper.CopierLenSat()},
+	}
+	for _, g := range cases {
+		pr, err := auto.Recursive(env, []auto.Goal{g})
+		if err != nil {
+			t.Fatalf("synthesis for %s: %v", g.Name, err)
+		}
+		if _, err := copierProver().Check(pr); err != nil {
+			t.Errorf("synthesised proof for %q sat %s rejected: %v", g.Name, g.A, err)
+		}
+	}
+}
+
+// TestAutoProvesTable1 is the headline: the mutual-recursion proof of
+// Table 1 — sender and the q array together — synthesised mechanically.
+func TestAutoProvesTable1(t *testing.T) {
+	prover, env := protocolProver()
+	pr, err := auto.Recursive(env, []auto.Goal{
+		{Name: paper.NameSender, A: paper.SenderSat()},
+		{Name: paper.NameQ, A: paper.QSat()},
+	})
+	if err != nil {
+		t.Fatalf("synthesis: %v", err)
+	}
+	cl, err := prover.Check(pr)
+	if err != nil {
+		t.Fatalf("synthesised Table 1 rejected: %v", err)
+	}
+	if cl.String() != "sender sat f(wire) <= input" {
+		t.Errorf("conclusion = %s", cl)
+	}
+}
+
+func TestAutoProvesReceiver(t *testing.T) {
+	prover, env := protocolProver()
+	pr, err := auto.Recursive(env, []auto.Goal{{Name: paper.NameReceiver, A: paper.ReceiverSat()}})
+	if err != nil {
+		t.Fatalf("synthesis: %v", err)
+	}
+	if _, err := prover.Check(pr); err != nil {
+		t.Fatalf("synthesised receiver proof rejected: %v", err)
+	}
+}
+
+// TestAutoProtocolNetwork assembles the full §2.2(3) proof from
+// synthesised component proofs with the Network tactic.
+func TestAutoProtocolNetwork(t *testing.T) {
+	prover, env := protocolProver()
+	senderPr, err := auto.Recursive(env, []auto.Goal{
+		{Name: paper.NameSender, A: paper.SenderSat()},
+		{Name: paper.NameQ, A: paper.QSat()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiverPr, err := auto.Recursive(env, []auto.Goal{{Name: paper.NameReceiver, A: paper.ReceiverSat()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netPr, err := auto.Network(env, paper.NameProtocol,
+		map[string]proof.Proof{
+			paper.NameSender:   senderPr,
+			paper.NameReceiver: receiverPr,
+		},
+		map[string]assertion.A{
+			paper.NameSender:   paper.SenderSat(),
+			paper.NameReceiver: paper.ReceiverSat(),
+		},
+		paper.ProtocolSat(),
+	)
+	if err != nil {
+		t.Fatalf("network glue: %v", err)
+	}
+	cl, err := prover.Check(netPr)
+	if err != nil {
+		t.Fatalf("assembled protocol proof rejected: %v", err)
+	}
+	if cl.String() != "protocol sat output <= input" {
+		t.Errorf("conclusion = %s", cl)
+	}
+}
+
+// TestAutoCopyNetwork assembles the §2.1(8)/(9) proof likewise.
+func TestAutoCopyNetwork(t *testing.T) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	copierPr, err := auto.Recursive(env, []auto.Goal{{Name: paper.NameCopier, A: paper.CopierSat()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recopierPr, err := auto.Recursive(env, []auto.Goal{{Name: paper.NameRecopier, A: paper.RecopierSat()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netPr, err := auto.Network(env, paper.NameCopySys,
+		map[string]proof.Proof{
+			paper.NameCopier:   copierPr,
+			paper.NameRecopier: recopierPr,
+		},
+		map[string]assertion.A{
+			paper.NameCopier:   paper.CopierSat(),
+			paper.NameRecopier: paper.RecopierSat(),
+		},
+		paper.CopyNetSat(),
+	)
+	if err != nil {
+		t.Fatalf("network glue: %v", err)
+	}
+	cl, err := copierProver().Check(netPr)
+	if err != nil {
+		t.Fatalf("assembled copysys proof rejected: %v", err)
+	}
+	if cl.String() != "copysys sat output <= input" {
+		t.Errorf("conclusion = %s", cl)
+	}
+}
+
+// TestAutoRejectsFalseClaim: synthesis happily builds a candidate, but the
+// checker must refuse it at the failing obligation.
+func TestAutoRejectsFalseClaim(t *testing.T) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	wrong := assertion.PrefixLE(assertion.Chan("input"), assertion.Chan("wire"))
+	pr, err := auto.Recursive(env, []auto.Goal{{Name: paper.NameCopier, A: wrong}})
+	if err != nil {
+		t.Fatalf("synthesis should produce a candidate: %v", err)
+	}
+	if _, err := copierProver().Check(pr); err == nil {
+		t.Fatal("false claim's synthesised proof was accepted")
+	}
+}
+
+func TestAutoErrors(t *testing.T) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	if _, err := auto.Recursive(env, nil); err == nil {
+		t.Error("no goals accepted")
+	}
+	if _, err := auto.Recursive(env, []auto.Goal{{Name: "ghost", A: assertion.True()}}); err == nil {
+		t.Error("undefined process accepted")
+	}
+	if _, err := auto.Network(env, "ghost", nil, nil, assertion.True()); err == nil {
+		t.Error("undefined network accepted")
+	}
+	// Network over a component without a proof must say so.
+	_, err := auto.Network(env, paper.NameCopySys, nil, nil, paper.CopyNetSat())
+	if err == nil || !strings.Contains(err.Error(), "component") {
+		// the glue walks down to copier/recopier refs and unfolds them;
+		// eventually it hits Input which it cannot glue
+		if err == nil {
+			t.Error("network without components accepted")
+		}
+	}
+}

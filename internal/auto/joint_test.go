@@ -1,0 +1,25 @@
+package auto_test
+
+import (
+	"testing"
+
+	"cspsat/internal/auto"
+	"cspsat/internal/paper"
+)
+
+// TestAutoJointAllProtocolGoals mirrors cspprove's first strategy: all
+// assert goals as one simultaneous recursion.
+func TestAutoJointAllProtocolGoals(t *testing.T) {
+	prover, env := protocolProver()
+	pr, err := auto.Recursive(env, []auto.Goal{
+		{Name: paper.NameSender, A: paper.SenderSat()},
+		{Name: paper.NameQ, A: paper.QSat()},
+		{Name: paper.NameReceiver, A: paper.ReceiverSat()},
+	})
+	if err != nil {
+		t.Fatalf("synthesis: %v", err)
+	}
+	if _, err := prover.Check(pr); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package check is the model checker: it decides "P sat R" by exhaustive
+// enumeration of P's traces to a depth bound, evaluating R on the channel
+// histories ch(s) of every trace — which is exactly the paper's semantics
+// of sat (§3.3): ρ⟦P sat R⟧ = ∀s. s ∈ ρ⟦P⟧ ⇒ (ρ + ch(s))⟦R⟧, restricted to
+// traces of bounded length over the sampled message domains.
+//
+// A failure is therefore a genuine counterexample; a pass is exhaustive up
+// to the recorded bound. The package also provides trace refinement and
+// trace equivalence between processes.
+package check
+
+import (
+	"fmt"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/op"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+	"cspsat/internal/value"
+)
+
+// Violation is a counterexample to P sat R: a trace of P whose history
+// falsifies R.
+type Violation struct {
+	Trace trace.T
+	Hist  trace.History
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("trace %s gives %s", v.Trace, v.Hist)
+}
+
+// Result reports the outcome of a Sat check.
+type Result struct {
+	// OK is true when every explored trace satisfied the assertion.
+	OK bool
+	// Counter holds the first violating trace when OK is false.
+	Counter *Violation
+	// TracesChecked counts the traces (including all prefixes) examined.
+	TracesChecked int
+	// Depth is the trace-length bound the check is exhaustive up to.
+	Depth int
+}
+
+func (r Result) String() string {
+	if r.OK {
+		return fmt.Sprintf("sat holds on all %d traces up to depth %d", r.TracesChecked, r.Depth)
+	}
+	return fmt.Sprintf("sat VIOLATED: %s (after %d traces, depth %d)", r.Counter, r.TracesChecked, r.Depth)
+}
+
+// Checker bundles the pieces a Sat check needs. The zero value is not
+// usable; construct with New.
+type Checker struct {
+	env   sem.Env
+	funcs *assertion.Registry
+	depth int
+}
+
+// New returns a checker over the module environment with the given trace
+// depth bound. funcs may be nil when assertions use no registered functions.
+func New(env sem.Env, funcs *assertion.Registry, depth int) *Checker {
+	if funcs == nil {
+		funcs = assertion.NewRegistry()
+	}
+	return &Checker{env: env, funcs: funcs, depth: depth}
+}
+
+// Env returns the checker's environment.
+func (c *Checker) Env() sem.Env { return c.env }
+
+// Funcs returns the checker's function registry.
+func (c *Checker) Funcs() *assertion.Registry { return c.funcs }
+
+// Depth returns the trace-length bound.
+func (c *Checker) Depth() int { return c.depth }
+
+// Sat checks P sat R: every trace of p (to the depth bound) must satisfy a.
+// Free variables of a must be bound in the checker's environment or
+// quantified inside a; use SatForAll for the paper's implicitly quantified
+// shared variables.
+func (c *Checker) Sat(p syntax.Proc, a assertion.A) (Result, error) {
+	traces, err := op.Traces(p, c.env, c.depth)
+	if err != nil {
+		return Result{}, fmt.Errorf("check: enumerating traces of %s: %w", p, err)
+	}
+	res := Result{OK: true, Depth: c.depth}
+	// The history is maintained incrementally across the DFS rather than
+	// recomputed as ch(s) per trace: push appends the message, pop trims it.
+	hist := make(trace.History)
+	ctx := assertion.NewCtx(c.env, hist, c.funcs)
+	var evalErr error
+	traces.WalkDFS(
+		func(path trace.T) bool {
+			res.TracesChecked++
+			ok, err := assertion.Eval(a, ctx)
+			if err != nil {
+				evalErr = fmt.Errorf("check: evaluating %s after %s: %w", a, path, err)
+				return false
+			}
+			if !ok {
+				cp := make(trace.T, len(path))
+				copy(cp, path)
+				res.OK = false
+				res.Counter = &Violation{Trace: cp, Hist: hist.Clone()}
+				return false
+			}
+			return true
+		},
+		func(ev trace.Event) { hist[ev.Chan] = append(hist[ev.Chan], ev.Msg) },
+		func(ev trace.Event) { hist[ev.Chan] = hist[ev.Chan][:len(hist[ev.Chan])-1] },
+	)
+	if evalErr != nil {
+		return Result{}, evalErr
+	}
+	return res, nil
+}
+
+// SatForAll checks "∀x∈dom. P[x] sat R[x]" by instantiating the shared
+// variable x with every value of the (sampled) domain — the paper's reading
+// of a free variable occurring in both P and R.
+func (c *Checker) SatForAll(x string, dom value.Domain, p syntax.Proc, a assertion.A) (Result, error) {
+	var total Result
+	total.OK = true
+	total.Depth = c.depth
+	for _, v := range dom.Enumerate() {
+		inst := syntax.SubstProc(p, x, sem.ValueToExpr(v))
+		instA := assertion.SubstVar(a, x, assertion.Lit{Val: v})
+		r, err := c.Sat(inst, instA)
+		if err != nil {
+			return Result{}, fmt.Errorf("check: instance %s=%v: %w", x, v, err)
+		}
+		total.TracesChecked += r.TracesChecked
+		if !r.OK {
+			r.TracesChecked = total.TracesChecked
+			return r, nil
+		}
+	}
+	return total, nil
+}
+
+// RefineResult reports a trace-refinement check.
+type RefineResult struct {
+	OK bool
+	// Witness is a trace of the implementation that the specification
+	// cannot perform, when OK is false.
+	Witness trace.T
+	Depth   int
+}
+
+func (r RefineResult) String() string {
+	if r.OK {
+		return fmt.Sprintf("refinement holds up to depth %d", r.Depth)
+	}
+	return fmt.Sprintf("refinement FAILS: impl performs %s which spec cannot (depth %d)", r.Witness, r.Depth)
+}
+
+// Refines checks traces(impl) ⊆ traces(spec) up to the depth bound — trace
+// refinement, the natural ordering of the paper's prefix-closure model.
+func (c *Checker) Refines(impl, spec syntax.Proc) (RefineResult, error) {
+	ti, err := op.Traces(impl, c.env, c.depth)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	ts, err := op.Traces(spec, c.env, c.depth)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	if w := ti.FirstNotIn(ts); w != nil {
+		return RefineResult{OK: false, Witness: w, Depth: c.depth}, nil
+	}
+	return RefineResult{OK: true, Depth: c.depth}, nil
+}
+
+// Deadlocks searches for reachable stuck configurations to the depth
+// bound. A sat-check cannot see them (the paper's §4 limitation: STOP
+// satisfies every satisfiable assertion); this is the complementary
+// analysis that can.
+func (c *Checker) Deadlocks(p syntax.Proc) ([]op.Deadlock, error) {
+	return op.FindDeadlocks(op.NewState(p, c.env), c.depth)
+}
+
+// Equivalent checks trace equivalence of two processes up to the depth
+// bound. In the prefix-closure model equivalence is mutual refinement; the
+// paper's §4 observation that STOP | P = P is checkable this way.
+func (c *Checker) Equivalent(p, q syntax.Proc) (RefineResult, error) {
+	r1, err := c.Refines(p, q)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	if !r1.OK {
+		return r1, nil
+	}
+	return c.Refines(q, p)
+}

@@ -1,0 +1,44 @@
+package closure
+
+import "cspsat/internal/trace"
+
+// Builder accumulates traces into a prefix-closed set. Adding a trace
+// implicitly adds all its prefixes (they are the nodes along its path), so
+// the result is a prefix closure regardless of insertion order.
+type Builder struct {
+	root *node
+}
+
+// NewBuilder returns an empty builder (its Set is {<>}).
+func NewBuilder() *Builder { return &Builder{root: newNode()} }
+
+// Add inserts t (and, implicitly, every prefix of t).
+func (b *Builder) Add(t trace.T) {
+	n := b.root
+	for _, e := range t {
+		k := eventKey(e)
+		ed, ok := n.children[k]
+		if !ok {
+			ed = edge{ev: e, child: newNode()}
+			n.children[k] = ed
+		}
+		n = ed.child
+	}
+}
+
+// Set returns the built set. The builder must not be used afterwards.
+func (b *Builder) Set() *Set {
+	s := &Set{root: b.root}
+	b.root = nil
+	return s
+}
+
+// FromTraces builds a prefix closure containing the given traces and all
+// their prefixes.
+func FromTraces(ts []trace.T) *Set {
+	b := NewBuilder()
+	for _, t := range ts {
+		b.Add(t)
+	}
+	return b.Set()
+}

@@ -1,0 +1,512 @@
+// Package closure implements the paper's §3.1 denotational domain: prefix
+// closures, i.e. prefix-closed sets of traces, together with the semantic
+// operators the paper defines on them —
+//
+//	(a → P)        prefixing
+//	P ∪ Q          union (the meaning of the alternative P | Q)
+//	P \ C          hiding (the meaning of chan C; P)
+//	P ⇑ C          "ignore": interleaving with arbitrary chatter on C
+//	P X‖Y Q        alphabetized parallel = (P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y))
+//
+// A mathematical prefix closure is usually infinite; this package represents
+// the finite approximations a₀ ⊆ a₁ ⊆ … that the paper itself uses to give
+// meaning to recursion (§3.3). A Set holds finitely many traces and is
+// prefix-closed by construction: the representation is a trie whose every
+// node is a member, so closure under prefixes can never be violated.
+package closure
+
+import (
+	"sort"
+	"strings"
+
+	"cspsat/internal/trace"
+)
+
+// Set is a finite prefix-closed set of traces. The zero value is not usable;
+// construct with Stop, Prefix, Union, etc. Sets are immutable once built and
+// may be shared freely.
+type Set struct {
+	root *node
+}
+
+type node struct {
+	// children maps an event key to the outgoing edge. A trie node is
+	// itself a member of the set (its path from the root), which is what
+	// makes every Set prefix-closed by construction.
+	children map[string]edge
+}
+
+type edge struct {
+	ev    trace.Event
+	child *node
+}
+
+func newNode() *node { return &node{children: map[string]edge{}} }
+
+func eventKey(e trace.Event) string { return string(e.Chan) + "\x00" + e.Msg.Key() }
+
+// Stop returns {<>}, the denotation of STOP: the process that never
+// communicates.
+func Stop() *Set { return &Set{root: newNode()} }
+
+// Nodes are immutable once their constructing operation returns, so all
+// operators share subtrees freely instead of cloning: Prefix is O(1),
+// Union is proportional to the overlap of the two tries only.
+
+// Prefix returns (a → P) = {<>} ∪ { a⌢s | s ∈ P }, the paper's prefixing
+// operator. The result shares P's nodes.
+func Prefix(a trace.Event, p *Set) *Set {
+	r := newNode()
+	r.children[eventKey(a)] = edge{ev: a, child: p.root}
+	return &Set{root: r}
+}
+
+// Union returns P ∪ Q, the denotation of the alternative (P | Q). Subtrees
+// present in only one operand are shared, not copied.
+func Union(p, q *Set) *Set {
+	return &Set{root: mergeNodes(p.root, q.root)}
+}
+
+// UnionAll returns the union of all the given sets; with no arguments it
+// returns Stop() (the unit {<>}, which is a subset of every prefix closure).
+func UnionAll(sets ...*Set) *Set {
+	out := Stop()
+	for _, s := range sets {
+		out = Union(out, s)
+	}
+	return out
+}
+
+func mergeNodes(a, b *node) *node {
+	if a == b {
+		return a
+	}
+	if len(a.children) == 0 {
+		return b
+	}
+	if len(b.children) == 0 {
+		return a
+	}
+	out := newNode()
+	for k, e := range a.children {
+		out.children[k] = e
+	}
+	for k, e := range b.children {
+		if ex, ok := out.children[k]; ok {
+			out.children[k] = edge{ev: e.ev, child: mergeNodes(ex.child, e.child)}
+		} else {
+			out.children[k] = e
+		}
+	}
+	return out
+}
+
+// Hide returns P \ C: every trace of P with its communications on channels
+// of C omitted (the paper's s\C lifted pointwise). The result is again
+// prefix-closed. Note the approximation caveat: if P is only complete up to
+// depth d, P\C is only guaranteed complete up to the depth d minus the
+// hidden chatter — callers compensate by exploring P deeper (see sem).
+func Hide(p *Set, c trace.Set) *Set {
+	r := newNode()
+	hideInto(p.root, c, r)
+	return &Set{root: r}
+}
+
+func hideInto(src *node, c trace.Set, dst *node) {
+	for k, e := range src.children {
+		if c.Contains(e.ev.Chan) {
+			// Hidden event: its subtree collapses into dst.
+			hideInto(e.child, c, dst)
+			continue
+		}
+		ex, ok := dst.children[k]
+		if !ok {
+			ex = edge{ev: e.ev, child: newNode()}
+			dst.children[k] = ex
+		}
+		hideInto(e.child, c, ex.child)
+	}
+}
+
+// Ignore returns the paper's P ⇑ C: the set of traces formed by interleaving
+// a trace of P with an arbitrary sequence of communications on the channels
+// of C, which P "ignores". Since arbitrary chatter is infinite, the chatter
+// alphabet is given explicitly (the events that may occur on C) and the
+// result is truncated to traces of length ≤ maxLen. P must not communicate
+// on any channel of the chatter alphabet.
+func Ignore(p *Set, chatter []trace.Event, maxLen int) *Set {
+	r := newNode()
+	ignoreInto(p.root, chatter, maxLen, r)
+	return &Set{root: r}
+}
+
+func ignoreInto(src *node, chatter []trace.Event, budget int, dst *node) {
+	if budget <= 0 {
+		return
+	}
+	// Either take a real event of P...
+	for k, e := range src.children {
+		ex, ok := dst.children[k]
+		if !ok {
+			ex = edge{ev: e.ev, child: newNode()}
+			dst.children[k] = ex
+		}
+		ignoreInto(e.child, chatter, budget-1, ex.child)
+	}
+	// ...or an ignored chatter event, staying at the same P-node.
+	for _, ce := range chatter {
+		k := eventKey(ce)
+		ex, ok := dst.children[k]
+		if !ok {
+			ex = edge{ev: ce, child: newNode()}
+			dst.children[k] = ex
+		}
+		ignoreInto(src, chatter, budget-1, ex.child)
+	}
+}
+
+// Parallel returns P X‖Y Q, the paper's alphabetized parallel composition:
+// the traces s over X ∪ Y such that s↾X ∈ P and s↾Y ∈ Q. Communication on a
+// channel of X ∩ Y requires simultaneous participation of both processes;
+// channels private to one side interleave freely. This is computed directly
+// as a product walk over the two tries, which is equivalent to the paper's
+// (P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y)) definition but avoids materialising the
+// interleavings (see TestParallelMatchesIgnoreIntersection for the
+// equivalence check).
+func Parallel(p, q *Set, x, y trace.Set) *Set {
+	r := newNode()
+	memo := map[[2]*node]*node{}
+	parallelInto(p.root, q.root, x, y, r, memo)
+	return &Set{root: r}
+}
+
+func parallelInto(a, b *node, x, y trace.Set, dst *node, memo map[[2]*node]*node) {
+	// memo prevents exponential re-expansion when the same (a,b) state is
+	// reached along different interleavings: the computed subtree is shared.
+	key := [2]*node{a, b}
+	if done, ok := memo[key]; ok {
+		// Merge the memoised subtree into dst.
+		for k, e := range done.children {
+			if ex, ok := dst.children[k]; ok {
+				dst.children[k] = edge{ev: e.ev, child: mergeNodes(ex.child, e.child)}
+			} else {
+				dst.children[k] = e
+			}
+		}
+		return
+	}
+	memo[key] = dst
+	for k, e := range a.children {
+		c := e.ev.Chan
+		if !x.Contains(c) {
+			// P communicating outside its own alphabet: the paper's
+			// composition is only defined when P communicates on X; treat
+			// the event as private to P (X is extended implicitly).
+		}
+		if y.Contains(c) {
+			// Shared channel: requires Q to offer the same event.
+			be, ok := b.children[k]
+			if !ok {
+				continue
+			}
+			child := step(dst, e.ev, k)
+			parallelInto(e.child, be.child, x, y, child, memo)
+		} else {
+			// Private to P.
+			child := step(dst, e.ev, k)
+			parallelInto(e.child, b, x, y, child, memo)
+		}
+	}
+	for k, e := range b.children {
+		c := e.ev.Chan
+		if x.Contains(c) {
+			continue // shared (or P-side) events handled above
+		}
+		child := step(dst, e.ev, k)
+		parallelInto(a, e.child, x, y, child, memo)
+	}
+}
+
+func step(dst *node, ev trace.Event, k string) *node {
+	ex, ok := dst.children[k]
+	if !ok {
+		ex = edge{ev: ev, child: newNode()}
+		dst.children[k] = ex
+	}
+	return ex.child
+}
+
+// Intersect returns P ∩ Q. Prefix closures are closed under intersection
+// (§3.1), and the paper's parallel operator is defined via ∩.
+func Intersect(p, q *Set) *Set {
+	r := newNode()
+	intersectInto(p.root, q.root, r)
+	return &Set{root: r}
+}
+
+func intersectInto(a, b, dst *node) {
+	for k, e := range a.children {
+		be, ok := b.children[k]
+		if !ok {
+			continue
+		}
+		ex := edge{ev: e.ev, child: newNode()}
+		dst.children[k] = ex
+		intersectInto(e.child, be.child, ex.child)
+	}
+}
+
+// Contains reports whether t ∈ P.
+func (p *Set) Contains(t trace.T) bool {
+	n := p.root
+	for _, e := range t {
+		ed, ok := n.children[eventKey(e)]
+		if !ok {
+			return false
+		}
+		n = ed.child
+	}
+	return true
+}
+
+// Size returns the number of traces in the set (the empty trace counts).
+func (p *Set) Size() int { return p.root.size() }
+
+func (n *node) size() int {
+	s := 1
+	for _, e := range n.children {
+		s += e.child.size()
+	}
+	return s
+}
+
+// MaxLen returns the length of the longest trace in the set.
+func (p *Set) MaxLen() int { return p.root.height() }
+
+func (n *node) height() int {
+	h := 0
+	for _, e := range n.children {
+		if ch := 1 + e.child.height(); ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// Traces returns every trace in the set in canonical (lexicographic) order.
+func (p *Set) Traces() []trace.T {
+	var out []trace.T
+	var walk func(n *node, pfx trace.T)
+	walk = func(n *node, pfx trace.T) {
+		cp := make(trace.T, len(pfx))
+		copy(cp, pfx)
+		out = append(out, cp)
+		for _, e := range n.children {
+			walk(e.child, append(pfx, e.ev))
+		}
+	}
+	walk(p.root, nil)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// WalkDFS traverses the set depth-first in unspecified order. visit is
+// called once per member trace (including <>), with the current path, which
+// is only valid for the duration of the call; returning false aborts the
+// whole walk. push and pop, when non-nil, bracket each descent along an
+// event, letting callers maintain incremental state (e.g. channel
+// histories) without re-deriving it per trace. WalkDFS reports whether the
+// traversal ran to completion.
+func (p *Set) WalkDFS(visit func(path trace.T) bool, push, pop func(ev trace.Event)) bool {
+	var path trace.T
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if !visit(path) {
+			return false
+		}
+		for _, e := range n.children {
+			if push != nil {
+				push(e.ev)
+			}
+			path = append(path, e.ev)
+			ok := walk(e.child)
+			path = path[:len(path)-1]
+			if pop != nil {
+				pop(e.ev)
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(p.root)
+}
+
+// TracesMax returns the maximal traces (those with no extension in the set),
+// useful for compact display.
+func (p *Set) TracesMax() []trace.T {
+	var out []trace.T
+	var walk func(n *node, pfx trace.T)
+	walk = func(n *node, pfx trace.T) {
+		if len(n.children) == 0 {
+			cp := make(trace.T, len(pfx))
+			copy(cp, pfx)
+			out = append(out, cp)
+			return
+		}
+		for _, e := range n.children {
+			walk(e.child, append(pfx, e.ev))
+		}
+	}
+	walk(p.root, nil)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Equal reports whether two sets contain exactly the same traces.
+func (p *Set) Equal(q *Set) bool { return nodesEqual(p.root, q.root) }
+
+func nodesEqual(a, b *node) bool {
+	if len(a.children) != len(b.children) {
+		return false
+	}
+	for k, e := range a.children {
+		be, ok := b.children[k]
+		if !ok || !nodesEqual(e.child, be.child) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports P ⊆ Q, i.e. trace refinement of P by Q's traces.
+func (p *Set) SubsetOf(q *Set) bool { return nodeSubset(p.root, q.root) }
+
+func nodeSubset(a, b *node) bool {
+	for k, e := range a.children {
+		be, ok := b.children[k]
+		if !ok || !nodeSubset(e.child, be.child) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstNotIn returns a witness trace in P but not in Q, or nil if P ⊆ Q.
+func (p *Set) FirstNotIn(q *Set) trace.T {
+	return firstNotIn(p.root, q.root, nil)
+}
+
+func firstNotIn(a, b *node, pfx trace.T) trace.T {
+	// Deterministic order for reproducible counterexamples.
+	keys := make([]string, 0, len(a.children))
+	for k := range a.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := a.children[k]
+		be, ok := b.children[k]
+		ext := append(pfx, e.ev)
+		if !ok {
+			cp := make(trace.T, len(ext))
+			copy(cp, ext)
+			return cp
+		}
+		if w := firstNotIn(e.child, be.child, ext); w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// TruncateTo returns the subset of traces with length ≤ depth (the paper's
+// finite approximation restricted to a window). Subtrees that already fit
+// within the window are shared, not copied.
+func (p *Set) TruncateTo(depth int) *Set {
+	heights := map[*node]int{}
+	return &Set{root: truncated(p.root, depth, heights)}
+}
+
+func truncated(src *node, budget int, heights map[*node]int) *node {
+	if heightMemo(src, heights) <= budget {
+		return src
+	}
+	out := newNode()
+	if budget <= 0 {
+		return out
+	}
+	for k, e := range src.children {
+		out.children[k] = edge{ev: e.ev, child: truncated(e.child, budget-1, heights)}
+	}
+	return out
+}
+
+func heightMemo(n *node, heights map[*node]int) int {
+	if h, ok := heights[n]; ok {
+		return h
+	}
+	h := 0
+	for _, e := range n.children {
+		if ch := 1 + heightMemo(e.child, heights); ch > h {
+			h = ch
+		}
+	}
+	heights[n] = h
+	return h
+}
+
+// Channels returns the set of channels appearing anywhere in the set.
+func (p *Set) Channels() trace.Set {
+	s := trace.NewSet()
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.children {
+			s.Add(e.ev.Chan)
+			walk(e.child)
+		}
+	}
+	walk(p.root)
+	return s
+}
+
+// String renders the maximal traces, one per line, capped for readability.
+func (p *Set) String() string {
+	ms := p.TracesMax()
+	const maxShown = 16
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, t := range ms {
+		if i == maxShown {
+			sb.WriteString(" …")
+			break
+		}
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(" ")
+		sb.WriteString(t.String())
+	}
+	sb.WriteString(" }")
+	return sb.String()
+}
+
+// Fix computes the paper's §3.3 approximation chain for a recursive
+// definition p ≜ P: a₀ = STOP, a(i+1) = F(aᵢ), where F is the semantic
+// functional of the defining expression. Iteration proceeds until the
+// approximation restricted to traces of length ≤ depth stops growing, which
+// is exactly ⋃ᵢ aᵢ truncated at the window — the set of all traces of the
+// recursive process up to that length. It returns the fixed point and the
+// number of iterations taken.
+func Fix(f func(*Set) *Set, depth int) (*Set, int) {
+	cur := Stop()
+	for i := 1; ; i++ {
+		next := f(cur).TruncateTo(depth)
+		next = Union(next, cur) // the chain is increasing; keep it so under truncation
+		if next.Equal(cur) {
+			return cur, i
+		}
+		cur = next
+	}
+}

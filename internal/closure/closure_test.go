@@ -1,0 +1,359 @@
+package closure_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cspsat/internal/closure"
+	"cspsat/internal/trace"
+	"cspsat/internal/value"
+)
+
+func ev(c string, m int64) trace.Event {
+	return trace.Event{Chan: trace.Chan(c), Msg: value.Int(m)}
+}
+
+// qset generates random prefix closures by inserting random traces.
+type qset struct{ S *closure.Set }
+
+// Generate implements quick.Generator.
+func (qset) Generate(r *rand.Rand, _ int) reflect.Value {
+	b := closure.NewBuilder()
+	chans := []string{"a", "b", "h"}
+	for i, n := 0, r.Intn(6); i < n; i++ {
+		t := make(trace.T, r.Intn(5))
+		for j := range t {
+			t[j] = ev(chans[r.Intn(len(chans))], int64(r.Intn(3)))
+		}
+		b.Add(t)
+	}
+	return reflect.ValueOf(qset{S: b.Set()})
+}
+
+// isPrefixClosed checks the defining property directly on the trace list.
+func isPrefixClosed(s *closure.Set) bool {
+	for _, t := range s.Traces() {
+		for _, p := range t.Prefixes() {
+			if !s.Contains(p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestStopIsUnitClosure(t *testing.T) {
+	s := closure.Stop()
+	if s.Size() != 1 || !s.Contains(nil) || s.MaxLen() != 0 {
+		t.Fatalf("Stop: size=%d maxlen=%d", s.Size(), s.MaxLen())
+	}
+}
+
+// Theorem (§3.1): (a → P) is a prefix closure; <> ∈ it; a⌢s ∈ it iff s ∈ P.
+func TestPrefixTheorem(t *testing.T) {
+	if err := quick.Check(func(q qset) bool {
+		a := ev("a", 0)
+		p := closure.Prefix(a, q.S)
+		if !p.Contains(nil) || !isPrefixClosed(p) {
+			return false
+		}
+		for _, s := range q.S.Traces() {
+			if !p.Contains(append(trace.T{a}, s...)) {
+				return false
+			}
+		}
+		return p.Size() == q.S.Size()+1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem (§3.1): prefix closures are closed under union and intersection,
+// and {<>} ⊆ P for every closure P.
+func TestUnionIntersectClosure(t *testing.T) {
+	if err := quick.Check(func(q1, q2 qset) bool {
+		u := closure.Union(q1.S, q2.S)
+		i := closure.Intersect(q1.S, q2.S)
+		if !isPrefixClosed(u) || !isPrefixClosed(i) {
+			return false
+		}
+		if !closure.Stop().SubsetOf(i) {
+			return false
+		}
+		// u contains exactly the traces of either operand.
+		for _, s := range q1.S.Traces() {
+			if !u.Contains(s) {
+				return false
+			}
+		}
+		for _, s := range q2.S.Traces() {
+			if !u.Contains(s) {
+				return false
+			}
+		}
+		for _, s := range u.Traces() {
+			if !q1.S.Contains(s) && !q2.S.Contains(s) {
+				return false
+			}
+		}
+		// i contains exactly the common traces.
+		for _, s := range i.Traces() {
+			if !q1.S.Contains(s) || !q2.S.Contains(s) {
+				return false
+			}
+		}
+		return i.SubsetOf(u)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem (§3.1): (a → ∪ₓ Pₓ) = ∪ₓ (a → Pₓ)  — distributivity of prefixing.
+func TestPrefixDistributesThroughUnion(t *testing.T) {
+	if err := quick.Check(func(q1, q2 qset) bool {
+		a := ev("a", 1)
+		lhs := closure.Prefix(a, closure.Union(q1.S, q2.S))
+		rhs := closure.Union(closure.Prefix(a, q1.S), closure.Prefix(a, q2.S))
+		return lhs.Equal(rhs)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem (§3.1): P\C is a prefix closure and distributes through unions.
+func TestHideClosureAndDistributivity(t *testing.T) {
+	hidden := trace.NewSet("h")
+	if err := quick.Check(func(q1, q2 qset) bool {
+		h1 := closure.Hide(q1.S, hidden)
+		if !isPrefixClosed(h1) {
+			return false
+		}
+		// Pointwise: s\C ∈ P\C for every s ∈ P, and nothing else.
+		for _, s := range q1.S.Traces() {
+			if !h1.Contains(s.Hide(hidden)) {
+				return false
+			}
+		}
+		lhs := closure.Hide(closure.Union(q1.S, q2.S), hidden)
+		rhs := closure.Union(closure.Hide(q1.S, hidden), closure.Hide(q2.S, hidden))
+		return lhs.Equal(rhs)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem (§3.1): P ⇑ C is a prefix closure, contains P, and distributes
+// through unions (at a fixed interleaving budget).
+func TestIgnoreClosureAndDistributivity(t *testing.T) {
+	chatter := []trace.Event{ev("z", 0), ev("z", 1)}
+	const budget = 4
+	if err := quick.Check(func(q1, q2 qset) bool {
+		ig := closure.Ignore(q1.S.TruncateTo(budget), chatter, budget)
+		if !isPrefixClosed(ig) {
+			return false
+		}
+		for _, s := range q1.S.TruncateTo(budget).Traces() {
+			if !ig.Contains(s) {
+				return false
+			}
+		}
+		lhs := closure.Ignore(closure.Union(q1.S, q2.S), chatter, budget)
+		rhs := closure.Union(closure.Ignore(q1.S, chatter, budget), closure.Ignore(q2.S, chatter, budget))
+		return lhs.Equal(rhs)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper defines P X‖Y Q = (P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y)). The product-walk
+// implementation must agree with the literal definition.
+func TestParallelMatchesIgnoreIntersection(t *testing.T) {
+	x := trace.NewSet("a", "h")
+	y := trace.NewSet("b", "h")
+	// Chatter alphabets: the events the other side may perform alone.
+	chatterB := []trace.Event{ev("b", 0), ev("b", 1), ev("b", 2)}
+	chatterA := []trace.Event{ev("a", 0), ev("a", 1), ev("a", 2)}
+	if err := quick.Check(func(qp, qq qset) bool {
+		// Restrict operands to their own alphabets.
+		p := projectSet(qp.S, x)
+		q := projectSet(qq.S, y)
+		budget := p.MaxLen() + q.MaxLen()
+		lhs := closure.Parallel(p, q, x, y)
+		rhs := closure.Intersect(
+			closure.Ignore(p, chatterB, budget),
+			closure.Ignore(q, chatterA, budget),
+		)
+		return lhs.Equal(rhs)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// projectSet keeps only traces entirely over channels in x (pointwise
+// projection would not preserve membership semantics for this test's use).
+func projectSet(s *closure.Set, x trace.Set) *closure.Set {
+	b := closure.NewBuilder()
+	for _, t := range s.Traces() {
+		ok := true
+		for _, e := range t {
+			if !x.Contains(e.Chan) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			b.Add(t)
+		}
+	}
+	return b.Set()
+}
+
+// Parallel with disjoint alphabets is free interleaving; with identical
+// alphabets it is intersection.
+func TestParallelExtremes(t *testing.T) {
+	x := trace.NewSet("a")
+	if err := quick.Check(func(q1, q2 qset) bool {
+		p := projectSet(q1.S, x)
+		q := projectSet(q2.S, x)
+		same := closure.Parallel(p, q, x, x)
+		return same.Equal(closure.Intersect(p, q))
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	// Disjoint alphabets: every interleaving of a trace of P with a trace
+	// of Q appears.
+	p := closure.Prefix(ev("a", 1), closure.Stop())
+	q := closure.Prefix(ev("b", 2), closure.Stop())
+	par := closure.Parallel(p, q, trace.NewSet("a"), trace.NewSet("b"))
+	for _, want := range []trace.T{
+		{},
+		{ev("a", 1)},
+		{ev("b", 2)},
+		{ev("a", 1), ev("b", 2)},
+		{ev("b", 2), ev("a", 1)},
+	} {
+		if !par.Contains(want) {
+			t.Errorf("interleaving %s missing", want)
+		}
+	}
+	if par.Size() != 5 {
+		t.Errorf("size = %d, want 5", par.Size())
+	}
+}
+
+// Shared channels synchronise: an event offered by only one side is refused.
+func TestParallelSynchronisation(t *testing.T) {
+	x := trace.NewSet("w")
+	p := closure.Prefix(ev("w", 1), closure.Stop())
+	q := closure.Union(
+		closure.Prefix(ev("w", 1), closure.Stop()),
+		closure.Prefix(ev("w", 2), closure.Stop()),
+	)
+	par := closure.Parallel(p, q, x, x)
+	if !par.Contains(trace.T{ev("w", 1)}) {
+		t.Error("matching event refused")
+	}
+	if par.Contains(trace.T{ev("w", 2)}) {
+		t.Error("unmatched event allowed")
+	}
+}
+
+func TestSubsetAndFirstNotIn(t *testing.T) {
+	small := closure.Prefix(ev("a", 1), closure.Stop())
+	big := closure.Union(small, closure.Prefix(ev("b", 2), closure.Stop()))
+	if !small.SubsetOf(big) || big.SubsetOf(small) {
+		t.Error("SubsetOf wrong")
+	}
+	w := big.FirstNotIn(small)
+	if w == nil || !w.Equal(trace.T{ev("b", 2)}) {
+		t.Errorf("FirstNotIn = %v", w)
+	}
+	if small.FirstNotIn(big) != nil {
+		t.Error("witness for a subset")
+	}
+}
+
+func TestTruncateTo(t *testing.T) {
+	if err := quick.Check(func(q qset) bool {
+		tr3 := q.S.TruncateTo(3)
+		if tr3.MaxLen() > 3 || !isPrefixClosed(tr3) || !tr3.SubsetOf(q.S) {
+			return false
+		}
+		// Truncation at or above the height is identity.
+		return q.S.TruncateTo(q.S.MaxLen()).Equal(q.S)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkDFSMaintainsHistoryAndAborts(t *testing.T) {
+	s := closure.FromTraces([]trace.T{
+		{ev("a", 1), ev("b", 2)},
+		{ev("a", 1), ev("a", 3)},
+	})
+	depth := 0
+	count := 0
+	completed := s.WalkDFS(func(path trace.T) bool {
+		if len(path) != depth {
+			t.Fatalf("path length %d, push/pop depth %d", len(path), depth)
+		}
+		count++
+		return true
+	}, func(trace.Event) { depth++ }, func(trace.Event) { depth-- })
+	if !completed || count != s.Size() {
+		t.Fatalf("visited %d of %d, completed=%v", count, s.Size(), completed)
+	}
+	// Abort stops the whole walk.
+	count = 0
+	completed = s.WalkDFS(func(path trace.T) bool {
+		count++
+		return count < 2
+	}, nil, nil)
+	if completed || count != 2 {
+		t.Fatalf("abort: visited %d, completed=%v", count, completed)
+	}
+}
+
+func TestFixComputesRecursiveClosure(t *testing.T) {
+	// p = a!1 -> p: the chain a₀={<>}, a₁={<>,<a.1>}, … must reach all
+	// traces aⁿ up to the window and report the iteration count.
+	f := func(p *closure.Set) *closure.Set {
+		return closure.Prefix(ev("a", 1), p)
+	}
+	fix, iters := closure.Fix(f, 5)
+	if fix.Size() != 6 || fix.MaxLen() != 5 {
+		t.Fatalf("fix: size=%d maxlen=%d", fix.Size(), fix.MaxLen())
+	}
+	if iters < 5 || iters > 7 {
+		t.Errorf("iterations = %d, want ≈ depth", iters)
+	}
+	// The chain is increasing: each truncation is a subset of the result.
+	if !closure.Stop().SubsetOf(fix) {
+		t.Error("a₀ not below fixpoint")
+	}
+}
+
+func TestChannelsAndString(t *testing.T) {
+	s := closure.FromTraces([]trace.T{{ev("a", 1), ev("b", 2)}})
+	cs := s.Channels()
+	if cs.Len() != 2 || !cs.Contains("a") || !cs.Contains("b") {
+		t.Errorf("Channels = %s", cs)
+	}
+	if got := s.String(); got == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestBuilderAddsPrefixes(t *testing.T) {
+	b := closure.NewBuilder()
+	b.Add(trace.T{ev("a", 1), ev("b", 2), ev("c", 3)})
+	s := b.Set()
+	if s.Size() != 4 {
+		t.Fatalf("size = %d, want 4 (trace + prefixes)", s.Size())
+	}
+	if !isPrefixClosed(s) {
+		t.Fatal("builder output not prefix-closed")
+	}
+}

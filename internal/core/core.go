@@ -1,0 +1,291 @@
+// Package core is the library's facade: it ties the parser, the semantic
+// engines, the model checker, the proof checker and the concurrent runtime
+// together behind one System type. The command-line tools and the examples
+// are thin wrappers over this package.
+//
+// Typical use:
+//
+//	sys, err := core.Load(src, core.Options{})
+//	res, err := sys.CheckAll(8)      // model-check every assert clause
+//	run, err := sys.Run("protocol", 42, 200)  // execute on goroutines
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/check"
+	"cspsat/internal/closure"
+	"cspsat/internal/failures"
+	"cspsat/internal/op"
+	"cspsat/internal/parser"
+	"cspsat/internal/proof"
+	"cspsat/internal/runtime"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/value"
+)
+
+// Options configure a System.
+type Options struct {
+	// NatWidth is the enumeration width of the infinite NAT domain in the
+	// finite-branching engines. Zero means value.DefaultNatSample.
+	NatWidth int
+	// Funcs supplies the registered assertion functions; nil means the
+	// default registry (which includes the paper's protocol function f).
+	Funcs *assertion.Registry
+}
+
+// System is a loaded module plus everything needed to analyse it.
+type System struct {
+	Module  *syntax.Module
+	Asserts []parser.AssertDecl
+
+	env   sem.Env
+	funcs *assertion.Registry
+}
+
+// Load parses a .csp source text into a System.
+func Load(src string, opts Options) (*System, error) {
+	f, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sys := FromModule(f.Module, opts)
+	sys.Asserts = f.Asserts
+	return sys, nil
+}
+
+// LoadFile reads and parses a .csp file.
+func LoadFile(path string, opts Options) (*System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := Load(string(data), opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s:%w", path, err)
+	}
+	return sys, nil
+}
+
+// FromModule wraps an already-constructed module.
+func FromModule(m *syntax.Module, opts Options) *System {
+	funcs := opts.Funcs
+	if funcs == nil {
+		funcs = assertion.NewRegistry()
+	}
+	return &System{
+		Module: m,
+		env:    sem.NewEnv(m, opts.NatWidth),
+		funcs:  funcs,
+	}
+}
+
+// Env returns the system's evaluation environment.
+func (s *System) Env() sem.Env { return s.env }
+
+// Funcs returns the system's assertion-function registry.
+func (s *System) Funcs() *assertion.Registry { return s.funcs }
+
+// Proc returns a reference to a defined process; it fails if the name is
+// not defined (or is a process array, which needs a subscript).
+func (s *System) Proc(name string) (syntax.Proc, error) {
+	def, ok := s.Module.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: process %q not defined", name)
+	}
+	if def.IsArray() {
+		return nil, fmt.Errorf("core: %q is a process array; use ProcIdx", name)
+	}
+	return syntax.Ref{Name: name}, nil
+}
+
+// ProcIdx returns a reference to an element of a process array.
+func (s *System) ProcIdx(name string, idx int64) (syntax.Proc, error) {
+	def, ok := s.Module.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: process %q not defined", name)
+	}
+	if !def.IsArray() {
+		return nil, fmt.Errorf("core: %q is not a process array", name)
+	}
+	return syntax.Ref{Name: name, Sub: syntax.IntLit{Val: idx}}, nil
+}
+
+// Traces enumerates the visible traces of a process to the given depth.
+func (s *System) Traces(p syntax.Proc, depth int) (*closure.Set, error) {
+	return op.Traces(p, s.env, depth)
+}
+
+// Denote computes the paper's denotational semantics of a process to the
+// given trace-length window.
+func (s *System) Denote(p syntax.Proc, depth int) (*closure.Set, error) {
+	return sem.Denote(p, s.env, depth)
+}
+
+// Checker returns a model checker for this system at the given depth.
+func (s *System) Checker(depth int) *check.Checker {
+	return check.New(s.env, s.funcs, depth)
+}
+
+// Check model-checks P sat A to the given depth.
+func (s *System) Check(p syntax.Proc, a assertion.A, depth int) (check.Result, error) {
+	return s.Checker(depth).Sat(p, a)
+}
+
+// AssertResult pairs a parsed assert declaration with its check outcome:
+// Result for sat-asserts, Refine for refinement asserts.
+type AssertResult struct {
+	Decl   parser.AssertDecl
+	Result check.Result
+	Refine *check.RefineResult
+}
+
+// OK reports whether the assert held.
+func (r AssertResult) OK() bool {
+	if r.Refine != nil {
+		return r.Refine.OK
+	}
+	return r.Result.OK
+}
+
+// CheckAll model-checks every assert declaration of the loaded file,
+// expanding quantified sat-asserts over their (sampled) domains and
+// checking refinement asserts by trace-set inclusion.
+func (s *System) CheckAll(depth int) ([]AssertResult, error) {
+	ck := s.Checker(depth)
+	out := make([]AssertResult, 0, len(s.Asserts))
+	for _, decl := range s.Asserts {
+		if decl.Refines != nil {
+			rr, err := ck.Refines(decl.Proc, decl.Refines)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s: %w", decl, err)
+			}
+			out = append(out, AssertResult{Decl: decl, Refine: &rr})
+			continue
+		}
+		res, err := s.checkQuantified(ck, decl.Quants, decl.Proc, decl.A)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", decl, err)
+		}
+		out = append(out, AssertResult{Decl: decl, Result: res})
+	}
+	return out, nil
+}
+
+func (s *System) checkQuantified(ck *check.Checker, quants []parser.Quant, p syntax.Proc, a assertion.A) (check.Result, error) {
+	if len(quants) == 0 {
+		return ck.Sat(p, a)
+	}
+	q := quants[0]
+	dom, err := s.env.EvalSet(q.Dom)
+	if err != nil {
+		return check.Result{}, err
+	}
+	var total check.Result
+	total.OK = true
+	total.Depth = ck.Depth()
+	for _, v := range dom.Enumerate() {
+		inst := syntax.SubstProc(p, q.Var, sem.ValueToExpr(v))
+		instA := assertion.SubstVar(a, q.Var, assertion.Lit{Val: v})
+		r, err := s.checkQuantified(ck, quants[1:], inst, instA)
+		if err != nil {
+			return check.Result{}, fmt.Errorf("%s=%v: %w", q.Var, v, err)
+		}
+		total.TracesChecked += r.TracesChecked
+		if !r.OK {
+			r.TracesChecked = total.TracesChecked
+			return r, nil
+		}
+	}
+	return total, nil
+}
+
+// Prover returns a proof checker for this system. The validity
+// configuration bounds the discharge of pure obligations; pass nil for
+// defaults (history length ≤ 3, NAT-sampled domains).
+func (s *System) Prover(validity *assertion.ValidityConfig) *proof.Checker {
+	c := proof.NewChecker(s.env, s.funcs)
+	if validity != nil {
+		c.Validity = *validity
+	}
+	return c
+}
+
+// Prove checks a proof object and returns its verified conclusion.
+func (s *System) Prove(p proof.Proof) (proof.Claim, error) {
+	return s.Prover(nil).Check(p)
+}
+
+// Failures computes the stable-failures model of a process — the §4
+// extension where internal choice and deadlock potential are observable.
+func (s *System) Failures(p syntax.Proc, depth int) (*failures.Model, error) {
+	return failures.Compute(p, s.env, depth)
+}
+
+// Run executes a named process as a concurrent goroutine network.
+func (s *System) Run(name string, seed int64, maxEvents int) (*runtime.Result, error) {
+	p, err := s.Proc(name)
+	if err != nil {
+		return nil, err
+	}
+	return runtime.Run(p, runtime.Config{Env: s.env, Seed: seed, MaxEvents: maxEvents})
+}
+
+// RunMonitored executes a named process with a sat-monitor attached.
+func (s *System) RunMonitored(name string, a assertion.A, seed int64, maxEvents int) (*runtime.Result, error) {
+	p, err := s.Proc(name)
+	if err != nil {
+		return nil, err
+	}
+	return runtime.Run(p, runtime.Config{
+		Env:       s.env,
+		Seed:      seed,
+		MaxEvents: maxEvents,
+		Monitor:   runtime.MonitorSat(a, s.env, s.funcs),
+	})
+}
+
+// Simulate random-walks a process for maxVisible visible events and returns
+// the observed trace.
+func (s *System) Simulate(p syntax.Proc, seed int64, maxVisible int) (traceStr string, err error) {
+	sim := op.NewSimulator(seed)
+	t, _, err := sim.Walk(op.NewState(p, s.env), maxVisible)
+	if err != nil {
+		return "", err
+	}
+	return t.String(), nil
+}
+
+// DomainOf evaluates a set expression in the system's environment —
+// convenience for tools that need to enumerate message domains.
+func (s *System) DomainOf(se syntax.SetExpr) (value.Domain, error) {
+	return s.env.EvalSet(se)
+}
+
+// FormatAssertResults renders CheckAll results as an aligned report.
+func FormatAssertResults(results []AssertResult) string {
+	var sb strings.Builder
+	for _, r := range results {
+		status := "OK  "
+		if !r.OK() {
+			status = "FAIL"
+		}
+		if r.Refine != nil {
+			fmt.Fprintf(&sb, "%s  %-70s (depth %d)\n", status, r.Decl.String(), r.Refine.Depth)
+			if !r.Refine.OK {
+				fmt.Fprintf(&sb, "      witness: impl performs %s which spec cannot\n", r.Refine.Witness)
+			}
+			continue
+		}
+		fmt.Fprintf(&sb, "%s  %-70s (%d traces, depth %d)\n",
+			status, r.Decl.String(), r.Result.TracesChecked, r.Result.Depth)
+		if !r.Result.OK {
+			fmt.Fprintf(&sb, "      counterexample: %s\n", r.Result.Counter)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,170 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/core"
+	"cspsat/internal/paper"
+	"cspsat/internal/proofs"
+)
+
+func TestLoadAndCheckAllCopier(t *testing.T) {
+	sys, err := core.Load(paper.CopierSpec, core.Options{NatWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.CheckAll(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if !r.Result.OK {
+			t.Errorf("assert failed: %s: %s", r.Decl, r.Result)
+		}
+	}
+	report := core.FormatAssertResults(results)
+	if !strings.Contains(report, "OK") || strings.Contains(report, "FAIL") {
+		t.Errorf("report:\n%s", report)
+	}
+}
+
+func TestCheckAllQuantifiedAssert(t *testing.T) {
+	sys, err := core.Load(paper.ProtocolSpec, core.Options{NatWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.CheckAll(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawQuantified bool
+	for _, r := range results {
+		if len(r.Decl.Quants) > 0 {
+			sawQuantified = true
+			if !r.Result.OK {
+				t.Errorf("quantified assert failed: %s", r.Result)
+			}
+		}
+	}
+	if !sawQuantified {
+		t.Fatal("protocol spec lost its quantified assert")
+	}
+}
+
+func TestCheckAllReportsCounterexample(t *testing.T) {
+	src := `
+p = a!1 -> p
+assert p sat #a <= 2
+`
+	sys, err := core.Load(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.CheckAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Result.OK {
+		t.Fatal("false assert passed")
+	}
+	if results[0].Result.Counter == nil {
+		t.Fatal("no counterexample")
+	}
+	report := core.FormatAssertResults(results)
+	if !strings.Contains(report, "FAIL") || !strings.Contains(report, "counterexample") {
+		t.Errorf("report:\n%s", report)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.csp")
+	if err := os.WriteFile(path, []byte(paper.CopierSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.LoadFile(path, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.LoadFile(filepath.Join(dir, "missing.csp"), core.Options{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.csp")
+	if err := os.WriteFile(bad, []byte("p = ???"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.LoadFile(bad, core.Options{}); err == nil {
+		t.Fatal("unparsable file accepted")
+	}
+}
+
+func TestProcLookups(t *testing.T) {
+	sys := core.FromModule(paper.ProtocolSystem(2), core.Options{NatWidth: 2})
+	if _, err := sys.Proc(paper.NameSender); err != nil {
+		t.Error(err)
+	}
+	if _, err := sys.Proc("ghost"); err == nil {
+		t.Error("undefined process accepted")
+	}
+	if _, err := sys.Proc(paper.NameQ); err == nil {
+		t.Error("array without subscript accepted")
+	}
+	if _, err := sys.ProcIdx(paper.NameQ, 0); err != nil {
+		t.Error(err)
+	}
+	if _, err := sys.ProcIdx(paper.NameSender, 0); err == nil {
+		t.Error("ProcIdx on plain process accepted")
+	}
+}
+
+func TestProveThroughFacade(t *testing.T) {
+	sys := core.FromModule(paper.CopySystem(), core.Options{NatWidth: 2})
+	cl, err := sys.Prove(proofs.CopierProof())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.String() != "copier sat wire <= input" {
+		t.Errorf("conclusion = %s", cl)
+	}
+	validity := &assertion.ValidityConfig{MaxLen: 2}
+	if _, err := sys.Prover(validity).Check(proofs.CopierProof()); err != nil {
+		t.Errorf("custom validity config: %v", err)
+	}
+}
+
+func TestRunAndSimulateThroughFacade(t *testing.T) {
+	sys := core.FromModule(paper.CopySystem(), core.Options{NatWidth: 2})
+	res, err := sys.Run(paper.NameCopyNet, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 20 {
+		t.Errorf("events = %d", len(res.Events))
+	}
+	mon, err := sys.RunMonitored(paper.NameCopyNet, paper.CopyNetSat(), 3, 20)
+	if err != nil || mon.MonitorErr != nil {
+		t.Fatalf("monitored run: %v %v", err, mon.MonitorErr)
+	}
+	p, _ := sys.Proc(paper.NameCopier)
+	s, err := sys.Simulate(p, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s, "<input.") {
+		t.Errorf("simulated trace = %s", s)
+	}
+	tr, err := sys.Traces(p, 3)
+	if err != nil || tr.Size() == 0 {
+		t.Fatalf("Traces: %v %v", tr, err)
+	}
+	den, err := sys.Denote(p, 3)
+	if err != nil || !den.Equal(tr) {
+		t.Fatalf("Denote disagrees with Traces: %v", err)
+	}
+}

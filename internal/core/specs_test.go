@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cspsat/internal/core"
+	"cspsat/internal/paper"
+)
+
+// specPath locates a file in the repository's specs/ directory.
+func specPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("..", "..", "specs", name)
+}
+
+// TestSpecFilesMatchCanonicalText pins the on-disk spec files to the
+// canonical constants in internal/paper.
+func TestSpecFilesMatchCanonicalText(t *testing.T) {
+	cases := []struct {
+		file string
+		want string
+	}{
+		{"copier.csp", paper.CopierSpec},
+		{"protocol.csp", paper.ProtocolSpec},
+		{"multiplier.csp", paper.MultiplierSpec},
+	}
+	for _, tc := range cases {
+		data, err := os.ReadFile(specPath(t, tc.file))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		if string(data) != tc.want {
+			t.Errorf("specs/%s has drifted from paper.%s constant", tc.file, tc.file)
+		}
+	}
+}
+
+// TestBuffersSpec checks the refinement demo end to end, including the
+// refinement assert and its direction.
+func TestBuffersSpec(t *testing.T) {
+	sys, err := core.LoadFile(specPath(t, "buffers.csp"), core.Options{NatWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.CheckAll(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("want 5 asserts, got %d", len(results))
+	}
+	for _, r := range results {
+		if !r.OK() {
+			t.Errorf("failed: %s", r.Decl)
+		}
+	}
+	// The converse refinement must fail: buf2 has traces buf1 lacks.
+	buf1, err := sys.Proc("buf1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := sys.Proc("buf2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := sys.Checker(7).Refines(buf2, buf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.OK {
+		t.Fatal("buf2 must not refine buf1")
+	}
+	if rr.Witness == nil {
+		t.Fatal("failed refinement needs a witness trace")
+	}
+}
+
+// TestTokenRingSpec checks the ring's round-robin invariant and
+// deadlock freedom.
+func TestTokenRingSpec(t *testing.T) {
+	sys, err := core.LoadFile(specPath(t, "tokenring.csp"), core.Options{NatWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.CheckAll(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.OK() {
+			t.Errorf("failed: %s: %s", r.Decl, r.Result)
+		}
+	}
+	ringSys, err := sys.Proc("sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dls, err := sys.Checker(8).Deadlocks(ringSys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dls) != 0 {
+		t.Fatalf("token ring deadlocks after %s", dls[0].Trace)
+	}
+	// The ring is deterministic: exactly one maximal behaviour.
+	traces, err := sys.Traces(ringSys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(traces.TracesMax()); got != 1 {
+		t.Errorf("token ring should be deterministic, found %d maximal traces", got)
+	}
+	// Runtime execution respects round-robin order.
+	run, err := sys.RunMonitored("sys", sys.Asserts[0].A, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.MonitorErr != nil {
+		t.Fatalf("monitor: %v", run.MonitorErr)
+	}
+}
+
+// TestPhilosophersSpec: the classic deadlock story, with partial
+// correctness blind to it — the §4 limitation on a famous example.
+func TestPhilosophersSpec(t *testing.T) {
+	sys, err := core.LoadFile(specPath(t, "philosophers.csp"), core.Options{NatWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both tables pass their (identical) sat-assertions...
+	results, err := sys.CheckAll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.OK() {
+			t.Errorf("failed: %s", r.Decl)
+		}
+	}
+	// ...but only the naive one deadlocks.
+	bad, err := sys.Proc("deadlocking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := sys.Proc("safe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := sys.Checker(6)
+	dls, err := ck.Deadlocks(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dls) == 0 {
+		t.Fatal("naive table's deadlock not found")
+	}
+	dls, err = ck.Deadlocks(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dls) != 0 {
+		t.Fatalf("left-handed table deadlocks after %s", dls[0].Trace)
+	}
+	// The failures model sees it too: the naive table may refuse all eats.
+	m, err := sys.Failures(bad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, can := m.CanDeadlock(); !can {
+		t.Error("failures model misses the deadlock")
+	}
+}

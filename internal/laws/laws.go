@@ -1,0 +1,207 @@
+// Package laws catalogues the algebraic laws that the paper's prefix-
+// closure model validates — the equations that make the trace model a
+// process algebra — and provides a checker that verifies each law on
+// concrete instantiations by comparing trace sets.
+//
+// The catalogue doubles as executable documentation of the model's §4
+// peculiarities: "STOP is a unit of |" is exactly the unrealistic treatment
+// of non-determinism the conclusion complains about, and it is checkable
+// here rather than merely asserted.
+package laws
+
+import (
+	"fmt"
+
+	"cspsat/internal/op"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+)
+
+// Law is a named trace equivalence schema over metavariables P, Q, R…
+// (instantiated with concrete processes when checked).
+type Law struct {
+	Name string
+	// Arity is how many process metavariables the law takes.
+	Arity int
+	// LHS and RHS build the two sides from the instantiation.
+	LHS, RHS func(ps []syntax.Proc) syntax.Proc
+	// Note records the paper connection, if any.
+	Note string
+}
+
+func hide(name string, p syntax.Proc) syntax.Proc {
+	return syntax.Hiding{Channels: []syntax.ChanItem{{Name: name}}, Body: p}
+}
+
+func hide2(n1, n2 string, p syntax.Proc) syntax.Proc {
+	return syntax.Hiding{Channels: []syntax.ChanItem{{Name: n1}, {Name: n2}}, Body: p}
+}
+
+// All returns the law catalogue. The hiding laws use the fixed channel
+// names "h" and "k"; instantiations may or may not communicate on them.
+func All() []Law {
+	return []Law{
+		{
+			Name: "alt-idempotent", Arity: 1,
+			LHS: func(ps []syntax.Proc) syntax.Proc { return syntax.Alt{L: ps[0], R: ps[0]} },
+			RHS: func(ps []syntax.Proc) syntax.Proc { return ps[0] },
+		},
+		{
+			Name: "alt-commutative", Arity: 2,
+			LHS: func(ps []syntax.Proc) syntax.Proc { return syntax.Alt{L: ps[0], R: ps[1]} },
+			RHS: func(ps []syntax.Proc) syntax.Proc { return syntax.Alt{L: ps[1], R: ps[0]} },
+		},
+		{
+			Name: "alt-associative", Arity: 3,
+			LHS: func(ps []syntax.Proc) syntax.Proc {
+				return syntax.Alt{L: syntax.Alt{L: ps[0], R: ps[1]}, R: ps[2]}
+			},
+			RHS: func(ps []syntax.Proc) syntax.Proc {
+				return syntax.Alt{L: ps[0], R: syntax.Alt{L: ps[1], R: ps[2]}}
+			},
+		},
+		{
+			Name: "alt-unit-stop", Arity: 1,
+			LHS:  func(ps []syntax.Proc) syntax.Proc { return syntax.Alt{L: syntax.Stop{}, R: ps[0]} },
+			RHS:  func(ps []syntax.Proc) syntax.Proc { return ps[0] },
+			Note: "the §4 defect: STOP | P is identically P in the prefix-closure model",
+		},
+		{
+			Name: "ichoice-equals-alt-in-traces", Arity: 2,
+			LHS:  func(ps []syntax.Proc) syntax.Proc { return syntax.IChoice{L: ps[0], R: ps[1]} },
+			RHS:  func(ps []syntax.Proc) syntax.Proc { return syntax.Alt{L: ps[0], R: ps[1]} },
+			Note: "the trace model cannot see the difference; internal/failures can",
+		},
+		{
+			Name: "ichoice-unit-stop", Arity: 1,
+			LHS:  func(ps []syntax.Proc) syntax.Proc { return syntax.IChoice{L: syntax.Stop{}, R: ps[0]} },
+			RHS:  func(ps []syntax.Proc) syntax.Proc { return ps[0] },
+			Note: "the §4 defect in its sharpest form",
+		},
+		{
+			Name: "par-commutative", Arity: 2,
+			LHS: func(ps []syntax.Proc) syntax.Proc { return syntax.Par{L: ps[0], R: ps[1]} },
+			RHS: func(ps []syntax.Proc) syntax.Proc { return syntax.Par{L: ps[1], R: ps[0]} },
+		},
+		{
+			Name: "par-associative", Arity: 3,
+			LHS: func(ps []syntax.Proc) syntax.Proc {
+				return syntax.Par{L: syntax.Par{L: ps[0], R: ps[1]}, R: ps[2]}
+			},
+			RHS: func(ps []syntax.Proc) syntax.Proc {
+				return syntax.Par{L: ps[0], R: syntax.Par{L: ps[1], R: ps[2]}}
+			},
+			Note: "with inferred (own-channel) alphabets",
+		},
+		{
+			Name: "par-unit-stop", Arity: 1,
+			LHS:  func(ps []syntax.Proc) syntax.Proc { return syntax.Par{L: ps[0], R: syntax.Stop{}} },
+			RHS:  func(ps []syntax.Proc) syntax.Proc { return ps[0] },
+			Note: "STOP's inferred alphabet is empty, so it constrains nothing",
+		},
+		{
+			Name: "hide-stop", Arity: 0,
+			LHS: func([]syntax.Proc) syntax.Proc { return hide("h", syntax.Stop{}) },
+			RHS: func([]syntax.Proc) syntax.Proc { return syntax.Stop{} },
+		},
+		{
+			Name: "hide-hide-fuses", Arity: 1,
+			LHS:  func(ps []syntax.Proc) syntax.Proc { return hide("h", hide("k", ps[0])) },
+			RHS:  func(ps []syntax.Proc) syntax.Proc { return hide2("h", "k", ps[0]) },
+			Note: "chan L; chan K; P = chan L∪K; P",
+		},
+		{
+			Name: "hide-idempotent", Arity: 1,
+			LHS: func(ps []syntax.Proc) syntax.Proc { return hide("h", hide("h", ps[0])) },
+			RHS: func(ps []syntax.Proc) syntax.Proc { return hide("h", ps[0]) },
+		},
+		{
+			Name: "hide-distributes-over-alt", Arity: 2,
+			LHS: func(ps []syntax.Proc) syntax.Proc {
+				return hide("h", syntax.Alt{L: ps[0], R: ps[1]})
+			},
+			RHS: func(ps []syntax.Proc) syntax.Proc {
+				return syntax.Alt{L: hide("h", ps[0]), R: hide("h", ps[1])}
+			},
+			Note: "§3.1: P\\C distributes through unions",
+		},
+		{
+			Name: "prefix-distributes-over-alt", Arity: 2,
+			LHS: func(ps []syntax.Proc) syntax.Proc {
+				return syntax.Output{Ch: syntax.ChanRef{Name: "z"}, Val: syntax.IntLit{Val: 0},
+					Cont: syntax.Alt{L: ps[0], R: ps[1]}}
+			},
+			RHS: func(ps []syntax.Proc) syntax.Proc {
+				return syntax.Alt{
+					L: syntax.Output{Ch: syntax.ChanRef{Name: "z"}, Val: syntax.IntLit{Val: 0}, Cont: ps[0]},
+					R: syntax.Output{Ch: syntax.ChanRef{Name: "z"}, Val: syntax.IntLit{Val: 0}, Cont: ps[1]},
+				}
+			},
+			Note: "§3.1: (a → ∪Pₓ) = ∪(a → Pₓ)",
+		},
+	}
+}
+
+// Check verifies one law on one instantiation by comparing the visible
+// trace sets of both sides to the given depth. A nil error means the two
+// sides are trace-equivalent up to that depth.
+func Check(l Law, env sem.Env, insts []syntax.Proc, depth int) error {
+	if len(insts) != l.Arity {
+		return fmt.Errorf("laws: %s takes %d processes, got %d", l.Name, l.Arity, len(insts))
+	}
+	lhs, rhs := l.LHS(insts), l.RHS(insts)
+	ls, err := op.Traces(lhs, env, depth)
+	if err != nil {
+		return fmt.Errorf("laws: %s lhs: %w", l.Name, err)
+	}
+	rs, err := op.Traces(rhs, env, depth)
+	if err != nil {
+		return fmt.Errorf("laws: %s rhs: %w", l.Name, err)
+	}
+	if w := ls.FirstNotIn(rs); w != nil {
+		return fmt.Errorf("laws: %s fails: %s performs %s, %s cannot", l.Name, lhs, w, rhs)
+	}
+	if w := rs.FirstNotIn(ls); w != nil {
+		return fmt.Errorf("laws: %s fails: %s performs %s, %s cannot", l.Name, rhs, w, lhs)
+	}
+	return nil
+}
+
+// CheckAll verifies every law in the catalogue against every instantiation
+// drawn (with repetition) from the given process pool.
+func CheckAll(env sem.Env, pool []syntax.Proc, depth int) error {
+	for _, l := range All() {
+		if err := checkOnPool(l, env, pool, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkOnPool(l Law, env sem.Env, pool []syntax.Proc, depth int) error {
+	if l.Arity == 0 {
+		return Check(l, env, nil, depth)
+	}
+	// Enumerate all tuples from the pool (pool sizes are small in tests).
+	idx := make([]int, l.Arity)
+	for {
+		insts := make([]syntax.Proc, l.Arity)
+		for i, j := range idx {
+			insts[i] = pool[j]
+		}
+		if err := Check(l, env, insts, depth); err != nil {
+			return err
+		}
+		i := 0
+		for ; i < l.Arity; i++ {
+			idx[i]++
+			if idx[i] < len(pool) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == l.Arity {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package laws_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cspsat/internal/gen"
+	"cspsat/internal/laws"
+	"cspsat/internal/paper"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+)
+
+// TestLawsOnPaperProcesses validates the whole catalogue against the
+// paper's own processes.
+func TestLawsOnPaperProcesses(t *testing.T) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	pool := []syntax.Proc{
+		syntax.Stop{},
+		syntax.Ref{Name: paper.NameCopier},
+		syntax.Ref{Name: paper.NameRecopier},
+		syntax.Output{Ch: syntax.ChanRef{Name: "h"}, Val: syntax.IntLit{Val: 1},
+			Cont: syntax.Ref{Name: paper.NameCopier}},
+	}
+	if err := laws.CheckAll(env, pool, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLawsOnRandomProcesses validates the catalogue against randomly
+// generated guarded terms (sequential, to keep tuple enumeration cheap).
+func TestLawsOnRandomProcesses(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for round := 0; round < 8; round++ {
+		m, main := gen.Module(r, gen.Config{MaxDepth: 3})
+		env := sem.NewEnv(m, 2)
+		_, second := gen.Module(r, gen.Config{MaxDepth: 3})
+		_ = second
+		pool := []syntax.Proc{syntax.Stop{}, main}
+		if err := laws.CheckAll(env, pool, 3); err != nil {
+			t.Fatalf("round %d: %v\nmodule:\n%s", round, err, m)
+		}
+	}
+}
+
+// TestLawCheckRejectsNonLaw: the checker must be able to refute, not just
+// confirm — a deliberately wrong "law" gets a counterexample.
+func TestLawCheckRejectsNonLaw(t *testing.T) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	bogus := laws.Law{
+		Name:  "everything-is-stop",
+		Arity: 1,
+		LHS:   func(ps []syntax.Proc) syntax.Proc { return ps[0] },
+		RHS:   func([]syntax.Proc) syntax.Proc { return syntax.Stop{} },
+	}
+	err := laws.Check(bogus, env, []syntax.Proc{syntax.Ref{Name: paper.NameCopier}}, 4)
+	if err == nil {
+		t.Fatal("bogus law accepted")
+	}
+	// Arity mismatch is reported.
+	if err := laws.Check(bogus, env, nil, 4); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+// TestHidingNotDistributiveOverPar documents a NON-law: hiding does not in
+// general distribute over parallel composition (hiding a synchronisation
+// channel on one side only frees that side to run ahead). The checker must
+// find the counterexample.
+func TestHidingNotDistributiveOverPar(t *testing.T) {
+	m := syntax.NewModule()
+	// p = a!1 -> h!1 -> STOP performs a visible step before offering the
+	// sync; q = h?x:{1} -> b!1 -> STOP waits for it. Jointly, b cannot
+	// precede a; with the hiding split per-side, q's lone hidden input
+	// fires immediately and <b.1> becomes possible.
+	m.MustDefine(syntax.Def{Name: "p", Body: syntax.Output{
+		Ch: syntax.ChanRef{Name: "a"}, Val: syntax.IntLit{Val: 1},
+		Cont: syntax.Output{Ch: syntax.ChanRef{Name: "h"}, Val: syntax.IntLit{Val: 1}, Cont: syntax.Stop{}},
+	}})
+	m.MustDefine(syntax.Def{Name: "q", Body: syntax.Input{
+		Ch: syntax.ChanRef{Name: "h"}, Var: "x",
+		Dom:  syntax.EnumSet{Elems: []syntax.Expr{syntax.IntLit{Val: 1}}},
+		Cont: syntax.Output{Ch: syntax.ChanRef{Name: "b"}, Val: syntax.IntLit{Val: 1}, Cont: syntax.Stop{}},
+	}})
+	env := sem.NewEnv(m, 2)
+	notALaw := laws.Law{
+		Name:  "hide-distributes-over-par",
+		Arity: 2,
+		LHS: func(ps []syntax.Proc) syntax.Proc {
+			return syntax.Hiding{Channels: []syntax.ChanItem{{Name: "h"}},
+				Body: syntax.Par{L: ps[0], R: ps[1]}}
+		},
+		RHS: func(ps []syntax.Proc) syntax.Proc {
+			return syntax.Par{
+				L: syntax.Hiding{Channels: []syntax.ChanItem{{Name: "h"}}, Body: ps[0]},
+				R: syntax.Hiding{Channels: []syntax.ChanItem{{Name: "h"}}, Body: ps[1]},
+			}
+		},
+	}
+	insts := []syntax.Proc{syntax.Ref{Name: "p"}, syntax.Ref{Name: "q"}}
+	if err := laws.Check(notALaw, env, insts, 4); err == nil {
+		t.Fatal("hiding wrongly distributes over parallel")
+	}
+}

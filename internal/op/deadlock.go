@@ -1,0 +1,97 @@
+package op
+
+import (
+	"strconv"
+
+	"cspsat/internal/trace"
+)
+
+// Deadlock is a reachable stuck configuration: after Trace, the network can
+// be in a state (State) from which no communication — visible or hidden —
+// is possible. STOP-ing by design and deadlocking by accident look the
+// same in the trace model (the paper's §4 limitation); this detector
+// reports both, with the stuck residual term for diagnosis.
+type Deadlock struct {
+	Trace trace.T
+	State State
+}
+
+// FindDeadlocks explores the transition system to the visible-depth bound
+// and returns every minimal deadlock found: one entry per distinct stuck
+// state, with a shortest trace reaching it. The search shares the
+// explorer's τ-closure and divergence guards.
+func FindDeadlocks(s State, depth int) ([]Deadlock, error) {
+	x := NewExplorer()
+	var out []Deadlock
+	seenStuck := map[string]bool{}
+	visited := map[string]bool{}
+
+	type item struct {
+		states []State
+		prefix trace.T
+	}
+	start, err := x.tauClosure(s)
+	if err != nil {
+		return nil, err
+	}
+	queue := []item{{states: start, prefix: nil}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// A state is stuck when it enables nothing at all.
+		nextByEvent := map[string][]State{}
+		var events []trace.Event
+		for _, st := range cur.states {
+			ts, err := Step(st)
+			if err != nil {
+				return nil, err
+			}
+			if len(ts) == 0 {
+				key := st.Key()
+				if !seenStuck[key] {
+					seenStuck[key] = true
+					cp := make(trace.T, len(cur.prefix))
+					copy(cp, cur.prefix)
+					out = append(out, Deadlock{Trace: cp, State: st})
+				}
+				continue
+			}
+			if len(cur.prefix) >= depth {
+				continue
+			}
+			for _, tr := range ts {
+				if tr.Tau {
+					continue // τ-successors are already inside the closure
+				}
+				k := tr.Ev.String()
+				if _, ok := nextByEvent[k]; !ok {
+					events = append(events, tr.Ev)
+				}
+				nextByEvent[k] = append(nextByEvent[k], tr.Next)
+			}
+		}
+		for _, ev := range events {
+			succs := nextByEvent[ev.String()]
+			var closed []State
+			sig := ""
+			for _, n := range succs {
+				cl, err := x.tauClosure(n)
+				if err != nil {
+					return nil, err
+				}
+				closed = append(closed, cl...)
+			}
+			closed = dedupeStates(closed)
+			for _, c := range closed {
+				sig += c.Key() + "\x01"
+			}
+			key := strconv.Itoa(len(cur.prefix)+1) + "\x02" + sig
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			queue = append(queue, item{states: closed, prefix: cur.prefix.Append(ev)})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package op
+
+import (
+	"fmt"
+	"strconv"
+
+	"cspsat/internal/closure"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+)
+
+// Explorer enumerates the visible traces of a process by exhaustive search
+// of its transition system. Hidden (τ) steps are closed over transparently:
+// a visible trace of (chan L; P) is a trace of P with the L-communications
+// erased, exactly the paper's (chan L; P) = P\L.
+type Explorer struct {
+	// MaxTauStates caps how many distinct states a single τ-closure may
+	// visit before exploration fails; it guards against state explosion in
+	// heavily hidden networks. Zero means DefaultMaxTauStates.
+	MaxTauStates int
+
+	memo map[string]*closure.Set
+}
+
+// DefaultMaxTauStates is the default τ-closure state cap.
+const DefaultMaxTauStates = 1 << 16
+
+// NewExplorer returns an explorer with default limits.
+func NewExplorer() *Explorer {
+	return &Explorer{memo: map[string]*closure.Set{}}
+}
+
+// Traces returns the set of visible traces of length ≤ depth from state s,
+// as a prefix closure. The result is exact over the sampled message
+// domains: every trace of the (sampled) process of that length appears, and
+// nothing else.
+func (x *Explorer) Traces(s State, depth int) (*closure.Set, error) {
+	if x.memo == nil {
+		x.memo = map[string]*closure.Set{}
+	}
+	return x.tracesFrom(s, depth)
+}
+
+func (x *Explorer) tracesFrom(s State, depth int) (*closure.Set, error) {
+	if depth <= 0 {
+		return closure.Stop(), nil
+	}
+	key := strconv.Itoa(depth) + "\x00" + s.Key()
+	if cached, ok := x.memo[key]; ok {
+		return cached, nil
+	}
+	reach, err := x.tauClosure(s)
+	if err != nil {
+		return nil, err
+	}
+	branches := []*closure.Set{}
+	for _, st := range reach {
+		ts, err := Step(st)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range ts {
+			if tr.Tau {
+				continue // already folded into reach
+			}
+			sub, err := x.tracesFrom(tr.Next, depth-1)
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, closure.Prefix(tr.Ev, sub))
+		}
+	}
+	out := closure.UnionAll(branches...)
+	x.memo[key] = out
+	return out, nil
+}
+
+// tauClosure returns every state reachable from s by zero or more τ-steps,
+// including s itself. τ-cycles (hidden divergence) terminate the closure
+// without error: in the paper's partial-correctness model a diverging
+// branch simply contributes no further visible traces.
+func (x *Explorer) tauClosure(s State) ([]State, error) {
+	limit := x.MaxTauStates
+	if limit <= 0 {
+		limit = DefaultMaxTauStates
+	}
+	seen := map[string]bool{s.Key(): true}
+	out := []State{s}
+	work := []State{s}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		ts, err := Step(cur)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range ts {
+			if !tr.Tau {
+				continue
+			}
+			k := tr.Next.Key()
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= limit {
+				return nil, fmt.Errorf("op: τ-closure exceeded %d states; network too internally chatty or diverging", limit)
+			}
+			seen[k] = true
+			out = append(out, tr.Next)
+			work = append(work, tr.Next)
+		}
+	}
+	return out, nil
+}
+
+// Traces is a convenience wrapper enumerating visible traces of process p
+// under env to the given depth with a fresh explorer.
+func Traces(p syntax.Proc, env sem.Env, depth int) (*closure.Set, error) {
+	return NewExplorer().Traces(NewState(p, env), depth)
+}
+
+// VisibleEvents returns the visible communications enabled after trace t
+// from initial state s — the "menu" a simulator offers. The boolean result
+// reports whether t is actually a trace of the process.
+func VisibleEvents(s State, t trace.T) ([]Transition, bool, error) {
+	x := NewExplorer()
+	states := []State{s}
+	for _, want := range t {
+		var nextStates []State
+		for _, st := range states {
+			reach, err := x.tauClosure(st)
+			if err != nil {
+				return nil, false, err
+			}
+			for _, rs := range reach {
+				ts, err := Step(rs)
+				if err != nil {
+					return nil, false, err
+				}
+				for _, tr := range ts {
+					if !tr.Tau && tr.Ev.Chan == want.Chan && tr.Ev.Msg.Equal(want.Msg) {
+						nextStates = append(nextStates, tr.Next)
+					}
+				}
+			}
+		}
+		if len(nextStates) == 0 {
+			return nil, false, nil
+		}
+		states = dedupeStates(nextStates)
+	}
+	var menu []Transition
+	seen := map[string]bool{}
+	for _, st := range states {
+		reach, err := x.tauClosure(st)
+		if err != nil {
+			return nil, false, err
+		}
+		for _, rs := range reach {
+			ts, err := Step(rs)
+			if err != nil {
+				return nil, false, err
+			}
+			for _, tr := range ts {
+				if tr.Tau {
+					continue
+				}
+				k := tr.Ev.String() + "\x00" + tr.Next.Key()
+				if !seen[k] {
+					seen[k] = true
+					menu = append(menu, tr)
+				}
+			}
+		}
+	}
+	return menu, true, nil
+}
+
+func dedupeStates(ss []State) []State {
+	seen := map[string]bool{}
+	out := ss[:0]
+	for _, s := range ss {
+		k := s.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package op
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cspsat/internal/trace"
+)
+
+// Simulator performs random walks over the transition system, producing
+// concrete execution traces. Useful for smoke-testing large networks whose
+// exhaustive exploration is too expensive, and as the engine of cmd/cspsim.
+type Simulator struct {
+	rng *rand.Rand
+	// MaxTauRun caps consecutive τ-steps taken within one visible step, so
+	// a walk cannot disappear into hidden divergence.
+	MaxTauRun int
+}
+
+// NewSimulator returns a simulator seeded deterministically.
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed)), MaxTauRun: 1024}
+}
+
+// StepRecord is one observed step of a random walk.
+type StepRecord struct {
+	Ev  trace.Event
+	Tau bool
+}
+
+// Walk runs a random walk of at most maxVisible visible communications from
+// state s. It returns the visible trace observed and the full step log
+// (including τ-steps). The walk stops early at a state with no transitions
+// (deadlock/termination — which partial correctness deliberately does not
+// distinguish) or when the τ-run cap is hit.
+func (sim *Simulator) Walk(s State, maxVisible int) (trace.T, []StepRecord, error) {
+	var visible trace.T
+	var log []StepRecord
+	tauRun := 0
+	for len(visible) < maxVisible {
+		ts, err := Step(s)
+		if err != nil {
+			return visible, log, err
+		}
+		if len(ts) == 0 {
+			return visible, log, nil
+		}
+		tr := ts[sim.rng.Intn(len(ts))]
+		log = append(log, StepRecord{Ev: tr.Ev, Tau: tr.Tau})
+		if tr.Tau {
+			tauRun++
+			if tauRun > sim.MaxTauRun {
+				return visible, log, fmt.Errorf("op: %d consecutive τ-steps; suspected hidden divergence", tauRun)
+			}
+		} else {
+			tauRun = 0
+			visible = visible.Append(tr.Ev)
+		}
+		s = tr.Next
+	}
+	return visible, log, nil
+}

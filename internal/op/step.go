@@ -1,0 +1,414 @@
+// Package op gives the language a small-step operational semantics: a
+// labelled transition system whose labels are the paper's communications
+// c.m, with hidden communications (inside chan L; P) appearing as τ-steps.
+// The traces it enumerates coincide with the denotational prefix-closure
+// semantics of internal/sem (cross-checked in tests, mirroring the paper's
+// §3 consistency argument), but exploration scales better and yields
+// counterexample traces and a step-by-step simulator.
+//
+// Communication offers, not transitions, are the primitive: an output
+// offers one concrete value, while an input offers its whole (possibly
+// infinite) domain. Synchronisation inside a parallel composition matches
+// offers exactly — an output of value 17 meets an input of NAT even when
+// the engine's NAT *sample* is narrower — and only unsynchronised external
+// inputs are sampled, when offers are expanded into concrete transitions at
+// the boundary. This keeps internal dataflow (e.g. the multiplier's partial
+// sums) exact regardless of the sample width.
+package op
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+	"cspsat/internal/value"
+)
+
+// State is a configuration of the transition system: a process term plus
+// the environment binding its free variables. Communicated values are
+// substituted into terms, so terms stay closed and states compare by their
+// rendered form.
+type State struct {
+	Proc syntax.Proc
+	Env  sem.Env
+}
+
+// NewState returns the initial state of a process under an environment.
+func NewState(p syntax.Proc, env sem.Env) State { return State{Proc: p, Env: env} }
+
+// Key returns a canonical identity for the state. Terms are closed (input
+// values are substituted in), so the rendered term determines behaviour.
+func (s State) Key() string { return s.Proc.String() }
+
+// OfferKind discriminates output offers (one concrete value) from input
+// offers (a domain of acceptable values).
+type OfferKind int
+
+// Offer kinds.
+const (
+	OfferOut OfferKind = iota + 1
+	OfferIn
+)
+
+// Offer is one communication capability of a state: on channel Ch, either
+// the concrete value Val (OfferOut) or any value of Dom (OfferIn). Tau
+// marks offers hidden by an enclosing chan L; they are complete internal
+// events, always OfferOut. Next yields the successor state for the value
+// actually communicated.
+type Offer struct {
+	Ch   trace.Chan
+	Kind OfferKind
+	Tau  bool
+	Val  value.V
+	Dom  value.Domain
+	next func(v value.V) State
+}
+
+// Next returns the successor state when value v is communicated. For an
+// output offer, v must be the offered value.
+func (o Offer) Next(v value.V) State { return o.next(v) }
+
+// String renders the offer for diagnostics.
+func (o Offer) String() string {
+	s := string(o.Ch)
+	switch o.Kind {
+	case OfferOut:
+		s += "!" + o.Val.String()
+	case OfferIn:
+		s += "?" + o.Dom.String()
+	}
+	if o.Tau {
+		return "τ(" + s + ")"
+	}
+	return s
+}
+
+// Transition is one concrete step: the communication that occurs, whether
+// it is hidden (τ), and the successor state.
+type Transition struct {
+	Ev   trace.Event
+	Tau  bool
+	Next State
+}
+
+// String renders the transition label; hidden events are wrapped in τ(·).
+func (t Transition) String() string {
+	if t.Tau {
+		return "τ(" + t.Ev.String() + ")"
+	}
+	return t.Ev.String()
+}
+
+// maxUnfold bounds consecutive definition unfoldings within a single Offers
+// call, so that unguarded recursion (p ≜ p, or p ≜ (p | q)) is reported
+// rather than looping forever.
+const maxUnfold = 256
+
+// Offers returns every communication offer enabled in state s.
+func Offers(s State) ([]Offer, error) {
+	return offers(s.Proc, s.Env, 0)
+}
+
+// Step returns every concrete transition enabled in state s,
+// deterministically ordered. Unsynchronised input offers are expanded over
+// their sampled domains here, at the external boundary.
+func Step(s State) ([]Transition, error) {
+	offs, err := Offers(s)
+	if err != nil {
+		return nil, err
+	}
+	var ts []Transition
+	for _, o := range offs {
+		switch o.Kind {
+		case OfferOut:
+			ts = append(ts, Transition{
+				Ev:   trace.Event{Chan: o.Ch, Msg: o.Val},
+				Tau:  o.Tau,
+				Next: o.Next(o.Val),
+			})
+		case OfferIn:
+			for _, v := range o.Dom.Enumerate() {
+				ts = append(ts, Transition{
+					Ev:   trace.Event{Chan: o.Ch, Msg: v},
+					Tau:  o.Tau,
+					Next: o.Next(v),
+				})
+			}
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Tau != ts[j].Tau {
+			return !ts[i].Tau
+		}
+		if c := ts[i].Ev.Compare(ts[j].Ev); c != 0 {
+			return c < 0
+		}
+		return strings.Compare(ts[i].Next.Key(), ts[j].Next.Key()) < 0
+	})
+	return ts, nil
+}
+
+func offers(p syntax.Proc, env sem.Env, unfolds int) ([]Offer, error) {
+	switch t := p.(type) {
+	case syntax.Stop:
+		return nil, nil
+
+	case syntax.Ref:
+		if unfolds >= maxUnfold {
+			return nil, fmt.Errorf("op: unguarded recursion: %d consecutive unfoldings at %s", unfolds, t)
+		}
+		body, err := env.Instantiate(t)
+		if err != nil {
+			return nil, err
+		}
+		return offers(body, env, unfolds+1)
+
+	case syntax.Output:
+		c, err := env.EvalChanRef(t.Ch)
+		if err != nil {
+			return nil, err
+		}
+		v, err := env.EvalExpr(t.Val)
+		if err != nil {
+			return nil, err
+		}
+		cont := t.Cont
+		return []Offer{{
+			Ch:   c,
+			Kind: OfferOut,
+			Val:  v,
+			next: func(value.V) State { return State{Proc: cont, Env: env} },
+		}}, nil
+
+	case syntax.Input:
+		c, err := env.EvalChanRef(t.Ch)
+		if err != nil {
+			return nil, err
+		}
+		dom, err := env.EvalSet(t.Dom)
+		if err != nil {
+			return nil, err
+		}
+		cont, varName := t.Cont, t.Var
+		return []Offer{{
+			Ch:   c,
+			Kind: OfferIn,
+			Dom:  dom,
+			next: func(v value.V) State {
+				// The paper's P^x_v of rule 6: substitute the communicated
+				// value into the continuation term, keeping terms closed.
+				return State{Proc: syntax.SubstProc(cont, varName, sem.ValueToExpr(v)), Env: env}
+			},
+		}}, nil
+
+	case syntax.Alt:
+		// In the trace model (P | Q) denotes the union of behaviours; the
+		// enabled first offers are those of either side.
+		l, err := offers(t.L, env, unfolds)
+		if err != nil {
+			return nil, err
+		}
+		r, err := offers(t.R, env, unfolds)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+
+	case syntax.IChoice:
+		// Internal choice resolves by a silent step to one side — the
+		// time-dependent non-determinism the paper's conclusion describes.
+		// The τ-events carry branch indices on the pseudo-channel TauChan
+		// for the step log; they never become visible.
+		left, right := t.L, t.R
+		return []Offer{
+			{Ch: trace.TauChan, Kind: OfferOut, Tau: true, Val: value.Int(0),
+				next: func(value.V) State { return State{Proc: left, Env: env} }},
+			{Ch: trace.TauChan, Kind: OfferOut, Tau: true, Val: value.Int(1),
+				next: func(value.V) State { return State{Proc: right, Env: env} }},
+		}, nil
+
+	case syntax.Par:
+		return offersPar(t, env, unfolds)
+
+	case syntax.Hiding:
+		return offersHiding(t, env, unfolds)
+
+	default:
+		return nil, fmt.Errorf("op: cannot step process form %T", p)
+	}
+}
+
+func offersHiding(t syntax.Hiding, env sem.Env, unfolds int) ([]Offer, error) {
+	hidden, err := env.EvalChanItems(t.Channels)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := offers(t.Body, env, unfolds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Offer, 0, len(inner))
+	for _, o := range inner {
+		o := o
+		rewrap := func(v value.V) State {
+			n := o.Next(v)
+			return State{Proc: syntax.Hiding{Channels: t.Channels, Body: n.Proc}, Env: n.Env}
+		}
+		if !hidden.Contains(o.Ch) {
+			out = append(out, Offer{Ch: o.Ch, Kind: o.Kind, Tau: o.Tau, Val: o.Val, Dom: o.Dom, next: rewrap})
+			continue
+		}
+		switch o.Kind {
+		case OfferOut:
+			out = append(out, Offer{Ch: o.Ch, Kind: OfferOut, Tau: true, Val: o.Val, next: rewrap})
+		case OfferIn:
+			// A lone input on a hidden channel: the communication happens
+			// internally with a non-determinate value; expand over the
+			// sampled domain as internal τ events.
+			for _, v := range o.Dom.Enumerate() {
+				v := v
+				out = append(out, Offer{Ch: o.Ch, Kind: OfferOut, Tau: true, Val: v, next: rewrap})
+			}
+		}
+	}
+	return out, nil
+}
+
+func offersPar(t syntax.Par, env sem.Env, unfolds int) ([]Offer, error) {
+	x, y, err := sem.ParAlphabets(t, env)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the (possibly explicit) alphabets on the successor terms, so
+	// they are not re-inferred from the narrowed residual processes: the
+	// alphabet of a network is fixed at composition time, not per state.
+	alphaL, alphaR := t.AlphaL, t.AlphaR
+	if alphaL == nil {
+		alphaL = itemsOf(x)
+	}
+	if alphaR == nil {
+		alphaR = itemsOf(y)
+	}
+	l, err := offers(t.L, env, unfolds)
+	if err != nil {
+		return nil, err
+	}
+	r, err := offers(t.R, env, unfolds)
+	if err != nil {
+		return nil, err
+	}
+	rejoin := func(ln, rn func(value.V) State) func(value.V) State {
+		return func(v value.V) State {
+			var lp, rp syntax.Proc
+			if ln == nil {
+				lp = t.L
+			} else {
+				lp = ln(v).Proc
+			}
+			if rn == nil {
+				rp = t.R
+			} else {
+				rp = rn(v).Proc
+			}
+			return State{Proc: syntax.Par{L: lp, R: rp, AlphaL: alphaL, AlphaR: alphaR}, Env: env}
+		}
+	}
+	var out []Offer
+	for _, lo := range l {
+		lo := lo
+		if lo.Tau || !y.Contains(lo.Ch) {
+			// τ-steps and channels private to the left interleave.
+			out = append(out, Offer{Ch: lo.Ch, Kind: lo.Kind, Tau: lo.Tau, Val: lo.Val, Dom: lo.Dom, next: rejoin(lo.next, nil)})
+			continue
+		}
+		// Shared channel: needs a matching offer on the right.
+		for _, ro := range r {
+			ro := ro
+			if ro.Tau || ro.Ch != lo.Ch {
+				continue
+			}
+			if synced, ok := syncOffers(lo, ro, rejoin(lo.next, ro.next)); ok {
+				out = append(out, synced)
+			}
+		}
+	}
+	for _, ro := range r {
+		ro := ro
+		if ro.Tau || !x.Contains(ro.Ch) {
+			out = append(out, Offer{Ch: ro.Ch, Kind: ro.Kind, Tau: ro.Tau, Val: ro.Val, Dom: ro.Dom, next: rejoin(nil, ro.next)})
+		}
+		// Shared offers were handled (or refused) in the left pass.
+	}
+	return out, nil
+}
+
+// syncOffers combines two offers on the same shared channel into the joint
+// offer of the synchronised communication, per the paper: "one of them
+// determines the value transmitted by an output c!e and the other is
+// prepared to accept any value by an input c?x:M". Output–output
+// synchronisation requires equal values; input–input intersects domains.
+func syncOffers(a, b Offer, next func(value.V) State) (Offer, bool) {
+	switch {
+	case a.Kind == OfferOut && b.Kind == OfferOut:
+		if !a.Val.Equal(b.Val) {
+			return Offer{}, false
+		}
+		return Offer{Ch: a.Ch, Kind: OfferOut, Val: a.Val, next: next}, true
+	case a.Kind == OfferOut && b.Kind == OfferIn:
+		if !b.Dom.Contains(a.Val) {
+			return Offer{}, false
+		}
+		return Offer{Ch: a.Ch, Kind: OfferOut, Val: a.Val, next: next}, true
+	case a.Kind == OfferIn && b.Kind == OfferOut:
+		if !a.Dom.Contains(b.Val) {
+			return Offer{}, false
+		}
+		return Offer{Ch: a.Ch, Kind: OfferOut, Val: b.Val, next: next}, true
+	default:
+		return Offer{Ch: a.Ch, Kind: OfferIn, Dom: IntersectDomain{A: a.Dom, B: b.Dom}, next: next}, true
+	}
+}
+
+// IntersectDomain is the meet of two message domains, arising when two
+// inputs synchronise on a shared channel.
+type IntersectDomain struct {
+	A, B value.Domain
+}
+
+// Contains implements value.Domain.
+func (d IntersectDomain) Contains(v value.V) bool { return d.A.Contains(v) && d.B.Contains(v) }
+
+// Enumerate implements value.Domain: the union of both samples, filtered by
+// joint membership, deduplicated.
+func (d IntersectDomain) Enumerate() []value.V {
+	seen := map[string]bool{}
+	var out []value.V
+	for _, v := range append(d.A.Enumerate(), d.B.Enumerate()...) {
+		if d.Contains(v) && !seen[v.Key()] {
+			seen[v.Key()] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsFinite implements value.Domain.
+func (d IntersectDomain) IsFinite() bool { return d.A.IsFinite() || d.B.IsFinite() }
+
+func (d IntersectDomain) String() string { return d.A.String() + "∩" + d.B.String() }
+
+func itemsOf(s trace.Set) []syntax.ChanItem {
+	cs := s.Slice()
+	items := make([]syntax.ChanItem, 0, len(cs))
+	for _, c := range cs {
+		if name, sub, ok := c.ArrayName(); ok {
+			items = append(items, syntax.ChanItem{Name: name, Sub: syntax.IntLit{Val: sub}})
+		} else {
+			items = append(items, syntax.ChanItem{Name: string(c)})
+		}
+	}
+	return items
+}

@@ -1,0 +1,67 @@
+package paper
+
+import "cspsat/internal/syntax"
+
+// BufferChain generalises the paper's copier/recopier pair (§1.3(1)) to a
+// pipeline of n one-place buffers connected by channels c[1..n-1], with the
+// internal channels hidden:
+//
+//	buf[i:1..n] = c[i-1]?x:NAT -> c[i]!x -> buf[i]
+//	chain  = buf[1] || buf[2] || … || buf[n]
+//	system = chan c[1..n-1]; chain
+//
+// where c[0] is renamed "input" and c[n] is renamed "output" to keep the
+// external interface fixed as n grows. It is the scaling workload for the
+// benchmark harness: state space and interleaving both grow with n.
+func BufferChain(n int) *syntax.Module {
+	if n < 1 {
+		panic("paper: BufferChain needs n >= 1")
+	}
+	m := syntax.NewModule()
+	chanAt := func(i int) syntax.ChanRef {
+		switch i {
+		case 0:
+			return syntax.ChanRef{Name: "input"}
+		case n:
+			return syntax.ChanRef{Name: "output"}
+		default:
+			return syntax.ChanRef{Name: "c", Sub: syntax.IntLit{Val: int64(i)}}
+		}
+	}
+	parts := make([]syntax.Proc, 0, n)
+	for i := 1; i <= n; i++ {
+		name := bufName(i)
+		m.MustDefine(syntax.Def{
+			Name: name,
+			Body: syntax.Input{
+				Ch: chanAt(i - 1), Var: "x", Dom: syntax.SetName{Name: "NAT"},
+				Cont: syntax.Output{Ch: chanAt(i), Val: syntax.Var{Name: "x"}, Cont: syntax.Ref{Name: name}},
+			},
+		})
+		parts = append(parts, syntax.Ref{Name: bufName(i)})
+	}
+	m.MustDefine(syntax.Def{Name: NameChain, Body: syntax.ParAll(parts...)})
+	body := syntax.Proc(syntax.Ref{Name: NameChain})
+	if n > 1 {
+		body = syntax.Hiding{
+			Channels: []syntax.ChanItem{{
+				Name: "c",
+				Lo:   syntax.IntLit{Val: 1},
+				Hi:   syntax.IntLit{Val: int64(n - 1)},
+			}},
+			Body: body,
+		}
+	}
+	m.MustDefine(syntax.Def{Name: NameChainSys, Body: body})
+	return m
+}
+
+// Names of the BufferChain processes.
+const (
+	NameChain    = "chain"
+	NameChainSys = "chainsys"
+)
+
+func bufName(i int) string {
+	return "buf" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,304 @@
+// Package paper encodes, in Go, every worked example of the paper —
+// the copier network (§1.3(1), §2), the ACK/NACK communications protocol
+// (§1.3(2)–(4), §2.2), and the matrix-vector multiplier pipeline (§1.3(5))
+// — together with the assertions the paper states about them. Tests,
+// examples and benchmarks all draw on this single encoding; the parser is
+// cross-checked against it.
+package paper
+
+import (
+	"cspsat/internal/assertion"
+	"cspsat/internal/syntax"
+)
+
+// Process and channel names used by the examples, as in the paper.
+const (
+	// Copier system.
+	NameCopier   = "copier"
+	NameRecopier = "recopier"
+	NameCopyNet  = "copynet" // copier ‖ recopier
+	NameCopySys  = "copysys" // chan wire; (copier ‖ recopier)
+
+	// Protocol.
+	NameSender   = "sender"
+	NameQ        = "q"
+	NameReceiver = "receiver"
+	NameProtoNet = "protonet" // sender ‖ receiver
+	NameProtocol = "protocol" // chan wire; (sender ‖ receiver)
+
+	// Multiplier.
+	NameMult       = "mult"
+	NameZeroes     = "zeroes"
+	NameLast       = "last"
+	NameNetwork    = "network"
+	NameMultiplier = "multiplier"
+)
+
+// arrow builds the right-associated prefix chain c1 → c2 → … → tail.
+func out(ch string, v syntax.Expr, cont syntax.Proc) syntax.Proc {
+	return syntax.Output{Ch: syntax.ChanRef{Name: ch}, Val: v, Cont: cont}
+}
+
+func in(ch, x string, dom syntax.SetExpr, cont syntax.Proc) syntax.Proc {
+	return syntax.Input{Ch: syntax.ChanRef{Name: ch}, Var: x, Dom: dom, Cont: cont}
+}
+
+func ref(name string) syntax.Proc { return syntax.Ref{Name: name} }
+
+func nat() syntax.SetExpr { return syntax.SetName{Name: "NAT"} }
+
+// CopySystem returns the module defining
+//
+//	copier   = input?x:NAT -> wire!x -> copier
+//	recopier = wire?y:NAT -> output!y -> recopier
+//	copynet  = copier || recopier
+//	copysys  = chan wire; copynet
+func CopySystem() *syntax.Module {
+	m := syntax.NewModule()
+	m.MustDefine(syntax.Def{
+		Name: NameCopier,
+		Body: in("input", "x", nat(), out("wire", syntax.Var{Name: "x"}, ref(NameCopier))),
+	})
+	m.MustDefine(syntax.Def{
+		Name: NameRecopier,
+		Body: in("wire", "y", nat(), out("output", syntax.Var{Name: "y"}, ref(NameRecopier))),
+	})
+	m.MustDefine(syntax.Def{
+		Name: NameCopyNet,
+		Body: syntax.Par{L: ref(NameCopier), R: ref(NameRecopier)},
+	})
+	m.MustDefine(syntax.Def{
+		Name: NameCopySys,
+		Body: syntax.Hiding{
+			Channels: []syntax.ChanItem{{Name: "wire"}},
+			Body:     ref(NameCopyNet),
+		},
+	})
+	return m
+}
+
+// CopierSat is the paper's §2 claim "copier sat wire ≤ input".
+func CopierSat() assertion.A {
+	return assertion.PrefixLE(assertion.Chan("wire"), assertion.Chan("input"))
+}
+
+// CopierLenSat is the §2 claim "copier sat #input ≤ #wire + 1".
+func CopierLenSat() assertion.A {
+	return assertion.Cmp{
+		Op: assertion.CLe,
+		L:  assertion.Len{S: assertion.Chan("input")},
+		R: assertion.Arith{
+			Op: assertion.AAdd,
+			L:  assertion.Len{S: assertion.Chan("wire")},
+			R:  assertion.Int(1),
+		},
+	}
+}
+
+// RecopierSat is "recopier sat output ≤ wire".
+func RecopierSat() assertion.A {
+	return assertion.PrefixLE(assertion.Chan("output"), assertion.Chan("wire"))
+}
+
+// CopyNetSat is the §2.1 rule-8 example conclusion
+// "(copier ‖ recopier) sat output ≤ input", equally valid for copysys
+// after hiding (rule 9).
+func CopyNetSat() assertion.A {
+	return assertion.PrefixLE(assertion.Chan("output"), assertion.Chan("input"))
+}
+
+// MessageSet is the protocol's message set M. The paper leaves M abstract;
+// we use the finite range {0..width-1} (width ≥ 1).
+func MessageSet(width int64) syntax.SetExpr {
+	return syntax.RangeSet{Lo: syntax.IntLit{Val: 0}, Hi: syntax.IntLit{Val: width - 1}}
+}
+
+// ProtocolSystem returns the module defining the §1.3(2)–(4) protocol over
+// the message set M = {0..mWidth-1}:
+//
+//	sender = input?x:M -> q[x]
+//	q[x:M] = wire!x -> ( wire?y:{ACK} -> sender
+//	                   | wire?y:{NACK} -> q[x] )
+//	receiver = wire?z:M -> ( wire!ACK -> output!z -> receiver
+//	                       | wire!NACK -> receiver )
+//	protonet = sender || receiver
+//	protocol = chan wire; protonet
+func ProtocolSystem(mWidth int64) *syntax.Module {
+	m := syntax.NewModule()
+	m.DefineSet("M", MessageSet(mWidth))
+	msgs := syntax.SetName{Name: "M"}
+	ackSet := syntax.EnumSet{Elems: []syntax.Expr{syntax.SymLit{Name: "ACK"}}}
+	nackSet := syntax.EnumSet{Elems: []syntax.Expr{syntax.SymLit{Name: "NACK"}}}
+
+	m.MustDefine(syntax.Def{
+		Name: NameSender,
+		Body: in("input", "x", msgs, syntax.Ref{Name: NameQ, Sub: syntax.Var{Name: "x"}}),
+	})
+	m.MustDefine(syntax.Def{
+		Name:     NameQ,
+		Param:    "x",
+		ParamDom: msgs,
+		Body: out("wire", syntax.Var{Name: "x"}, syntax.Alt{
+			L: in("wire", "y", ackSet, ref(NameSender)),
+			R: in("wire", "y", nackSet, syntax.Ref{Name: NameQ, Sub: syntax.Var{Name: "x"}}),
+		}),
+	})
+	m.MustDefine(syntax.Def{
+		Name: NameReceiver,
+		Body: in("wire", "z", msgs, syntax.Alt{
+			L: out("wire", syntax.SymLit{Name: "ACK"},
+				out("output", syntax.Var{Name: "z"}, ref(NameReceiver))),
+			R: out("wire", syntax.SymLit{Name: "NACK"}, ref(NameReceiver)),
+		}),
+	})
+	m.MustDefine(syntax.Def{
+		Name: NameProtoNet,
+		Body: syntax.Par{L: ref(NameSender), R: ref(NameReceiver)},
+	})
+	m.MustDefine(syntax.Def{
+		Name: NameProtocol,
+		Body: syntax.Hiding{
+			Channels: []syntax.ChanItem{{Name: "wire"}},
+			Body:     ref(NameProtoNet),
+		},
+	})
+	return m
+}
+
+// SenderSat is §2.2(1): "sender sat f(wire) ≤ input".
+func SenderSat() assertion.A {
+	return assertion.PrefixLE(
+		assertion.Apply{Fn: "f", Args: []assertion.Term{assertion.Chan("wire")}},
+		assertion.Chan("input"),
+	)
+}
+
+// QSat is the per-element lemma of Table 1:
+// "∀x∈M. q[x] sat f(wire) ≤ x⌢input". The variable x is left free here;
+// checkers instantiate it over M.
+func QSat() assertion.A {
+	return assertion.PrefixLE(
+		assertion.Apply{Fn: "f", Args: []assertion.Term{assertion.Chan("wire")}},
+		assertion.Cons{Head: assertion.Var("x"), Tail: assertion.Chan("input")},
+	)
+}
+
+// ReceiverSat is §2.2(2): "receiver sat output ≤ f(wire)" (the exercise).
+func ReceiverSat() assertion.A {
+	return assertion.PrefixLE(
+		assertion.Chan("output"),
+		assertion.Apply{Fn: "f", Args: []assertion.Term{assertion.Chan("wire")}},
+	)
+}
+
+// ProtocolSat is §2.2(3): "protocol sat output ≤ input".
+func ProtocolSat() assertion.A {
+	return assertion.PrefixLE(assertion.Chan("output"), assertion.Chan("input"))
+}
+
+// MultiplierSystem returns the module for the §1.3(5) pipeline computing
+// the scalar products of matrix rows with a fixed vector v[1..3]:
+//
+//	mult[i:1..3] = row[i]?x:NAT -> col[i-1]?y:NAT ->
+//	               col[i]!(v[i]*x + y) -> mult[i]
+//	zeroes = col[0]!0 -> zeroes
+//	last   = col[3]?y:NAT -> output!y -> last
+//	network = zeroes || mult[1] || mult[2] || mult[3] || last
+//	multiplier = chan col[0..3]; network
+//
+// v must have exactly 3 elements (v[1], v[2], v[3]).
+func MultiplierSystem(v []int64) *syntax.Module {
+	if len(v) != 3 {
+		panic("paper: multiplier vector must have 3 elements")
+	}
+	m := syntax.NewModule()
+	m.DefineArray(syntax.ValueArray{Name: "v", Lo: 1, Elems: v})
+	oneTo3 := syntax.RangeSet{Lo: syntax.IntLit{Val: 1}, Hi: syntax.IntLit{Val: 3}}
+	i := syntax.Var{Name: "i"}
+
+	rowI := syntax.ChanRef{Name: "row", Sub: i}
+	colPrev := syntax.ChanRef{Name: "col", Sub: syntax.Binary{Op: syntax.OpSub, L: i, R: syntax.IntLit{Val: 1}}}
+	colI := syntax.ChanRef{Name: "col", Sub: i}
+	prod := syntax.Binary{
+		Op: syntax.OpAdd,
+		L:  syntax.Binary{Op: syntax.OpMul, L: syntax.Index{Name: "v", Sub: i}, R: syntax.Var{Name: "x"}},
+		R:  syntax.Var{Name: "y"},
+	}
+	m.MustDefine(syntax.Def{
+		Name:     NameMult,
+		Param:    "i",
+		ParamDom: oneTo3,
+		Body: syntax.Input{Ch: rowI, Var: "x", Dom: nat(), Cont: syntax.Input{
+			Ch: colPrev, Var: "y", Dom: nat(), Cont: syntax.Output{
+				Ch: colI, Val: prod, Cont: syntax.Ref{Name: NameMult, Sub: i},
+			},
+		}},
+	})
+	m.MustDefine(syntax.Def{
+		Name: NameZeroes,
+		Body: syntax.Output{
+			Ch:   syntax.ChanRef{Name: "col", Sub: syntax.IntLit{Val: 0}},
+			Val:  syntax.IntLit{Val: 0},
+			Cont: ref(NameZeroes),
+		},
+	})
+	m.MustDefine(syntax.Def{
+		Name: NameLast,
+		Body: syntax.Input{
+			Ch:  syntax.ChanRef{Name: "col", Sub: syntax.IntLit{Val: 3}},
+			Var: "y", Dom: nat(),
+			Cont: out("output", syntax.Var{Name: "y"}, ref(NameLast)),
+		},
+	})
+	m.MustDefine(syntax.Def{
+		Name: NameNetwork,
+		Body: syntax.ParAll(
+			ref(NameZeroes),
+			syntax.Ref{Name: NameMult, Sub: syntax.IntLit{Val: 1}},
+			syntax.Ref{Name: NameMult, Sub: syntax.IntLit{Val: 2}},
+			syntax.Ref{Name: NameMult, Sub: syntax.IntLit{Val: 3}},
+			ref(NameLast),
+		),
+	})
+	m.MustDefine(syntax.Def{
+		Name: NameMultiplier,
+		Body: syntax.Hiding{
+			Channels: []syntax.ChanItem{{
+				Name: "col",
+				Lo:   syntax.IntLit{Val: 0},
+				Hi:   syntax.IntLit{Val: 3},
+			}},
+			Body: ref(NameNetwork),
+		},
+	})
+	return m
+}
+
+// MultiplierSat is the paper's §2 invariant for the multiplier:
+//
+//	∀i: 1 ≤ i ≤ #output ⇒ outputᵢ = Σ_{j=1..3} v[j] · row[j]ᵢ
+//
+// expressed with a range quantifier whose upper bound is #output.
+func MultiplierSat() assertion.A {
+	i := assertion.Var("i")
+	j := "j"
+	body := assertion.Eq(
+		assertion.At{S: assertion.Chan("output"), Idx: i},
+		assertion.Sum{
+			Var: j,
+			Lo:  assertion.Int(1),
+			Hi:  assertion.Int(3),
+			Body: assertion.Arith{
+				Op: assertion.AMul,
+				L:  assertion.ConstIndex{Name: "v", Sub: assertion.Var(j)},
+				R:  assertion.At{S: assertion.ChanIdx("row", assertion.Var(j)), Idx: i},
+			},
+		},
+	)
+	return assertion.ForAllRange{
+		Var:  "i",
+		Lo:   assertion.Int(1),
+		Hi:   assertion.Len{S: assertion.Chan("output")},
+		Body: body,
+	}
+}

@@ -1,0 +1,55 @@
+package paper
+
+// Canonical .csp source texts for the paper's systems, in the concrete
+// syntax of internal/parser. The same systems are constructed directly as
+// ASTs elsewhere in this package; the parser tests check that parsing these
+// texts yields exactly those ASTs, and the specs/ directory at the
+// repository root carries byte-identical copies for the command-line tools.
+
+// CopierSpec is the §1.3(1)/§2 copier network.
+const CopierSpec = `-- The copier network of the paper, section 1.3(1) and section 2:
+-- two one-place buffers chained by a wire.
+copier = input?x:NAT -> wire!x -> copier
+recopier = wire?y:NAT -> output!y -> recopier
+copynet = copier || recopier
+copysys = chan wire; copynet
+
+assert copier sat wire <= input
+assert copier sat #input <= #wire + 1
+assert recopier sat output <= wire
+assert copynet sat output <= input
+assert copysys sat output <= input
+`
+
+// ProtocolSpec is the §1.3(2)-(4)/§2.2 ACK/NACK protocol over M = {0..1}.
+const ProtocolSpec = `-- The communications protocol of the paper, sections 1.3(2)-(4) and 2.2:
+-- a sender retransmits each message until the receiver acknowledges it.
+set M = {0..1}
+
+sender = input?x:M -> q[x]
+q[x:M] = wire!x -> ( wire?y:{ACK} -> sender
+                   | wire?y:{NACK} -> q[x] )
+receiver = wire?z:M -> ( wire!ACK -> output!z -> receiver
+                       | wire!NACK -> receiver )
+protonet = sender || receiver
+protocol = chan wire; protonet
+
+assert sender sat f(wire) <= input
+assert forall x in M. q[x] sat f(wire) <= x^input
+assert receiver sat output <= f(wire)
+assert protocol sat output <= input
+`
+
+// MultiplierSpec is the §1.3(5) matrix-vector multiplier pipeline.
+const MultiplierSpec = `-- The matrix multiplier network of the paper, section 1.3(5):
+-- mult[i] folds v[i]*row[i] into a running sum flowing along col.
+const v[1..3] = [5, 3, 2]
+
+mult[i:{1..3}] = row[i]?x:NAT -> col[i-1]?y:NAT -> col[i]!(v[i]*x + y) -> mult[i]
+zeroes = col[0]!0 -> zeroes
+last = col[3]?y:NAT -> output!y -> last
+network = zeroes || mult[1] || mult[2] || mult[3] || last
+multiplier = chan col[0..3]; network
+
+assert multiplier sat forall i:1..#output. output[i] == sum j:1..3. (v[j]*row[j][i])
+`

@@ -1,0 +1,318 @@
+// Package parser reads the paper's programming notation from text. A .csp
+// file is a list of declarations:
+//
+//	set M = {0..3}                         -- named message sets
+//	const v[1..3] = [5, 3, 2]              -- constant value arrays
+//	copier = input?x:NAT -> wire!x -> copier
+//	q[x:M] = wire!x -> ( wire?y:{ACK} -> sender
+//	                   | wire?y:{NACK} -> q[x] )
+//	net = copier || recopier               -- alphabetized parallel
+//	sys = chan wire; net                   -- hiding
+//	assert copier sat wire <= input        -- sat-claims to check
+//	assert forall x in M. q[x] sat f(wire) <= x^input
+//
+// The grammar follows the paper: -> is right associative and binds tighter
+// than |, which binds tighter than ||; chan L; P extends as far right as
+// possible; -- starts a line comment.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tArrow    // ->
+	tBang     // !
+	tQuery    // ?
+	tColon    // :
+	tSemi     // ;
+	tComma    // ,
+	tEquals   // =
+	tBar      // |
+	tIChoiceT // |~|
+	tParallel // ||
+	tLParen   // (
+	tRParen   // )
+	tLBrace   // {
+	tRBrace   // }
+	tLBrack   // [
+	tRBrack   // ]
+	tDotDot   // ..
+	tDot      // .
+	tPlus     // +
+	tMinus    // -
+	tStar     // *
+	tSlash    // /
+	tPercent  // %
+	tHash     // #
+	tCaret    // ^
+	tCatOp    // ++
+	tLe       // <=
+	tLt       // <
+	tGe       // >=
+	tGt       // >
+	tEqEq     // ==
+	tNe       // !=
+	tImplies  // =>
+	tAmp      // &
+	tUnion    // \/ (set union)
+)
+
+var kindNames = map[tokKind]string{
+	tEOF: "end of input", tIdent: "identifier", tInt: "integer",
+	tArrow: "'->'", tBang: "'!'", tQuery: "'?'", tColon: "':'", tSemi: "';'",
+	tComma: "','", tEquals: "'='", tBar: "'|'", tParallel: "'||'",
+	tLParen: "'('", tRParen: "')'", tLBrace: "'{'", tRBrace: "'}'",
+	tLBrack: "'['", tRBrack: "']'", tDotDot: "'..'", tDot: "'.'",
+	tPlus: "'+'", tMinus: "'-'", tStar: "'*'", tSlash: "'/'", tPercent: "'%'",
+	tHash: "'#'", tCaret: "'^'", tCatOp: "'++'", tLe: "'<='", tLt: "'<'",
+	tGe: "'>='", tGt: "'>'", tEqEq: "'=='", tNe: "'!='", tImplies: "'=>'",
+	tAmp: "'&'", tUnion: "'\\/'",
+}
+
+func (k tokKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tIdent || t.kind == tInt {
+		return fmt.Sprintf("%q", t.text)
+	}
+	return t.kind.String()
+}
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && strings.HasPrefix(l.src[l.pos:], "--"):
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) token {
+		return token{kind: k, text: text, line: line, col: col}
+	}
+	c, ok := l.peekByte()
+	if !ok {
+		return mk(tEOF, ""), nil
+	}
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !(unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_') {
+				break
+			}
+			l.advance()
+		}
+		return mk(tIdent, l.src[start:l.pos]), nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		var v int64
+		for {
+			c, ok := l.peekByte()
+			if !ok || !unicode.IsDigit(rune(c)) {
+				break
+			}
+			v = v*10 + int64(c-'0')
+			l.advance()
+		}
+		t := mk(tInt, l.src[start:l.pos])
+		t.val = v
+		return t, nil
+	}
+	if l.pos+2 < len(l.src) && l.src[l.pos:l.pos+3] == "|~|" {
+		l.advance()
+		l.advance()
+		l.advance()
+		return mk(tIChoiceT, "|~|"), nil
+	}
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "->":
+		l.advance()
+		l.advance()
+		return mk(tArrow, two), nil
+	case "||":
+		l.advance()
+		l.advance()
+		return mk(tParallel, two), nil
+	case "..":
+		l.advance()
+		l.advance()
+		return mk(tDotDot, two), nil
+	case "++":
+		l.advance()
+		l.advance()
+		return mk(tCatOp, two), nil
+	case "<=":
+		l.advance()
+		l.advance()
+		return mk(tLe, two), nil
+	case ">=":
+		l.advance()
+		l.advance()
+		return mk(tGe, two), nil
+	case "==":
+		l.advance()
+		l.advance()
+		return mk(tEqEq, two), nil
+	case "!=":
+		l.advance()
+		l.advance()
+		return mk(tNe, two), nil
+	case "=>":
+		l.advance()
+		l.advance()
+		return mk(tImplies, two), nil
+	case "\\/":
+		l.advance()
+		l.advance()
+		return mk(tUnion, two), nil
+	}
+	l.advance()
+	switch c {
+	case '!':
+		return mk(tBang, "!"), nil
+	case '?':
+		return mk(tQuery, "?"), nil
+	case ':':
+		return mk(tColon, ":"), nil
+	case ';':
+		return mk(tSemi, ";"), nil
+	case ',':
+		return mk(tComma, ","), nil
+	case '=':
+		return mk(tEquals, "="), nil
+	case '|':
+		return mk(tBar, "|"), nil
+	case '(':
+		return mk(tLParen, "("), nil
+	case ')':
+		return mk(tRParen, ")"), nil
+	case '{':
+		return mk(tLBrace, "{"), nil
+	case '}':
+		return mk(tRBrace, "}"), nil
+	case '[':
+		return mk(tLBrack, "["), nil
+	case ']':
+		return mk(tRBrack, "]"), nil
+	case '.':
+		return mk(tDot, "."), nil
+	case '+':
+		return mk(tPlus, "+"), nil
+	case '-':
+		return mk(tMinus, "-"), nil
+	case '*':
+		return mk(tStar, "*"), nil
+	case '/':
+		return mk(tSlash, "/"), nil
+	case '%':
+		return mk(tPercent, "%"), nil
+	case '#':
+		return mk(tHash, "#"), nil
+	case '^':
+		return mk(tCaret, "^"), nil
+	case '<':
+		return mk(tLt, "<"), nil
+	case '>':
+		return mk(tGt, ">"), nil
+	case '&':
+		return mk(tAmp, "&"), nil
+	default:
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+// lexAll tokenises the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,653 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/syntax"
+)
+
+// Quant is a universal quantifier prefixed to an assert declaration:
+// "assert forall x in M. q[x] sat …".
+type Quant struct {
+	Var string
+	Dom syntax.SetExpr
+}
+
+// AssertDecl is one assert declaration: either a sat-claim
+// "assert [forall …] P sat R" (Refines nil) or a trace-refinement claim
+// "assert P refines Q" (A nil, Refines the specification process).
+type AssertDecl struct {
+	Quants  []Quant
+	Proc    syntax.Proc
+	A       assertion.A
+	Refines syntax.Proc
+	Line    int
+}
+
+// String renders the declaration.
+func (d AssertDecl) String() string {
+	var sb strings.Builder
+	sb.WriteString("assert ")
+	for _, q := range d.Quants {
+		fmt.Fprintf(&sb, "forall %s in %s. ", q.Var, q.Dom)
+	}
+	if d.Refines != nil {
+		fmt.Fprintf(&sb, "%s refines %s", d.Proc, d.Refines)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%s sat %s", d.Proc, d.A)
+	return sb.String()
+}
+
+// File is a parsed .csp source: a module plus its assert declarations.
+type File struct {
+	Module  *syntax.Module
+	Asserts []AssertDecl
+}
+
+// Parse parses a .csp source text.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, module: syntax.NewModule()}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	if err := p.resolveAsserts(); err != nil {
+		return nil, err
+	}
+	return &File{Module: p.module, Asserts: p.asserts}, nil
+}
+
+type parser struct {
+	toks    []token
+	pos     int
+	module  *syntax.Module
+	asserts []AssertDecl
+}
+
+func (p *parser) peek() token       { return p.toks[p.pos] }
+func (p *parser) at(k tokKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) take() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return token{}, p.errf("expected %s, found %s", k, t)
+	}
+	return p.take(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// atKeyword reports whether the current token is the given identifier.
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tIdent && t.text == kw
+}
+
+func (p *parser) parseFile() error {
+	for !p.at(tEOF) {
+		switch {
+		case p.atKeyword("set"):
+			if err := p.parseSetDecl(); err != nil {
+				return err
+			}
+		case p.atKeyword("const"):
+			if err := p.parseConstDecl(); err != nil {
+				return err
+			}
+		case p.atKeyword("assert"):
+			if err := p.parseAssertDecl(); err != nil {
+				return err
+			}
+		case p.at(tIdent):
+			if err := p.parseProcDef(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("expected a declaration, found %s", p.peek())
+		}
+	}
+	return nil
+}
+
+// parseSetDecl parses: set IDENT = setExpr
+func (p *parser) parseSetDecl() error {
+	p.take() // set
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tEquals); err != nil {
+		return err
+	}
+	se, err := p.parseSetExpr()
+	if err != nil {
+		return err
+	}
+	p.module.DefineSet(name.text, se)
+	return nil
+}
+
+// parseConstDecl parses: const IDENT [ INT .. INT ] = [ INT {, INT} ]
+func (p *parser) parseConstDecl() error {
+	p.take() // const
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tLBrack); err != nil {
+		return err
+	}
+	lo, err := p.parseSignedInt()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tDotDot); err != nil {
+		return err
+	}
+	hi, err := p.parseSignedInt()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tRBrack); err != nil {
+		return err
+	}
+	if _, err := p.expect(tEquals); err != nil {
+		return err
+	}
+	if _, err := p.expect(tLBrack); err != nil {
+		return err
+	}
+	var elems []int64
+	for {
+		v, err := p.parseSignedInt()
+		if err != nil {
+			return err
+		}
+		elems = append(elems, v)
+		if p.at(tComma) {
+			p.take()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tRBrack); err != nil {
+		return err
+	}
+	if int64(len(elems)) != hi-lo+1 {
+		return p.errf("const %s[%d..%d] declares %d slots but %d values given",
+			name.text, lo, hi, hi-lo+1, len(elems))
+	}
+	p.module.DefineArray(syntax.ValueArray{Name: name.text, Lo: lo, Elems: elems})
+	return nil
+}
+
+func (p *parser) parseSignedInt() (int64, error) {
+	neg := false
+	if p.at(tMinus) {
+		p.take()
+		neg = true
+	}
+	t, err := p.expect(tInt)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -t.val, nil
+	}
+	return t.val, nil
+}
+
+// parseProcDef parses: IDENT [ "[" IDENT ":" setExpr "]" ] "=" proc
+func (p *parser) parseProcDef() error {
+	name := p.take()
+	def := syntax.Def{Name: name.text}
+	if p.at(tLBrack) {
+		p.take()
+		param, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return err
+		}
+		dom, err := p.parseSetExpr()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tRBrack); err != nil {
+			return err
+		}
+		def.Param = param.text
+		def.ParamDom = dom
+	}
+	if _, err := p.expect(tEquals); err != nil {
+		return err
+	}
+	body, err := p.parseProc()
+	if err != nil {
+		return err
+	}
+	def.Body = body
+	if err := p.module.Define(def); err != nil {
+		return p.errf("%v", err)
+	}
+	return nil
+}
+
+// parseProc parses a full process expression: '||' binds loosest, then '|',
+// then prefixing.
+func (p *parser) parseProc() (syntax.Proc, error) {
+	return p.parsePar()
+}
+
+func (p *parser) parsePar() (syntax.Proc, error) {
+	left, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tParallel):
+			p.take()
+			right, err := p.parseAlt()
+			if err != nil {
+				return nil, err
+			}
+			left = syntax.Par{L: left, R: right}
+		case p.at(tLBrack) && p.parallelAlphabetsAhead():
+			p.take() // [
+			alphaL, err := p.parseChanList(tParallel)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tParallel); err != nil {
+				return nil, err
+			}
+			alphaR, err := p.parseChanList(tRBrack)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBrack); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAlt()
+			if err != nil {
+				return nil, err
+			}
+			left = syntax.Par{L: left, R: right, AlphaL: alphaL, AlphaR: alphaR}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parallelAlphabetsAhead distinguishes "P [a,b || c] Q" (explicit-alphabet
+// parallel) from other uses of '[' by scanning for a '||' before the
+// matching ']'.
+func (p *parser) parallelAlphabetsAhead() bool {
+	depth := 0
+	for i := p.pos; i < len(p.toks); i++ {
+		switch p.toks[i].kind {
+		case tLBrack:
+			depth++
+		case tRBrack:
+			depth--
+			if depth == 0 {
+				return false
+			}
+		case tParallel:
+			if depth == 1 {
+				return true
+			}
+		case tEOF:
+			return false
+		}
+	}
+	return false
+}
+
+func (p *parser) parseAlt() (syntax.Proc, error) {
+	left, err := p.parsePrefix()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tBar) || p.at(tIChoiceT) {
+		internal := p.take().kind == tIChoiceT
+		right, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		if internal {
+			left = syntax.IChoice{L: left, R: right}
+		} else {
+			left = syntax.Alt{L: left, R: right}
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrefix() (syntax.Proc, error) {
+	switch {
+	case p.atKeyword("STOP"):
+		p.take()
+		return syntax.Stop{}, nil
+
+	case p.atKeyword("chan"):
+		p.take()
+		list, err := p.parseChanList(tSemi)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tSemi); err != nil {
+			return nil, err
+		}
+		body, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Hiding{Channels: list, Body: body}, nil
+
+	case p.at(tLParen):
+		p.take()
+		inner, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+
+	case p.at(tIdent):
+		return p.parseIdentProc()
+
+	default:
+		return nil, p.errf("expected a process, found %s", p.peek())
+	}
+}
+
+// parseIdentProc handles the forms that start with an identifier: an output
+// prefix c!e -> P, an input prefix c?x:M -> P, or a process reference
+// (optionally subscripted).
+func (p *parser) parseIdentProc() (syntax.Proc, error) {
+	name := p.take()
+	var sub syntax.Expr
+	// A '[' here is a subscript unless it opens an explicit-alphabet
+	// parallel bracket "P [X || Y] Q".
+	if p.at(tLBrack) && !p.parallelAlphabetsAhead() {
+		p.take()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBrack); err != nil {
+			return nil, err
+		}
+		sub = e
+	}
+	switch {
+	case p.at(tBang):
+		p.take()
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tArrow); err != nil {
+			return nil, err
+		}
+		cont, err := p.parseArrowCont()
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Output{Ch: syntax.ChanRef{Name: name.text, Sub: sub}, Val: val, Cont: cont}, nil
+
+	case p.at(tQuery):
+		p.take()
+		v, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return nil, err
+		}
+		dom, err := p.parseSetExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tArrow); err != nil {
+			return nil, err
+		}
+		cont, err := p.parseArrowCont()
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Input{Ch: syntax.ChanRef{Name: name.text, Sub: sub}, Var: v.text, Dom: dom, Cont: cont}, nil
+
+	default:
+		return syntax.Ref{Name: name.text, Sub: sub}, nil
+	}
+}
+
+// parseArrowCont parses the continuation after '->'. The arrow is right
+// associative and binds tighter than '|', so the continuation is a prefix
+// process, not an alternative.
+func (p *parser) parseArrowCont() (syntax.Proc, error) {
+	return p.parsePrefix()
+}
+
+// parseChanList parses channel items until the stop token (not consumed).
+func (p *parser) parseChanList(stop tokKind) ([]syntax.ChanItem, error) {
+	var out []syntax.ChanItem
+	for {
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return nil, err
+		}
+		item := syntax.ChanItem{Name: name.text}
+		if p.at(tLBrack) {
+			p.take()
+			first, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.at(tDotDot) {
+				p.take()
+				hi, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item.Lo, item.Hi = first, hi
+			} else {
+				item.Sub = first
+			}
+			if _, err := p.expect(tRBrack); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, item)
+		if p.at(tComma) {
+			p.take()
+			continue
+		}
+		if p.at(stop) {
+			return out, nil
+		}
+		return nil, p.errf("expected ',' or %s in channel list, found %s", stop, p.peek())
+	}
+}
+
+// parseSetExpr parses a set expression, with '\/' as union.
+func (p *parser) parseSetExpr() (syntax.SetExpr, error) {
+	left, err := p.parseSetAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tUnion) {
+		p.take()
+		right, err := p.parseSetAtom()
+		if err != nil {
+			return nil, err
+		}
+		left = syntax.UnionSet{A: left, B: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseSetAtom() (syntax.SetExpr, error) {
+	switch {
+	case p.at(tIdent):
+		return syntax.SetName{Name: p.take().text}, nil
+	case p.at(tLBrace):
+		p.take()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.at(tDotDot) {
+			p.take()
+			hi, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBrace); err != nil {
+				return nil, err
+			}
+			return syntax.RangeSet{Lo: first, Hi: hi}, nil
+		}
+		elems := []syntax.Expr{first}
+		for p.at(tComma) {
+			p.take()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		if _, err := p.expect(tRBrace); err != nil {
+			return nil, err
+		}
+		return syntax.EnumSet{Elems: elems}, nil
+	default:
+		return nil, p.errf("expected a set expression, found %s", p.peek())
+	}
+}
+
+// parseExpr parses a process-language value expression with the usual
+// precedence: '*','/','%' over '+','-'.
+func (p *parser) parseExpr() (syntax.Expr, error) {
+	left, err := p.parseMulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tPlus) || p.at(tMinus) {
+		op := syntax.OpAdd
+		if p.take().kind == tMinus {
+			op = syntax.OpSub
+		}
+		right, err := p.parseMulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = syntax.Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMulExpr() (syntax.Expr, error) {
+	left, err := p.parseAtomExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tStar) || p.at(tSlash) || p.at(tPercent) {
+		var op syntax.BinOp
+		switch p.take().kind {
+		case tStar:
+			op = syntax.OpMul
+		case tSlash:
+			op = syntax.OpDiv
+		default:
+			op = syntax.OpMod
+		}
+		right, err := p.parseAtomExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = syntax.Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAtomExpr() (syntax.Expr, error) {
+	switch {
+	case p.at(tInt):
+		return syntax.IntLit{Val: p.take().val}, nil
+	case p.at(tMinus):
+		p.take()
+		t, err := p.expect(tInt)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.IntLit{Val: -t.val}, nil
+	case p.at(tIdent):
+		name := p.take()
+		if p.at(tLBrack) {
+			p.take()
+			sub, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBrack); err != nil {
+				return nil, err
+			}
+			return syntax.Index{Name: name.text, Sub: sub}, nil
+		}
+		if isSymbolName(name.text) {
+			return syntax.SymLit{Name: name.text}, nil
+		}
+		return syntax.Var{Name: name.text}, nil
+	case p.at(tLParen):
+		p.take()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected an expression, found %s", p.peek())
+	}
+}
+
+// isSymbolName reports whether an identifier denotes a symbolic constant:
+// by convention, all-uppercase names (ACK, NACK) are symbols.
+func isSymbolName(s string) bool {
+	hasLetter := false
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' {
+			return false
+		}
+		if r >= 'A' && r <= 'Z' {
+			hasLetter = true
+		}
+	}
+	return hasLetter
+}

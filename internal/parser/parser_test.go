@@ -1,0 +1,292 @@
+package parser_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/paper"
+	"cspsat/internal/parser"
+	"cspsat/internal/syntax"
+)
+
+// TestParseCopierMatchesHandBuiltModule checks that parsing the canonical
+// copier text yields exactly the AST that internal/paper constructs by hand.
+func TestParseCopierMatchesHandBuiltModule(t *testing.T) {
+	f, err := parser.Parse(paper.CopierSpec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := paper.CopySystem()
+	for _, name := range want.Names() {
+		wd, _ := want.Lookup(name)
+		gd, ok := f.Module.Lookup(name)
+		if !ok {
+			t.Fatalf("parsed module lacks %q", name)
+		}
+		if !reflect.DeepEqual(gd, wd) {
+			t.Errorf("definition %q:\n  parsed %s\n  want   %s", name, gd, wd)
+		}
+	}
+	if len(f.Asserts) != 5 {
+		t.Fatalf("want 5 asserts, got %d", len(f.Asserts))
+	}
+	if got, want := f.Asserts[0].A, paper.CopierSat(); !reflect.DeepEqual(got, want) {
+		t.Errorf("assert 0: parsed %s want %s", got, want)
+	}
+	if got, want := f.Asserts[1].A, paper.CopierLenSat(); !reflect.DeepEqual(got, want) {
+		t.Errorf("assert 1: parsed %s want %s", got, want)
+	}
+}
+
+func TestParseProtocolMatchesHandBuiltModule(t *testing.T) {
+	f, err := parser.Parse(paper.ProtocolSpec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := paper.ProtocolSystem(2)
+	for _, name := range want.Names() {
+		wd, _ := want.Lookup(name)
+		gd, ok := f.Module.Lookup(name)
+		if !ok {
+			t.Fatalf("parsed module lacks %q", name)
+		}
+		if !reflect.DeepEqual(gd, wd) {
+			t.Errorf("definition %q:\n  parsed %s\n  want   %s", name, gd, wd)
+		}
+	}
+	if len(f.Asserts) != 4 {
+		t.Fatalf("want 4 asserts, got %d", len(f.Asserts))
+	}
+	if got, want := f.Asserts[0].A, paper.SenderSat(); !reflect.DeepEqual(got, want) {
+		t.Errorf("sender assert: parsed %s want %s", got, want)
+	}
+	// The quantified q[x] claim.
+	q := f.Asserts[1]
+	if len(q.Quants) != 1 || q.Quants[0].Var != "x" {
+		t.Fatalf("q assert quantifiers: %+v", q.Quants)
+	}
+	if got, want := q.A, paper.QSat(); !reflect.DeepEqual(got, want) {
+		t.Errorf("q assert: parsed %s want %s", got, want)
+	}
+	if got, want := f.Asserts[2].A, paper.ReceiverSat(); !reflect.DeepEqual(got, want) {
+		t.Errorf("receiver assert: parsed %s want %s", got, want)
+	}
+}
+
+func TestParseMultiplierMatchesHandBuiltModule(t *testing.T) {
+	f, err := parser.Parse(paper.MultiplierSpec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := paper.MultiplierSystem([]int64{5, 3, 2})
+	for _, name := range want.Names() {
+		wd, _ := want.Lookup(name)
+		gd, ok := f.Module.Lookup(name)
+		if !ok {
+			t.Fatalf("parsed module lacks %q", name)
+		}
+		if !reflect.DeepEqual(gd, wd) {
+			t.Errorf("definition %q:\n  parsed %s\n  want   %s", name, gd, wd)
+		}
+	}
+	if len(f.Asserts) != 1 {
+		t.Fatalf("want 1 assert, got %d", len(f.Asserts))
+	}
+	if got, want := f.Asserts[0].A, paper.MultiplierSat(); !reflect.DeepEqual(got, want) {
+		t.Errorf("multiplier assert:\n  parsed %s\n  want   %s", got, want)
+	}
+}
+
+func TestParseExplicitAlphabets(t *testing.T) {
+	src := `
+p = a!1 -> STOP
+q = b!2 -> STOP
+net = p [a,w || b,w] q
+`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, ok := f.Module.Lookup("net")
+	if !ok {
+		t.Fatal("net not defined")
+	}
+	par, ok := d.Body.(syntax.Par)
+	if !ok {
+		t.Fatalf("net body is %T", d.Body)
+	}
+	if len(par.AlphaL) != 2 || par.AlphaL[0].Name != "a" || par.AlphaL[1].Name != "w" {
+		t.Errorf("AlphaL = %v", par.AlphaL)
+	}
+	if len(par.AlphaR) != 2 || par.AlphaR[0].Name != "b" {
+		t.Errorf("AlphaR = %v", par.AlphaR)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// -> binds tighter than |, which binds tighter than ||.
+	src := `p = a!1 -> STOP | b!2 -> STOP || c!3 -> STOP`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, _ := f.Module.Lookup("p")
+	par, ok := d.Body.(syntax.Par)
+	if !ok {
+		t.Fatalf("top is %T, want Par", d.Body)
+	}
+	if _, ok := par.L.(syntax.Alt); !ok {
+		t.Fatalf("left of || is %T, want Alt", par.L)
+	}
+	if _, ok := par.R.(syntax.Output); !ok {
+		t.Fatalf("right of || is %T, want Output", par.R)
+	}
+}
+
+func TestParseChanExtendsRight(t *testing.T) {
+	src := `p = chan w; a!1 -> w!2 -> STOP || w?x:NAT -> STOP`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, _ := f.Module.Lookup("p")
+	h, ok := d.Body.(syntax.Hiding)
+	if !ok {
+		t.Fatalf("top is %T, want Hiding", d.Body)
+	}
+	if _, ok := h.Body.(syntax.Par); !ok {
+		t.Fatalf("hiding body is %T, want Par", h.Body)
+	}
+}
+
+func TestParseSequenceLiteralsAndIndexing(t *testing.T) {
+	src := `
+p = out!1 -> STOP
+assert p sat out <= <1, 2, 3>
+assert p sat #out >= 1 => out[1] == 1
+`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(f.Asserts) != 2 {
+		t.Fatalf("want 2 asserts, got %d", len(f.Asserts))
+	}
+	cmp, ok := f.Asserts[0].A.(assertion.Cmp)
+	if !ok {
+		t.Fatalf("assert 0 is %T", f.Asserts[0].A)
+	}
+	if _, ok := cmp.R.(assertion.SeqLit); !ok {
+		t.Fatalf("assert 0 RHS is %T, want SeqLit", cmp.R)
+	}
+	imp, ok := f.Asserts[1].A.(assertion.Implies)
+	if !ok {
+		t.Fatalf("assert 1 is %T", f.Asserts[1].A)
+	}
+	at, ok := imp.R.(assertion.Cmp).L.(assertion.At)
+	if !ok {
+		t.Fatalf("out[1] parsed as %T, want At", imp.R.(assertion.Cmp).L)
+	}
+	if ch, ok := at.S.(assertion.ChanT); !ok || ch.Name != "out" {
+		t.Fatalf("At base is %v", at.S)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing arrow", `p = a!1 STOP`},
+		{"duplicate def", "p = STOP\np = STOP"},
+		{"bad channel list", `p = chan ; STOP`},
+		{"const arity mismatch", `const v[1..3] = [1, 2]`},
+		{"assert without sat", `p = STOP
+assert p out <= input`},
+		{"unterminated set", `set M = {0..`},
+		{"stray token", `p = STOP )`},
+		{"input without domain", `p = a?x -> STOP`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parser.Parse(tc.src); err == nil {
+				t.Fatalf("expected a parse error for %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestLineCommentsAndWhitespace(t *testing.T) {
+	src := "-- leading comment\np = a!1 -> STOP -- trailing\n\n\n-- done\n"
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, ok := f.Module.Lookup("p"); !ok {
+		t.Fatal("p not parsed")
+	}
+}
+
+// TestRoundTripThroughString parses, renders with String(), and reparses;
+// the two parses must agree. This pins the renderers and the grammar to
+// each other.
+func TestRoundTripThroughString(t *testing.T) {
+	for _, src := range []string{paper.CopierSpec, paper.ProtocolSpec, paper.MultiplierSpec} {
+		f, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		rendered := f.Module.String()
+		f2, err := parser.Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse of rendering failed: %v\nrendering:\n%s", err, rendered)
+		}
+		for _, name := range f.Module.Names() {
+			d1, _ := f.Module.Lookup(name)
+			d2, ok := f2.Module.Lookup(name)
+			if !ok {
+				t.Fatalf("reparse lost %q", name)
+			}
+			if !reflect.DeepEqual(d1, d2) {
+				t.Errorf("round trip changed %q:\n  before %s\n  after  %s", name, d1, d2)
+			}
+		}
+	}
+}
+
+func TestParseInternalChoice(t *testing.T) {
+	src := `
+p = a!1 -> STOP |~| b!2 -> STOP
+q = a!1 -> STOP | b!2 -> STOP |~| c!3 -> STOP
+`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, _ := f.Module.Lookup("p")
+	if _, ok := d.Body.(syntax.IChoice); !ok {
+		t.Fatalf("p body is %T, want IChoice", d.Body)
+	}
+	// Left associative mixing: (a|b) |~| c.
+	d, _ = f.Module.Lookup("q")
+	ic, ok := d.Body.(syntax.IChoice)
+	if !ok {
+		t.Fatalf("q body is %T, want IChoice", d.Body)
+	}
+	if _, ok := ic.L.(syntax.Alt); !ok {
+		t.Fatalf("q left is %T, want Alt", ic.L)
+	}
+	// Round trip through the renderer.
+	f2, err := parser.Parse(f.Module.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	for _, name := range f.Module.Names() {
+		d1, _ := f.Module.Lookup(name)
+		d2, _ := f2.Module.Lookup(name)
+		if !reflect.DeepEqual(d1, d2) {
+			t.Errorf("round trip changed %q: %s vs %s", name, d1, d2)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package proof
+
+import (
+	"fmt"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/syntax"
+	"cspsat/internal/value"
+)
+
+// ExprToTerm embeds a process-language expression into the assertion
+// language (the output rule substitutes the transmitted expression e into
+// R). The two languages share constants, variables, arithmetic and constant
+// arrays, so the embedding is total.
+func ExprToTerm(e syntax.Expr) (assertion.Term, error) {
+	switch x := e.(type) {
+	case syntax.IntLit:
+		return assertion.Int(x.Val), nil
+	case syntax.SymLit:
+		return assertion.Sym(x.Name), nil
+	case syntax.Var:
+		return assertion.Var(x.Name), nil
+	case syntax.Binary:
+		l, err := ExprToTerm(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ExprToTerm(x.R)
+		if err != nil {
+			return nil, err
+		}
+		op, err := arithOp(x.Op)
+		if err != nil {
+			return nil, err
+		}
+		return assertion.Arith{Op: op, L: l, R: r}, nil
+	case syntax.Index:
+		sub, err := ExprToTerm(x.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return assertion.ConstIndex{Name: x.Name, Sub: sub}, nil
+	default:
+		return nil, fmt.Errorf("proof: cannot embed expression %v into the assertion language", e)
+	}
+}
+
+// TermToExpr projects an assertion term back into the process language,
+// when it lies in the shared fragment (∀-elimination substitutes terms into
+// process subscripts).
+func TermToExpr(t assertion.Term) (syntax.Expr, error) {
+	switch x := t.(type) {
+	case assertion.Lit:
+		switch x.Val.Kind() {
+		case value.KindInt:
+			return syntax.IntLit{Val: x.Val.AsInt()}, nil
+		case value.KindSym:
+			return syntax.SymLit{Name: x.Val.AsSym()}, nil
+		default:
+			return nil, fmt.Errorf("proof: literal %v has no process-language form", x.Val)
+		}
+	case assertion.VarT:
+		return syntax.Var{Name: x.Name}, nil
+	case assertion.Arith:
+		l, err := TermToExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := TermToExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		op, err := binOp(x.Op)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Binary{Op: op, L: l, R: r}, nil
+	case assertion.ConstIndex:
+		sub, err := TermToExpr(x.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return syntax.Index{Name: x.Name, Sub: sub}, nil
+	default:
+		return nil, fmt.Errorf("proof: term %s has no process-language form", t)
+	}
+}
+
+func arithOp(op syntax.BinOp) (assertion.ArithOp, error) {
+	switch op {
+	case syntax.OpAdd:
+		return assertion.AAdd, nil
+	case syntax.OpSub:
+		return assertion.ASub, nil
+	case syntax.OpMul:
+		return assertion.AMul, nil
+	case syntax.OpDiv:
+		return assertion.ADiv, nil
+	case syntax.OpMod:
+		return assertion.AMod, nil
+	default:
+		return 0, fmt.Errorf("proof: unknown operator %v", op)
+	}
+}
+
+func binOp(op assertion.ArithOp) (syntax.BinOp, error) {
+	switch op {
+	case assertion.AAdd:
+		return syntax.OpAdd, nil
+	case assertion.ASub:
+		return syntax.OpSub, nil
+	case assertion.AMul:
+		return syntax.OpMul, nil
+	case assertion.ADiv:
+		return syntax.OpDiv, nil
+	case assertion.AMod:
+		return syntax.OpMod, nil
+	default:
+		return 0, fmt.Errorf("proof: unknown operator %v", op)
+	}
+}

@@ -1,0 +1,200 @@
+// Package proof implements the paper's §2.1 inference system as checkable
+// proof objects. A Proof is a tree whose nodes are applications of the ten
+// rules — triviality, consequence, conjunction, emptiness, output, input,
+// alternative, parallelism, chan, and recursion (plain, array, mutual) —
+// plus the structural conveniences the paper takes from natural deduction
+// (∀-introduction, hypothesis citation, instantiation, definition
+// unfolding).
+//
+// The Checker verifies each rule application structurally, exactly as the
+// rule schema demands, and discharges the non-process side conditions
+// (facts like R_<> or R ⇒ S) with the bounded-validity evaluator of
+// internal/assertion. A checked proof is thus machine-validated modulo the
+// recorded validity bounds; the repository's encoded paper proofs
+// additionally cross-check every conclusion with the model checker.
+package proof
+
+import (
+	"fmt"
+	"strings"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/syntax"
+)
+
+// Quant is one universal quantifier ∀x∈M binding a variable shared between
+// a process and its assertion (the paper's ∀x∈M. q[x] sat S).
+type Quant struct {
+	Var string
+	Dom syntax.SetExpr
+}
+
+// Claim is a (possibly quantified) sat-judgement: ∀Quants. Proc sat A.
+type Claim struct {
+	Quants []Quant
+	Proc   syntax.Proc
+	A      assertion.A
+}
+
+// String renders the claim in the paper's notation.
+func (c Claim) String() string {
+	var sb strings.Builder
+	for _, q := range c.Quants {
+		fmt.Fprintf(&sb, "forall %s in %s. ", q.Var, q.Dom)
+	}
+	sb.WriteString(c.Proc.String())
+	sb.WriteString(" sat ")
+	sb.WriteString(c.A.String())
+	return sb.String()
+}
+
+// Proof is a node of a proof tree. Each concrete node type corresponds to
+// one inference rule; the Checker computes and verifies the conclusion of
+// every node rather than trusting the tree.
+type Proof interface {
+	// Rule returns the paper's name for the rule applied at this node.
+	Rule() string
+}
+
+// Triviality is rule 1: from the (bounded) validity of T, conclude
+// P sat T for any process P. T must not constrain anything Γ binds — in
+// this mechanisation, T is discharged as a closed obligation.
+type Triviality struct {
+	P syntax.Proc
+	T assertion.A
+}
+
+// Consequence is rule 2: from P sat R and the validity of R ⇒ S, conclude
+// P sat S.
+type Consequence struct {
+	Premise Proof
+	To      assertion.A
+}
+
+// Conjunction is rule 3: from P sat R and P sat S conclude P sat (R & S).
+type Conjunction struct {
+	P1, P2 Proof
+}
+
+// Emptiness is rule 4: from the validity of R_<> conclude STOP sat R.
+type Emptiness struct {
+	R assertion.A
+}
+
+// OutputStep is rule 5: from the validity of R_<> and a premise proving
+// P sat R[e⌢c/c], conclude (c!e → P) sat R.
+type OutputStep struct {
+	Ch      syntax.ChanRef
+	Val     syntax.Expr
+	R       assertion.A
+	Premise Proof
+}
+
+// InputStep is rule 6: from the validity of R_<> and a premise proving
+// ∀v∈M. P[v/x] sat R[v⌢c/c] (v fresh), conclude (c?x:M → P) sat R.
+type InputStep struct {
+	Ch    syntax.ChanRef
+	Var   string
+	Dom   syntax.SetExpr
+	Body  syntax.Proc
+	Fresh string
+	R     assertion.A
+	// Premise proves the quantified claim ∀Fresh∈Dom. Body[Fresh/Var] sat
+	// R[Fresh⌢Ch/Ch].
+	Premise Proof
+}
+
+// Alternative is rule 7: from P sat R and Q sat R conclude (P | Q) sat R.
+type Alternative struct {
+	P1, P2 Proof
+}
+
+// Parallelism is rule 8: from P sat R and Q sat S, with every channel of R
+// in P's alphabet X and every channel of S in Q's alphabet Y, conclude
+// (P X‖Y Q) sat (R & S). Explicit alphabets may widen the inferred ones.
+type Parallelism struct {
+	P1, P2         Proof
+	AlphaL, AlphaR []syntax.ChanItem // optional explicit alphabets
+}
+
+// ChanIntro is rule 9: from P sat R, with R mentioning no channel of L,
+// conclude (chan L; P) sat R.
+type ChanIntro struct {
+	Channels []syntax.ChanItem
+	Premise  Proof
+}
+
+// RecDef is one definition participating in a recursion-rule application:
+// the claim to establish about the named process. For a process array the
+// claim quantifies the definition's parameter.
+type RecDef struct {
+	// Name is the process (or process array) name, which must be defined
+	// in the module.
+	Name string
+	// Claim is what to prove about it: for a plain process,
+	// {Proc: Ref{Name}, A: R}; for an array, {Quants: [(x, M)],
+	// Proc: Ref{Name, Sub: Var x}, A: S}.
+	Claim Claim
+	// Premise proves the claim with the defining body substituted for the
+	// reference — ∀quants. Body sat A — under the hypotheses that all the
+	// participating claims hold (rule 10's self-assumption).
+	Premise Proof
+}
+
+// Recursion is rule 10, covering plain, array and mutual recursion: each
+// participating definition's body is shown to satisfy its claim assuming
+// all the claims, and each claim's R_<> is valid. The conclusion indexed by
+// Main is the claim of Defs[Main].
+type Recursion struct {
+	Defs []RecDef
+	Main int
+}
+
+// Hypothesis cites a claim assumed in scope by an enclosing Recursion
+// (keyed by the defined process name), optionally instantiating its
+// quantified variables with terms. Insts must be empty or instantiate
+// every quantifier.
+type Hypothesis struct {
+	Name  string
+	Insts []assertion.Term
+}
+
+// ForAllIntro packages the paper's ∀-introduction: from a premise proving a
+// claim with Var free (schematically), conclude the claim quantified by
+// ∀Var∈Dom.
+type ForAllIntro struct {
+	Var     string
+	Dom     syntax.SetExpr
+	Premise Proof
+}
+
+// Instantiate is ∀-elimination on a proven quantified claim: substitute
+// Terms for the leading quantifiers.
+type Instantiate struct {
+	Premise Proof
+	Terms   []assertion.Term
+}
+
+// Unfold concludes p sat R (or q[e] sat S[e/x]) from a premise about the
+// definition's instantiated body. It is the degenerate, non-self-referential
+// use of the recursion rule, convenient for network-assembly definitions
+// like protocol ≜ chan wire; (sender ‖ receiver).
+type Unfold struct {
+	Ref     syntax.Ref
+	Premise Proof
+}
+
+func (Triviality) Rule() string  { return "triviality" }
+func (Consequence) Rule() string { return "consequence" }
+func (Conjunction) Rule() string { return "conjunction" }
+func (Emptiness) Rule() string   { return "emptiness" }
+func (OutputStep) Rule() string  { return "output" }
+func (InputStep) Rule() string   { return "input" }
+func (Alternative) Rule() string { return "alternative" }
+func (Parallelism) Rule() string { return "parallelism" }
+func (ChanIntro) Rule() string   { return "chan" }
+func (Recursion) Rule() string   { return "recursion" }
+func (Hypothesis) Rule() string  { return "hypothesis" }
+func (ForAllIntro) Rule() string { return "forall-intro" }
+func (Instantiate) Rule() string { return "forall-elim" }
+func (Unfold) Rule() string      { return "unfold" }

@@ -1,0 +1,77 @@
+package proof
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes checker-collected steps in the style of the paper's
+// Table 1: one numbered line per verified rule application, premises
+// before conclusions, with each line's justification citing the rule name
+// and the step numbers of its premises:
+//
+//	( 1)  copier sat v^wire <= v^input              [hypothesis]
+//	( 2)  copier sat wire <= v^input                [consequence (1)]
+//	( 3)  wire!v -> copier sat wire <= v^input      [output (2)]
+//	...
+//
+// Steps come from Checker.Steps in post-order with nesting depths; a
+// step's premises are the maximal run of deeper steps immediately before
+// it.
+func Render(w io.Writer, steps []Step) error {
+	premises := premiseIndices(steps)
+	width := 0
+	for _, s := range steps {
+		if l := len(s.Claim.String()); l > width {
+			width = l
+		}
+	}
+	if width > 78 {
+		width = 78
+	}
+	for i, s := range steps {
+		just := s.Rule
+		if len(premises[i]) > 0 {
+			nums := make([]string, len(premises[i]))
+			for j, p := range premises[i] {
+				nums[j] = fmt.Sprintf("%d", p+1)
+			}
+			just += " (" + strings.Join(nums, ",") + ")"
+		}
+		if _, err := fmt.Fprintf(w, "(%2d)  %-*s  [%s]\n", i+1, width, s.Claim.String(), just); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// premiseIndices recovers, for each step, the indices of its direct
+// premises: the steps at depth+1 since the last step at depth ≤ its own.
+func premiseIndices(steps []Step) [][]int {
+	out := make([][]int, len(steps))
+	for i, s := range steps {
+		var prems []int
+		for j := i - 1; j >= 0; j-- {
+			if steps[j].Depth <= s.Depth {
+				break
+			}
+			if steps[j].Depth == s.Depth+1 {
+				prems = append(prems, j)
+			}
+		}
+		// Collected right-to-left; restore left-to-right premise order.
+		for l, r := 0, len(prems)-1; l < r; l, r = l+1, r-1 {
+			prems[l], prems[r] = prems[r], prems[l]
+		}
+		out[i] = prems
+	}
+	return out
+}
+
+// RenderString is Render into a string, for tests and small tools.
+func RenderString(steps []Step) string {
+	var sb strings.Builder
+	_ = Render(&sb, steps)
+	return sb.String()
+}

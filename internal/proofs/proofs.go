@@ -1,0 +1,326 @@
+// Package proofs contains machine-encoded versions of every proof the
+// paper presents (and the one it leaves as an exercise):
+//
+//   - §2.1(6): copier sat wire ≤ input (the "read this proof backwards"
+//     example), plus the analogous recopier proof
+//   - §2.1(8)/(9): (copier ‖ recopier) sat output ≤ input, preserved by
+//     chan wire
+//   - §2.2(1) / Table 1: sender sat f(wire) ≤ input, by mutual recursion
+//     with ∀x∈M. q[x] sat f(wire) ≤ x⌢input
+//   - §2.2(2): receiver sat output ≤ f(wire) (the exercise)
+//   - §2.2(3): protocol sat output ≤ input (the six-step proof)
+//   - §2.1(4): STOP sat wire ≤ input (emptiness examples)
+//
+// Each function returns a proof object for internal/proof.Checker; the
+// tests check them and cross-validate every conclusion with the model
+// checker.
+package proofs
+
+import (
+	"cspsat/internal/assertion"
+	"cspsat/internal/paper"
+	"cspsat/internal/proof"
+	"cspsat/internal/syntax"
+)
+
+func wire() assertion.Term   { return assertion.Chan("wire") }
+func input() assertion.Term  { return assertion.Chan("input") }
+func output() assertion.Term { return assertion.Chan("output") }
+
+func fOf(t assertion.Term) assertion.Term {
+	return assertion.Apply{Fn: "f", Args: []assertion.Term{t}}
+}
+
+func cons(h, t assertion.Term) assertion.Term { return assertion.Cons{Head: h, Tail: t} }
+
+func le(l, r assertion.Term) assertion.A { return assertion.PrefixLE(l, r) }
+
+func nat() syntax.SetExpr { return syntax.SetName{Name: "NAT"} }
+
+// StopSatExample is the §2.1(4) example: ⊢ STOP sat wire ≤ input, because
+// <> ≤ <>.
+func StopSatExample() proof.Proof {
+	return proof.Emptiness{R: le(wire(), input())}
+}
+
+// CopierProof is the §2.1(6)+(10) example proof that
+// copier sat wire ≤ input. Read §2.1(6) backwards:
+//
+//	copier sat wire ≤ input                                (hypothesis)
+//	copier sat v⌢wire ≤ v⌢input                            (consequence)
+//	(wire!v → copier) sat wire ≤ v⌢input                   (output)
+//	∀v∈NAT. (wire!v → copier) sat wire ≤ v⌢input           (∀-intro)
+//	(input?x:NAT → wire!x → copier) sat wire ≤ input       (input)
+//	copier sat wire ≤ input                                (recursion)
+func CopierProof() proof.Proof {
+	r := le(wire(), input()) // R = wire ≤ input
+	v := assertion.Var("v")
+
+	step4 := proof.Consequence{
+		Premise: proof.Hypothesis{Name: paper.NameCopier},
+		To:      le(cons(v, wire()), cons(v, input())),
+	}
+	step3 := proof.OutputStep{
+		Ch:      syntax.ChanRef{Name: "wire"},
+		Val:     syntax.Var{Name: "v"},
+		R:       le(wire(), cons(v, input())),
+		Premise: step4,
+	}
+	step2 := proof.ForAllIntro{Var: "v", Dom: nat(), Premise: step3}
+	step1 := proof.InputStep{
+		Ch:      syntax.ChanRef{Name: "input"},
+		Var:     "x",
+		Dom:     nat(),
+		Body:    syntax.Output{Ch: syntax.ChanRef{Name: "wire"}, Val: syntax.Var{Name: "x"}, Cont: syntax.Ref{Name: paper.NameCopier}},
+		Fresh:   "v",
+		R:       r,
+		Premise: step2,
+	}
+	return proof.Recursion{
+		Defs: []proof.RecDef{{
+			Name:    paper.NameCopier,
+			Claim:   proof.Claim{Proc: syntax.Ref{Name: paper.NameCopier}, A: r},
+			Premise: step1,
+		}},
+	}
+}
+
+// RecopierProof proves recopier sat output ≤ wire, the mirror image of
+// CopierProof.
+func RecopierProof() proof.Proof {
+	r := le(output(), wire())
+	v := assertion.Var("v")
+
+	inner := proof.Consequence{
+		Premise: proof.Hypothesis{Name: paper.NameRecopier},
+		To:      le(cons(v, output()), cons(v, wire())),
+	}
+	outStep := proof.OutputStep{
+		Ch:      syntax.ChanRef{Name: "output"},
+		Val:     syntax.Var{Name: "v"},
+		R:       le(output(), cons(v, wire())),
+		Premise: inner,
+	}
+	body := proof.InputStep{
+		Ch:      syntax.ChanRef{Name: "wire"},
+		Var:     "y",
+		Dom:     nat(),
+		Body:    syntax.Output{Ch: syntax.ChanRef{Name: "output"}, Val: syntax.Var{Name: "y"}, Cont: syntax.Ref{Name: paper.NameRecopier}},
+		Fresh:   "v",
+		R:       r,
+		Premise: proof.ForAllIntro{Var: "v", Dom: nat(), Premise: outStep},
+	}
+	return proof.Recursion{
+		Defs: []proof.RecDef{{
+			Name:    paper.NameRecopier,
+			Claim:   proof.Claim{Proc: syntax.Ref{Name: paper.NameRecopier}, A: r},
+			Premise: body,
+		}},
+	}
+}
+
+// CopyNetworkProof is the §2.1(8)/(9) example: from the two copier proofs,
+// by parallelism and consequence, (copier ‖ recopier) sat output ≤ input;
+// by chan, the conclusion survives hiding the wire; the module's named
+// networks copynet and copysys are concluded by unfolding.
+func CopyNetworkProof() proof.Proof {
+	par := proof.Parallelism{P1: CopierProof(), P2: RecopierProof()}
+	net := proof.Unfold{
+		Ref:     syntax.Ref{Name: paper.NameCopyNet},
+		Premise: par,
+	}
+	weaker := proof.Consequence{Premise: net, To: le(output(), input())}
+	hidden := proof.ChanIntro{
+		Channels: []syntax.ChanItem{{Name: "wire"}},
+		Premise:  weaker,
+	}
+	return proof.Unfold{Ref: syntax.Ref{Name: paper.NameCopySys}, Premise: hidden}
+}
+
+// mSet is the protocol's message set as referenced in its module.
+func mSet() syntax.SetExpr { return syntax.SetName{Name: "M"} }
+
+func ackSet() syntax.SetExpr {
+	return syntax.EnumSet{Elems: []syntax.Expr{syntax.SymLit{Name: "ACK"}}}
+}
+
+func nackSet() syntax.SetExpr {
+	return syntax.EnumSet{Elems: []syntax.Expr{syntax.SymLit{Name: "NACK"}}}
+}
+
+// SenderTable1Proof is Table 1: the mutual-recursion proof that
+//
+//	sender sat f(wire) ≤ input
+//	∀x∈M.  q[x] sat f(wire) ≤ x⌢input
+//
+// following the paper's displayed steps (1)–(21) exactly; the table's
+// numbered steps are cited in comments.
+func SenderTable1Proof() proof.Proof {
+	x := assertion.Var("x")
+	senderR := le(fOf(wire()), input())                // f(wire) ≤ input
+	qS := le(fOf(wire()), cons(x, input()))            // f(wire) ≤ x⌢input
+	altR := le(fOf(cons(x, wire())), cons(x, input())) // f(x⌢wire) ≤ x⌢input
+
+	// Steps (2)-(4): (input?x:M → q[x]) sat f(wire) ≤ input.
+	senderBody := proof.InputStep{
+		Ch:    syntax.ChanRef{Name: "input"},
+		Var:   "x",
+		Dom:   mSet(),
+		Body:  syntax.Ref{Name: paper.NameQ, Sub: syntax.Var{Name: "x"}},
+		Fresh: "v",
+		R:     senderR,
+		Premise: proof.ForAllIntro{ // ∀v∈M. q[v] sat f(wire) ≤ v⌢input
+			Var: "v", Dom: mSet(),
+			Premise: proof.Hypothesis{Name: paper.NameQ, Insts: []assertion.Term{assertion.Var("v")}},
+		},
+	}
+
+	// Steps (8)-(11): y∈{ACK} branch — sender's assumption transported
+	// through f(x⌢ACK⌢wire) = x⌢f(wire).
+	ackBranch := proof.InputStep{ // step (15)
+		Ch:    syntax.ChanRef{Name: "wire"},
+		Var:   "y",
+		Dom:   ackSet(),
+		Body:  syntax.Ref{Name: paper.NameSender},
+		Fresh: "y",
+		R:     altR,
+		Premise: proof.ForAllIntro{ // step (11)
+			Var: "y", Dom: ackSet(),
+			Premise: proof.Consequence{ // step (10)
+				Premise: proof.Hypothesis{Name: paper.NameSender}, // step (1)
+				To:      le(fOf(cons(x, cons(assertion.Var("y"), wire()))), cons(x, input())),
+			},
+		},
+	}
+
+	// Steps (12)-(16): y∈{NACK} branch — q[x]'s assumption transported
+	// through f(x⌢NACK⌢wire) = f(wire).
+	nackBranch := proof.InputStep{ // step (16)
+		Ch:    syntax.ChanRef{Name: "wire"},
+		Var:   "y",
+		Dom:   nackSet(),
+		Body:  syntax.Ref{Name: paper.NameQ, Sub: syntax.Var{Name: "x"}},
+		Fresh: "y",
+		R:     altR,
+		Premise: proof.ForAllIntro{ // step (13)
+			Var: "y", Dom: nackSet(),
+			Premise: proof.Consequence{ // step (12)
+				Premise: proof.Hypothesis{Name: paper.NameQ, Insts: []assertion.Term{x}}, // step (7)
+				To:      le(fOf(cons(x, cons(assertion.Var("y"), wire()))), cons(x, input())),
+			},
+		},
+	}
+
+	// Steps (17)-(19): the alternative, then the output prefix wire!x.
+	qBody := proof.ForAllIntro{ // step (21)
+		Var: "x", Dom: mSet(),
+		Premise: proof.OutputStep{ // step (19)
+			Ch:      syntax.ChanRef{Name: "wire"},
+			Val:     syntax.Var{Name: "x"},
+			R:       qS,
+			Premise: proof.Alternative{P1: ackBranch, P2: nackBranch}, // step (17)
+		},
+	}
+
+	return proof.Recursion{
+		Defs: []proof.RecDef{
+			{
+				Name:    paper.NameSender,
+				Claim:   proof.Claim{Proc: syntax.Ref{Name: paper.NameSender}, A: senderR},
+				Premise: senderBody,
+			},
+			{
+				Name: paper.NameQ,
+				Claim: proof.Claim{
+					Quants: []proof.Quant{{Var: "x", Dom: mSet()}},
+					Proc:   syntax.Ref{Name: paper.NameQ, Sub: syntax.Var{Name: "x"}},
+					A:      qS,
+				},
+				Premise: qBody,
+			},
+		},
+		Main: 0,
+	}
+}
+
+// ReceiverProof is §2.2(2), "left as an exercise": receiver sat
+// output ≤ f(wire), by recursion on receiver's definition.
+func ReceiverProof() proof.Proof {
+	v := assertion.Var("v")
+	r := le(output(), fOf(wire()))                 // output ≤ f(wire)
+	afterMsg := le(output(), fOf(cons(v, wire()))) // output ≤ f(v⌢wire)
+
+	// ACK branch: wire!ACK → output!v → receiver.
+	ackInner := proof.Consequence{
+		Premise: proof.Hypothesis{Name: paper.NameReceiver},
+		To:      le(cons(v, output()), fOf(cons(v, cons(assertion.Sym("ACK"), wire())))),
+	}
+	ackOut := proof.OutputStep{
+		Ch:      syntax.ChanRef{Name: "output"},
+		Val:     syntax.Var{Name: "v"},
+		R:       le(output(), fOf(cons(v, cons(assertion.Sym("ACK"), wire())))),
+		Premise: ackInner,
+	}
+	ackBranch := proof.OutputStep{
+		Ch:      syntax.ChanRef{Name: "wire"},
+		Val:     syntax.SymLit{Name: "ACK"},
+		R:       afterMsg,
+		Premise: ackOut,
+	}
+
+	// NACK branch: wire!NACK → receiver.
+	nackBranch := proof.OutputStep{
+		Ch:  syntax.ChanRef{Name: "wire"},
+		Val: syntax.SymLit{Name: "NACK"},
+		R:   afterMsg,
+		Premise: proof.Consequence{
+			Premise: proof.Hypothesis{Name: paper.NameReceiver},
+			To:      le(output(), fOf(cons(v, cons(assertion.Sym("NACK"), wire())))),
+		},
+	}
+
+	alt := syntax.Alt{
+		L: syntax.Output{Ch: syntax.ChanRef{Name: "wire"}, Val: syntax.SymLit{Name: "ACK"},
+			Cont: syntax.Output{Ch: syntax.ChanRef{Name: "output"}, Val: syntax.Var{Name: "z"}, Cont: syntax.Ref{Name: paper.NameReceiver}}},
+		R: syntax.Output{Ch: syntax.ChanRef{Name: "wire"}, Val: syntax.SymLit{Name: "NACK"}, Cont: syntax.Ref{Name: paper.NameReceiver}},
+	}
+	body := proof.InputStep{
+		Ch:    syntax.ChanRef{Name: "wire"},
+		Var:   "z",
+		Dom:   mSet(),
+		Body:  alt,
+		Fresh: "v",
+		R:     r,
+		Premise: proof.ForAllIntro{
+			Var: "v", Dom: mSet(),
+			Premise: proof.Alternative{P1: ackBranch, P2: nackBranch},
+		},
+	}
+	return proof.Recursion{
+		Defs: []proof.RecDef{{
+			Name:    paper.NameReceiver,
+			Claim:   proof.Claim{Proc: syntax.Ref{Name: paper.NameReceiver}, A: r},
+			Premise: body,
+		}},
+	}
+}
+
+// ProtocolProof is §2.2(3), the six-step proof that
+// protocol sat output ≤ input:
+//
+//	(1) sender sat f(wire) ≤ input            (Table 1)
+//	(2) receiver sat output ≤ f(wire)         (the exercise)
+//	(3) (sender ‖ receiver) sat (1) & (2)     (parallelism)
+//	(4) (sender ‖ receiver) sat output ≤ input (consequence, trans ≤)
+//	(5) chan wire; … sat output ≤ input       (chan)
+//	(6) protocol sat output ≤ input           (definition unfolding)
+func ProtocolProof() proof.Proof {
+	par := proof.Parallelism{P1: SenderTable1Proof(), P2: ReceiverProof()} // (3)
+	net := proof.Unfold{Ref: syntax.Ref{Name: paper.NameProtoNet}, Premise: par}
+	weaker := proof.Consequence{Premise: net, To: le(output(), input())} // (4)
+	hidden := proof.ChanIntro{                                           // (5)
+		Channels: []syntax.ChanItem{{Name: "wire"}},
+		Premise:  weaker,
+	}
+	return proof.Unfold{Ref: syntax.Ref{Name: paper.NameProtocol}, Premise: hidden} // (6)
+}

@@ -1,0 +1,218 @@
+package proofs_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/check"
+	"cspsat/internal/paper"
+	"cspsat/internal/proof"
+	"cspsat/internal/proofs"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/value"
+)
+
+// copierChecker returns a proof checker configured for the copier module.
+func copierChecker(t *testing.T) *proof.Checker {
+	t.Helper()
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	c := proof.NewChecker(env, nil)
+	c.Validity = assertion.ValidityConfig{MaxLen: 3}
+	return c
+}
+
+// protocolChecker returns a proof checker for the protocol module, with
+// channel domains covering the data messages and the ACK/NACK signals.
+func protocolChecker(t *testing.T) *proof.Checker {
+	t.Helper()
+	env := sem.NewEnv(paper.ProtocolSystem(2), 2)
+	c := proof.NewChecker(env, nil)
+	msgs := value.Domain(value.IntRange{Lo: 0, Hi: 1})
+	wireDom := value.Union{A: msgs, B: value.NewEnum(value.Sym("ACK"), value.Sym("NACK"))}
+	c.Validity = assertion.ValidityConfig{
+		MaxLen: 3,
+		ChanDom: map[string]value.Domain{
+			"wire":   wireDom,
+			"input":  msgs,
+			"output": msgs,
+		},
+		DefaultDom: msgs,
+	}
+	return c
+}
+
+func TestStopSatExample(t *testing.T) {
+	c := copierChecker(t)
+	cl, err := c.Check(proofs.StopSatExample())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	want := proof.Claim{Proc: syntax.Stop{}, A: paper.CopierSat()}
+	if !reflect.DeepEqual(cl, want) {
+		t.Fatalf("conclusion %s, want %s", cl, want)
+	}
+}
+
+func TestCopierProof(t *testing.T) {
+	c := copierChecker(t)
+	cl, err := c.Check(proofs.CopierProof())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if cl.String() != "copier sat wire <= input" {
+		t.Fatalf("conclusion: %s", cl)
+	}
+}
+
+func TestRecopierProof(t *testing.T) {
+	c := copierChecker(t)
+	cl, err := c.Check(proofs.RecopierProof())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if cl.String() != "recopier sat output <= wire" {
+		t.Fatalf("conclusion: %s", cl)
+	}
+}
+
+func TestCopyNetworkProof(t *testing.T) {
+	c := copierChecker(t)
+	cl, err := c.Check(proofs.CopyNetworkProof())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if cl.String() != "copysys sat output <= input" {
+		t.Fatalf("conclusion: %s", cl)
+	}
+}
+
+func TestSenderTable1Proof(t *testing.T) {
+	c := protocolChecker(t)
+	cl, err := c.Check(proofs.SenderTable1Proof())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if cl.String() != "sender sat f(wire) <= input" {
+		t.Fatalf("conclusion: %s", cl)
+	}
+}
+
+func TestReceiverProof(t *testing.T) {
+	c := protocolChecker(t)
+	cl, err := c.Check(proofs.ReceiverProof())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if cl.String() != "receiver sat output <= f(wire)" {
+		t.Fatalf("conclusion: %s", cl)
+	}
+}
+
+func TestProtocolProof(t *testing.T) {
+	c := protocolChecker(t)
+	cl, err := c.Check(proofs.ProtocolProof())
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if cl.String() != "protocol sat output <= input" {
+		t.Fatalf("conclusion: %s", cl)
+	}
+}
+
+// TestProvenClaimsModelCheck cross-validates every machine-checked
+// conclusion with the model checker, the repository's analogue of the
+// paper's §3 consistency theorem.
+func TestProvenClaimsModelCheck(t *testing.T) {
+	copyEnv := sem.NewEnv(paper.CopySystem(), 2)
+	copyCk := check.New(copyEnv, nil, 7)
+	protoEnv := sem.NewEnv(paper.ProtocolSystem(2), 2)
+	protoCk := check.New(protoEnv, nil, 7)
+
+	cases := []struct {
+		name string
+		ck   *check.Checker
+		proc syntax.Proc
+		a    assertion.A
+	}{
+		{"copier", copyCk, syntax.Ref{Name: paper.NameCopier}, paper.CopierSat()},
+		{"recopier", copyCk, syntax.Ref{Name: paper.NameRecopier}, paper.RecopierSat()},
+		{"copysys", copyCk, syntax.Ref{Name: paper.NameCopySys}, paper.CopyNetSat()},
+		{"sender", protoCk, syntax.Ref{Name: paper.NameSender}, paper.SenderSat()},
+		{"receiver", protoCk, syntax.Ref{Name: paper.NameReceiver}, paper.ReceiverSat()},
+		{"protocol", protoCk, syntax.Ref{Name: paper.NameProtocol}, paper.ProtocolSat()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := tc.ck.Sat(tc.proc, tc.a)
+			if err != nil {
+				t.Fatalf("Sat: %v", err)
+			}
+			if !res.OK {
+				t.Fatalf("model checker disagrees with proof: %s", res)
+			}
+		})
+	}
+}
+
+// TestBogusProofsRejected feeds the checker rule applications with broken
+// side conditions and expects each to be refused.
+func TestBogusProofsRejected(t *testing.T) {
+	t.Run("emptiness needs R_<>", func(t *testing.T) {
+		c := copierChecker(t)
+		// #wire >= 1 is false of empty histories.
+		bad := assertion.Cmp{Op: assertion.CGe, L: assertion.Len{S: assertion.Chan("wire")}, R: assertion.Int(1)}
+		if _, err := c.Check(proof.Emptiness{R: bad}); err == nil {
+			t.Fatal("emptiness with false R_<> must be rejected")
+		}
+	})
+	t.Run("consequence needs valid implication", func(t *testing.T) {
+		c := copierChecker(t)
+		base := proof.Emptiness{R: paper.CopierSat()}
+		// wire <= input does not imply input <= wire.
+		bad := proof.Consequence{Premise: base, To: assertion.PrefixLE(assertion.Chan("input"), assertion.Chan("wire"))}
+		if _, err := c.Check(bad); err == nil {
+			t.Fatal("consequence with invalid implication must be rejected")
+		}
+	})
+	t.Run("chan must not hide mentioned channels", func(t *testing.T) {
+		c := copierChecker(t)
+		base := proof.Emptiness{R: paper.CopierSat()} // mentions wire
+		bad := proof.ChanIntro{Channels: []syntax.ChanItem{{Name: "wire"}}, Premise: base}
+		if _, err := c.Check(bad); err == nil {
+			t.Fatal("chan hiding a mentioned channel must be rejected")
+		}
+	})
+	t.Run("hypothesis must be in scope", func(t *testing.T) {
+		c := copierChecker(t)
+		if _, err := c.Check(proof.Hypothesis{Name: "copier"}); err == nil {
+			t.Fatal("free-floating hypothesis must be rejected")
+		}
+	})
+	t.Run("parallelism alphabet containment", func(t *testing.T) {
+		c := copierChecker(t)
+		// Claim about recopier's output attached to copier's side.
+		p1 := proof.Emptiness{R: assertion.PrefixLE(assertion.Chan("output"), assertion.Chan("input"))}
+		p2 := proof.Emptiness{R: paper.RecopierSat()}
+		bad := proof.Parallelism{
+			P1: p1, P2: p2,
+			AlphaL: []syntax.ChanItem{{Name: "input"}, {Name: "wire"}},
+			AlphaR: []syntax.ChanItem{{Name: "wire"}, {Name: "output"}},
+		}
+		if _, err := c.Check(bad); err == nil {
+			t.Fatal("parallelism with out-of-alphabet assertion must be rejected")
+		}
+	})
+	t.Run("recursion premise must match body", func(t *testing.T) {
+		c := copierChecker(t)
+		bad := proof.Recursion{Defs: []proof.RecDef{{
+			Name:    paper.NameCopier,
+			Claim:   proof.Claim{Proc: syntax.Ref{Name: paper.NameCopier}, A: paper.CopierSat()},
+			Premise: proof.Emptiness{R: paper.CopierSat()}, // proves STOP sat R, not body sat R
+		}}}
+		if _, err := c.Check(bad); err == nil {
+			t.Fatal("recursion with mismatched premise must be rejected")
+		}
+	})
+}

@@ -1,0 +1,250 @@
+// Package repl implements an interactive process stepper: it shows the
+// menu of communications a process currently offers, performs the one the
+// user picks, and tracks the growing trace — the hands-on way to develop
+// intuition for the paper's semantics. cmd/cspi is its terminal front end;
+// the engine is I/O-abstracted for tests.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/failures"
+	"cspsat/internal/op"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+)
+
+// REPL steps one process interactively.
+type REPL struct {
+	proc  syntax.Proc
+	env   sem.Env
+	funcs *assertion.Registry
+	// monitors are evaluated after every step, like the runtime's.
+	monitors []assertion.A
+
+	cur trace.T
+	rng *rand.Rand
+}
+
+// New builds a REPL for the process. funcs may be nil.
+func New(p syntax.Proc, env sem.Env, funcs *assertion.Registry) *REPL {
+	if funcs == nil {
+		funcs = assertion.NewRegistry()
+	}
+	return &REPL{proc: p, env: env, funcs: funcs, rng: rand.New(rand.NewSource(1))}
+}
+
+// Monitor attaches an assertion displayed (and checked) after every step.
+func (r *REPL) Monitor(a assertion.A) { r.monitors = append(r.monitors, a) }
+
+// Trace returns the trace performed so far.
+func (r *REPL) Trace() trace.T { return r.cur }
+
+// Menu returns the currently enabled visible communications, sorted.
+func (r *REPL) Menu() ([]trace.Event, error) {
+	ts, ok, err := op.VisibleEvents(op.NewState(r.proc, r.env), r.cur)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("repl: internal error: current trace no longer valid")
+	}
+	seen := map[string]bool{}
+	var evs []trace.Event
+	for _, t := range ts {
+		k := t.Ev.String()
+		if !seen[k] {
+			seen[k] = true
+			evs = append(evs, t.Ev)
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Compare(evs[j]) < 0 })
+	return evs, nil
+}
+
+// Step performs the given event if it is currently enabled.
+func (r *REPL) Step(ev trace.Event) error {
+	menu, err := r.Menu()
+	if err != nil {
+		return err
+	}
+	for _, e := range menu {
+		if e.Chan == ev.Chan && e.Msg.Equal(ev.Msg) {
+			r.cur = r.cur.Append(ev)
+			return nil
+		}
+	}
+	return fmt.Errorf("repl: %s is not enabled here", ev)
+}
+
+// Undo removes the last step.
+func (r *REPL) Undo() error {
+	if len(r.cur) == 0 {
+		return fmt.Errorf("repl: nothing to undo")
+	}
+	r.cur = r.cur[:len(r.cur)-1]
+	return nil
+}
+
+// Reset returns to the initial state.
+func (r *REPL) Reset() { r.cur = nil }
+
+// Random performs up to n random enabled steps, returning how many it took
+// (fewer when the process quiesces).
+func (r *REPL) Random(n int) (int, error) {
+	for i := 0; i < n; i++ {
+		menu, err := r.Menu()
+		if err != nil {
+			return i, err
+		}
+		if len(menu) == 0 {
+			return i, nil
+		}
+		r.cur = r.cur.Append(menu[r.rng.Intn(len(menu))])
+	}
+	return n, nil
+}
+
+// CheckMonitors evaluates the attached assertions against the current
+// history, returning one line per monitor.
+func (r *REPL) CheckMonitors() []string {
+	if len(r.monitors) == 0 {
+		return nil
+	}
+	hist := trace.Ch(r.cur)
+	ctx := assertion.NewCtx(r.env, hist, r.funcs)
+	out := make([]string, 0, len(r.monitors))
+	for _, a := range r.monitors {
+		ok, err := assertion.Eval(a, ctx)
+		switch {
+		case err != nil:
+			out = append(out, fmt.Sprintf("monitor %s: error: %v", a, err))
+		case ok:
+			out = append(out, fmt.Sprintf("monitor %s: holds", a))
+		default:
+			out = append(out, fmt.Sprintf("monitor %s: VIOLATED", a))
+		}
+	}
+	return out
+}
+
+// Acceptances returns the stable acceptance sets at the current point
+// (what the process can commit to offering), via the failures model.
+func (r *REPL) Acceptances() ([]failures.Acceptance, error) {
+	m, err := failures.Compute(r.proc, r.env, len(r.cur))
+	if err != nil {
+		return nil, err
+	}
+	accs, ok := m.Acceptances(r.cur)
+	if !ok {
+		return nil, fmt.Errorf("repl: current trace missing from failures model")
+	}
+	return accs, nil
+}
+
+// Run drives the REPL over the given streams until :quit or EOF.
+func (r *REPL) Run(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	r.printState(out)
+	for {
+		fmt.Fprint(out, "cspi> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == ":menu":
+			r.printState(out)
+		case line == ":quit" || line == ":q":
+			return nil
+		case line == ":trace":
+			fmt.Fprintln(out, r.cur)
+		case line == ":hist":
+			fmt.Fprintln(out, trace.Ch(r.cur))
+		case line == ":undo":
+			if err := r.Undo(); err != nil {
+				fmt.Fprintln(out, err)
+			} else {
+				r.printState(out)
+			}
+		case line == ":reset":
+			r.Reset()
+			r.printState(out)
+		case line == ":accept":
+			accs, err := r.Acceptances()
+			if err != nil {
+				fmt.Fprintln(out, err)
+				continue
+			}
+			if len(accs) == 0 {
+				fmt.Fprintln(out, "no stable state here (internal steps pending)")
+			}
+			for _, a := range accs {
+				fmt.Fprintf(out, "may commit to offering %s\n", a)
+			}
+		case strings.HasPrefix(line, ":random"):
+			n := 5
+			if rest := strings.TrimSpace(strings.TrimPrefix(line, ":random")); rest != "" {
+				if k, err := strconv.Atoi(rest); err == nil {
+					n = k
+				}
+			}
+			took, err := r.Random(n)
+			if err != nil {
+				fmt.Fprintln(out, err)
+				continue
+			}
+			fmt.Fprintf(out, "took %d steps\n", took)
+			r.printState(out)
+		case line == ":help":
+			fmt.Fprintln(out, "enter a number to perform that communication; commands: :menu :trace :hist :accept :random [n] :undo :reset :quit")
+		default:
+			idx, err := strconv.Atoi(line)
+			if err != nil {
+				fmt.Fprintf(out, "unknown input %q (:help for commands)\n", line)
+				continue
+			}
+			menu, err := r.Menu()
+			if err != nil {
+				return err
+			}
+			if idx < 1 || idx > len(menu) {
+				fmt.Fprintf(out, "choose 1..%d\n", len(menu))
+				continue
+			}
+			if err := r.Step(menu[idx-1]); err != nil {
+				fmt.Fprintln(out, err)
+				continue
+			}
+			r.printState(out)
+		}
+	}
+}
+
+func (r *REPL) printState(out io.Writer) {
+	fmt.Fprintf(out, "trace: %s\n", r.cur)
+	for _, line := range r.CheckMonitors() {
+		fmt.Fprintln(out, line)
+	}
+	menu, err := r.Menu()
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if len(menu) == 0 {
+		fmt.Fprintln(out, "no communication possible (STOPped or deadlocked)")
+		return
+	}
+	for i, e := range menu {
+		fmt.Fprintf(out, "  %2d) %s\n", i+1, e)
+	}
+}

@@ -1,0 +1,152 @@
+package repl_test
+
+import (
+	"strings"
+	"testing"
+
+	"cspsat/internal/paper"
+	"cspsat/internal/repl"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+	"cspsat/internal/value"
+)
+
+func newCopierREPL() *repl.REPL {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	return repl.New(syntax.Ref{Name: paper.NameCopier}, env, nil)
+}
+
+func TestMenuAndStep(t *testing.T) {
+	r := newCopierREPL()
+	menu, err := r.Menu()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(menu) != 2 { // input.0, input.1
+		t.Fatalf("initial menu = %v", menu)
+	}
+	if err := r.Step(menu[1]); err != nil {
+		t.Fatal(err)
+	}
+	menu, err = r.Menu()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(menu) != 1 || menu[0].Chan != "wire" {
+		t.Fatalf("after input, menu = %v", menu)
+	}
+	// Stepping a disabled event is refused.
+	bad := trace.Event{Chan: "output", Msg: value.Int(0)}
+	if err := r.Step(bad); err == nil {
+		t.Fatal("disabled event accepted")
+	}
+	// Undo returns to the input menu.
+	if err := r.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	menu, _ = r.Menu()
+	if len(menu) != 2 {
+		t.Fatalf("after undo, menu = %v", menu)
+	}
+	if err := r.Undo(); err == nil {
+		t.Fatal("undo at start accepted")
+	}
+}
+
+func TestRandomAndReset(t *testing.T) {
+	r := newCopierREPL()
+	took, err := r.Random(6)
+	if err != nil || took != 6 {
+		t.Fatalf("random walk: %d %v", took, err)
+	}
+	if len(r.Trace()) != 6 {
+		t.Fatalf("trace length %d", len(r.Trace()))
+	}
+	r.Reset()
+	if len(r.Trace()) != 0 {
+		t.Fatal("reset did not clear the trace")
+	}
+	// A quiescent process stops early.
+	env := sem.NewEnv(syntax.NewModule(), 2)
+	once := repl.New(syntax.Output{Ch: syntax.ChanRef{Name: "out"},
+		Val: syntax.IntLit{Val: 1}, Cont: syntax.Stop{}}, env, nil)
+	took, err = once.Random(10)
+	if err != nil || took != 1 {
+		t.Fatalf("once: took %d %v", took, err)
+	}
+}
+
+func TestMonitors(t *testing.T) {
+	r := newCopierREPL()
+	r.Monitor(paper.CopierSat())
+	if _, err := r.Random(4); err != nil {
+		t.Fatal(err)
+	}
+	lines := r.CheckMonitors()
+	if len(lines) != 1 || !strings.Contains(lines[0], "holds") {
+		t.Fatalf("monitors: %v", lines)
+	}
+}
+
+func TestAcceptances(t *testing.T) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	r := repl.New(syntax.Ref{Name: paper.NameCopySys}, env, nil)
+	accs, err := r.Acceptances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 1 || len(accs[0]) != 2 {
+		t.Fatalf("initial acceptances = %v", accs)
+	}
+}
+
+// TestRunScripted drives the full command loop over scripted input.
+func TestRunScripted(t *testing.T) {
+	r := newCopierREPL()
+	r.Monitor(paper.CopierSat())
+	script := strings.Join([]string{
+		":help",
+		"1",      // input.0
+		"1",      // wire.0
+		":trace", // <input.0, wire.0>
+		":hist",
+		":undo",
+		":accept",
+		":random 3",
+		"zzz", // unknown input
+		"99",  // out of range
+		":reset",
+		":quit",
+	}, "\n")
+	var out strings.Builder
+	if err := r.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"input.0",
+		"<input.0, wire.0>",
+		"monitor wire <= input: holds",
+		"may commit to offering",
+		"took 3 steps",
+		`unknown input "zzz"`,
+		"choose 1..",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("transcript missing %q:\n%s", want, text)
+		}
+	}
+	if len(r.Trace()) != 0 {
+		t.Error("reset before quit should leave an empty trace")
+	}
+}
+
+// TestRunEOF: end of input terminates cleanly.
+func TestRunEOF(t *testing.T) {
+	r := newCopierREPL()
+	var out strings.Builder
+	if err := r.Run(strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package sem
+
+import (
+	"errors"
+	"fmt"
+
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+)
+
+// maxAlphabetUnfolds bounds how many distinct (process, argument) instances
+// the alphabet computation will unfold before concluding that the channel
+// set is not statically determinable (e.g. a counter process q[x] that
+// recurses as q[x+1] while indexing channels by x).
+const maxAlphabetUnfolds = 512
+
+// Alphabet computes the set of channels a process (expression) may ever
+// communicate on — the paper's X and Y in (P X‖Y Q). Channel subscripts are
+// evaluated under the environment; process references are unfolded to a
+// fixed point over their instantiations. It fails when a channel subscript
+// depends on a value that is only known at communication time (an
+// input-bound variable); such compositions need explicit alphabets.
+func Alphabet(p syntax.Proc, env Env) (trace.Set, error) {
+	a := &alphaWalker{visited: map[string]bool{}}
+	out := trace.NewSet()
+	if err := a.walk(p, env, &out); err != nil {
+		return trace.Set{}, err
+	}
+	return out, nil
+}
+
+type alphaWalker struct {
+	visited map[string]bool
+}
+
+func (a *alphaWalker) walk(p syntax.Proc, env Env, acc *trace.Set) error {
+	switch t := p.(type) {
+	case syntax.Stop:
+		return nil
+	case syntax.Ref:
+		key := t.Name
+		if t.Sub != nil {
+			v, err := env.EvalExpr(t.Sub)
+			if err != nil {
+				return fmt.Errorf("sem: alphabet of %s: %w", t, err)
+			}
+			key = t.Name + "[" + v.Key() + "]"
+		}
+		if a.visited[key] {
+			return nil
+		}
+		if len(a.visited) >= maxAlphabetUnfolds {
+			return fmt.Errorf("sem: alphabet computation exceeded %d unfoldings at %s; give explicit alphabets", maxAlphabetUnfolds, t)
+		}
+		a.visited[key] = true
+		body, err := env.Instantiate(t)
+		if err != nil {
+			return err
+		}
+		return a.walk(body, env, acc)
+	case syntax.Output:
+		c, err := env.EvalChanRef(t.Ch)
+		if err != nil {
+			return fmt.Errorf("sem: alphabet: %w", err)
+		}
+		acc.Add(c)
+		return a.walk(t.Cont, env, acc)
+	case syntax.Input:
+		c, err := env.EvalChanRef(t.Ch)
+		if err != nil {
+			return fmt.Errorf("sem: alphabet: %w", err)
+		}
+		acc.Add(c)
+		dom, err := env.EvalSet(t.Dom)
+		if err != nil {
+			return err
+		}
+		if dom.IsFinite() {
+			// The continuation may depend on the bound variable (e.g. the
+			// sender's q[x]); enumerating the finite domain keeps the
+			// union of alphabets exact. The shared visited set bounds the
+			// cost to one visit per distinct process instance.
+			for _, v := range dom.Enumerate() {
+				if err := a.walk(t.Cont, env.Bind(t.Var, v), acc); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Infinite domain: walk unbound. If a channel subscript (or a
+		// process-array index) downstream genuinely depends on the bound
+		// variable the walk fails with ErrUnbound, which is exactly the
+		// case where inference is impossible and explicit alphabets are
+		// required; probing with a sample value would silently compute a
+		// wrong alphabet instead.
+		if err := a.walk(t.Cont, env, acc); err != nil {
+			if errors.Is(err, ErrUnbound) {
+				return fmt.Errorf("sem: alphabet depends on input variable %q drawn from infinite %s; give explicit alphabets: %w", t.Var, dom, err)
+			}
+			return err
+		}
+		return nil
+	case syntax.Alt:
+		if err := a.walk(t.L, env, acc); err != nil {
+			return err
+		}
+		return a.walk(t.R, env, acc)
+	case syntax.IChoice:
+		if err := a.walk(t.L, env, acc); err != nil {
+			return err
+		}
+		return a.walk(t.R, env, acc)
+	case syntax.Par:
+		// The alphabet of a composition is the union of the two sides'.
+		// Walk the sides with the same walker (sharing the visited set),
+		// so recursive definitions that contain compositions terminate;
+		// explicit alphabets are taken at face value.
+		if t.AlphaL != nil {
+			s, err := env.EvalChanItems(t.AlphaL)
+			if err != nil {
+				return err
+			}
+			for _, c := range s.Slice() {
+				acc.Add(c)
+			}
+		} else if err := a.walk(t.L, env, acc); err != nil {
+			return err
+		}
+		if t.AlphaR != nil {
+			s, err := env.EvalChanItems(t.AlphaR)
+			if err != nil {
+				return err
+			}
+			for _, c := range s.Slice() {
+				acc.Add(c)
+			}
+		} else if err := a.walk(t.R, env, acc); err != nil {
+			return err
+		}
+		return nil
+	case syntax.Hiding:
+		// Hidden channels are still "used" by the body but are not
+		// externally visible; for composition purposes the alphabet of
+		// (chan L; P) excludes L.
+		hidden, err := env.EvalChanItems(t.Channels)
+		if err != nil {
+			return err
+		}
+		inner := trace.NewSet()
+		if err := a.walk(t.Body, env, &inner); err != nil {
+			return err
+		}
+		for _, c := range inner.Minus(hidden).Slice() {
+			acc.Add(c)
+		}
+		return nil
+	default:
+		return fmt.Errorf("sem: alphabet of unknown process form %T", p)
+	}
+}
+
+// ParAlphabets returns the alphabets X and Y of a parallel composition,
+// either the explicitly declared ones or, when absent, the inferred channel
+// sets of each side.
+func ParAlphabets(p syntax.Par, env Env) (x, y trace.Set, err error) {
+	if p.AlphaL != nil {
+		x, err = env.EvalChanItems(p.AlphaL)
+	} else {
+		x, err = Alphabet(p.L, env)
+	}
+	if err != nil {
+		return trace.Set{}, trace.Set{}, err
+	}
+	if p.AlphaR != nil {
+		y, err = env.EvalChanItems(p.AlphaR)
+	} else {
+		y, err = Alphabet(p.R, env)
+	}
+	if err != nil {
+		return trace.Set{}, trace.Set{}, err
+	}
+	return x, y, nil
+}

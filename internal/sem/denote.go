@@ -1,0 +1,267 @@
+package sem
+
+import (
+	"fmt"
+
+	"cspsat/internal/closure"
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+)
+
+// Denoter computes the denotational semantics of §3.2–3.3: μ⟦P⟧ρ as a
+// prefix closure, approximated to a finite trace-length window. Recursive
+// definitions are given meaning exactly as the paper does — by the
+// increasing approximation chain a₀ = ⟦STOP⟧, a(i+1) = ⟦P⟧(ρ[aᵢ/p]) — with
+// the chain iterated until the window stabilises.
+//
+// Two approximation caveats, both documented in DESIGN.md §3:
+//
+//   - Sampling. The paper's input semantics is a union over all values of
+//     M, which this engine makes finite by enumerating the sampled domain.
+//     Because each side of a parallel composition is materialised
+//     separately, an internal communication whose value falls outside the
+//     sample (e.g. a computed partial sum exceeding the NAT width) is lost
+//     at composition time.
+//
+//   - Hiding. (chan L; P) erases L-events, so a visible window of depth d
+//     requires P explored to d plus the hidden chatter; HideSlack bounds
+//     that chatter. A network that can perform unboundedly many hidden
+//     events before a visible one (the protocol's NACK retransmission
+//     loop) is complete only for the minimal-chatter paths within the
+//     slack. Materialised trace sets grow combinatorially with window
+//     depth under parallel interleaving, so the slack is deliberately
+//     modest by default.
+//
+// The operational engine (internal/op) synchronises offers exactly and
+// τ-closes with cycle detection, so it has neither limitation; use Denoter
+// as the literal reference model and internal/op as the primary engine.
+// Their agreement on the paper's systems is checked in tests (E12).
+type Denoter struct {
+	// Depth is the trace-length window: the result contains every trace of
+	// the process of length ≤ Depth (subject to the caveats above).
+	Depth int
+	// HideSlack is the extra depth explored under each hiding operator
+	// before the hidden events are erased. The default (Depth + 2)
+	// suffices when hidden events accompany visible ones about one-to-one,
+	// which covers the paper's copier network; raise it for chattier
+	// networks at a steep cost in set size.
+	HideSlack int
+	// MaxBudget caps the total exploration budget regardless of hiding
+	// nesting. Without it, a definition that recurses through its own
+	// hiding operator would inflate its exploration budget on every chain
+	// pass and never stabilise. The default is Depth + 3×HideSlack.
+	MaxBudget int
+
+	approx    map[string]*closure.Set
+	budgets   map[string]int
+	instances map[string]instance
+	iters     int
+}
+
+type instance struct {
+	body syntax.Proc
+	env  Env
+}
+
+// NewDenoter returns a denoter with the given trace-length window.
+func NewDenoter(depth int) *Denoter {
+	return &Denoter{
+		Depth:     depth,
+		HideSlack: depth + 2,
+		MaxBudget: depth + 3*(depth+2),
+		approx:    map[string]*closure.Set{},
+		budgets:   map[string]int{},
+		instances: map[string]instance{},
+	}
+}
+
+// Iterations reports how many passes of the approximation chain the last
+// Denote call needed (the paper's index i such that aᵢ = a(i+1) on the
+// window).
+func (d *Denoter) Iterations() int { return d.iters }
+
+// Denote computes μ⟦p⟧env restricted to traces of length ≤ d.Depth.
+func (d *Denoter) Denote(p syntax.Proc, env Env) (*closure.Set, error) {
+	// Iterate the global approximation chain: every process instance
+	// reachable from p is (re)computed against the previous approximations
+	// until nothing grows. Termination: each instance's set only grows, is
+	// bounded by the finite set of traces of bounded length over the
+	// finite sampled alphabet, instance budgets only increase and are
+	// bounded by Depth plus the (finite) accumulated hiding slack, and new
+	// instances are registered finitely often for the same reason the
+	// alphabet walker terminates.
+	d.iters = 0
+	for {
+		d.iters++
+		changed := false
+		keys := make([]string, 0, len(d.instances))
+		for k := range d.instances {
+			keys = append(keys, k)
+		}
+		budgetsBefore := len(d.instances)
+		for _, k := range keys {
+			inst := d.instances[k]
+			before := d.budgets[k]
+			next, err := d.eval(inst.body, inst.env, before)
+			if err != nil {
+				return nil, err
+			}
+			next = closure.Union(next, d.approx[k])
+			if !next.Equal(d.approx[k]) {
+				d.approx[k] = next
+				changed = true
+			}
+			if d.budgets[k] != before {
+				changed = true // a deeper use site was discovered mid-pass
+			}
+		}
+		s, err := d.eval(p, env, d.Depth)
+		if err != nil {
+			return nil, err
+		}
+		if !changed && len(d.instances) == budgetsBefore {
+			return s.TruncateTo(d.Depth), nil
+		}
+		if d.iters > 10000 {
+			return nil, fmt.Errorf("sem: approximation chain did not stabilise after %d iterations", d.iters)
+		}
+	}
+}
+
+func (d *Denoter) eval(p syntax.Proc, env Env, budget int) (*closure.Set, error) {
+	if budget <= 0 {
+		return closure.Stop(), nil
+	}
+	switch t := p.(type) {
+	case syntax.Stop:
+		return closure.Stop(), nil
+	case syntax.Ref:
+		key, err := d.refKey(t, env)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := d.approx[key]; !ok {
+			// First encounter: register the instance at a₀ = ⟦STOP⟧ and
+			// let the outer chain grow it.
+			body, err := env.Instantiate(t)
+			if err != nil {
+				return nil, err
+			}
+			d.approx[key] = closure.Stop()
+			d.instances[key] = instance{body: body, env: env}
+		}
+		if budget > d.budgets[key] {
+			d.budgets[key] = budget
+		}
+		return d.approx[key].TruncateTo(budget), nil
+	case syntax.Output:
+		c, err := env.EvalChanRef(t.Ch)
+		if err != nil {
+			return nil, err
+		}
+		v, err := env.EvalExpr(t.Val)
+		if err != nil {
+			return nil, err
+		}
+		cont, err := d.eval(t.Cont, env, budget-1)
+		if err != nil {
+			return nil, err
+		}
+		return closure.Prefix(trace.Event{Chan: c, Msg: v}, cont), nil
+	case syntax.Input:
+		c, err := env.EvalChanRef(t.Ch)
+		if err != nil {
+			return nil, err
+		}
+		dom, err := env.EvalSet(t.Dom)
+		if err != nil {
+			return nil, err
+		}
+		branches := []*closure.Set{}
+		for _, v := range dom.Enumerate() {
+			cont, err := d.eval(t.Cont, env.Bind(t.Var, v), budget-1)
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, closure.Prefix(trace.Event{Chan: c, Msg: v}, cont))
+		}
+		return closure.UnionAll(branches...), nil
+	case syntax.Alt:
+		l, err := d.eval(t.L, env, budget)
+		if err != nil {
+			return nil, err
+		}
+		r, err := d.eval(t.R, env, budget)
+		if err != nil {
+			return nil, err
+		}
+		return closure.Union(l, r), nil
+	case syntax.IChoice:
+		// The trace model cannot distinguish internal from external
+		// choice — both denote the union (the §4 defect this operator
+		// exists to expose; internal/failures tells them apart).
+		l, err := d.eval(t.L, env, budget)
+		if err != nil {
+			return nil, err
+		}
+		r, err := d.eval(t.R, env, budget)
+		if err != nil {
+			return nil, err
+		}
+		return closure.Union(l, r), nil
+	case syntax.Par:
+		x, y, err := ParAlphabets(t, env)
+		if err != nil {
+			return nil, err
+		}
+		l, err := d.eval(t.L, env, budget)
+		if err != nil {
+			return nil, err
+		}
+		r, err := d.eval(t.R, env, budget)
+		if err != nil {
+			return nil, err
+		}
+		return closure.Parallel(l, r, x, y).TruncateTo(budget), nil
+	case syntax.Hiding:
+		hidden, err := env.EvalChanItems(t.Channels)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := d.eval(t.Body, env, d.capBudget(budget+d.HideSlack))
+		if err != nil {
+			return nil, err
+		}
+		return closure.Hide(inner, hidden).TruncateTo(budget), nil
+	default:
+		return nil, fmt.Errorf("sem: cannot denote process form %T", p)
+	}
+}
+
+func (d *Denoter) capBudget(b int) int {
+	maxB := d.MaxBudget
+	if maxB <= 0 {
+		maxB = d.Depth + 3*(d.Depth+2)
+	}
+	if b > maxB {
+		return maxB
+	}
+	return b
+}
+
+func (d *Denoter) refKey(r syntax.Ref, env Env) (string, error) {
+	if r.Sub == nil {
+		return r.Name, nil
+	}
+	v, err := env.EvalExpr(r.Sub)
+	if err != nil {
+		return "", fmt.Errorf("sem: denoting %s: %w", r, err)
+	}
+	return r.Name + "[" + v.Key() + "]", nil
+}
+
+// Denote is a convenience wrapper computing μ⟦p⟧env to the given depth with
+// a fresh Denoter.
+func Denote(p syntax.Proc, env Env, depth int) (*closure.Set, error) {
+	return NewDenoter(depth).Denote(p, env)
+}

@@ -1,0 +1,261 @@
+package sem_test
+
+import (
+	"testing"
+
+	"cspsat/internal/closure"
+	"cspsat/internal/op"
+	"cspsat/internal/paper"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+)
+
+// TestDenoteAgreesWithOperational is the repository's E12: the literal
+// denotational semantics (§3.3 approximation chain) and the operational
+// explorer must produce identical trace sets on the paper's systems, for
+// every process and a range of depths — the analogue of the paper's
+// consistency between its two semantics.
+func TestDenoteAgreesWithOperational(t *testing.T) {
+	systems := []struct {
+		name  string
+		env   sem.Env
+		procs []string
+	}{
+		{
+			name:  "copier",
+			env:   sem.NewEnv(paper.CopySystem(), 2),
+			procs: []string{paper.NameCopier, paper.NameRecopier, paper.NameCopyNet, paper.NameCopySys},
+		},
+		{
+			name:  "protocol",
+			env:   sem.NewEnv(paper.ProtocolSystem(2), 2),
+			procs: []string{paper.NameSender, paper.NameReceiver, paper.NameProtoNet, paper.NameProtocol},
+		},
+	}
+	for _, sys := range systems {
+		for _, proc := range sys.procs {
+			for _, depth := range []int{0, 1, 3, 5} {
+				p := syntax.Ref{Name: proc}
+				den, err := sem.Denote(p, sys.env, depth)
+				if err != nil {
+					t.Fatalf("%s/%s depth %d: denote: %v", sys.name, proc, depth, err)
+				}
+				ops, err := op.Traces(p, sys.env, depth)
+				if err != nil {
+					t.Fatalf("%s/%s depth %d: op: %v", sys.name, proc, depth, err)
+				}
+				if !den.Equal(ops) {
+					w1 := den.FirstNotIn(ops)
+					w2 := ops.FirstNotIn(den)
+					t.Errorf("%s/%s depth %d: denotational and operational sets differ\n  den-only: %v\n  op-only:  %v",
+						sys.name, proc, depth, w1, w2)
+				}
+			}
+		}
+	}
+}
+
+// TestDenoteMultiplierNeedsWideSample documents the sampling caveat: the
+// denotational engine agrees with the operational one on the multiplier
+// only when the NAT sample covers the partial sums that actually flow (the
+// operational engine is exact regardless; see the package comment).
+func TestDenoteMultiplierNeedsWideSample(t *testing.T) {
+	m := paper.MultiplierSystem([]int64{1, 1, 1})
+	// Row values sampled from {0,1}; partial sums reach 3. A sample width
+	// of 4 covers every internal value, so the two engines agree.
+	env := sem.NewEnv(m, 4)
+	p := syntax.Ref{Name: paper.NameNetwork}
+	const depth = 4
+	den, err := sem.Denote(p, env, depth)
+	if err != nil {
+		t.Fatalf("denote: %v", err)
+	}
+	ops, err := op.Traces(p, env, depth)
+	if err != nil {
+		t.Fatalf("op: %v", err)
+	}
+	if !den.Equal(ops) {
+		t.Errorf("with a covering sample the engines must agree\n den-only: %v\n op-only: %v",
+			den.FirstNotIn(ops), ops.FirstNotIn(den))
+	}
+}
+
+// TestDenoteStopChoiceIdentity is E10, the §4 defect: STOP | P = P in the
+// prefix-closure model.
+func TestDenoteStopChoiceIdentity(t *testing.T) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	copier := syntax.Ref{Name: paper.NameCopier}
+	withStop := syntax.Alt{L: syntax.Stop{}, R: copier}
+	a, err := sem.Denote(withStop, env, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sem.Denote(copier, env, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("STOP | copier differs from copier in the trace model")
+	}
+}
+
+// TestApproximationChainShape checks the §3.3 structure directly: each aᵢ
+// is a subset of a(i+1), a₀ = {<>}, and the denoter reports a plausible
+// stabilisation index.
+func TestApproximationChainShape(t *testing.T) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	copier := syntax.Ref{Name: paper.NameCopier}
+
+	var prev *closure.Set
+	for depth := 0; depth <= 6; depth++ {
+		d := sem.NewDenoter(depth)
+		s, err := d.Denote(copier, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth == 0 && s.Size() != 1 {
+			t.Errorf("a at window 0 should be {<>}, got %d traces", s.Size())
+		}
+		if prev != nil && !prev.SubsetOf(s) {
+			t.Errorf("chain not increasing at depth %d", depth)
+		}
+		if d.Iterations() < 1 {
+			t.Errorf("no iterations recorded at depth %d", depth)
+		}
+		prev = s
+	}
+}
+
+func TestDenoteHidingSlack(t *testing.T) {
+	// copysys hides the wire: each visible output needs 2 hidden wire
+	// events' worth of slack; the default HideSlack must suffice for the
+	// visible window to be complete (cross-checked against op).
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	p := syntax.Ref{Name: paper.NameCopySys}
+	den, err := sem.Denote(p, env, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := op.Traces(p, env, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !den.Equal(ops) {
+		t.Errorf("hiding slack insufficient: den-only %v, op-only %v",
+			den.FirstNotIn(ops), ops.FirstNotIn(den))
+	}
+}
+
+func TestAlphabetInference(t *testing.T) {
+	env := sem.NewEnv(paper.ProtocolSystem(2), 2)
+	a, err := sem.Alphabet(syntax.Ref{Name: paper.NameSender}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Contains("input") || !a.Contains("wire") || a.Contains("output") {
+		t.Errorf("sender alphabet = %s", a)
+	}
+	b, err := sem.Alphabet(syntax.Ref{Name: paper.NameReceiver}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains("wire") || !b.Contains("output") || b.Contains("input") {
+		t.Errorf("receiver alphabet = %s", b)
+	}
+	// Hiding removes channels from the externally visible alphabet.
+	c, err := sem.Alphabet(syntax.Ref{Name: paper.NameProtocol}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains("wire") || !c.Contains("input") || !c.Contains("output") {
+		t.Errorf("protocol alphabet = %s", c)
+	}
+}
+
+func TestAlphabetMultiplierInstances(t *testing.T) {
+	env := sem.NewEnv(paper.MultiplierSystem([]int64{5, 3, 2}), 2)
+	a, err := sem.Alphabet(syntax.Ref{Name: paper.NameMult, Sub: syntax.IntLit{Val: 2}}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"row[2]", "col[1]", "col[2]"} {
+		if !a.Contains(trace.Chan(want)) {
+			t.Errorf("mult[2] alphabet missing %s: %s", want, a)
+		}
+	}
+	if a.Contains("row[1]") || a.Contains("col[0]") {
+		t.Errorf("mult[2] alphabet too wide: %s", a)
+	}
+}
+
+func TestAlphabetDependsOnInputRejected(t *testing.T) {
+	// r = c?x:NAT -> d[x]!0 -> r : the channel depends on an input value
+	// drawn from an infinite domain; inference must fail with a helpful
+	// error rather than guess.
+	m := syntax.NewModule()
+	m.MustDefine(syntax.Def{Name: "r", Body: syntax.Input{
+		Ch: syntax.ChanRef{Name: "c"}, Var: "x", Dom: syntax.SetName{Name: "NAT"},
+		Cont: syntax.Output{
+			Ch:   syntax.ChanRef{Name: "d", Sub: syntax.Var{Name: "x"}},
+			Val:  syntax.IntLit{Val: 0},
+			Cont: syntax.Ref{Name: "r"},
+		},
+	}})
+	env := sem.NewEnv(m, 2)
+	if _, err := sem.Alphabet(syntax.Ref{Name: "r"}, env); err == nil {
+		t.Fatal("value-dependent alphabet over NAT accepted")
+	}
+	// With a finite domain the union over the domain is exact.
+	m2 := syntax.NewModule()
+	m2.MustDefine(syntax.Def{Name: "r", Body: syntax.Input{
+		Ch: syntax.ChanRef{Name: "c"}, Var: "x",
+		Dom: syntax.RangeSet{Lo: syntax.IntLit{Val: 0}, Hi: syntax.IntLit{Val: 1}},
+		Cont: syntax.Output{
+			Ch:   syntax.ChanRef{Name: "d", Sub: syntax.Var{Name: "x"}},
+			Val:  syntax.IntLit{Val: 0},
+			Cont: syntax.Ref{Name: "r"},
+		},
+	}})
+	a, err := sem.Alphabet(syntax.Ref{Name: "r"}, sem.NewEnv(m2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Contains("d[0]") || !a.Contains("d[1]") || !a.Contains("c") {
+		t.Errorf("finite-domain alphabet = %s", a)
+	}
+}
+
+// TestDenoteRecursionThroughHidingTerminates is the regression test for the
+// budget-inflation bug: a definition that recurses through its own hiding
+// operator must not grow its exploration budget on every approximation pass
+// (MaxBudget caps it), and the chain must stabilise.
+func TestDenoteRecursionThroughHidingTerminates(t *testing.T) {
+	m := syntax.NewModule()
+	// p = a!1 -> (chan h; h!0 -> p): the recursive call sits under hiding.
+	m.MustDefine(syntax.Def{Name: "p", Body: syntax.Output{
+		Ch: syntax.ChanRef{Name: "a"}, Val: syntax.IntLit{Val: 1},
+		Cont: syntax.Hiding{
+			Channels: []syntax.ChanItem{{Name: "h"}},
+			Body: syntax.Output{Ch: syntax.ChanRef{Name: "h"}, Val: syntax.IntLit{Val: 0},
+				Cont: syntax.Ref{Name: "p"}},
+		},
+	}})
+	env := sem.NewEnv(m, 2)
+	d := sem.NewDenoter(4)
+	den, err := d.Denote(syntax.Ref{Name: "p"}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := op.Traces(syntax.Ref{Name: "p"}, env, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The visible behaviour is a.1 repeated; both engines agree.
+	if !den.Equal(ops) {
+		t.Errorf("den-only %v, op-only %v", den.FirstNotIn(ops), ops.FirstNotIn(den))
+	}
+	if d.Iterations() > 100 {
+		t.Errorf("chain took %d iterations; budget cap not effective", d.Iterations())
+	}
+}

@@ -1,0 +1,307 @@
+// Package sem gives meaning to the syntax: environments and expression
+// evaluation (the paper's ρ, §3.2), alphabet computation for parallel
+// composition, and the denotational semantic function μ mapping process
+// expressions to prefix closures via the paper's §3.3 approximation chain.
+package sem
+
+import (
+	"errors"
+	"fmt"
+
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+	"cspsat/internal/value"
+)
+
+// ErrUnbound is wrapped by evaluation errors caused by an unbound variable,
+// so callers (notably alphabet inference) can distinguish "needs a binding"
+// from genuine failures.
+var ErrUnbound = errors.New("unbound variable")
+
+// Env is an environment ρ: it carries the enclosing module (process
+// definitions, named sets, constant arrays), the current variable bindings,
+// and the sample width used for the infinite NAT domain. Env is a small
+// value; Bind returns an extended copy, so environments form a persistent
+// chain and may be captured freely by continuations.
+type Env struct {
+	module   *syntax.Module
+	natWidth int
+	vars     *binding
+}
+
+type binding struct {
+	name string
+	val  value.V
+	next *binding
+}
+
+// NewEnv returns an environment over the given module. natWidth sets the
+// enumeration width of NAT (0 means value.DefaultNatSample).
+func NewEnv(m *syntax.Module, natWidth int) Env {
+	return Env{module: m, natWidth: natWidth}
+}
+
+// Module returns the enclosing module.
+func (e Env) Module() *syntax.Module { return e.module }
+
+// NatWidth returns the NAT sample width in effect.
+func (e Env) NatWidth() int {
+	if e.natWidth <= 0 {
+		return value.DefaultNatSample
+	}
+	return e.natWidth
+}
+
+// Bind returns e extended with x ↦ v (the paper's ρ[v/x]).
+func (e Env) Bind(x string, v value.V) Env {
+	e.vars = &binding{name: x, val: v, next: e.vars}
+	return e
+}
+
+// LookupVar returns the value bound to x, if any.
+func (e Env) LookupVar(x string) (value.V, bool) {
+	for b := e.vars; b != nil; b = b.next {
+		if b.name == x {
+			return b.val, true
+		}
+	}
+	return value.V{}, false
+}
+
+// Fingerprint renders the bindings of the given variables, for use in
+// visited-state keys. Variables without bindings are rendered as "?".
+func (e Env) Fingerprint(vars []string) string {
+	out := ""
+	for _, x := range vars {
+		v, ok := e.LookupVar(x)
+		if ok {
+			out += x + "=" + v.Key() + ";"
+		} else {
+			out += x + "=?;"
+		}
+	}
+	return out
+}
+
+// EvalExpr evaluates a value expression under the environment.
+func (e Env) EvalExpr(x syntax.Expr) (value.V, error) {
+	switch t := x.(type) {
+	case syntax.IntLit:
+		return value.Int(t.Val), nil
+	case syntax.SymLit:
+		return value.Sym(t.Name), nil
+	case syntax.Var:
+		v, ok := e.LookupVar(t.Name)
+		if !ok {
+			return value.V{}, fmt.Errorf("sem: %w %q", ErrUnbound, t.Name)
+		}
+		return v, nil
+	case syntax.Binary:
+		l, err := e.EvalExpr(t.L)
+		if err != nil {
+			return value.V{}, err
+		}
+		r, err := e.EvalExpr(t.R)
+		if err != nil {
+			return value.V{}, err
+		}
+		if l.Kind() != value.KindInt || r.Kind() != value.KindInt {
+			return value.V{}, fmt.Errorf("sem: arithmetic on non-integers %v %s %v", l, t.Op, r)
+		}
+		return evalArith(t.Op, l.AsInt(), r.AsInt())
+	case syntax.Index:
+		arr, ok := e.module.Arrays[t.Name]
+		if !ok {
+			return value.V{}, fmt.Errorf("sem: unknown constant array %q", t.Name)
+		}
+		iv, err := e.EvalExpr(t.Sub)
+		if err != nil {
+			return value.V{}, err
+		}
+		if iv.Kind() != value.KindInt {
+			return value.V{}, fmt.Errorf("sem: non-integer subscript %v for %s", iv, t.Name)
+		}
+		i := iv.AsInt() - arr.Lo
+		if i < 0 || i >= int64(len(arr.Elems)) {
+			return value.V{}, fmt.Errorf("sem: subscript %d out of range for %s[%d..%d]",
+				iv.AsInt(), arr.Name, arr.Lo, arr.Lo+int64(len(arr.Elems))-1)
+		}
+		return value.Int(arr.Elems[i]), nil
+	default:
+		return value.V{}, fmt.Errorf("sem: cannot evaluate expression %v", x)
+	}
+}
+
+func evalArith(op syntax.BinOp, l, r int64) (value.V, error) {
+	switch op {
+	case syntax.OpAdd:
+		return value.Int(l + r), nil
+	case syntax.OpSub:
+		return value.Int(l - r), nil
+	case syntax.OpMul:
+		return value.Int(l * r), nil
+	case syntax.OpDiv:
+		if r == 0 {
+			return value.V{}, fmt.Errorf("sem: division by zero")
+		}
+		return value.Int(l / r), nil
+	case syntax.OpMod:
+		if r == 0 {
+			return value.V{}, fmt.Errorf("sem: modulo by zero")
+		}
+		return value.Int(l % r), nil
+	default:
+		return value.V{}, fmt.Errorf("sem: unknown operator %v", op)
+	}
+}
+
+// EvalSet evaluates a set expression to a message domain.
+func (e Env) EvalSet(s syntax.SetExpr) (value.Domain, error) {
+	switch t := s.(type) {
+	case syntax.SetName:
+		if t.Name == "NAT" {
+			return value.Nat{SampleWidth: e.NatWidth()}, nil
+		}
+		inner, ok := e.module.Sets[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("sem: unknown set %q", t.Name)
+		}
+		return e.EvalSet(inner)
+	case syntax.RangeSet:
+		lo, err := e.EvalExpr(t.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := e.EvalExpr(t.Hi)
+		if err != nil {
+			return nil, err
+		}
+		if lo.Kind() != value.KindInt || hi.Kind() != value.KindInt {
+			return nil, fmt.Errorf("sem: non-integer range bounds %v..%v", lo, hi)
+		}
+		return value.IntRange{Lo: lo.AsInt(), Hi: hi.AsInt()}, nil
+	case syntax.EnumSet:
+		elems := make([]value.V, len(t.Elems))
+		for i, x := range t.Elems {
+			v, err := e.EvalExpr(x)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = v
+		}
+		return value.NewEnum(elems...), nil
+	case syntax.UnionSet:
+		a, err := e.EvalSet(t.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := e.EvalSet(t.B)
+		if err != nil {
+			return nil, err
+		}
+		return value.Union{A: a, B: b}, nil
+	default:
+		return nil, fmt.Errorf("sem: cannot evaluate set expression %v", s)
+	}
+}
+
+// EvalChanRef resolves a channel reference to a concrete channel identity,
+// evaluating the subscript if present.
+func (e Env) EvalChanRef(c syntax.ChanRef) (trace.Chan, error) {
+	if c.Sub == nil {
+		return trace.Chan(c.Name), nil
+	}
+	v, err := e.EvalExpr(c.Sub)
+	if err != nil {
+		return "", fmt.Errorf("sem: channel %s: %w", c.Name, err)
+	}
+	if v.Kind() != value.KindInt {
+		return "", fmt.Errorf("sem: non-integer channel subscript %v for %s", v, c.Name)
+	}
+	return trace.Sub(c.Name, v.AsInt()), nil
+}
+
+// EvalChanItems resolves a channel list (names, subscripted names, and
+// array ranges such as col[0..3]) to a concrete channel set.
+func (e Env) EvalChanItems(items []syntax.ChanItem) (trace.Set, error) {
+	out := trace.NewSet()
+	for _, it := range items {
+		switch {
+		case it.Lo != nil:
+			lo, err := e.EvalExpr(it.Lo)
+			if err != nil {
+				return trace.Set{}, err
+			}
+			hi, err := e.EvalExpr(it.Hi)
+			if err != nil {
+				return trace.Set{}, err
+			}
+			if lo.Kind() != value.KindInt || hi.Kind() != value.KindInt {
+				return trace.Set{}, fmt.Errorf("sem: non-integer channel range %s", it)
+			}
+			for i := lo.AsInt(); i <= hi.AsInt(); i++ {
+				out.Add(trace.Sub(it.Name, i))
+			}
+		case it.Sub != nil:
+			c, err := e.EvalChanRef(syntax.ChanRef{Name: it.Name, Sub: it.Sub})
+			if err != nil {
+				return trace.Set{}, err
+			}
+			out.Add(c)
+		default:
+			out.Add(trace.Chan(it.Name))
+		}
+	}
+	return out, nil
+}
+
+// Instantiate resolves a process reference to the body of its definition
+// with the array parameter (if any) substituted by its evaluated value, the
+// paper's §1.2(3). It returns the instantiated body.
+func (e Env) Instantiate(r syntax.Ref) (syntax.Proc, error) {
+	def, ok := e.module.Lookup(r.Name)
+	if !ok {
+		return nil, fmt.Errorf("sem: undefined process %q", r.Name)
+	}
+	if def.IsArray() {
+		if r.Sub == nil {
+			return nil, fmt.Errorf("sem: process array %q used without subscript", r.Name)
+		}
+		v, err := e.EvalExpr(r.Sub)
+		if err != nil {
+			return nil, fmt.Errorf("sem: instantiating %s: %w", r, err)
+		}
+		dom, err := e.EvalSet(def.ParamDom)
+		if err != nil {
+			return nil, err
+		}
+		if !dom.Contains(v) {
+			return nil, fmt.Errorf("sem: subscript %v of %s outside its range %s", v, r.Name, dom)
+		}
+		return syntax.SubstProc(def.Body, def.Param, valueToExpr(v)), nil
+	}
+	if r.Sub != nil {
+		return nil, fmt.Errorf("sem: process %q is not an array but used with subscript", r.Name)
+	}
+	return def.Body, nil
+}
+
+// ValueToExpr turns an evaluated value back into a literal expression, for
+// substituting communicated values into continuation terms (the paper's
+// P^x_v in rule 6).
+func ValueToExpr(v value.V) syntax.Expr { return valueToExpr(v) }
+
+// valueToExpr turns an evaluated value back into a literal expression for
+// substitution into process bodies.
+func valueToExpr(v value.V) syntax.Expr {
+	switch v.Kind() {
+	case value.KindInt:
+		return syntax.IntLit{Val: v.AsInt()}
+	case value.KindSym:
+		return syntax.SymLit{Name: v.AsSym()}
+	default:
+		// Booleans and sequences never occur as process-array indices in
+		// the language; render via symbol to keep substitution total.
+		return syntax.SymLit{Name: v.String()}
+	}
+}

@@ -1,0 +1,155 @@
+// Package syntax defines the abstract syntax of the paper's programming
+// notation (§1): value expressions, set expressions, channel references,
+// process expressions, and (possibly recursive) process definitions.
+//
+// The AST is purely structural — evaluation of expressions and the meaning
+// of processes live in internal/sem (denotational), internal/op
+// (operational) and internal/runtime (executable).
+package syntax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a value expression: constants, variables and arithmetic, as in
+// §1.1(3). Expressions never contain process or channel names.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// IntLit is an integer constant such as 3.
+type IntLit struct{ Val int64 }
+
+// SymLit is a symbolic constant such as ACK.
+type SymLit struct{ Name string }
+
+// Var is a variable reference such as x.
+type Var struct{ Name string }
+
+// BinOp enumerates arithmetic operators.
+type BinOp int
+
+// Arithmetic operators usable in expressions.
+const (
+	OpAdd BinOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	default:
+		return "?"
+	}
+}
+
+// Binary is a binary arithmetic expression such as 3*x + y.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Index is a constant-array access such as v[i], referring to a declared
+// value array (the multiplier's fixed vector v[1..3]).
+type Index struct {
+	Name string
+	Sub  Expr
+}
+
+func (IntLit) exprNode() {}
+func (SymLit) exprNode() {}
+func (Var) exprNode()    {}
+func (Binary) exprNode() {}
+func (Index) exprNode()  {}
+
+func (e IntLit) String() string { return fmt.Sprintf("%d", e.Val) }
+func (e SymLit) String() string { return e.Name }
+func (e Var) String() string    { return e.Name }
+func (e Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+func (e Index) String() string { return e.Name + "[" + e.Sub.String() + "]" }
+
+// SetExpr denotes a set of values (a message domain), as in §1.1(4).
+type SetExpr interface {
+	setNode()
+	String() string
+}
+
+// SetName refers to a named set: the builtin NAT or a module-declared set.
+type SetName struct{ Name string }
+
+// RangeSet is the finite range {lo..hi}.
+type RangeSet struct{ Lo, Hi Expr }
+
+// EnumSet is a finite enumeration such as {ACK, NACK}.
+type EnumSet struct{ Elems []Expr }
+
+// UnionSet is the union of two set expressions.
+type UnionSet struct{ A, B SetExpr }
+
+func (SetName) setNode()  {}
+func (RangeSet) setNode() {}
+func (EnumSet) setNode()  {}
+func (UnionSet) setNode() {}
+
+func (s SetName) String() string  { return s.Name }
+func (s RangeSet) String() string { return "{" + s.Lo.String() + ".." + s.Hi.String() + "}" }
+func (s EnumSet) String() string {
+	parts := make([]string, len(s.Elems))
+	for i, e := range s.Elems {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+func (s UnionSet) String() string { return s.A.String() + " ∪ " + s.B.String() }
+
+// ChanRef is a (possibly subscripted) channel reference, §1.1(10)-(11):
+// a plain channel "wire" has Sub == nil; "col[i-1]" carries the subscript
+// expression.
+type ChanRef struct {
+	Name string
+	Sub  Expr
+}
+
+func (c ChanRef) String() string {
+	if c.Sub == nil {
+		return c.Name
+	}
+	return c.Name + "[" + c.Sub.String() + "]"
+}
+
+// ChanItem is one entry of a channel list (§1.1(12)-(13)): a plain channel,
+// a subscripted channel, or a whole channel-array range such as col[0..3].
+type ChanItem struct {
+	Name string
+	// Sub, when non-nil, selects a single array element.
+	Sub Expr
+	// Lo and Hi, when non-nil, select the inclusive range Name[Lo..Hi].
+	Lo, Hi Expr
+}
+
+func (c ChanItem) String() string {
+	switch {
+	case c.Lo != nil:
+		return c.Name + "[" + c.Lo.String() + ".." + c.Hi.String() + "]"
+	case c.Sub != nil:
+		return c.Name + "[" + c.Sub.String() + "]"
+	default:
+		return c.Name
+	}
+}

@@ -1,0 +1,125 @@
+package syntax
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Def is one process equation (§1.1(7)-(8)): either a plain equation
+// "p = P" (Param empty) or a process-array equation "q[i:M] = Q" where
+// Param is the index variable and ParamDom its range.
+type Def struct {
+	Name     string
+	Param    string
+	ParamDom SetExpr
+	Body     Proc
+}
+
+// IsArray reports whether the definition is a process array.
+func (d Def) IsArray() bool { return d.Param != "" }
+
+func (d Def) String() string {
+	if !d.IsArray() {
+		return d.Name + " = " + d.Body.String()
+	}
+	return d.Name + "[" + d.Param + ":" + d.ParamDom.String() + "] = " + d.Body.String()
+}
+
+// ValueArray is a declared constant array such as the multiplier's fixed
+// vector v[1..3] = [5, 3, 2]. Indexing is Lo-based and inclusive of
+// Lo+len(Elems)-1.
+type ValueArray struct {
+	Name  string
+	Lo    int64
+	Elems []int64
+}
+
+// Module is a list of definitions (§1.1(9)) together with named sets and
+// constant arrays that the definitions may reference. A Module is the unit
+// the parser produces and every engine consumes.
+type Module struct {
+	defs   map[string]*Def
+	order  []string
+	Sets   map[string]SetExpr
+	Arrays map[string]ValueArray
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module {
+	return &Module{
+		defs:   map[string]*Def{},
+		Sets:   map[string]SetExpr{},
+		Arrays: map[string]ValueArray{},
+	}
+}
+
+// Define adds a process definition; it fails on duplicate names.
+func (m *Module) Define(d Def) error {
+	if _, dup := m.defs[d.Name]; dup {
+		return fmt.Errorf("syntax: duplicate definition of process %q", d.Name)
+	}
+	cp := d
+	m.defs[d.Name] = &cp
+	m.order = append(m.order, d.Name)
+	return nil
+}
+
+// MustDefine is Define that panics on error, for tests and examples that
+// build modules in Go code.
+func (m *Module) MustDefine(d Def) {
+	if err := m.Define(d); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the definition of the named process.
+func (m *Module) Lookup(name string) (*Def, bool) {
+	d, ok := m.defs[name]
+	return d, ok
+}
+
+// Names returns the defined process names in definition order.
+func (m *Module) Names() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// DefineSet declares a named message set (e.g. "M = {0..3}").
+func (m *Module) DefineSet(name string, s SetExpr) { m.Sets[name] = s }
+
+// DefineArray declares a constant value array (e.g. "v[1..3] = [5,3,2]").
+func (m *Module) DefineArray(a ValueArray) { m.Arrays[a.Name] = a }
+
+// String renders the module as a list of equations in the paper's notation.
+func (m *Module) String() string {
+	var sb strings.Builder
+	setNames := make([]string, 0, len(m.Sets))
+	for n := range m.Sets {
+		setNames = append(setNames, n)
+	}
+	sort.Strings(setNames)
+	for _, n := range setNames {
+		fmt.Fprintf(&sb, "set %s = %s\n", n, m.Sets[n])
+	}
+	arrNames := make([]string, 0, len(m.Arrays))
+	for n := range m.Arrays {
+		arrNames = append(arrNames, n)
+	}
+	sort.Strings(arrNames)
+	for _, n := range arrNames {
+		a := m.Arrays[n]
+		elems := make([]string, len(a.Elems))
+		for i, e := range a.Elems {
+			elems[i] = fmt.Sprintf("%d", e)
+		}
+		fmt.Fprintf(&sb, "const %s[%d..%d] = [%s]\n",
+			a.Name, a.Lo, a.Lo+int64(len(a.Elems))-1, strings.Join(elems, ", "))
+	}
+	for _, n := range m.order {
+		sb.WriteString(m.defs[n].String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

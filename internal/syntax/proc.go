@@ -1,0 +1,155 @@
+package syntax
+
+import "strings"
+
+// Proc is a process expression (§1.2). The constructors correspond one-for-
+// one with the paper's forms:
+//
+//	STOP               Stop
+//	p, q[e]            Ref
+//	(c!e → P)          Output
+//	(c?x:M → P)        Input
+//	(P | Q)            Alt
+//	(P X‖Y Q)          Par
+//	(chan L; P)        Hiding
+type Proc interface {
+	procNode()
+	String() string
+}
+
+// Stop is the process that never does anything; its only trace is <>.
+type Stop struct{}
+
+// Ref is a (possibly subscripted) process-name reference: "copier" or
+// "q[y]". References are resolved against the enclosing Module's
+// definitions, recursively in the usual sense (§1.1(7)-(8)).
+type Ref struct {
+	Name string
+	Sub  Expr // nil for a plain process name
+}
+
+// Output is (c!e → P): first communicate the value of e on channel c, then
+// behave like Cont.
+type Output struct {
+	Ch   ChanRef
+	Val  Expr
+	Cont Proc
+}
+
+// Input is (c?x:M → P): communicate on channel c any value of the set M,
+// bind it to Var, then behave like Cont.
+type Input struct {
+	Ch   ChanRef
+	Var  string
+	Dom  SetExpr
+	Cont Proc
+}
+
+// Alt is (P | Q): behave like P or like Q, the choice non-deterministic.
+// In the paper's trace model this denotes the union of behaviours; the
+// operational semantics offers both sides' communications from one state,
+// so at stable states it behaves like external choice.
+type Alt struct {
+	L, R Proc
+}
+
+// IChoice is (P |~| Q): *internal* (non-deterministic) choice, the
+// extension the paper's conclusion calls for. In the trace model it is
+// indistinguishable from Alt — that is exactly the §4 defect — but the
+// operational semantics resolves it by a silent τ-step to one side, so the
+// stable-failures model (internal/failures) tells them apart:
+// STOP |~| P may refuse everything, STOP | P may not.
+type IChoice struct {
+	L, R Proc
+}
+
+// Par is (P X‖Y Q): parallel composition with alphabets X and Y. When
+// AlphaL/AlphaR are nil the alphabets are inferred from the channel names
+// occurring in each side (the paper's default reading); explicit lists
+// override the inference for the cases the paper glosses over ("when the
+// content of the sets X and Y are clear from the context").
+type Par struct {
+	L, R           Proc
+	AlphaL, AlphaR []ChanItem
+}
+
+// Hiding is (chan L; P): communications on the channels of L become
+// internal, removed from externally recordable traces.
+type Hiding struct {
+	Channels []ChanItem
+	Body     Proc
+}
+
+func (Stop) procNode()    {}
+func (Ref) procNode()     {}
+func (Output) procNode()  {}
+func (Input) procNode()   {}
+func (Alt) procNode()     {}
+func (IChoice) procNode() {}
+func (Par) procNode()     {}
+func (Hiding) procNode()  {}
+
+func (Stop) String() string { return "STOP" }
+
+func (p Ref) String() string {
+	if p.Sub == nil {
+		return p.Name
+	}
+	return p.Name + "[" + p.Sub.String() + "]"
+}
+
+func (p Output) String() string {
+	return p.Ch.String() + "!" + p.Val.String() + " -> " + contString(p.Cont)
+}
+
+func (p Input) String() string {
+	return p.Ch.String() + "?" + p.Var + ":" + p.Dom.String() + " -> " + contString(p.Cont)
+}
+
+// contString renders a prefix continuation without extra parentheses,
+// matching the paper's right-associative arrow convention.
+func contString(p Proc) string {
+	switch p.(type) {
+	case Output, Input, Stop, Ref:
+		return p.String()
+	default:
+		return "(" + p.String() + ")"
+	}
+}
+
+func (p Alt) String() string { return "(" + p.L.String() + " | " + p.R.String() + ")" }
+
+func (p IChoice) String() string { return "(" + p.L.String() + " |~| " + p.R.String() + ")" }
+
+func (p Par) String() string {
+	if p.AlphaL == nil && p.AlphaR == nil {
+		return "(" + p.L.String() + " || " + p.R.String() + ")"
+	}
+	return "(" + p.L.String() + " [" + chanItems(p.AlphaL) + " || " + chanItems(p.AlphaR) + "] " + p.R.String() + ")"
+}
+
+func chanItems(items []ChanItem) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p Hiding) String() string {
+	return "(chan " + chanItems(p.Channels) + "; " + p.Body.String() + ")"
+}
+
+// ParAll folds a list of processes into a left-nested chain of inferred-
+// alphabet parallel compositions, as in the paper's multi-process network
+// (zeroes ‖ mult[1] ‖ mult[2] ‖ mult[3] ‖ last).
+func ParAll(ps ...Proc) Proc {
+	if len(ps) == 0 {
+		return Stop{}
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = Par{L: out, R: p}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package syntax
+
+// Substitution of value expressions for free variables. The proof rules
+// (§2.1 rules 6 and 10) and the operational unfolding of definitions both
+// rely on P[e/x]; substitution respects the single binder of the language,
+// the input command's bound variable.
+
+// SubstExpr returns e with every free occurrence of variable x replaced by r.
+func SubstExpr(e Expr, x string, r Expr) Expr {
+	switch t := e.(type) {
+	case IntLit, SymLit:
+		return e
+	case Var:
+		if t.Name == x {
+			return r
+		}
+		return e
+	case Binary:
+		return Binary{Op: t.Op, L: SubstExpr(t.L, x, r), R: SubstExpr(t.R, x, r)}
+	case Index:
+		return Index{Name: t.Name, Sub: SubstExpr(t.Sub, x, r)}
+	default:
+		return e
+	}
+}
+
+// SubstSet returns s with every free occurrence of x replaced by r.
+func SubstSet(s SetExpr, x string, r Expr) SetExpr {
+	switch t := s.(type) {
+	case SetName:
+		return s
+	case RangeSet:
+		return RangeSet{Lo: SubstExpr(t.Lo, x, r), Hi: SubstExpr(t.Hi, x, r)}
+	case EnumSet:
+		elems := make([]Expr, len(t.Elems))
+		for i, e := range t.Elems {
+			elems[i] = SubstExpr(e, x, r)
+		}
+		return EnumSet{Elems: elems}
+	case UnionSet:
+		return UnionSet{A: SubstSet(t.A, x, r), B: SubstSet(t.B, x, r)}
+	default:
+		return s
+	}
+}
+
+// SubstChanRef substitutes inside a channel subscript.
+func SubstChanRef(c ChanRef, x string, r Expr) ChanRef {
+	if c.Sub == nil {
+		return c
+	}
+	return ChanRef{Name: c.Name, Sub: SubstExpr(c.Sub, x, r)}
+}
+
+// SubstChanItem substitutes inside a channel-list item.
+func SubstChanItem(c ChanItem, x string, r Expr) ChanItem {
+	out := ChanItem{Name: c.Name}
+	if c.Sub != nil {
+		out.Sub = SubstExpr(c.Sub, x, r)
+	}
+	if c.Lo != nil {
+		out.Lo = SubstExpr(c.Lo, x, r)
+		out.Hi = SubstExpr(c.Hi, x, r)
+	}
+	return out
+}
+
+// SubstProc returns p with every free occurrence of variable x replaced by
+// r, respecting the binding structure: an input command (c?x:M → P) binds x
+// in P, and substitution does not descend past a binder of the same name.
+func SubstProc(p Proc, x string, r Expr) Proc {
+	switch t := p.(type) {
+	case Stop:
+		return p
+	case Ref:
+		if t.Sub == nil {
+			return p
+		}
+		return Ref{Name: t.Name, Sub: SubstExpr(t.Sub, x, r)}
+	case Output:
+		return Output{
+			Ch:   SubstChanRef(t.Ch, x, r),
+			Val:  SubstExpr(t.Val, x, r),
+			Cont: SubstProc(t.Cont, x, r),
+		}
+	case Input:
+		out := Input{
+			Ch:  SubstChanRef(t.Ch, x, r),
+			Var: t.Var,
+			Dom: SubstSet(t.Dom, x, r),
+		}
+		if t.Var == x {
+			out.Cont = t.Cont // x rebound: stop
+		} else {
+			out.Cont = SubstProc(t.Cont, x, r)
+		}
+		return out
+	case Alt:
+		return Alt{L: SubstProc(t.L, x, r), R: SubstProc(t.R, x, r)}
+	case IChoice:
+		return IChoice{L: SubstProc(t.L, x, r), R: SubstProc(t.R, x, r)}
+	case Par:
+		out := Par{L: SubstProc(t.L, x, r), R: SubstProc(t.R, x, r)}
+		if t.AlphaL != nil {
+			out.AlphaL = substItems(t.AlphaL, x, r)
+		}
+		if t.AlphaR != nil {
+			out.AlphaR = substItems(t.AlphaR, x, r)
+		}
+		return out
+	case Hiding:
+		return Hiding{Channels: substItems(t.Channels, x, r), Body: SubstProc(t.Body, x, r)}
+	default:
+		return p
+	}
+}
+
+func substItems(items []ChanItem, x string, r Expr) []ChanItem {
+	out := make([]ChanItem, len(items))
+	for i, it := range items {
+		out[i] = SubstChanItem(it, x, r)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package syntax
+
+// Free-variable and channel-name queries over the AST, used by the proof
+// rules' side conditions ("v is a fresh variable not free in P, R or c",
+// "p is not free in P") and by alphabet inference.
+
+// FreeVarsExpr adds the free variables of e to acc.
+func FreeVarsExpr(e Expr, acc map[string]bool) {
+	switch t := e.(type) {
+	case Var:
+		acc[t.Name] = true
+	case Binary:
+		FreeVarsExpr(t.L, acc)
+		FreeVarsExpr(t.R, acc)
+	case Index:
+		FreeVarsExpr(t.Sub, acc)
+	}
+}
+
+// FreeVarsSet adds the free variables of s to acc.
+func FreeVarsSet(s SetExpr, acc map[string]bool) {
+	switch t := s.(type) {
+	case RangeSet:
+		FreeVarsExpr(t.Lo, acc)
+		FreeVarsExpr(t.Hi, acc)
+	case EnumSet:
+		for _, e := range t.Elems {
+			FreeVarsExpr(e, acc)
+		}
+	case UnionSet:
+		FreeVarsSet(t.A, acc)
+		FreeVarsSet(t.B, acc)
+	}
+}
+
+// FreeVarsProc returns the set of variables occurring free in p.
+func FreeVarsProc(p Proc) map[string]bool {
+	acc := map[string]bool{}
+	freeVarsProc(p, acc, map[string]bool{})
+	return acc
+}
+
+func freeVarsProc(p Proc, acc, bound map[string]bool) {
+	collect := func(e Expr) {
+		tmp := map[string]bool{}
+		FreeVarsExpr(e, tmp)
+		for v := range tmp {
+			if !bound[v] {
+				acc[v] = true
+			}
+		}
+	}
+	collectSet := func(s SetExpr) {
+		tmp := map[string]bool{}
+		FreeVarsSet(s, tmp)
+		for v := range tmp {
+			if !bound[v] {
+				acc[v] = true
+			}
+		}
+	}
+	collectItems := func(items []ChanItem) {
+		for _, it := range items {
+			if it.Sub != nil {
+				collect(it.Sub)
+			}
+			if it.Lo != nil {
+				collect(it.Lo)
+				collect(it.Hi)
+			}
+		}
+	}
+	switch t := p.(type) {
+	case Stop:
+	case Ref:
+		if t.Sub != nil {
+			collect(t.Sub)
+		}
+	case Output:
+		if t.Ch.Sub != nil {
+			collect(t.Ch.Sub)
+		}
+		collect(t.Val)
+		freeVarsProc(t.Cont, acc, bound)
+	case Input:
+		if t.Ch.Sub != nil {
+			collect(t.Ch.Sub)
+		}
+		collectSet(t.Dom)
+		if bound[t.Var] {
+			freeVarsProc(t.Cont, acc, bound)
+		} else {
+			bound[t.Var] = true
+			freeVarsProc(t.Cont, acc, bound)
+			delete(bound, t.Var)
+		}
+	case Alt:
+		freeVarsProc(t.L, acc, bound)
+		freeVarsProc(t.R, acc, bound)
+	case IChoice:
+		freeVarsProc(t.L, acc, bound)
+		freeVarsProc(t.R, acc, bound)
+	case Par:
+		freeVarsProc(t.L, acc, bound)
+		freeVarsProc(t.R, acc, bound)
+		collectItems(t.AlphaL)
+		collectItems(t.AlphaR)
+	case Hiding:
+		collectItems(t.Channels)
+		freeVarsProc(t.Body, acc, bound)
+	}
+}
+
+// ProcessRefs returns the names of the processes referenced (directly) by p.
+func ProcessRefs(p Proc) map[string]bool {
+	acc := map[string]bool{}
+	var walk func(Proc)
+	walk = func(p Proc) {
+		switch t := p.(type) {
+		case Ref:
+			acc[t.Name] = true
+		case Output:
+			walk(t.Cont)
+		case Input:
+			walk(t.Cont)
+		case Alt:
+			walk(t.L)
+			walk(t.R)
+		case IChoice:
+			walk(t.L)
+			walk(t.R)
+		case Par:
+			walk(t.L)
+			walk(t.R)
+		case Hiding:
+			walk(t.Body)
+		}
+	}
+	walk(p)
+	return acc
+}
+
+// ChanNames returns the names (array names, not individual subscripted
+// channels) of the channels that occur syntactically in p, not following
+// process references. It is a purely syntactic approximation; exact
+// alphabets, which require evaluating subscripts and unfolding references,
+// live in internal/sem.
+func ChanNames(p Proc) map[string]bool {
+	acc := map[string]bool{}
+	var walk func(Proc)
+	walk = func(p Proc) {
+		switch t := p.(type) {
+		case Output:
+			acc[t.Ch.Name] = true
+			walk(t.Cont)
+		case Input:
+			acc[t.Ch.Name] = true
+			walk(t.Cont)
+		case Alt:
+			walk(t.L)
+			walk(t.R)
+		case IChoice:
+			walk(t.L)
+			walk(t.R)
+		case Par:
+			walk(t.L)
+			walk(t.R)
+		case Hiding:
+			for _, it := range t.Channels {
+				acc[it.Name] = true
+			}
+			walk(t.Body)
+		}
+	}
+	walk(p)
+	return acc
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a finite set of channel identities, used for process alphabets and
+// hiding lists (the paper's X, Y, L, C). The zero Set is empty and usable.
+type Set struct {
+	m map[Chan]bool
+}
+
+// NewSet returns a set containing the given channels.
+func NewSet(cs ...Chan) Set {
+	s := Set{m: make(map[Chan]bool, len(cs))}
+	for _, c := range cs {
+		s.m[c] = true
+	}
+	return s
+}
+
+// Add inserts c, allocating the underlying map on first use.
+func (s *Set) Add(c Chan) {
+	if s.m == nil {
+		s.m = make(map[Chan]bool)
+	}
+	s.m[c] = true
+}
+
+// Contains reports membership.
+func (s Set) Contains(c Chan) bool { return s.m[c] }
+
+// Len returns the number of channels in the set.
+func (s Set) Len() int { return len(s.m) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	out := NewSet()
+	for c := range s.m {
+		out.Add(c)
+	}
+	for c := range t.m {
+		out.Add(c)
+	}
+	return out
+}
+
+// Intersect returns s ∩ t (the channels connecting two parallel processes).
+func (s Set) Intersect(t Set) Set {
+	out := NewSet()
+	for c := range s.m {
+		if t.m[c] {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// Minus returns s − t (the channels private to one side of a parallel
+// composition).
+func (s Set) Minus(t Set) Set {
+	out := NewSet()
+	for c := range s.m {
+		if !t.m[c] {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s Set) Equal(t Set) bool {
+	if len(s.m) != len(t.m) {
+		return false
+	}
+	for c := range s.m {
+		if !t.m[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports s ⊆ t.
+func (s Set) SubsetOf(t Set) bool {
+	for c := range s.m {
+		if !t.m[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice returns the channels in sorted order.
+func (s Set) Slice() []Chan {
+	out := make([]Chan, 0, len(s.m))
+	for c := range s.m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the set in the paper's brace notation, e.g. "{input, wire}".
+func (s Set) String() string {
+	cs := s.Slice()
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = string(c)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	out := NewSet()
+	for c := range s.m {
+		out.Add(c)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package trace_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cspsat/internal/trace"
+	"cspsat/internal/value"
+)
+
+func ev(c string, m int64) trace.Event {
+	return trace.Event{Chan: trace.Chan(c), Msg: value.Int(m)}
+}
+
+func tr(events ...trace.Event) trace.T { return trace.T(events) }
+
+func TestSubAndArrayName(t *testing.T) {
+	c := trace.Sub("col", 2)
+	if c != "col[2]" {
+		t.Fatalf("Sub = %q", c)
+	}
+	name, sub, ok := c.ArrayName()
+	if !ok || name != "col" || sub != 2 {
+		t.Fatalf("ArrayName = %q %d %v", name, sub, ok)
+	}
+	name, _, ok = trace.Chan("wire").ArrayName()
+	if ok || name != "wire" {
+		t.Fatalf("plain ArrayName = %q %v", name, ok)
+	}
+	if _, _, ok := trace.Chan("weird[x]").ArrayName(); ok {
+		t.Fatal("non-numeric subscript accepted")
+	}
+}
+
+func TestTraceStringAndEventString(t *testing.T) {
+	if got := tr().String(); got != "<>" {
+		t.Errorf("empty trace = %q", got)
+	}
+	got := tr(ev("input", 27), ev("wire", 27)).String()
+	if got != "<input.27, wire.27>" {
+		t.Errorf("trace = %q", got)
+	}
+}
+
+func TestAppendDoesNotAlias(t *testing.T) {
+	base := tr(ev("a", 1))
+	t1 := base.Append(ev("b", 2))
+	t2 := base.Append(ev("c", 3))
+	if t1[1].Chan != "b" || t2[1].Chan != "c" {
+		t.Fatalf("Append aliased backing arrays: %s %s", t1, t2)
+	}
+	if len(base) != 1 {
+		t.Fatalf("base mutated: %s", base)
+	}
+}
+
+func TestPrefixOrder(t *testing.T) {
+	s := tr(ev("a", 1), ev("b", 2))
+	long := tr(ev("a", 1), ev("b", 2), ev("c", 3))
+	if !tr().IsPrefixOf(s) || !s.IsPrefixOf(s) || !s.IsPrefixOf(long) {
+		t.Error("expected prefixes rejected")
+	}
+	if long.IsPrefixOf(s) {
+		t.Error("longer accepted as prefix of shorter")
+	}
+	diff := tr(ev("a", 1), ev("b", 9))
+	if diff.IsPrefixOf(long) {
+		t.Error("mismatching trace accepted as prefix")
+	}
+}
+
+func TestPrefixes(t *testing.T) {
+	s := tr(ev("a", 1), ev("b", 2))
+	ps := s.Prefixes()
+	if len(ps) != 3 {
+		t.Fatalf("Prefixes count = %d", len(ps))
+	}
+	for i, p := range ps {
+		if len(p) != i || !p.IsPrefixOf(s) {
+			t.Errorf("prefix %d = %s", i, p)
+		}
+	}
+}
+
+func TestHideAndProject(t *testing.T) {
+	s := tr(ev("input", 1), ev("wire", 1), ev("output", 1), ev("wire", 2))
+	hidden := s.Hide(trace.NewSet("wire"))
+	if hidden.String() != "<input.1, output.1>" {
+		t.Errorf("Hide = %s", hidden)
+	}
+	proj := s.ProjectOnto(trace.NewSet("wire"))
+	if proj.String() != "<wire.1, wire.2>" {
+		t.Errorf("ProjectOnto = %s", proj)
+	}
+	// Hide and ProjectOnto partition the trace's events.
+	if len(hidden)+len(proj) != len(s) {
+		t.Error("hide/project do not partition")
+	}
+}
+
+func TestChHistories(t *testing.T) {
+	// The paper's §3.3 worked example.
+	s := tr(ev("input", 27), ev("wire", 27), ev("input", 0), ev("wire", 0), ev("input", 3))
+	h := trace.Ch(s)
+	wantIn := []value.V{value.Int(27), value.Int(0), value.Int(3)}
+	if !reflect.DeepEqual(h.Get("input"), wantIn) {
+		t.Errorf("ch(s)(input) = %v", h.Get("input"))
+	}
+	wantWire := []value.V{value.Int(27), value.Int(0)}
+	if !reflect.DeepEqual(h.Get("wire"), wantWire) {
+		t.Errorf("ch(s)(wire) = %v", h.Get("wire"))
+	}
+	if h.Len("nonesuch") != 0 {
+		t.Error("unused channel has non-empty history")
+	}
+	// 1-based indexing as in the paper.
+	v, ok := h.At("input", 1)
+	if !ok || v.AsInt() != 27 {
+		t.Errorf("input_1 = %v %v", v, ok)
+	}
+	if _, ok := h.At("input", 0); ok {
+		t.Error("At(0) accepted")
+	}
+	if _, ok := h.At("input", 4); ok {
+		t.Error("At past end accepted")
+	}
+}
+
+func TestHistoryStringDeterministic(t *testing.T) {
+	h := trace.Ch(tr(ev("b", 2), ev("a", 1)))
+	if got := h.String(); got != "a=<1>, b=<2>" {
+		t.Errorf("History.String = %q", got)
+	}
+	if got := (trace.History{}).String(); got != "(all channels empty)" {
+		t.Errorf("empty history = %q", got)
+	}
+}
+
+func TestHistoryClone(t *testing.T) {
+	h := trace.Ch(tr(ev("a", 1)))
+	c := h.Clone()
+	h["a"][0] = value.Int(9)
+	if c.Get("a")[0].AsInt() != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	x := trace.NewSet("input", "wire")
+	y := trace.NewSet("wire", "output")
+	if got := x.Intersect(y); got.Len() != 1 || !got.Contains("wire") {
+		t.Errorf("Intersect = %s", got)
+	}
+	if got := x.Union(y); got.Len() != 3 {
+		t.Errorf("Union = %s", got)
+	}
+	if got := x.Minus(y); got.Len() != 1 || !got.Contains("input") {
+		t.Errorf("Minus = %s", got)
+	}
+	if !x.Intersect(y).SubsetOf(x) {
+		t.Error("intersection not subset")
+	}
+	if x.Equal(y) || !x.Equal(x.Clone()) {
+		t.Error("Equal wrong")
+	}
+	if got := y.String(); got != "{output, wire}" {
+		t.Errorf("String = %q", got)
+	}
+	var zero trace.Set
+	if zero.Contains("wire") || zero.Len() != 0 {
+		t.Error("zero Set not empty")
+	}
+	zero.Add("wire")
+	if !zero.Contains("wire") {
+		t.Error("Add on zero Set failed")
+	}
+}
+
+// Property tests for the §3.4 lemma (d) ingredient:
+// ch(s)(c) = ch(s\C)(c) whenever c ∉ C.
+
+type qtrace struct{ T trace.T }
+
+// Generate implements quick.Generator: random traces over 3 channels and
+// small ints.
+func (qtrace) Generate(r *rand.Rand, _ int) reflect.Value {
+	chans := []string{"a", "b", "c"}
+	n := r.Intn(8)
+	out := make(trace.T, n)
+	for i := range out {
+		out[i] = ev(chans[r.Intn(len(chans))], int64(r.Intn(4)))
+	}
+	return reflect.ValueOf(qtrace{T: out})
+}
+
+func TestChHideLemma(t *testing.T) {
+	hideB := trace.NewSet("b")
+	if err := quick.Check(func(q qtrace) bool {
+		full := trace.Ch(q.T)
+		hidden := trace.Ch(q.T.Hide(hideB))
+		// Unhidden channels keep their histories...
+		if !reflect.DeepEqual(full.Get("a"), hidden.Get("a")) {
+			return false
+		}
+		if !reflect.DeepEqual(full.Get("c"), hidden.Get("c")) {
+			return false
+		}
+		// ...and the hidden channel's history vanishes.
+		return hidden.Len("b") == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectHidePartition(t *testing.T) {
+	set := trace.NewSet("a", "c")
+	if err := quick.Check(func(q qtrace) bool {
+		return len(q.T.ProjectOnto(set))+len(q.T.Hide(set)) == len(q.T)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceCompareIsTotalOrder(t *testing.T) {
+	if err := quick.Check(func(a, b, c qtrace) bool {
+		if a.T.Compare(b.T) != -b.T.Compare(a.T) {
+			return false
+		}
+		if (a.T.Compare(b.T) == 0) != a.T.Equal(b.T) {
+			return false
+		}
+		if a.T.Compare(b.T) <= 0 && b.T.Compare(c.T) <= 0 && a.T.Compare(c.T) > 0 {
+			return false
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyAgreesWithEqual(t *testing.T) {
+	if err := quick.Check(func(a, b qtrace) bool {
+		return (a.T.Key() == b.T.Key()) == a.T.Equal(b.T)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPrefixSeq(t *testing.T) {
+	a := []value.V{value.Int(1), value.Int(2)}
+	b := []value.V{value.Int(1), value.Int(2), value.Int(3)}
+	if !trace.IsPrefixSeq(nil, a) || !trace.IsPrefixSeq(a, a) || !trace.IsPrefixSeq(a, b) {
+		t.Error("expected prefixes rejected")
+	}
+	if trace.IsPrefixSeq(b, a) || trace.IsPrefixSeq([]value.V{value.Int(2)}, a) {
+		t.Error("non-prefixes accepted")
+	}
+}

@@ -1,0 +1,257 @@
+package value_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cspsat/internal/value"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := value.Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := value.Sym("ACK").AsSym(); got != "ACK" {
+		t.Errorf("Sym(ACK).AsSym() = %q", got)
+	}
+	if !value.Bool(true).AsBool() {
+		t.Error("Bool(true).AsBool() = false")
+	}
+	s := value.Seq(value.Int(1), value.Int(2))
+	if got := len(s.AsSeq()); got != 2 {
+		t.Errorf("Seq len = %d", got)
+	}
+	var zero value.V
+	if !zero.IsZero() {
+		t.Error("zero value not IsZero")
+	}
+	if value.Int(0).IsZero() {
+		t.Error("Int(0) wrongly IsZero")
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"AsInt on sym", func() { value.Sym("x").AsInt() }},
+		{"AsSym on int", func() { value.Int(1).AsSym() }},
+		{"AsBool on int", func() { value.Int(1).AsBool() }},
+		{"AsSeq on int", func() { value.Int(1).AsSeq() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestSeqCopiesItsArguments(t *testing.T) {
+	backing := []value.V{value.Int(1)}
+	s := value.Seq(backing...)
+	backing[0] = value.Int(99)
+	if got := s.AsSeq()[0].AsInt(); got != 1 {
+		t.Errorf("Seq aliased caller slice: got %d", got)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// Ordered sample covering all kinds and payload orderings.
+	ordered := []value.V{
+		value.Int(-3), value.Int(0), value.Int(7),
+		value.Sym("ACK"), value.Sym("NACK"),
+		value.Bool(false), value.Bool(true),
+		value.Seq(), value.Seq(value.Int(1)), value.Seq(value.Int(1), value.Int(0)), value.Seq(value.Int(2)),
+	}
+	for i, a := range ordered {
+		for j, b := range ordered {
+			got := a.Compare(b)
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    value.V
+		want string
+	}{
+		{value.Int(3), "3"},
+		{value.Sym("ACK"), "ACK"},
+		{value.Bool(true), "true"},
+		{value.Seq(), "<>"},
+		{value.Seq(value.Int(1), value.Sym("ACK")), "<1,ACK>"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String(%#v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestKeyDisambiguatesKinds(t *testing.T) {
+	// Sym("3") and Int(3) render identically but must key differently.
+	if value.Sym("3").Key() == value.Int(3).Key() {
+		t.Error("Key collision between Sym(3) and Int(3)")
+	}
+	if value.Seq(value.Int(1), value.Int(2)).Key() == value.Seq(value.Int(12)).Key() {
+		t.Error("Key collision between <1,2> and <12>")
+	}
+}
+
+// randomV generates a random value for property tests.
+func randomV(r *rand.Rand, depth int) value.V {
+	switch k := r.Intn(4); {
+	case k == 0:
+		return value.Int(int64(r.Intn(20) - 10))
+	case k == 1:
+		return value.Sym([]string{"ACK", "NACK", "GO"}[r.Intn(3)])
+	case k == 2:
+		return value.Bool(r.Intn(2) == 0)
+	default:
+		if depth <= 0 {
+			return value.Int(int64(r.Intn(5)))
+		}
+		n := r.Intn(3)
+		elems := make([]value.V, n)
+		for i := range elems {
+			elems[i] = randomV(r, depth-1)
+		}
+		return value.Seq(elems...)
+	}
+}
+
+type qv struct{ V value.V }
+
+// Generate implements quick.Generator.
+func (qv) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(qv{V: randomV(r, 2)})
+}
+
+func TestCompareProperties(t *testing.T) {
+	// Reflexivity & antisymmetry & Equal-consistency.
+	if err := quick.Check(func(a, b qv) bool {
+		ab, ba := a.V.Compare(b.V), b.V.Compare(a.V)
+		if ab != -ba {
+			return false
+		}
+		if (ab == 0) != a.V.Equal(b.V) {
+			return false
+		}
+		return a.V.Compare(a.V) == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Transitivity.
+	if err := quick.Check(func(a, b, c qv) bool {
+		x, y, z := a.V, b.V, c.V
+		if x.Compare(y) <= 0 && y.Compare(z) <= 0 {
+			return x.Compare(z) <= 0
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Key agrees with Equal.
+	if err := quick.Check(func(a, b qv) bool {
+		return (a.V.Key() == b.V.Key()) == a.V.Equal(b.V)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := value.IntRange{Lo: 2, Hi: 5}
+	if !r.Contains(value.Int(2)) || !r.Contains(value.Int(5)) {
+		t.Error("range endpoints not contained")
+	}
+	if r.Contains(value.Int(1)) || r.Contains(value.Int(6)) || r.Contains(value.Sym("2")) {
+		t.Error("range contains non-members")
+	}
+	got := r.Enumerate()
+	if len(got) != 4 || got[0].AsInt() != 2 || got[3].AsInt() != 5 {
+		t.Errorf("Enumerate = %v", got)
+	}
+	if !r.IsFinite() {
+		t.Error("IntRange not finite")
+	}
+	empty := value.IntRange{Lo: 3, Hi: 2}
+	if len(empty.Enumerate()) != 0 {
+		t.Error("empty range enumerates elements")
+	}
+}
+
+func TestEnumDedupAndSort(t *testing.T) {
+	e := value.NewEnum(value.Sym("NACK"), value.Sym("ACK"), value.Sym("ACK"))
+	got := e.Enumerate()
+	if len(got) != 2 {
+		t.Fatalf("Enumerate = %v, want 2 elements", got)
+	}
+	if got[0].AsSym() != "ACK" || got[1].AsSym() != "NACK" {
+		t.Errorf("not sorted: %v", got)
+	}
+	if !e.Contains(value.Sym("NACK")) || e.Contains(value.Sym("GO")) {
+		t.Error("membership wrong")
+	}
+	if e.String() != "{ACK,NACK}" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestNatSampling(t *testing.T) {
+	n := value.Nat{}
+	if got := len(n.Enumerate()); got != value.DefaultNatSample {
+		t.Errorf("default sample = %d", got)
+	}
+	wide := value.Nat{SampleWidth: 7}
+	if got := len(wide.Enumerate()); got != 7 {
+		t.Errorf("sample = %d, want 7", got)
+	}
+	// Membership is unbounded regardless of the sample.
+	if !n.Contains(value.Int(1 << 40)) {
+		t.Error("NAT rejects a large natural")
+	}
+	if n.Contains(value.Int(-1)) {
+		t.Error("NAT contains a negative")
+	}
+	if n.IsFinite() {
+		t.Error("NAT claims to be finite")
+	}
+}
+
+func TestUnionDomain(t *testing.T) {
+	u := value.Union{
+		A: value.IntRange{Lo: 0, Hi: 1},
+		B: value.NewEnum(value.Sym("ACK"), value.Int(1)),
+	}
+	if !u.Contains(value.Int(0)) || !u.Contains(value.Sym("ACK")) {
+		t.Error("union membership wrong")
+	}
+	got := u.Enumerate()
+	if len(got) != 3 { // 0, 1 (deduped), ACK
+		t.Errorf("Enumerate = %v, want 3 distinct", got)
+	}
+	if !u.IsFinite() {
+		t.Error("finite union claims infinite")
+	}
+	inf := value.Union{A: value.Nat{}, B: value.IntRange{Lo: 0, Hi: 1}}
+	if inf.IsFinite() {
+		t.Error("union with NAT claims finite")
+	}
+}
