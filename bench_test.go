@@ -216,6 +216,65 @@ func BenchmarkE12FixpointDenotation(b *testing.B) {
 	}
 }
 
+// --- E11/E12 cold-cache ablation: the same workloads with the closure
+// interning and memo tables emptied every iteration, isolating how much of
+// the steady-state numbers above the caches contribute. Custom metrics
+// report the memo hit rate of the warm runs.
+
+func BenchmarkE11ClosureOpsCold(b *testing.B) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	x := trace.NewSet("input", "wire")
+	y := trace.NewSet("wire", "output")
+	hidden := trace.NewSet("wire")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		closure.ResetCaches()
+		// Rebuild the operands too: their interned nodes died with the
+		// caches, so reusing them would measure a half-warm hybrid.
+		left, err := op.Traces(syntax.Ref{Name: paper.NameCopier}, env, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		right, err := op.Traces(syntax.Ref{Name: paper.NameRecopier}, env, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		par := closure.Parallel(left, right, x, y)
+		hid := closure.Hide(par, hidden)
+		uni := closure.Union(left, right)
+		if hid.Size() == 0 || uni.Size() == 0 {
+			b.Fatal("degenerate closure result")
+		}
+	}
+	reportCacheStats(b)
+}
+
+func BenchmarkE12FixpointDenotationCold(b *testing.B) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	p := syntax.Ref{Name: paper.NameCopySys}
+	for i := 0; i < b.N; i++ {
+		closure.ResetCaches()
+		d := sem.NewDenoter(5)
+		s, err := d.Denote(p, env)
+		if err != nil || s.Size() == 0 {
+			b.Fatalf("%v %v", s, err)
+		}
+	}
+	reportCacheStats(b)
+}
+
+// reportCacheStats attaches the closure-cache state as custom benchmark
+// metrics (benchstat-friendly).
+func reportCacheStats(b *testing.B) {
+	s := closure.Stats()
+	if total := s.MemoHits + s.MemoMisses; total > 0 {
+		b.ReportMetric(float64(s.MemoHits)/float64(total), "memo-hit-rate")
+	}
+	b.ReportMetric(float64(s.InternedNodes), "interned-nodes")
+}
+
 // --- E13: ch(s) and the substitution lemmas' engine ---
 
 func BenchmarkE13ChExtraction(b *testing.B) {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"cspsat/internal/assertion"
@@ -38,6 +39,7 @@ type experiment struct {
 func main() {
 	depth := flag.Int("depth", 7, "trace-length bound for the model checks")
 	only := flag.String("only", "", "run a single experiment, e.g. E7")
+	stats := flag.Bool("stats", false, "print closure interning/memo cache statistics after the run")
 	flag.Parse()
 
 	failed := false
@@ -53,8 +55,36 @@ func main() {
 		}
 		fmt.Printf("%-4s ok    %-52s %s\n", e.id, e.claim, outcome)
 	}
+	if *stats {
+		printCacheStats()
+	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// printCacheStats reports the closure layer's hash-consing effectiveness
+// over the whole run: how many canonical trie nodes the experiments
+// needed, and how often the operator memo tables answered instead of
+// recomputing.
+func printCacheStats() {
+	s := closure.Stats()
+	fmt.Printf("\nclosure caches: %d interned nodes (%d hits / %d misses, %d evicted in %d rotations)\n",
+		s.InternedNodes, s.InternHits, s.InternMisses, s.Evicted, s.Rotations)
+	total := s.MemoHits + s.MemoMisses
+	rate := 0.0
+	if total > 0 {
+		rate = float64(s.MemoHits) / float64(total) * 100
+	}
+	fmt.Printf("operator memos: %d hits / %d misses (%.1f%% hit rate)\n", s.MemoHits, s.MemoMisses, rate)
+	ops := make([]string, 0, len(s.Ops))
+	for name := range s.Ops {
+		ops = append(ops, name)
+	}
+	sort.Strings(ops)
+	for _, name := range ops {
+		o := s.Ops[name]
+		fmt.Printf("  %-10s %8d hits %8d misses\n", name, o.Hits, o.Misses)
 	}
 }
 

@@ -1,0 +1,198 @@
+package assertion_test
+
+import (
+	"testing"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+	"cspsat/internal/value"
+)
+
+// FuzzEval drives the assertion evaluator with structurally generated
+// formulas over structurally generated channel histories, both decoded
+// from the fuzzer's byte stream. The evaluator sits on the proof-checking
+// path (internal/proofs, runtime monitors), so its contract is strict:
+//
+//   - Eval never panics, whatever the formula shape — it reports
+//     ill-formed terms (unbound variables, non-integer indices, …) as
+//     errors, never by crashing;
+//   - Eval is deterministic: the same formula over the same history
+//     yields the same (value, error) outcome;
+//   - negation is involutive and classical on the error-free fragment:
+//     Eval(¬A) = ¬Eval(A), and De Morgan relates ∧/∨.
+//
+// The decoder is total (every byte string decodes to some formula), so
+// the fuzzer explores the AST space freely rather than fighting a parser.
+func FuzzEval(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08})
+	f.Add([]byte("len(tr) >= 0 over some history bytes"))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0x10, 0x20})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		d := &decoder{data: data}
+		hist := d.history()
+		a := d.assertion(3)
+
+		env := sem.NewEnv(syntax.NewModule(), 2)
+		ctx := assertion.NewCtx(env, hist, assertion.NewRegistry())
+
+		v1, err1 := assertion.Eval(a, ctx) // must not panic
+		v2, err2 := assertion.Eval(a, ctx)
+		if v1 != v2 || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Eval not deterministic on %s: (%v,%v) then (%v,%v)", a, v1, err1, v2, err2)
+		}
+
+		nv, nerr := assertion.Eval(assertion.Not{Body: a}, ctx)
+		if err1 == nil {
+			if nerr != nil {
+				t.Fatalf("A evaluates but ¬A errors (%v) on %s", nerr, a)
+			}
+			if nv != !v1 {
+				t.Fatalf("Eval(¬A) = %v but Eval(A) = %v on %s", nv, v1, a)
+			}
+		}
+
+		// De Morgan on the error-free fragment: both operands must
+		// individually evaluate, since ∧/∨ short-circuit past errors.
+		b := d.assertion(2)
+		_, errB := assertion.Eval(b, ctx)
+		if err1 == nil && errB == nil {
+			lhs, errL := assertion.Eval(assertion.Not{Body: assertion.And{L: a, R: b}}, ctx)
+			rhs, errR := assertion.Eval(assertion.Or{L: assertion.Not{Body: a}, R: assertion.Not{Body: b}}, ctx)
+			if errL != nil || errR != nil {
+				t.Fatalf("De Morgan sides errored (%v, %v) on error-free operands %s, %s", errL, errR, a, b)
+			}
+			if lhs != rhs {
+				t.Fatalf("De Morgan violated: ¬(A∧B)=%v, ¬A∨¬B=%v on %s, %s", lhs, rhs, a, b)
+			}
+		}
+	})
+}
+
+// decoder turns the fuzzer's byte stream into histories and formulas.
+// Exhausted input yields zeros, so decoding always terminates with leaves.
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) byte() byte {
+	if d.pos >= len(d.data) {
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+var fuzzChans = []string{"a", "b", "c"}
+
+// history decodes a visible trace over the fuzz channels and converts it
+// to per-channel histories exactly as the runtime does.
+func (d *decoder) history() trace.History {
+	var tr trace.T
+	n := int(d.byte() % 8)
+	for i := 0; i < n; i++ {
+		c := fuzzChans[int(d.byte())%len(fuzzChans)]
+		v := int64(d.byte() % 4)
+		tr = tr.Append(trace.Event{Chan: trace.Chan(c), Msg: value.Int(v)})
+	}
+	return trace.Ch(tr)
+}
+
+// term decodes an assertion term. Unbound variables and shape errors are
+// deliberately reachable — the evaluator must reject them gracefully.
+func (d *decoder) term(depth int) assertion.Term {
+	if depth <= 0 {
+		switch d.byte() % 3 {
+		case 0:
+			return assertion.Lit{Val: value.Int(int64(d.byte() % 5))}
+		case 1:
+			return assertion.Chan(fuzzChans[int(d.byte())%len(fuzzChans)])
+		default:
+			return assertion.Var([]string{"i", "j", "zombie"}[int(d.byte())%3])
+		}
+	}
+	switch d.byte() % 10 {
+	case 0:
+		return assertion.Lit{Val: value.Int(int64(d.byte()%9) - 4)}
+	case 1:
+		return assertion.Chan(fuzzChans[int(d.byte())%len(fuzzChans)])
+	case 2:
+		return assertion.Var([]string{"i", "j", "zombie"}[int(d.byte())%3])
+	case 3:
+		return assertion.Len{S: d.term(depth - 1)}
+	case 4:
+		return assertion.At{S: d.term(depth - 1), Idx: d.term(depth - 1)}
+	case 5:
+		return assertion.Cat{L: d.term(depth - 1), R: d.term(depth - 1)}
+	case 6:
+		return assertion.Cons{Head: d.term(depth - 1), Tail: d.term(depth - 1)}
+	case 7:
+		elems := make([]assertion.Term, d.byte()%3)
+		for i := range elems {
+			elems[i] = d.term(depth - 1)
+		}
+		return assertion.SeqLit{Elems: elems}
+	case 8:
+		op := assertion.ArithOp(int(d.byte())%5) + assertion.AAdd
+		return assertion.Arith{Op: op, L: d.term(depth - 1), R: d.term(depth - 1)}
+	default:
+		return assertion.Sum{
+			Var:  "j",
+			Lo:   assertion.Lit{Val: value.Int(int64(d.byte() % 3))},
+			Hi:   assertion.Lit{Val: value.Int(int64(d.byte() % 4))},
+			Body: d.term(depth - 1),
+		}
+	}
+}
+
+// assertion decodes a formula of bounded depth.
+func (d *decoder) assertion(depth int) assertion.A {
+	if depth <= 0 {
+		if d.byte()%2 == 0 {
+			return assertion.BoolA{Val: d.byte()%2 == 0}
+		}
+		return d.cmp(1)
+	}
+	switch d.byte() % 8 {
+	case 0:
+		return assertion.BoolA{Val: d.byte()%2 == 0}
+	case 1:
+		return d.cmp(depth)
+	case 2:
+		return assertion.Not{Body: d.assertion(depth - 1)}
+	case 3:
+		return assertion.And{L: d.assertion(depth - 1), R: d.assertion(depth - 1)}
+	case 4:
+		return assertion.Or{L: d.assertion(depth - 1), R: d.assertion(depth - 1)}
+	case 5:
+		return assertion.Implies{L: d.assertion(depth - 1), R: d.assertion(depth - 1)}
+	case 6:
+		return assertion.ForAllRange{
+			Var:  "i",
+			Lo:   assertion.Lit{Val: value.Int(int64(d.byte() % 3))},
+			Hi:   d.term(1),
+			Body: d.assertion(depth - 1),
+		}
+	default:
+		return assertion.ExistsRange{
+			Var:  "i",
+			Lo:   assertion.Lit{Val: value.Int(int64(d.byte() % 3))},
+			Hi:   d.term(1),
+			Body: d.assertion(depth - 1),
+		}
+	}
+}
+
+func (d *decoder) cmp(depth int) assertion.A {
+	op := assertion.CmpOp(int(d.byte())%6) + assertion.CEq
+	return assertion.Cmp{Op: op, L: d.term(depth), R: d.term(depth)}
+}

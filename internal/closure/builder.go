@@ -1,16 +1,34 @@
 package closure
 
-import "cspsat/internal/trace"
+import (
+	"sort"
+
+	"cspsat/internal/trace"
+)
 
 // Builder accumulates traces into a prefix-closed set. Adding a trace
 // implicitly adds all its prefixes (they are the nodes along its path), so
-// the result is a prefix closure regardless of insertion order.
+// the result is a prefix closure regardless of insertion order. The builder
+// works on a private mutable scratch trie; Set interns it bottom-up into
+// the canonical hash-consed representation.
 type Builder struct {
-	root *node
+	root *bnode
 }
 
+// bnode is the mutable construction-time counterpart of the interned node.
+type bnode struct {
+	children map[string]bedge
+}
+
+type bedge struct {
+	ev    trace.Event
+	child *bnode
+}
+
+func newBnode() *bnode { return &bnode{children: map[string]bedge{}} }
+
 // NewBuilder returns an empty builder (its Set is {<>}).
-func NewBuilder() *Builder { return &Builder{root: newNode()} }
+func NewBuilder() *Builder { return &Builder{root: newBnode()} }
 
 // Add inserts t (and, implicitly, every prefix of t).
 func (b *Builder) Add(t trace.T) {
@@ -19,7 +37,7 @@ func (b *Builder) Add(t trace.T) {
 		k := eventKey(e)
 		ed, ok := n.children[k]
 		if !ok {
-			ed = edge{ev: e, child: newNode()}
+			ed = bedge{ev: e, child: newBnode()}
 			n.children[k] = ed
 		}
 		n = ed.child
@@ -28,9 +46,18 @@ func (b *Builder) Add(t trace.T) {
 
 // Set returns the built set. The builder must not be used afterwards.
 func (b *Builder) Set() *Set {
-	s := &Set{root: b.root}
+	s := &Set{root: internScratch(b.root)}
 	b.root = nil
 	return s
+}
+
+func internScratch(n *bnode) *node {
+	edges := make([]edge, 0, len(n.children))
+	for k, e := range n.children {
+		edges = append(edges, edge{key: k, ev: e.ev, child: internScratch(e.child)})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].key < edges[j].key })
+	return intern(edges)
 }
 
 // FromTraces builds a prefix closure containing the given traces and all

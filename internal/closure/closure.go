@@ -13,6 +13,13 @@
 // meaning to recursion (§3.3). A Set holds finitely many traces and is
 // prefix-closed by construction: the representation is a trie whose every
 // node is a member, so closure under prefixes can never be violated.
+//
+// The trie is hash-consed (see intern.go): structurally equal subtrees are
+// pointer-identical, every operator is memoized on the interned node
+// pointers of its operands, and Size/MaxLen are precomputed per node. The
+// paper's approximation chains recompute the same subterms on every pass,
+// so the memo tables turn the chain's later passes into cache lookups and
+// let Fix detect stabilisation with a pointer comparison.
 package closure
 
 import (
@@ -24,47 +31,28 @@ import (
 
 // Set is a finite prefix-closed set of traces. The zero value is not usable;
 // construct with Stop, Prefix, Union, etc. Sets are immutable once built and
-// may be shared freely.
+// may be shared freely, including across goroutines.
 type Set struct {
 	root *node
 }
-
-type node struct {
-	// children maps an event key to the outgoing edge. A trie node is
-	// itself a member of the set (its path from the root), which is what
-	// makes every Set prefix-closed by construction.
-	children map[string]edge
-}
-
-type edge struct {
-	ev    trace.Event
-	child *node
-}
-
-func newNode() *node { return &node{children: map[string]edge{}} }
 
 func eventKey(e trace.Event) string { return string(e.Chan) + "\x00" + e.Msg.Key() }
 
 // Stop returns {<>}, the denotation of STOP: the process that never
 // communicates.
-func Stop() *Set { return &Set{root: newNode()} }
-
-// Nodes are immutable once their constructing operation returns, so all
-// operators share subtrees freely instead of cloning: Prefix is O(1),
-// Union is proportional to the overlap of the two tries only.
+func Stop() *Set { return &Set{root: emptyNode} }
 
 // Prefix returns (a → P) = {<>} ∪ { a⌢s | s ∈ P }, the paper's prefixing
 // operator. The result shares P's nodes.
 func Prefix(a trace.Event, p *Set) *Set {
-	r := newNode()
-	r.children[eventKey(a)] = edge{ev: a, child: p.root}
-	return &Set{root: r}
+	return &Set{root: intern([]edge{{key: eventKey(a), ev: a, child: p.root}})}
 }
 
 // Union returns P ∪ Q, the denotation of the alternative (P | Q). Subtrees
-// present in only one operand are shared, not copied.
+// present in only one operand are shared, not copied, and the merge is
+// memoized on the operand pair.
 func Union(p, q *Set) *Set {
-	return &Set{root: mergeNodes(p.root, q.root)}
+	return &Set{root: unionNodes(p.root, q.root)}
 }
 
 // UnionAll returns the union of all the given sets; with no arguments it
@@ -77,29 +65,49 @@ func UnionAll(sets ...*Set) *Set {
 	return out
 }
 
-func mergeNodes(a, b *node) *node {
-	if a == b {
+func unionNodes(a, b *node) *node {
+	if a == b || b == emptyNode {
 		return a
 	}
-	if len(a.children) == 0 {
+	if a == emptyNode {
 		return b
 	}
-	if len(b.children) == 0 {
-		return a
+	// Union is commutative; canonicalise the key so P∪Q and Q∪P share one
+	// memo entry. The arbitrary-but-fixed pointer order is fine as a
+	// canonical form because the entry only lives as long as the pointers.
+	k := [2]*node{a, b}
+	if nodeLess(b, a) {
+		k = [2]*node{b, a}
 	}
-	out := newNode()
-	for k, e := range a.children {
-		out.children[k] = e
+	if v, ok := memoGet(unionMemo, k); ok {
+		return v
 	}
-	for k, e := range b.children {
-		if ex, ok := out.children[k]; ok {
-			out.children[k] = edge{ev: e.ev, child: mergeNodes(ex.child, e.child)}
-		} else {
-			out.children[k] = e
+	out := make([]edge, 0, len(a.edges)+len(b.edges))
+	i, j := 0, 0
+	for i < len(a.edges) && j < len(b.edges) {
+		ae, be := a.edges[i], b.edges[j]
+		switch {
+		case ae.key < be.key:
+			out = append(out, ae)
+			i++
+		case be.key < ae.key:
+			out = append(out, be)
+			j++
+		default:
+			out = append(out, edge{key: ae.key, ev: ae.ev, child: unionNodes(ae.child, be.child)})
+			i, j = i+1, j+1
 		}
 	}
-	return out
+	out = append(out, a.edges[i:]...)
+	out = append(out, b.edges[j:]...)
+	n := intern(out)
+	memoPut(unionMemo, k, n)
+	return n
 }
+
+// nodeLess gives a stable total order on nodes (their creation index),
+// used only to canonicalise symmetric memo keys.
+func nodeLess(a, b *node) bool { return a.id < b.id }
 
 // Hide returns P \ C: every trace of P with its communications on channels
 // of C omitted (the paper's s\C lifted pointwise). The result is again
@@ -107,25 +115,34 @@ func mergeNodes(a, b *node) *node {
 // depth d, P\C is only guaranteed complete up to the depth d minus the
 // hidden chatter — callers compensate by exploring P deeper (see sem).
 func Hide(p *Set, c trace.Set) *Set {
-	r := newNode()
-	hideInto(p.root, c, r)
-	return &Set{root: r}
+	return &Set{root: hideNode(p.root, c, c.Key())}
 }
 
-func hideInto(src *node, c trace.Set, dst *node) {
-	for k, e := range src.children {
-		if c.Contains(e.ev.Chan) {
-			// Hidden event: its subtree collapses into dst.
-			hideInto(e.child, c, dst)
-			continue
-		}
-		ex, ok := dst.children[k]
-		if !ok {
-			ex = edge{ev: e.ev, child: newNode()}
-			dst.children[k] = ex
-		}
-		hideInto(e.child, c, ex.child)
+func hideNode(n *node, c trace.Set, ck string) *node {
+	if len(n.edges) == 0 {
+		return n
 	}
+	mk := nodeStrKey{n: n, s: ck}
+	if v, ok := memoGet(hideMemo, mk); ok {
+		return v
+	}
+	var out []edge
+	var collapsed []*node
+	for _, e := range n.edges {
+		h := hideNode(e.child, c, ck)
+		if c.Contains(e.ev.Chan) {
+			// Hidden event: its (hidden) subtree collapses into this node.
+			collapsed = append(collapsed, h)
+		} else {
+			out = append(out, edge{key: e.key, ev: e.ev, child: h})
+		}
+	}
+	res := intern(out) // out is already sorted: it is a subsequence of n.edges
+	for _, h := range collapsed {
+		res = unionNodes(res, h)
+	}
+	memoPut(hideMemo, mk, res)
+	return res
 }
 
 // Ignore returns the paper's P ⇑ C: the set of traces formed by interleaving
@@ -135,34 +152,44 @@ func hideInto(src *node, c trace.Set, dst *node) {
 // result is truncated to traces of length ≤ maxLen. P must not communicate
 // on any channel of the chatter alphabet.
 func Ignore(p *Set, chatter []trace.Event, maxLen int) *Set {
-	r := newNode()
-	ignoreInto(p.root, chatter, maxLen, r)
-	return &Set{root: r}
+	ch := make([]edge, len(chatter))
+	var kb strings.Builder
+	for i, ce := range chatter {
+		ch[i] = edge{key: eventKey(ce), ev: ce}
+		kb.WriteString(ch[i].key)
+		kb.WriteByte('\x01')
+	}
+	sort.Slice(ch, func(i, j int) bool { return ch[i].key < ch[j].key })
+	return &Set{root: ignoreNode(p.root, ch, kb.String(), maxLen)}
 }
 
-func ignoreInto(src *node, chatter []trace.Event, budget int, dst *node) {
+// ignoreNode computes one state of the interleaving: from trie node src with
+// budget steps left, either advance src along one of its own edges or emit a
+// chatter event and stay at src. chatter is sorted by key; ckey identifies
+// the chatter alphabet in the memo table.
+func ignoreNode(src *node, chatter []edge, ckey string, budget int) *node {
 	if budget <= 0 {
-		return
+		return emptyNode
 	}
-	// Either take a real event of P...
-	for k, e := range src.children {
-		ex, ok := dst.children[k]
-		if !ok {
-			ex = edge{ev: e.ev, child: newNode()}
-			dst.children[k] = ex
-		}
-		ignoreInto(e.child, chatter, budget-1, ex.child)
+	if len(src.edges) == 0 && len(chatter) == 0 {
+		return emptyNode
 	}
-	// ...or an ignored chatter event, staying at the same P-node.
+	mk := nodeStrIntKey{n: src, s: ckey, i: budget}
+	if v, ok := memoGet(ignoreMemo, mk); ok {
+		return v
+	}
+	out := make([]edge, 0, len(src.edges)+len(chatter))
+	for _, e := range src.edges {
+		out = append(out, edge{key: e.key, ev: e.ev, child: ignoreNode(e.child, chatter, ckey, budget-1)})
+	}
 	for _, ce := range chatter {
-		k := eventKey(ce)
-		ex, ok := dst.children[k]
-		if !ok {
-			ex = edge{ev: ce, child: newNode()}
-			dst.children[k] = ex
-		}
-		ignoreInto(src, chatter, budget-1, ex.child)
+		out = append(out, edge{key: ce.key, ev: ce.ev, child: ignoreNode(src, chatter, ckey, budget-1)})
 	}
+	// The two groups are each sorted but may interleave (and, if the caller
+	// violates the disjointness precondition, collide — handled by union).
+	n := intern(sortEdges(out))
+	memoPut(ignoreMemo, mk, n)
+	return n
 }
 
 // Parallel returns P X‖Y Q, the paper's alphabetized parallel composition:
@@ -172,95 +199,95 @@ func ignoreInto(src *node, chatter []trace.Event, budget int, dst *node) {
 // as a product walk over the two tries, which is equivalent to the paper's
 // (P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y)) definition but avoids materialising the
 // interleavings (see TestParallelMatchesIgnoreIntersection for the
-// equivalence check).
+// equivalence check). The walk is memoized on the pair of interned nodes,
+// so the same (P-state, Q-state) product is computed once ever per
+// alphabet pair, within and across Parallel calls.
 func Parallel(p, q *Set, x, y trace.Set) *Set {
-	r := newNode()
-	memo := map[[2]*node]*node{}
-	parallelInto(p.root, q.root, x, y, r, memo)
-	return &Set{root: r}
+	xy := x.Key() + "\x02" + y.Key()
+	return &Set{root: parallelNodes(p.root, q.root, x, y, xy)}
 }
 
-func parallelInto(a, b *node, x, y trace.Set, dst *node, memo map[[2]*node]*node) {
-	// memo prevents exponential re-expansion when the same (a,b) state is
-	// reached along different interleavings: the computed subtree is shared.
-	key := [2]*node{a, b}
-	if done, ok := memo[key]; ok {
-		// Merge the memoised subtree into dst.
-		for k, e := range done.children {
-			if ex, ok := dst.children[k]; ok {
-				dst.children[k] = edge{ev: e.ev, child: mergeNodes(ex.child, e.child)}
-			} else {
-				dst.children[k] = e
-			}
-		}
-		return
+func parallelNodes(a, b *node, x, y trace.Set, xy string) *node {
+	if len(a.edges) == 0 && len(b.edges) == 0 {
+		return emptyNode
 	}
-	memo[key] = dst
-	for k, e := range a.children {
+	mk := parKey{a: a, b: b, xy: xy}
+	if v, ok := memoGet(parallelMemo, mk); ok {
+		return v
+	}
+	var out []edge
+	for _, e := range a.edges {
 		c := e.ev.Chan
-		if !x.Contains(c) {
-			// P communicating outside its own alphabet: the paper's
-			// composition is only defined when P communicates on X; treat
-			// the event as private to P (X is extended implicitly).
-		}
+		// When P communicates outside its own alphabet X the paper's
+		// composition is not defined; treat the event as private to P (X is
+		// extended implicitly), exactly as the pre-interning walk did.
 		if y.Contains(c) {
 			// Shared channel: requires Q to offer the same event.
-			be, ok := b.children[k]
+			be, ok := b.get(e.key)
 			if !ok {
 				continue
 			}
-			child := step(dst, e.ev, k)
-			parallelInto(e.child, be.child, x, y, child, memo)
+			out = append(out, edge{key: e.key, ev: e.ev, child: parallelNodes(e.child, be.child, x, y, xy)})
 		} else {
 			// Private to P.
-			child := step(dst, e.ev, k)
-			parallelInto(e.child, b, x, y, child, memo)
+			out = append(out, edge{key: e.key, ev: e.ev, child: parallelNodes(e.child, b, x, y, xy)})
 		}
 	}
-	for k, e := range b.children {
-		c := e.ev.Chan
-		if x.Contains(c) {
+	for _, e := range b.edges {
+		if x.Contains(e.ev.Chan) {
 			continue // shared (or P-side) events handled above
 		}
-		child := step(dst, e.ev, k)
-		parallelInto(a, e.child, x, y, child, memo)
+		out = append(out, edge{key: e.key, ev: e.ev, child: parallelNodes(a, e.child, x, y, xy)})
 	}
-}
-
-func step(dst *node, ev trace.Event, k string) *node {
-	ex, ok := dst.children[k]
-	if !ok {
-		ex = edge{ev: ev, child: newNode()}
-		dst.children[k] = ex
-	}
-	return ex.child
+	n := intern(sortEdges(out))
+	memoPut(parallelMemo, mk, n)
+	return n
 }
 
 // Intersect returns P ∩ Q. Prefix closures are closed under intersection
 // (§3.1), and the paper's parallel operator is defined via ∩.
 func Intersect(p, q *Set) *Set {
-	r := newNode()
-	intersectInto(p.root, q.root, r)
-	return &Set{root: r}
+	return &Set{root: intersectNodes(p.root, q.root)}
 }
 
-func intersectInto(a, b, dst *node) {
-	for k, e := range a.children {
-		be, ok := b.children[k]
-		if !ok {
-			continue
-		}
-		ex := edge{ev: e.ev, child: newNode()}
-		dst.children[k] = ex
-		intersectInto(e.child, be.child, ex.child)
+func intersectNodes(a, b *node) *node {
+	if a == b {
+		return a
 	}
+	if a == emptyNode || b == emptyNode {
+		return emptyNode
+	}
+	k := [2]*node{a, b}
+	if nodeLess(b, a) {
+		k = [2]*node{b, a}
+	}
+	if v, ok := memoGet(intersectMemo, k); ok {
+		return v
+	}
+	var out []edge
+	i, j := 0, 0
+	for i < len(a.edges) && j < len(b.edges) {
+		ae, be := a.edges[i], b.edges[j]
+		switch {
+		case ae.key < be.key:
+			i++
+		case be.key < ae.key:
+			j++
+		default:
+			out = append(out, edge{key: ae.key, ev: ae.ev, child: intersectNodes(ae.child, be.child)})
+			i, j = i+1, j+1
+		}
+	}
+	n := intern(out)
+	memoPut(intersectMemo, k, n)
+	return n
 }
 
 // Contains reports whether t ∈ P.
 func (p *Set) Contains(t trace.T) bool {
 	n := p.root
 	for _, e := range t {
-		ed, ok := n.children[eventKey(e)]
+		ed, ok := n.get(eventKey(e))
 		if !ok {
 			return false
 		}
@@ -270,38 +297,22 @@ func (p *Set) Contains(t trace.T) bool {
 }
 
 // Size returns the number of traces in the set (the empty trace counts).
-func (p *Set) Size() int { return p.root.size() }
+// Precomputed at interning time, so this is O(1).
+func (p *Set) Size() int { return p.root.size }
 
-func (n *node) size() int {
-	s := 1
-	for _, e := range n.children {
-		s += e.child.size()
-	}
-	return s
-}
-
-// MaxLen returns the length of the longest trace in the set.
-func (p *Set) MaxLen() int { return p.root.height() }
-
-func (n *node) height() int {
-	h := 0
-	for _, e := range n.children {
-		if ch := 1 + e.child.height(); ch > h {
-			h = ch
-		}
-	}
-	return h
-}
+// MaxLen returns the length of the longest trace in the set. Precomputed at
+// interning time, so this is O(1).
+func (p *Set) MaxLen() int { return p.root.height }
 
 // Traces returns every trace in the set in canonical (lexicographic) order.
 func (p *Set) Traces() []trace.T {
-	var out []trace.T
+	out := make([]trace.T, 0, p.root.size)
 	var walk func(n *node, pfx trace.T)
 	walk = func(n *node, pfx trace.T) {
 		cp := make(trace.T, len(pfx))
 		copy(cp, pfx)
 		out = append(out, cp)
-		for _, e := range n.children {
+		for _, e := range n.edges {
 			walk(e.child, append(pfx, e.ev))
 		}
 	}
@@ -324,7 +335,7 @@ func (p *Set) WalkDFS(visit func(path trace.T) bool, push, pop func(ev trace.Eve
 		if !visit(path) {
 			return false
 		}
-		for _, e := range n.children {
+		for _, e := range n.edges {
 			if push != nil {
 				push(e.ev)
 			}
@@ -349,13 +360,13 @@ func (p *Set) TracesMax() []trace.T {
 	var out []trace.T
 	var walk func(n *node, pfx trace.T)
 	walk = func(n *node, pfx trace.T) {
-		if len(n.children) == 0 {
+		if len(n.edges) == 0 {
 			cp := make(trace.T, len(pfx))
 			copy(cp, pfx)
 			out = append(out, cp)
 			return
 		}
-		for _, e := range n.children {
+		for _, e := range n.edges {
 			walk(e.child, append(pfx, e.ev))
 		}
 	}
@@ -364,33 +375,64 @@ func (p *Set) TracesMax() []trace.T {
 	return out
 }
 
-// Equal reports whether two sets contain exactly the same traces.
+// Same reports whether two sets are represented by the same interned node —
+// a pointer comparison. Same(q) implies Equal(q); the converse holds as
+// long as neither representation predates a cache eviction or reset, which
+// is why Equal keeps a structural fallback.
+func (p *Set) Same(q *Set) bool { return p.root == q.root }
+
+// Equal reports whether two sets contain exactly the same traces. With
+// hash-consing this is usually the O(1) pointer comparison; the structural
+// walk only runs for sets whose nodes straddle a cache eviction, and even
+// then the cached hash, size, and height reject unequal subtrees early.
 func (p *Set) Equal(q *Set) bool { return nodesEqual(p.root, q.root) }
 
 func nodesEqual(a, b *node) bool {
-	if len(a.children) != len(b.children) {
+	if a == b {
+		return true
+	}
+	if a.hash != b.hash || a.size != b.size || a.height != b.height || len(a.edges) != len(b.edges) {
 		return false
 	}
-	for k, e := range a.children {
-		be, ok := b.children[k]
-		if !ok || !nodesEqual(e.child, be.child) {
+	for i := range a.edges {
+		if a.edges[i].key != b.edges[i].key || !nodesEqual(a.edges[i].child, b.edges[i].child) {
 			return false
 		}
 	}
 	return true
 }
 
-// SubsetOf reports P ⊆ Q, i.e. trace refinement of P by Q's traces.
+// SubsetOf reports P ⊆ Q, i.e. trace refinement of P by Q's traces. Shared
+// interned subtrees compare in O(1), and verdicts are memoized, so repeated
+// refinement checks over a growing approximation chain stay cheap.
 func (p *Set) SubsetOf(q *Set) bool { return nodeSubset(p.root, q.root) }
 
 func nodeSubset(a, b *node) bool {
-	for k, e := range a.children {
-		be, ok := b.children[k]
+	if a == b || a == emptyNode {
+		return true
+	}
+	if a.size > b.size || a.height > b.height {
+		return false
+	}
+	k := [2]*node{a, b}
+	mu.Lock()
+	v, ok := subsetMemo.get(k)
+	mu.Unlock()
+	if ok {
+		return v
+	}
+	res := true
+	for _, e := range a.edges {
+		be, ok := b.get(e.key)
 		if !ok || !nodeSubset(e.child, be.child) {
-			return false
+			res = false
+			break
 		}
 	}
-	return true
+	mu.Lock()
+	subsetMemo.put(k, res)
+	mu.Unlock()
+	return res
 }
 
 // FirstNotIn returns a witness trace in P but not in Q, or nil if P ⊆ Q.
@@ -399,15 +441,13 @@ func (p *Set) FirstNotIn(q *Set) trace.T {
 }
 
 func firstNotIn(a, b *node, pfx trace.T) trace.T {
-	// Deterministic order for reproducible counterexamples.
-	keys := make([]string, 0, len(a.children))
-	for k := range a.children {
-		keys = append(keys, k)
+	if a == b {
+		return nil
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		e := a.children[k]
-		be, ok := b.children[k]
+	// Edges are interned in key order, so the walk is deterministic and the
+	// witness reproducible without sorting.
+	for _, e := range a.edges {
+		be, ok := b.get(e.key)
 		ext := append(pfx, e.ev)
 		if !ok {
 			cp := make(trace.T, len(ext))
@@ -423,46 +463,47 @@ func firstNotIn(a, b *node, pfx trace.T) trace.T {
 
 // TruncateTo returns the subset of traces with length ≤ depth (the paper's
 // finite approximation restricted to a window). Subtrees that already fit
-// within the window are shared, not copied.
+// within the window are shared, not copied, and the cached per-node height
+// makes the fit test O(1).
 func (p *Set) TruncateTo(depth int) *Set {
-	heights := map[*node]int{}
-	return &Set{root: truncated(p.root, depth, heights)}
+	if p.root.height <= depth {
+		return p
+	}
+	return &Set{root: truncated(p.root, depth)}
 }
 
-func truncated(src *node, budget int, heights map[*node]int) *node {
-	if heightMemo(src, heights) <= budget {
+func truncated(src *node, budget int) *node {
+	if src.height <= budget {
 		return src
 	}
-	out := newNode()
 	if budget <= 0 {
-		return out
+		return emptyNode
 	}
-	for k, e := range src.children {
-		out.children[k] = edge{ev: e.ev, child: truncated(e.child, budget-1, heights)}
+	mk := nodeIntKey{n: src, i: budget}
+	if v, ok := memoGet(truncMemo, mk); ok {
+		return v
 	}
-	return out
+	out := make([]edge, len(src.edges))
+	for i, e := range src.edges {
+		out[i] = edge{key: e.key, ev: e.ev, child: truncated(e.child, budget-1)}
+	}
+	n := intern(out)
+	memoPut(truncMemo, mk, n)
+	return n
 }
 
-func heightMemo(n *node, heights map[*node]int) int {
-	if h, ok := heights[n]; ok {
-		return h
-	}
-	h := 0
-	for _, e := range n.children {
-		if ch := 1 + heightMemo(e.child, heights); ch > h {
-			h = ch
-		}
-	}
-	heights[n] = h
-	return h
-}
-
-// Channels returns the set of channels appearing anywhere in the set.
+// Channels returns the set of channels appearing anywhere in the set. The
+// walk visits each shared subtree once.
 func (p *Set) Channels() trace.Set {
 	s := trace.NewSet()
+	seen := map[*node]bool{}
 	var walk func(n *node)
 	walk = func(n *node) {
-		for _, e := range n.children {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, e := range n.edges {
 			s.Add(e.ev.Chan)
 			walk(e.child)
 		}
@@ -499,12 +540,17 @@ func (p *Set) String() string {
 // is exactly ⋃ᵢ aᵢ truncated at the window — the set of all traces of the
 // recursive process up to that length. It returns the fixed point and the
 // number of iterations taken.
+//
+// Because Union over interned tries returns the canonical node — and in
+// particular returns cur's own node the moment F adds nothing new — the
+// stabilisation test is the pointer comparison Same on the happy path, with
+// Equal as the structural fallback across cache evictions.
 func Fix(f func(*Set) *Set, depth int) (*Set, int) {
 	cur := Stop()
 	for i := 1; ; i++ {
 		next := f(cur).TruncateTo(depth)
 		next = Union(next, cur) // the chain is increasing; keep it so under truncation
-		if next.Equal(cur) {
+		if next.Same(cur) || next.Equal(cur) {
 			return cur, i
 		}
 		cur = next

@@ -1,0 +1,397 @@
+package closure
+
+// Hash-consing for trie nodes. Every node reachable from a *Set is
+// canonical: it was produced by intern, which returns the one retained node
+// for each distinct (sorted) edge list. Because children are interned
+// before their parents, structural equality of subtrees coincides with
+// pointer equality as long as the canonical node is still retained, which
+// makes Equal/SubsetOf near-O(1) pointer walks on the common path and lets
+// Size/MaxLen be precomputed per node at construction time.
+//
+// Retention is bounded: the intern table and every operator memo table use
+// two-generation eviction (see gen2 below), so a long-running host (the
+// cspi REPL, cspexperiments, a server loop) cannot accumulate canonical
+// nodes without bound. Eviction never invalidates a node — nodes are
+// immutable and remain correct forever — it only means a later structurally
+// equal construction may mint a fresh pointer, so Equal falls back to a
+// structural walk when the pointer test fails.
+//
+// All tables are guarded by a single package mutex, taken only inside the
+// short leaf helpers in this file (never while calling back into operator
+// code), so the package is safe for concurrent use.
+
+import (
+	"sort"
+	"sync"
+
+	"cspsat/internal/trace"
+)
+
+// node is an immutable hash-consed trie node. edges is sorted by key and
+// never mutated after intern publishes the node.
+type node struct {
+	edges  []edge
+	id     uint64 // unique creation index, for canonical symmetric memo keys
+	hash   uint64
+	size   int // number of member traces in the tree-unfolding (≥ 1 for <>)
+	height int // length of the longest member trace
+}
+
+type edge struct {
+	key   string
+	ev    trace.Event
+	child *node
+}
+
+// get returns the outgoing edge for an event key, by binary search over the
+// sorted edge list.
+func (n *node) get(k string) (edge, bool) {
+	lo, hi := 0, len(n.edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.edges[mid].key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.edges) && n.edges[lo].key == k {
+		return n.edges[lo], true
+	}
+	return edge{}, false
+}
+
+// emptyNode is the canonical {<>}; it is pinned and never evicted.
+var emptyNode = &node{hash: fnvOffset, size: 1, height: 0}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func hashBytes(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func hashUint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func hashEdges(edges []edge) uint64 {
+	h := fnvOffset
+	for _, e := range edges {
+		h = hashBytes(h, e.key)
+		h = hashUint(h, e.child.hash)
+	}
+	return h
+}
+
+// gen2 is a two-generation bounded table. Inserts go to the current
+// generation; when it fills, the previous generation is dropped and the
+// current one takes its place. A lookup that hits the previous generation
+// promotes the entry, so the working set survives rotation and only cold
+// entries age out. The scheme bounds retained entries to 2×limit with O(1)
+// amortized maintenance (no LRU list, no per-entry clocks).
+type gen2[K comparable, V any] struct {
+	cur, old map[K]V
+	limit    int
+	hits     uint64
+	misses   uint64
+	evicted  uint64
+	rotated  uint64
+}
+
+func newGen2[K comparable, V any](limit int) *gen2[K, V] {
+	return &gen2[K, V]{cur: make(map[K]V), old: make(map[K]V), limit: limit}
+}
+
+func (g *gen2[K, V]) get(k K) (V, bool) {
+	if v, ok := g.cur[k]; ok {
+		g.hits++
+		return v, true
+	}
+	if v, ok := g.old[k]; ok {
+		g.hits++
+		g.promote(k, v)
+		return v, true
+	}
+	g.misses++
+	var zero V
+	return zero, false
+}
+
+func (g *gen2[K, V]) put(k K, v V) {
+	g.promote(k, v)
+}
+
+func (g *gen2[K, V]) promote(k K, v V) {
+	g.cur[k] = v
+	if len(g.cur) >= g.limit {
+		g.rotated++
+		g.evicted += uint64(len(g.old))
+		g.old = g.cur
+		g.cur = make(map[K]V)
+	}
+}
+
+func (g *gen2[K, V]) len() int { return len(g.cur) + len(g.old) }
+
+func (g *gen2[K, V]) reset() {
+	g.cur = make(map[K]V)
+	g.old = make(map[K]V)
+}
+
+// Default per-generation budgets. A node is ~5 words plus its edge list, so
+// the intern default bounds canonical-node retention to a few hundred MB in
+// the worst case and far less in practice; memo entries are a key plus a
+// pointer. Both are adjustable via SetCacheBudget.
+const (
+	defaultInternBudget = 1 << 18
+	defaultMemoBudget   = 1 << 18
+)
+
+// opMemo couples a gen2 with the name reported by Stats.
+type opMemo[K comparable] struct {
+	name string
+	tab  *gen2[K, *node]
+}
+
+var (
+	mu          sync.Mutex
+	nextNodeID  uint64 // 0 is emptyNode
+	internTab   = newGen2[uint64, []*node](defaultInternBudget)
+	internStats struct{ hits, misses uint64 }
+
+	unionMemo     = opMemo[[2]*node]{name: "union", tab: newGen2[[2]*node, *node](defaultMemoBudget)}
+	intersectMemo = opMemo[[2]*node]{name: "intersect", tab: newGen2[[2]*node, *node](defaultMemoBudget)}
+	hideMemo      = opMemo[nodeStrKey]{name: "hide", tab: newGen2[nodeStrKey, *node](defaultMemoBudget)}
+	ignoreMemo    = opMemo[nodeStrIntKey]{name: "ignore", tab: newGen2[nodeStrIntKey, *node](defaultMemoBudget)}
+	parallelMemo  = opMemo[parKey]{name: "parallel", tab: newGen2[parKey, *node](defaultMemoBudget)}
+	truncMemo     = opMemo[nodeIntKey]{name: "truncate", tab: newGen2[nodeIntKey, *node](defaultMemoBudget)}
+
+	subsetMemo = newGen2[[2]*node, bool](defaultMemoBudget)
+)
+
+type nodeStrKey struct {
+	n *node
+	s string
+}
+
+type nodeIntKey struct {
+	n *node
+	i int
+}
+
+type nodeStrIntKey struct {
+	n *node
+	s string
+	i int
+}
+
+type parKey struct {
+	a, b *node
+	xy   string
+}
+
+// intern returns the canonical node for the given edge list, which must be
+// sorted by key, free of duplicate keys, and built over canonical children.
+// The caller must not retain or mutate edges after the call if the interned
+// node may share it.
+func intern(edges []edge) *node {
+	if len(edges) == 0 {
+		return emptyNode
+	}
+	h := hashEdges(edges)
+	mu.Lock()
+	defer mu.Unlock()
+	bucket, _ := internTab.get(h)
+	for _, cand := range bucket {
+		if edgesIdentical(cand.edges, edges) {
+			internStats.hits++
+			return cand
+		}
+	}
+	internStats.misses++
+	size, height := 1, 0
+	for _, e := range edges {
+		size += e.child.size
+		if ch := 1 + e.child.height; ch > height {
+			height = ch
+		}
+	}
+	nextNodeID++
+	n := &node{edges: edges, id: nextNodeID, hash: h, size: size, height: height}
+	internTab.put(h, append(bucket, n))
+	return n
+}
+
+// edgesIdentical reports structural equality of two sorted edge lists over
+// canonical children (so child comparison is pointer comparison).
+func edgesIdentical(a, b []edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].key != b[i].key || a[i].child != b[i].child {
+			return false
+		}
+	}
+	return true
+}
+
+func countInternedLocked() int {
+	n := 0
+	for _, bucket := range internTab.cur {
+		n += len(bucket)
+	}
+	for h, bucket := range internTab.old {
+		if _, dup := internTab.cur[h]; dup {
+			continue // promoted buckets appear in both generations
+		}
+		n += len(bucket)
+	}
+	return n
+}
+
+func memoGet[K comparable](m opMemo[K], k K) (*node, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	return m.tab.get(k)
+}
+
+func memoPut[K comparable](m opMemo[K], k K, v *node) {
+	mu.Lock()
+	defer mu.Unlock()
+	m.tab.put(k, v)
+}
+
+// sortEdges sorts an edge list in place by key and merges duplicate keys by
+// unioning their children (duplicates arise when two construction paths
+// produce the same event, e.g. a hidden subtree collapsing onto a sibling).
+// It returns the (possibly shortened) list.
+func sortEdges(edges []edge) []edge {
+	sort.Slice(edges, func(i, j int) bool { return edges[i].key < edges[j].key })
+	out := edges[:0]
+	for _, e := range edges {
+		if len(out) > 0 && out[len(out)-1].key == e.key {
+			out[len(out)-1].child = unionNodes(out[len(out)-1].child, e.child)
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// OpStats reports one memo table's effectiveness.
+type OpStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// CacheStats is a snapshot of the interning and memoization counters, for
+// benchmark harnesses and long-running hosts watching cache health.
+type CacheStats struct {
+	// InternedNodes is the number of canonical nodes currently retained by
+	// the intern table (live Sets may additionally pin evicted nodes).
+	InternedNodes int
+	// InternHits / InternMisses count intern lookups that returned an
+	// existing canonical node vs minted a new one.
+	InternHits   uint64
+	InternMisses uint64
+	// Evicted is the cumulative number of intern-table entries dropped by
+	// generation rotation (entries are hash buckets, almost always holding
+	// one node each); Rotations counts the rotations themselves.
+	Evicted   uint64
+	Rotations uint64
+	// MemoHits / MemoMisses aggregate the operator memo tables; Ops breaks
+	// them down per operator (union, intersect, hide, ignore, parallel,
+	// truncate, subset).
+	MemoHits   uint64
+	MemoMisses uint64
+	Ops        map[string]OpStats
+}
+
+// Stats returns a snapshot of the interning and operator-memo counters.
+func Stats() CacheStats {
+	mu.Lock()
+	defer mu.Unlock()
+	s := CacheStats{
+		InternedNodes: countInternedLocked(),
+		InternHits:    internStats.hits,
+		InternMisses:  internStats.misses,
+		Evicted:       internTab.evicted,
+		Rotations:     internTab.rotated,
+		Ops:           map[string]OpStats{},
+	}
+	record := func(name string, hits, misses uint64) {
+		s.Ops[name] = OpStats{Hits: hits, Misses: misses}
+		s.MemoHits += hits
+		s.MemoMisses += misses
+	}
+	record(unionMemo.name, unionMemo.tab.hits, unionMemo.tab.misses)
+	record(intersectMemo.name, intersectMemo.tab.hits, intersectMemo.tab.misses)
+	record(hideMemo.name, hideMemo.tab.hits, hideMemo.tab.misses)
+	record(ignoreMemo.name, ignoreMemo.tab.hits, ignoreMemo.tab.misses)
+	record(parallelMemo.name, parallelMemo.tab.hits, parallelMemo.tab.misses)
+	record(truncMemo.name, truncMemo.tab.hits, truncMemo.tab.misses)
+	record("subset", subsetMemo.hits, subsetMemo.misses)
+	return s
+}
+
+// ResetCaches empties the intern and memo tables and zeroes the counters.
+// Existing Sets remain valid (their nodes are immutable); they merely stop
+// being canonical, so sets built before and after the reset compare by
+// structural walk rather than pointer equality. Intended for tests and
+// cold-cache benchmarking.
+func ResetCaches() {
+	mu.Lock()
+	defer mu.Unlock()
+	internTab.reset()
+	internTab.hits, internTab.misses, internTab.evicted, internTab.rotated = 0, 0, 0, 0
+	internStats = struct{ hits, misses uint64 }{}
+	for _, t := range []*gen2[[2]*node, *node]{unionMemo.tab, intersectMemo.tab} {
+		t.reset()
+		t.hits, t.misses, t.evicted, t.rotated = 0, 0, 0, 0
+	}
+	hideMemo.tab.reset()
+	hideMemo.tab.hits, hideMemo.tab.misses = 0, 0
+	ignoreMemo.tab.reset()
+	ignoreMemo.tab.hits, ignoreMemo.tab.misses = 0, 0
+	parallelMemo.tab.reset()
+	parallelMemo.tab.hits, parallelMemo.tab.misses = 0, 0
+	truncMemo.tab.reset()
+	truncMemo.tab.hits, truncMemo.tab.misses = 0, 0
+	subsetMemo.reset()
+	subsetMemo.hits, subsetMemo.misses = 0, 0
+}
+
+// SetCacheBudget adjusts the per-generation entry budgets of the intern
+// table and the operator memo tables (each retains at most twice its
+// budget). Values ≤ 0 restore the defaults. Lower budgets trade memo
+// effectiveness for a tighter memory ceiling in long-running hosts; the
+// change applies to subsequent inserts and does not drop current entries.
+func SetCacheBudget(internNodes, memoEntries int) {
+	if internNodes <= 0 {
+		internNodes = defaultInternBudget
+	}
+	if memoEntries <= 0 {
+		memoEntries = defaultMemoBudget
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	internTab.limit = internNodes
+	unionMemo.tab.limit = memoEntries
+	intersectMemo.tab.limit = memoEntries
+	hideMemo.tab.limit = memoEntries
+	ignoreMemo.tab.limit = memoEntries
+	parallelMemo.tab.limit = memoEntries
+	truncMemo.tab.limit = memoEntries
+	subsetMemo.limit = memoEntries
+}

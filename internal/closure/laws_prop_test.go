@@ -1,0 +1,386 @@
+package closure_test
+
+// Property-based tests for the §3 algebraic laws, run against randomized
+// processes. Operands are random finite prefix closures — exactly the
+// denotations of random finite processes over a small alphabet — and every
+// law is checked two ways: on the interned (hash-consed) implementation
+// itself, and by comparing each interned operator against an independent
+// reference implementation that materialises trace sets as plain maps and
+// never touches the interning machinery. A divergence between the two
+// implementations is thus caught even if both sides of an algebraic law
+// are wrong in the same way.
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"cspsat/internal/closure"
+	"cspsat/internal/trace"
+)
+
+// propIters is the number of random processes each law is checked on.
+const propIters = 250
+
+// --- reference implementation: trace sets as maps, no interning ---
+
+// refSet is a prefix-closed trace set materialised as a map from trace key
+// to trace. It is the executable form of the paper's definition, kept
+// deliberately naive.
+type refSet struct{ m map[string]trace.T }
+
+func newRef() refSet { return refSet{m: map[string]trace.T{}} }
+
+// add inserts t and every prefix of t.
+func (r refSet) add(t trace.T) {
+	for _, p := range t.Prefixes() {
+		cp := make(trace.T, len(p))
+		copy(cp, p)
+		r.m[cp.Key()] = cp
+	}
+}
+
+func refFrom(s *closure.Set) refSet {
+	r := newRef()
+	for _, t := range s.Traces() {
+		r.add(t)
+	}
+	return r
+}
+
+func refUnion(a, b refSet) refSet {
+	out := newRef()
+	for k, t := range a.m {
+		out.m[k] = t
+	}
+	for k, t := range b.m {
+		out.m[k] = t
+	}
+	return out
+}
+
+func refIntersect(a, b refSet) refSet {
+	out := newRef()
+	for k, t := range a.m {
+		if _, ok := b.m[k]; ok {
+			out.m[k] = t
+		}
+	}
+	return out
+}
+
+func refHide(a refSet, c trace.Set) refSet {
+	out := newRef()
+	for _, t := range a.m {
+		out.add(t.Hide(c))
+	}
+	return out
+}
+
+// refIgnore enumerates every trace over P's events plus the chatter events,
+// up to maxLen, and keeps those whose chatter-free projection is in P.
+func refIgnore(a refSet, chatter []trace.Event, maxLen int) refSet {
+	chatterChans := trace.NewSet()
+	for _, e := range chatter {
+		chatterChans.Add(e.Chan)
+	}
+	universe := append(refEvents(a), chatter...)
+	out := newRef()
+	var walk func(t trace.T)
+	walk = func(t trace.T) {
+		if _, ok := a.m[t.Hide(chatterChans).Key()]; ok {
+			out.add(t)
+		}
+		if len(t) >= maxLen {
+			return
+		}
+		for _, e := range universe {
+			walk(t.Append(e))
+		}
+	}
+	walk(nil)
+	return out
+}
+
+// refParallel is the paper's definition verbatim: the traces s over X ∪ Y
+// with s↾X ∈ P and s↾Y ∈ Q, enumerated over the events of both operands.
+func refParallel(a, b refSet, x, y trace.Set, maxLen int) refSet {
+	universe := append(refEvents(a), refEvents(b)...)
+	out := newRef()
+	var walk func(t trace.T)
+	walk = func(t trace.T) {
+		_, inA := a.m[t.ProjectOnto(x).Key()]
+		_, inB := b.m[t.ProjectOnto(y).Key()]
+		if inA && inB {
+			out.add(t)
+		}
+		if len(t) >= maxLen {
+			return
+		}
+		for _, e := range universe {
+			walk(t.Append(e))
+		}
+	}
+	walk(nil)
+	return out
+}
+
+func refEvents(a refSet) []trace.Event {
+	seen := map[string]trace.Event{}
+	for _, t := range a.m {
+		for _, e := range t {
+			seen[string(e.Chan)+"\x00"+e.Msg.Key()] = e
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]trace.Event, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+func (r refSet) keys() string {
+	ks := make([]string, 0, len(r.m))
+	for k := range r.m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, "\n")
+}
+
+func internedKeys(s *closure.Set) string {
+	ks := make([]string, 0, s.Size())
+	for _, t := range s.Traces() {
+		ks = append(ks, t.Key())
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, "\n")
+}
+
+// sameSet fails the test if the interned set and the reference set differ.
+func sameSet(t *testing.T, label string, got *closure.Set, want refSet) {
+	t.Helper()
+	if internedKeys(got) != want.keys() {
+		t.Fatalf("%s: interned result differs from reference\ninterned: %v\nreference: %v",
+			label, got, want.keys())
+	}
+}
+
+// randClosure builds a random prefix closure over the given channels with
+// traces of length ≤ maxLen — the denotation of a random finite process.
+func randClosure(r *rand.Rand, chans []string, maxLen, maxTraces int) *closure.Set {
+	b := closure.NewBuilder()
+	for i, n := 0, r.Intn(maxTraces+1); i < n; i++ {
+		t := make(trace.T, r.Intn(maxLen+1))
+		for j := range t {
+			t[j] = ev(chans[r.Intn(len(chans))], int64(r.Intn(2)))
+		}
+		b.Add(t)
+	}
+	return b.Set()
+}
+
+// TestPropClosureInvariance: every operator's result is prefix-closed
+// (§3.1 — prefix closures are closed under each semantic operation).
+func TestPropClosureInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	chatter := []trace.Event{ev("k", 0), ev("k", 1)}
+	for i := 0; i < propIters; i++ {
+		p := randClosure(r, []string{"a", "w"}, 3, 4)
+		q := randClosure(r, []string{"w", "b"}, 3, 4)
+		hide := trace.NewSet("w")
+		for label, s := range map[string]*closure.Set{
+			"prefix":    closure.Prefix(ev("a", 1), p),
+			"union":     closure.Union(p, q),
+			"intersect": closure.Intersect(p, q),
+			"hide":      closure.Hide(p, hide),
+			"ignore":    closure.Ignore(p, chatter, 4),
+			"parallel":  closure.Parallel(p, q, trace.NewSet("a", "w"), trace.NewSet("w", "b")),
+			"truncate":  closure.Union(p, q).TruncateTo(2),
+		} {
+			if !isPrefixClosed(s) {
+				t.Fatalf("iter %d: %s result not prefix-closed: %v", i, label, s)
+			}
+		}
+	}
+}
+
+// TestPropUnionLaws: commutativity, associativity, idempotence of ∪, its
+// unit {<>}, and agreement with the reference implementation.
+func TestPropUnionLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	for i := 0; i < propIters; i++ {
+		p := randClosure(r, []string{"a", "b", "w"}, 3, 4)
+		q := randClosure(r, []string{"a", "b", "w"}, 3, 4)
+		s := randClosure(r, []string{"a", "b", "w"}, 3, 4)
+		if !closure.Union(p, q).Equal(closure.Union(q, p)) {
+			t.Fatalf("iter %d: union not commutative", i)
+		}
+		if !closure.Union(closure.Union(p, q), s).Equal(closure.Union(p, closure.Union(q, s))) {
+			t.Fatalf("iter %d: union not associative", i)
+		}
+		if !closure.Union(p, p).Same(p) {
+			t.Fatalf("iter %d: union not idempotent (or not canonical)", i)
+		}
+		if !closure.Union(p, closure.Stop()).Same(p) {
+			t.Fatalf("iter %d: {<>} not the unit of union", i)
+		}
+		sameSet(t, "union vs reference", closure.Union(p, q), refUnion(refFrom(p), refFrom(q)))
+	}
+}
+
+// TestPropIntersectLaws: ∩ laws and reference agreement, plus the size
+// identity |P∪Q| + |P∩Q| = |P| + |Q| tying the cached sizes together.
+func TestPropIntersectLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for i := 0; i < propIters; i++ {
+		p := randClosure(r, []string{"a", "b", "w"}, 3, 4)
+		q := randClosure(r, []string{"a", "b", "w"}, 3, 4)
+		if !closure.Intersect(p, q).Equal(closure.Intersect(q, p)) {
+			t.Fatalf("iter %d: intersect not commutative", i)
+		}
+		if !closure.Intersect(p, p).Same(p) {
+			t.Fatalf("iter %d: intersect not idempotent (or not canonical)", i)
+		}
+		if got := closure.Union(p, q).Size() + closure.Intersect(p, q).Size(); got != p.Size()+q.Size() {
+			t.Fatalf("iter %d: |P∪Q|+|P∩Q| = %d, want %d", i, got, p.Size()+q.Size())
+		}
+		sameSet(t, "intersect vs reference", closure.Intersect(p, q), refIntersect(refFrom(p), refFrom(q)))
+	}
+}
+
+// TestPropHideLaws: Hide(Hide(P,C),D) = Hide(P,C∪D), hiding nothing is the
+// identity, and reference agreement.
+func TestPropHideLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	for i := 0; i < propIters; i++ {
+		p := randClosure(r, []string{"a", "b", "w"}, 4, 5)
+		c := trace.NewSet("w")
+		d := trace.NewSet("b")
+		lhs := closure.Hide(closure.Hide(p, c), d)
+		rhs := closure.Hide(p, c.Union(d))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("iter %d: Hide(Hide(P,C),D) = %v ≠ Hide(P,C∪D) = %v", i, lhs, rhs)
+		}
+		if !closure.Hide(p, trace.NewSet()).Same(p) {
+			t.Fatalf("iter %d: hiding ∅ not the identity (or not canonical)", i)
+		}
+		sameSet(t, "hide vs reference", closure.Hide(p, c), refHide(refFrom(p), c))
+	}
+}
+
+// TestPropIgnoreVsReference: the interned ⇑ agrees with the naive
+// enumerate-and-filter reading of the paper's definition.
+func TestPropIgnoreVsReference(t *testing.T) {
+	r := rand.New(rand.NewSource(105))
+	chatter := []trace.Event{ev("k", 0), ev("k", 1)}
+	for i := 0; i < propIters; i++ {
+		p := randClosure(r, []string{"a", "w"}, 2, 3)
+		const budget = 3
+		sameSet(t, "ignore vs reference", closure.Ignore(p, chatter, budget),
+			refIgnore(refFrom(p), chatter, budget))
+	}
+}
+
+// TestPropParallelDefinition checks the paper's defining identity
+// P X‖Y Q = (P ⇑ (Y−X)) ∩ (Q ⇑ (X−Y)) on random operands, and the product
+// walk against the reference projection semantics.
+func TestPropParallelDefinition(t *testing.T) {
+	r := rand.New(rand.NewSource(106))
+	x := trace.NewSet("a", "w")
+	y := trace.NewSet("w", "b")
+	// Chatter alphabets: every event the other side can perform on its
+	// private channels (values are drawn from {0,1} by randClosure).
+	chatterYmX := []trace.Event{ev("b", 0), ev("b", 1)}
+	chatterXmY := []trace.Event{ev("a", 0), ev("a", 1)}
+	for i := 0; i < propIters; i++ {
+		p := randClosure(r, []string{"a", "w"}, 2, 3)
+		q := randClosure(r, []string{"w", "b"}, 2, 3)
+		par := closure.Parallel(p, q, x, y)
+		budget := p.MaxLen() + q.MaxLen()
+		viaIgnore := closure.Intersect(
+			closure.Ignore(p, chatterYmX, budget),
+			closure.Ignore(q, chatterXmY, budget),
+		)
+		if !par.Equal(viaIgnore) {
+			t.Fatalf("iter %d: product walk %v ≠ (P⇑(Y−X)) ∩ (Q⇑(X−Y)) %v\n p-only: %v\n q-only: %v",
+				i, par, viaIgnore, par.FirstNotIn(viaIgnore), viaIgnore.FirstNotIn(par))
+		}
+		sameSet(t, "parallel vs reference", par,
+			refParallel(refFrom(p), refFrom(q), x, y, budget))
+	}
+}
+
+// TestPropSubsetEqualConsistency ties SubsetOf, Equal, Same, FirstNotIn and
+// the monotonicity of union together on random operands.
+func TestPropSubsetEqualConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	for i := 0; i < propIters; i++ {
+		p := randClosure(r, []string{"a", "b", "w"}, 3, 4)
+		q := randClosure(r, []string{"a", "b", "w"}, 3, 4)
+		u := closure.Union(p, q)
+		if !p.SubsetOf(u) || !q.SubsetOf(u) {
+			t.Fatalf("iter %d: operands not subsets of their union", i)
+		}
+		if w := p.FirstNotIn(u); w != nil {
+			t.Fatalf("iter %d: FirstNotIn found %v despite P ⊆ P∪Q", i, w)
+		}
+		if p.SubsetOf(q) != closure.Union(p, q).Equal(q) {
+			t.Fatalf("iter %d: SubsetOf disagrees with P∪Q = Q", i)
+		}
+		if (p.SubsetOf(q) && q.SubsetOf(p)) != p.Equal(q) {
+			t.Fatalf("iter %d: mutual subset disagrees with Equal", i)
+		}
+		if p.Equal(q) && !p.Same(q) {
+			t.Fatalf("iter %d: equal sets built in one session should be canonical (Same)", i)
+		}
+	}
+}
+
+// TestPropInterningCanonical: structurally equal sets built through
+// different operator paths share one canonical root, and an interned
+// rebuild after ResetCaches still compares Equal (structural fallback).
+func TestPropInterningCanonical(t *testing.T) {
+	r := rand.New(rand.NewSource(108))
+	for i := 0; i < 50; i++ {
+		p := randClosure(r, []string{"a", "b"}, 3, 4)
+		q := randClosure(r, []string{"a", "b"}, 3, 4)
+		viaOps := closure.Union(p, q)
+		viaBuilder := closure.FromTraces(append(p.Traces(), q.Traces()...))
+		if !viaOps.Same(viaBuilder) {
+			t.Fatalf("iter %d: same set via ops and via builder is not pointer-canonical", i)
+		}
+	}
+	p := closure.FromTraces([]trace.T{{ev("a", 0), ev("b", 1)}})
+	closure.ResetCaches()
+	rebuilt := closure.FromTraces([]trace.T{{ev("a", 0), ev("b", 1)}})
+	if p.Same(rebuilt) {
+		t.Fatal("a reset must mint fresh canonical nodes")
+	}
+	if !p.Equal(rebuilt) || !p.SubsetOf(rebuilt) || !rebuilt.SubsetOf(p) {
+		t.Fatal("structural Equal/SubsetOf must survive a cache reset")
+	}
+
+	// Sets that straddle an eviction (not just a reset) must also compare
+	// structurally: shrink the budgets so rebuilding evicts p's nodes.
+	closure.SetCacheBudget(8, 8)
+	defer closure.SetCacheBudget(0, 0)
+	var churn []*closure.Set
+	for i := 0; i < 64; i++ {
+		churn = append(churn, closure.FromTraces([]trace.T{{ev("a", int64(i%2)), ev("b", int64(i))}}))
+	}
+	_ = churn
+	again := closure.FromTraces([]trace.T{{ev("a", 0), ev("b", 1)}})
+	if !p.Equal(again) {
+		t.Fatal("Equal must hold across evictions")
+	}
+	if closure.Stats().Rotations == 0 {
+		t.Fatal("expected the shrunken intern table to rotate")
+	}
+}

@@ -1,0 +1,54 @@
+package proofs_test
+
+import (
+	"testing"
+
+	"cspsat/internal/check"
+	"cspsat/internal/closure"
+	"cspsat/internal/paper"
+	"cspsat/internal/proof"
+	"cspsat/internal/proofs"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+)
+
+// TestProofsIndependentOfClosureCaches re-checks the paper's copier proof
+// and model-checks its conclusion with the closure-layer caches warm, then
+// cold (after ResetCaches), then warm again. The interning and memo tables
+// are a transparent optimisation: every outcome must be identical, and the
+// warm rerun must actually be answered from the caches.
+func TestProofsIndependentOfClosureCaches(t *testing.T) {
+	run := func() (proof.Claim, check.Result) {
+		c := copierChecker(t)
+		cl, err := c.Check(proofs.CopierProof())
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		ck := check.New(sem.NewEnv(paper.CopySystem(), 2), nil, 6)
+		res, err := ck.Sat(syntax.Ref{Name: paper.NameCopier}, cl.A)
+		if err != nil {
+			t.Fatalf("model check: %v", err)
+		}
+		return cl, res
+	}
+
+	warm1, sat1 := run()
+	closure.ResetCaches()
+	cold, satCold := run()
+	before := closure.Stats()
+	warm2, satWarm := run()
+	after := closure.Stats()
+
+	for _, cl := range []proof.Claim{cold, warm2} {
+		if cl.String() != warm1.String() {
+			t.Fatalf("proof conclusion changed across cache states: %s vs %s", warm1, cl)
+		}
+	}
+	if sat1.OK != satCold.OK || sat1.OK != satWarm.OK || !sat1.OK {
+		t.Fatalf("model-check verdict changed across cache states: %v / %v / %v",
+			sat1.OK, satCold.OK, satWarm.OK)
+	}
+	if after.MemoHits <= before.MemoHits {
+		t.Fatal("warm rerun hit no operator memos; interning is not engaged on the proof path")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"cspsat/internal/assertion"
+	"cspsat/internal/closure"
 	"cspsat/internal/failures"
 	"cspsat/internal/op"
 	"cspsat/internal/sem"
@@ -205,8 +206,19 @@ func (r *REPL) Run(in io.Reader, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "took %d steps\n", took)
 			r.printState(out)
+		case line == ":stats":
+			// Window into the process-wide closure caches. Stepping itself
+			// works on offers, not trace sets, so a pure stepping session
+			// reads zero — the counters move when the embedding process
+			// also model-checks or denotes (e.g. a host driving the REPL
+			// alongside check/proof work), and the bounded caches are what
+			// keep such long-lived processes from growing without bound.
+			s := closure.Stats()
+			fmt.Fprintf(out, "closure caches: %d interned nodes, %d/%d intern hits/misses, %d evicted\n",
+				s.InternedNodes, s.InternHits, s.InternMisses, s.Evicted)
+			fmt.Fprintf(out, "operator memos: %d hits, %d misses\n", s.MemoHits, s.MemoMisses)
 		case line == ":help":
-			fmt.Fprintln(out, "enter a number to perform that communication; commands: :menu :trace :hist :accept :random [n] :undo :reset :quit")
+			fmt.Fprintln(out, "enter a number to perform that communication; commands: :menu :trace :hist :accept :random [n] :stats :undo :reset :quit")
 		default:
 			idx, err := strconv.Atoi(line)
 			if err != nil {

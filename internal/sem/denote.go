@@ -106,8 +106,13 @@ func (d *Denoter) Denote(p syntax.Proc, env Env) (*closure.Set, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Union over hash-consed tries returns the canonical node, so
+			// the moment the pass adds nothing (a(i+1) = aᵢ) the union IS
+			// the previous approximation's node and Same short-circuits the
+			// chain with a pointer comparison; Equal is the structural
+			// fallback for nodes straddling a closure-cache eviction.
 			next = closure.Union(next, d.approx[k])
-			if !next.Equal(d.approx[k]) {
+			if !next.Same(d.approx[k]) && !next.Equal(d.approx[k]) {
 				d.approx[k] = next
 				changed = true
 			}

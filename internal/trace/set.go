@@ -7,6 +7,18 @@ import (
 
 // Set is a finite set of channel identities, used for process alphabets and
 // hiding lists (the paper's X, Y, L, C). The zero Set is empty and usable.
+//
+// Aliasing contract: a Set is a small struct wrapping a map, so copying the
+// struct shares the underlying storage. Add is therefore a
+// construction-phase operation only: it may be called while a set is being
+// built, before the set is returned, stored, or otherwise shared. Every
+// exported operation that returns a Set (NewSet, With, Union, Intersect,
+// Minus, Clone, and the Slice-derived constructors elsewhere) allocates
+// fresh storage that never aliases its inputs, so results may be mutated
+// with Add without affecting the operands — and mutating an operand never
+// changes a previously computed result. TestSetOperationsDoNotAlias guards
+// this contract. To extend a set that may already be shared, use With,
+// which copies.
 type Set struct {
 	m map[Chan]bool
 }
@@ -20,12 +32,29 @@ func NewSet(cs ...Chan) Set {
 	return s
 }
 
-// Add inserts c, allocating the underlying map on first use.
+// Add inserts c, allocating the underlying map on first use. Add mutates
+// the receiver's storage in place and must only be used on sets the caller
+// constructed and has not yet shared (see the type comment); use With for
+// a non-mutating extension.
 func (s *Set) Add(c Chan) {
 	if s.m == nil {
 		s.m = make(map[Chan]bool)
 	}
 	s.m[c] = true
+}
+
+// With returns a new set containing the receiver's channels plus cs. The
+// receiver is never modified and the result never aliases it, so With is
+// safe on shared sets where Add is not.
+func (s Set) With(cs ...Chan) Set {
+	out := make(map[Chan]bool, len(s.m)+len(cs))
+	for c := range s.m {
+		out[c] = true
+	}
+	for _, c := range cs {
+		out[c] = true
+	}
+	return Set{m: out}
 }
 
 // Contains reports membership.
@@ -100,6 +129,20 @@ func (s Set) Slice() []Chan {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Key returns a canonical string identity for the set: two sets have equal
+// keys iff they contain the same channels. Used as a cache key by the
+// memoized closure operators, whose results depend on a channel set only
+// through its membership.
+func (s Set) Key() string {
+	cs := s.Slice()
+	var sb strings.Builder
+	for _, c := range cs {
+		sb.WriteString(string(c))
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
 }
 
 // String renders the set in the paper's brace notation, e.g. "{input, wire}".

@@ -1,0 +1,94 @@
+package trace
+
+import "testing"
+
+// TestSetOperationsDoNotAlias is the regression test for the Set aliasing
+// contract (see the type comment in set.go): every exported Set-returning
+// operation allocates fresh storage, so mutating a result never changes an
+// operand and mutating an operand never changes a previously computed
+// result. The hazard it guards against is the map-wrapping value type: a
+// careless `out := s` inside an operation would share storage and make a
+// later Add on the result silently corrupt the input — which, now that
+// channel sets serve as memo-table keys in internal/closure, would poison
+// cached operator results.
+func TestSetOperationsDoNotAlias(t *testing.T) {
+	snapshot := func(s Set) map[Chan]bool {
+		out := map[Chan]bool{}
+		for _, c := range s.Slice() {
+			out[c] = true
+		}
+		return out
+	}
+	unchanged := func(t *testing.T, label string, s Set, want map[Chan]bool) {
+		t.Helper()
+		if s.Len() != len(want) {
+			t.Fatalf("%s: operand mutated: %v", label, s)
+		}
+		for c := range want {
+			if !s.Contains(c) {
+				t.Fatalf("%s: operand lost %q: %v", label, c, s)
+			}
+		}
+	}
+
+	a := NewSet("x", "y")
+	b := NewSet("y", "z")
+	aWant, bWant := snapshot(a), snapshot(b)
+
+	results := map[string]Set{
+		"Union":     a.Union(b),
+		"Intersect": a.Intersect(b),
+		"Minus":     a.Minus(b),
+		"With":      a.With("w"),
+		"Clone":     a.Clone(),
+	}
+	for label, r := range results {
+		// Mutating the result must not touch either operand.
+		r.Add("poison")
+		unchanged(t, label+" then Add(result)", a, aWant)
+		unchanged(t, label+" then Add(result)", b, bWant)
+	}
+
+	// Conversely, mutating an operand must not change results computed
+	// before the mutation.
+	u := a.Union(b)
+	w := a.With("w")
+	c := a.Clone()
+	k := a.Key()
+	a.Add("late")
+	if u.Contains("late") || w.Contains("late") || c.Contains("late") {
+		t.Fatal("mutating an operand leaked into a previously computed result")
+	}
+	if k == a.Key() {
+		t.Fatal("Key must reflect the mutation on the operand itself")
+	}
+
+	// The zero Set participates in the same contract.
+	var zero Set
+	z := zero.With("only")
+	if zero.Len() != 0 || z.Len() != 1 {
+		t.Fatalf("With on the zero set: zero=%v result=%v", zero, z)
+	}
+	if got := zero.Union(NewSet("q")); got.Len() != 1 || zero.Len() != 0 {
+		t.Fatalf("Union on the zero set aliased: zero=%v got=%v", zero, got)
+	}
+}
+
+// TestSetKeyCanonical: equal sets have equal keys, distinct sets distinct
+// keys, and the key is insensitive to construction order — the property the
+// closure memo tables depend on.
+func TestSetKeyCanonical(t *testing.T) {
+	if NewSet("a", "b").Key() != NewSet("b", "a").Key() {
+		t.Fatal("Key must not depend on insertion order")
+	}
+	if NewSet("a", "b").Key() == NewSet("a").Key() {
+		t.Fatal("distinct sets must have distinct keys")
+	}
+	if NewSet().Key() != (Set{}).Key() {
+		t.Fatal("empty and zero sets must share a key")
+	}
+	// The separator must prevent concatenation ambiguity: {"ab"} ≠ {"a","b"}.
+	if NewSet("ab").Key() == NewSet("a", "b").Key() {
+		t.Fatal(`{"ab"} and {"a","b"} must have distinct keys`)
+	}
+}
