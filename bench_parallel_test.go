@@ -1,0 +1,95 @@
+// E13/E14 parallel-engine scaling benchmarks: the worker-pool explorer and
+// the Jacobi-parallel denoter across a GOMAXPROCS 1/4/8 matrix, with the
+// closure caches emptied every iteration so each measurement is a real
+// exploration rather than a memo replay. EXPERIMENTS.md records the
+// outcomes; on a 1-CPU machine the >1-proc rows measure scheduling
+// overhead only.
+package cspsat_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	goruntime "runtime"
+	"testing"
+
+	"cspsat/internal/closure"
+	"cspsat/pkg/csp"
+)
+
+// parallelWorkloads names the spec roots the scaling benchmarks explore:
+// the token ring (wide frontier, deep hiding) and the dining philosophers
+// (large interleaving product).
+var parallelWorkloads = []struct {
+	file, root string
+	depth      int
+}{
+	{"specs/tokenring.csp", "sys", 6},
+	{"specs/philosophers.csp", "safe", 5},
+}
+
+func loadBenchModule(b *testing.B, path string) *csp.Module {
+	b.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := csp.Load(context.Background(), string(data), csp.Options{NatWidth: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mod
+}
+
+func BenchmarkE13ParallelExplore(b *testing.B) {
+	for _, w := range parallelWorkloads {
+		mod := loadBenchModule(b, w.file)
+		p, err := mod.Proc(w.root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, procs := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/procs=%d", w.root, procs), func(b *testing.B) {
+				defer goruntime.GOMAXPROCS(goruntime.GOMAXPROCS(procs))
+				opts := csp.EngineOptions{Engine: csp.EngineOp, Depth: w.depth, Workers: procs}
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					closure.ResetCaches()
+					b.StartTimer()
+					res, err := mod.Traces(context.Background(), p, opts)
+					if err != nil || res.Set.Size() == 0 {
+						b.Fatalf("%v %v", res, err)
+					}
+				}
+				reportCacheStats(b)
+			})
+		}
+	}
+}
+
+func BenchmarkE14ParallelFixpoint(b *testing.B) {
+	for _, w := range parallelWorkloads {
+		mod := loadBenchModule(b, w.file)
+		p, err := mod.Proc(w.root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		depth := w.depth - 1 // the literal chain materialises pre-hiding sets
+		for _, procs := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/procs=%d", w.root, procs), func(b *testing.B) {
+				defer goruntime.GOMAXPROCS(goruntime.GOMAXPROCS(procs))
+				opts := csp.EngineOptions{Engine: csp.EngineDenote, Depth: depth, Workers: procs}
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					closure.ResetCaches()
+					b.StartTimer()
+					res, err := mod.Traces(context.Background(), p, opts)
+					if err != nil || res.Set.Size() == 0 {
+						b.Fatalf("%v %v", res, err)
+					}
+				}
+				reportCacheStats(b)
+			})
+		}
+	}
+}

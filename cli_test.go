@@ -32,6 +32,12 @@ func buildTools(t *testing.T) string {
 
 func run(t *testing.T, bin string, stdin string, args ...string) (string, int) {
 	t.Helper()
+	// CSP_TEST_WORKERS reruns the whole CLI suite with the tools' worker
+	// pools on (CI does this under -race); the flag is uniform across the
+	// tools and must not change any pinned output below.
+	if w := os.Getenv("CSP_TEST_WORKERS"); w != "" {
+		args = append([]string{"-workers", w}, args...)
+	}
 	cmd := exec.Command(bin, args...)
 	if stdin != "" {
 		cmd.Stdin = strings.NewReader(stdin)

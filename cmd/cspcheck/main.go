@@ -7,49 +7,41 @@
 //
 // Usage:
 //
-//	cspcheck [-depth N] [-nat W] [-deadlocks] file.csp
+//	cspcheck [-depth N] [-nat W] [-deadlocks] [-workers N] [-timeout D] [-stats] file.csp
 //
 // Exit status 1 when any assertion fails (or -deadlocks finds one), 2 on
 // usage or load errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"cspsat/internal/core"
-	"cspsat/internal/syntax"
+	"cspsat/internal/cli"
+	"cspsat/pkg/csp"
 )
 
 func main() {
+	app := cli.New("cspcheck", "cspcheck [-depth N] [-nat W] [-deadlocks] [-workers N] [-timeout D] [-stats] file.csp")
+	app.NatFlag(3)
 	depth := flag.Int("depth", 8, "trace-length bound for the exhaustive check")
-	nat := flag.Int("nat", 3, "enumeration width of the NAT domain")
 	deadlocks := flag.Bool("deadlocks", false, "also search asserted processes for reachable deadlocks")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cspcheck [-depth N] [-nat W] [-deadlocks] file.csp\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	sys, err := core.LoadFile(flag.Arg(0), core.Options{NatWidth: *nat})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspcheck:", err)
-		os.Exit(2)
-	}
-	if len(sys.Asserts) == 0 {
+	args := app.Parse(1)
+	ctx, cancel := app.Context()
+	defer cancel()
+
+	mod := app.Load(ctx, args[0])
+	if len(mod.Asserts()) == 0 {
 		fmt.Println("cspcheck: no assert clauses in file")
 		return
 	}
-	results, err := sys.CheckAll(*depth)
+	results, err := mod.CheckAll(ctx, csp.CheckOptions{Depth: *depth, Workers: app.Workers})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspcheck:", err)
-		os.Exit(2)
+		app.Fatal(err)
 	}
-	fmt.Print(core.FormatAssertResults(results))
+	fmt.Print(csp.FormatAssertResults(results))
 	bad := false
 	for _, r := range results {
 		if !r.OK() {
@@ -57,10 +49,11 @@ func main() {
 		}
 	}
 	if *deadlocks {
-		if findDeadlocks(sys, *depth) {
+		if findDeadlocks(ctx, app, mod, *depth) {
 			bad = true
 		}
 	}
+	app.Finish()
 	if bad {
 		os.Exit(1)
 	}
@@ -68,11 +61,11 @@ func main() {
 
 // findDeadlocks runs the deadlock search over each distinct unquantified
 // asserted process; it returns true if any deadlock was found.
-func findDeadlocks(sys *core.System, depth int) bool {
-	ck := sys.Checker(depth)
+func findDeadlocks(ctx context.Context, app *cli.App, mod *csp.Module, depth int) bool {
+	opts := csp.CheckOptions{Depth: depth, Workers: app.Workers}
 	seen := map[string]bool{}
 	found := false
-	for _, decl := range sys.Asserts {
+	for _, decl := range mod.Asserts() {
 		if len(decl.Quants) != 0 {
 			continue
 		}
@@ -81,7 +74,7 @@ func findDeadlocks(sys *core.System, depth int) bool {
 			continue
 		}
 		seen[key] = true
-		dls, err := ck.Deadlocks(decl.Proc)
+		dls, err := mod.Deadlocks(ctx, decl.Proc, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cspcheck: deadlock search for %s: %v\n", decl.Proc, err)
 			found = true
@@ -100,7 +93,7 @@ func findDeadlocks(sys *core.System, depth int) bool {
 	return found
 }
 
-func residual(p syntax.Proc) string {
+func residual(p csp.Proc) string {
 	s := p.String()
 	const maxShown = 120
 	if len(s) > maxShown {

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	cspeq [-depth N] [-nat W] file.csp P Q
+//	cspeq [-depth N] [-nat W] [-workers N] [-timeout D] [-stats] file.csp P Q
 //
 // Exit status is 0 regardless of the verdicts (the comparison itself is
 // the output); 2 on usage or load errors.
@@ -18,50 +18,36 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"cspsat/internal/core"
-	"cspsat/internal/failures"
-	"cspsat/internal/sem"
-	"cspsat/internal/syntax"
-	"cspsat/internal/trace"
+	"cspsat/internal/cli"
+	"cspsat/pkg/csp"
 )
 
 func main() {
+	app := cli.New("cspeq", "cspeq [-depth N] [-nat W] [-workers N] [-timeout D] [-stats] file.csp P Q")
+	app.NatFlag(3)
 	depth := flag.Int("depth", 6, "trace-length bound for both models")
-	nat := flag.Int("nat", 3, "enumeration width of the NAT domain")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cspeq [-depth N] [-nat W] file.csp P Q\n")
-		flag.PrintDefaults()
+	args := app.Parse(3)
+	ctx, cancel := app.Context()
+	defer cancel()
+
+	mod := app.Load(ctx, args[0])
+	p := app.Proc(mod, args[1])
+	q := app.Proc(mod, args[2])
+	pName, qName := args[1], args[2]
+	copts := csp.CheckOptions{Depth: *depth, Workers: app.Workers}
+	eopts := csp.EngineOptions{Depth: *depth, Workers: app.Workers}
+	exitOn := func(err error) {
+		if err != nil {
+			app.Fatal(err)
+		}
 	}
-	flag.Parse()
-	if flag.NArg() != 3 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	sys, err := core.LoadFile(flag.Arg(0), core.Options{NatWidth: *nat})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspeq:", err)
-		os.Exit(2)
-	}
-	p, err := sys.Proc(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspeq:", err)
-		os.Exit(2)
-	}
-	q, err := sys.Proc(flag.Arg(2))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspeq:", err)
-		os.Exit(2)
-	}
-	pName, qName := flag.Arg(1), flag.Arg(2)
 
 	// --- trace model ---
-	ck := sys.Checker(*depth)
 	fmt.Printf("== trace model (the paper's §3 prefix closures, depth %d) ==\n", *depth)
-	pq, err := ck.Refines(p, q)
+	pq, err := mod.Refines(ctx, p, q, copts)
 	exitOn(err)
-	qp, err := ck.Refines(q, p)
+	qp, err := mod.Refines(ctx, q, p, copts)
 	exitOn(err)
 	printRefine(pName, qName, pq.OK, traceWitness(pq.Witness))
 	printRefine(qName, pName, qp.OK, traceWitness(qp.Witness))
@@ -71,13 +57,13 @@ func main() {
 
 	// --- failures model ---
 	fmt.Printf("\n== stable-failures model (the §4 extension, depth %d) ==\n", *depth)
-	mp, err := computeModel(p, sys.Env(), *depth)
+	mp, err := mod.Failures(ctx, p, eopts)
 	exitOn(err)
-	mq, err := computeModel(q, sys.Env(), *depth)
+	mq, err := mod.Failures(ctx, q, eopts)
 	exitOn(err)
-	fpq, err := failures.Refines(mp, mq)
+	fpq, err := csp.FailuresRefines(mp, mq)
 	exitOn(err)
-	fqp, err := failures.Refines(mq, mp)
+	fqp, err := csp.FailuresRefines(mq, mp)
 	exitOn(err)
 	printRefine(pName, qName, fpq == nil, cexString(fpq))
 	printRefine(qName, pName, fqp == nil, cexString(fqp))
@@ -86,15 +72,15 @@ func main() {
 	}
 	for _, pr := range []struct {
 		name string
-		proc syntax.Proc
-		m    *failures.Model
+		proc csp.Proc
+		m    *csp.FailuresModel
 	}{{pName, p, mp}, {qName, q, mq}} {
 		if tr, can := pr.m.CanDeadlock(); can {
 			fmt.Printf("   %s can deadlock (after %s)\n", pr.name, tr)
 		} else {
 			fmt.Printf("   %s is deadlock-free to this depth\n", pr.name)
 		}
-		dtr, div, err := failures.Diverges(pr.proc, sys.Env(), *depth)
+		dtr, div, err := mod.Diverges(ctx, pr.proc, eopts)
 		exitOn(err)
 		if div {
 			fmt.Printf("   %s can diverge (internal chatter forever, after %s)\n", pr.name, dtr)
@@ -102,10 +88,7 @@ func main() {
 			fmt.Printf("   %s is divergence-free to this depth\n", pr.name)
 		}
 	}
-}
-
-func computeModel(p syntax.Proc, env sem.Env, depth int) (*failures.Model, error) {
-	return failures.Compute(p, env, depth)
+	app.Finish()
 }
 
 func printRefine(a, b string, ok bool, why string) {
@@ -116,23 +99,16 @@ func printRefine(a, b string, ok bool, why string) {
 	fmt.Printf("   %s ⊑ %s FAILS: %s\n", a, b, why)
 }
 
-func traceWitness(w trace.T) string {
+func traceWitness(w csp.Trace) string {
 	if w == nil {
 		return ""
 	}
 	return "witness " + w.String()
 }
 
-func cexString(c *failures.Counterexample) string {
+func cexString(c *csp.FailuresCounterexample) string {
 	if c == nil {
 		return ""
 	}
 	return c.String()
-}
-
-func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspeq:", err)
-		os.Exit(2)
-	}
 }

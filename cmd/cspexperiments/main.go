@@ -5,29 +5,27 @@
 //
 // Usage:
 //
-//	cspexperiments [-depth N] [-only E7]
+//	cspexperiments [-depth N] [-only E7] [-workers N] [-timeout D] [-stats]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"cspsat/internal/assertion"
 	"cspsat/internal/auto"
-	"cspsat/internal/check"
+	"cspsat/internal/cli"
 	"cspsat/internal/closure"
-	"cspsat/internal/failures"
-	"cspsat/internal/op"
 	"cspsat/internal/paper"
 	"cspsat/internal/proof"
 	"cspsat/internal/proofs"
-	"cspsat/internal/sem"
 	"cspsat/internal/syntax"
 	"cspsat/internal/trace"
 	"cspsat/internal/value"
+	"cspsat/pkg/csp"
 )
 
 type experiment struct {
@@ -36,11 +34,22 @@ type experiment struct {
 	run   func(depth int) (string, error)
 }
 
+// runCtx and workers are set once from the uniform flags in main; the
+// experiment closures read them so each row honours -timeout and -workers.
+var (
+	runCtx  context.Context = context.Background()
+	workers                 = 1
+)
+
 func main() {
+	app := cli.New("cspexperiments", "cspexperiments [-depth N] [-only E7] [-workers N] [-timeout D] [-stats]")
 	depth := flag.Int("depth", 7, "trace-length bound for the model checks")
 	only := flag.String("only", "", "run a single experiment, e.g. E7")
-	stats := flag.Bool("stats", false, "print closure interning/memo cache statistics after the run")
-	flag.Parse()
+	app.Parse(0)
+	ctx, cancel := app.Context()
+	defer cancel()
+	runCtx = ctx
+	workers = app.Workers
 
 	failed := false
 	for _, e := range experiments() {
@@ -55,54 +64,28 @@ func main() {
 		}
 		fmt.Printf("%-4s ok    %-52s %s\n", e.id, e.claim, outcome)
 	}
-	if *stats {
-		printCacheStats()
+	if app.Stats {
+		// The table's statistics report goes to stdout — it is part of the
+		// regenerated record, not diagnostics.
+		cli.WriteStats(os.Stdout)
 	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
-// printCacheStats reports the closure layer's hash-consing effectiveness
-// over the whole run: how many canonical trie nodes the experiments
-// needed, and how often the operator memo tables answered instead of
-// recomputing.
-func printCacheStats() {
-	s := closure.Stats()
-	fmt.Printf("\nclosure caches: %d interned nodes (%d hits / %d misses, %d evicted in %d rotations)\n",
-		s.InternedNodes, s.InternHits, s.InternMisses, s.Evicted, s.Rotations)
-	total := s.MemoHits + s.MemoMisses
-	rate := 0.0
-	if total > 0 {
-		rate = float64(s.MemoHits) / float64(total) * 100
-	}
-	fmt.Printf("operator memos: %d hits / %d misses (%.1f%% hit rate)\n", s.MemoHits, s.MemoMisses, rate)
-	ops := make([]string, 0, len(s.Ops))
-	for name := range s.Ops {
-		ops = append(ops, name)
-	}
-	sort.Strings(ops)
-	for _, name := range ops {
-		o := s.Ops[name]
-		fmt.Printf("  %-10s %8d hits %8d misses\n", name, o.Hits, o.Misses)
-	}
-}
-
 // helpers shared by the experiment closures
 
-func copyEnv() sem.Env  { return sem.NewEnv(paper.CopySystem(), 2) }
-func protoEnv() sem.Env { return sem.NewEnv(paper.ProtocolSystem(2), 2) }
+func copyMod() *csp.Module  { return csp.FromModule(paper.CopySystem(), csp.Options{NatWidth: 2}) }
+func protoMod() *csp.Module { return csp.FromModule(paper.ProtocolSystem(2), csp.Options{NatWidth: 2}) }
 
-func copyProver() *proof.Checker {
-	c := proof.NewChecker(copyEnv(), nil)
-	c.Validity = assertion.ValidityConfig{MaxLen: 3}
-	return c
+func copyValidity() *assertion.ValidityConfig {
+	return &assertion.ValidityConfig{MaxLen: 3}
 }
 
-func protoProver() *proof.Checker {
-	c := proof.NewChecker(protoEnv(), nil)
+func protoValidity() *assertion.ValidityConfig {
 	msgs := value.Domain(value.IntRange{Lo: 0, Hi: 1})
-	c.Validity = assertion.ValidityConfig{
+	return &assertion.ValidityConfig{
 		MaxLen: 3,
 		ChanDom: map[string]value.Domain{
 			"wire":   value.Union{A: msgs, B: value.NewEnum(value.Sym("ACK"), value.Sym("NACK"))},
@@ -111,11 +94,10 @@ func protoProver() *proof.Checker {
 		},
 		DefaultDom: msgs,
 	}
-	return c
 }
 
-func satLine(env sem.Env, name string, a assertion.A, depth int) (string, error) {
-	res, err := check.New(env, nil, depth).Sat(syntax.Ref{Name: name}, a)
+func satLine(mod *csp.Module, name string, a assertion.A, depth int) (string, error) {
+	res, err := mod.Sat(runCtx, syntax.Ref{Name: name}, a, csp.CheckOptions{Depth: depth, Workers: workers})
 	if err != nil {
 		return "", err
 	}
@@ -125,57 +107,65 @@ func satLine(env sem.Env, name string, a assertion.A, depth int) (string, error)
 	return fmt.Sprintf("model check: %d traces, depth %d", res.TracesChecked, res.Depth), nil
 }
 
-func proveAndCheck(prover *proof.Checker, pr proof.Proof, env sem.Env, name string, a assertion.A, depth int) (string, error) {
-	if _, err := prover.Check(pr); err != nil {
+func proveAndCheck(mod *csp.Module, validity *assertion.ValidityConfig, pr proof.Proof, name string, a assertion.A, depth int) (string, error) {
+	if _, err := mod.Check(runCtx, pr, csp.CheckOptions{Validity: validity}); err != nil {
 		return "", fmt.Errorf("proof: %w", err)
 	}
-	line, err := satLine(env, name, a, depth)
+	line, err := satLine(mod, name, a, depth)
 	if err != nil {
 		return "", err
 	}
 	return "proof checked; " + line, nil
 }
 
+func traces(mod *csp.Module, p csp.Proc, engine csp.Engine, depth int) (*csp.TraceSet, error) {
+	res, err := mod.Traces(runCtx, p, csp.EngineOptions{Engine: engine, Depth: depth, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return res.Set, nil
+}
+
 func experiments() []experiment {
 	return []experiment{
 		{"E1", "copier sat wire <= input (§2, §2.1(6))", func(d int) (string, error) {
-			return proveAndCheck(copyProver(), proofs.CopierProof(), copyEnv(), paper.NameCopier, paper.CopierSat(), d)
+			return proveAndCheck(copyMod(), copyValidity(), proofs.CopierProof(), paper.NameCopier, paper.CopierSat(), d)
 		}},
 		{"E2", "copier sat #input <= #wire+1 (§2)", func(d int) (string, error) {
-			return satLine(copyEnv(), paper.NameCopier, paper.CopierLenSat(), d)
+			return satLine(copyMod(), paper.NameCopier, paper.CopierLenSat(), d)
 		}},
 		{"E3", "recopier sat output <= wire (§2)", func(d int) (string, error) {
-			return proveAndCheck(copyProver(), proofs.RecopierProof(), copyEnv(), paper.NameRecopier, paper.RecopierSat(), d)
+			return proveAndCheck(copyMod(), copyValidity(), proofs.RecopierProof(), paper.NameRecopier, paper.RecopierSat(), d)
 		}},
 		{"E4", "copysys sat output <= input (§2.1(8),(9))", func(d int) (string, error) {
-			return proveAndCheck(copyProver(), proofs.CopyNetworkProof(), copyEnv(), paper.NameCopySys, paper.CopyNetSat(), d)
+			return proveAndCheck(copyMod(), copyValidity(), proofs.CopyNetworkProof(), paper.NameCopySys, paper.CopyNetSat(), d)
 		}},
 		{"E5", "sender sat f(wire) <= input (Table 1)", func(d int) (string, error) {
-			return proveAndCheck(protoProver(), proofs.SenderTable1Proof(), protoEnv(), paper.NameSender, paper.SenderSat(), d)
+			return proveAndCheck(protoMod(), protoValidity(), proofs.SenderTable1Proof(), paper.NameSender, paper.SenderSat(), d)
 		}},
 		{"E6", "receiver sat output <= f(wire) (§2.2(2))", func(d int) (string, error) {
-			return proveAndCheck(protoProver(), proofs.ReceiverProof(), protoEnv(), paper.NameReceiver, paper.ReceiverSat(), d)
+			return proveAndCheck(protoMod(), protoValidity(), proofs.ReceiverProof(), paper.NameReceiver, paper.ReceiverSat(), d)
 		}},
 		{"E7", "protocol sat output <= input (§2.2(3))", func(d int) (string, error) {
-			return proveAndCheck(protoProver(), proofs.ProtocolProof(), protoEnv(), paper.NameProtocol, paper.ProtocolSat(), d)
+			return proveAndCheck(protoMod(), protoValidity(), proofs.ProtocolProof(), paper.NameProtocol, paper.ProtocolSat(), d)
 		}},
 		{"E8", "multiplier scalar-product invariant (§2, §1.3(5))", func(d int) (string, error) {
-			env := sem.NewEnv(paper.MultiplierSystem([]int64{5, 3, 2}), 2)
-			return satLine(env, paper.NameMultiplier, paper.MultiplierSat(), d)
+			mod := csp.FromModule(paper.MultiplierSystem([]int64{5, 3, 2}), csp.Options{NatWidth: 2})
+			return satLine(mod, paper.NameMultiplier, paper.MultiplierSat(), d)
 		}},
 		{"E9", "STOP sat any satisfiable R (§2.1(4), §4)", func(d int) (string, error) {
-			prover := copyProver()
-			if _, err := prover.Check(proofs.StopSatExample()); err != nil {
+			mod := copyMod()
+			if _, err := mod.Check(runCtx, proofs.StopSatExample(), csp.CheckOptions{Validity: copyValidity()}); err != nil {
 				return "", err
 			}
-			res, err := check.New(copyEnv(), nil, d).Sat(syntax.Stop{}, paper.CopierSat())
+			res, err := mod.Sat(runCtx, syntax.Stop{}, paper.CopierSat(), csp.CheckOptions{Depth: d, Workers: workers})
 			if err != nil || !res.OK {
 				return "", fmt.Errorf("%v %v", res, err)
 			}
 			return "emptiness proof + model check of STOP", nil
 		}},
 		{"E10", "STOP | P = P in the trace model (§4)", func(d int) (string, error) {
-			ck := check.New(copyEnv(), nil, d)
+			ck := copyMod().Checker(runCtx, csp.CheckOptions{Depth: d, Workers: workers})
 			copier := syntax.Ref{Name: paper.NameCopier}
 			res, err := ck.Equivalent(syntax.Alt{L: syntax.Stop{}, R: copier}, copier)
 			if err != nil {
@@ -188,12 +178,12 @@ func experiments() []experiment {
 		}},
 		{"E11", "§3.1 closure laws (parallel = ignore∩ignore …)", func(d int) (string, error) {
 			// Spot-verify the headline identity on the copier operands.
-			env := copyEnv()
-			left, err := op.Traces(syntax.Ref{Name: paper.NameCopier}, env, 4)
+			mod := copyMod()
+			left, err := traces(mod, syntax.Ref{Name: paper.NameCopier}, csp.EngineOp, 4)
 			if err != nil {
 				return "", err
 			}
-			right, err := op.Traces(syntax.Ref{Name: paper.NameRecopier}, env, 4)
+			right, err := traces(mod, syntax.Ref{Name: paper.NameRecopier}, csp.EngineOp, 4)
 			if err != nil {
 				return "", err
 			}
@@ -213,17 +203,17 @@ func experiments() []experiment {
 			return "parallel = (P⇑(Y−X)) ∩ (Q⇑(X−Y)) verified; full law set in tests", nil
 		}},
 		{"E12", "denotational chain = operational traces (§3.3)", func(d int) (string, error) {
-			env := protoEnv()
+			mod := protoMod()
 			p := syntax.Ref{Name: paper.NameProtocol}
 			w := d
 			if w > 5 {
 				w = 5 // the literal chain materialises pre-hiding sets
 			}
-			den, err := sem.Denote(p, env, w)
+			den, err := traces(mod, p, csp.EngineDenote, w)
 			if err != nil {
 				return "", err
 			}
-			ops, err := op.Traces(p, env, w)
+			ops, err := traces(mod, p, csp.EngineOp, w)
 			if err != nil {
 				return "", err
 			}
@@ -247,37 +237,38 @@ func experiments() []experiment {
 		}},
 		{"E14", "rule soundness: proofs vs model checker", func(d int) (string, error) {
 			for _, pc := range []struct {
-				prover *proof.Checker
-				pr     proof.Proof
+				mod      *csp.Module
+				validity *assertion.ValidityConfig
+				pr       proof.Proof
 			}{
-				{copyProver(), proofs.CopierProof()},
-				{copyProver(), proofs.CopyNetworkProof()},
-				{protoProver(), proofs.SenderTable1Proof()},
-				{protoProver(), proofs.ProtocolProof()},
+				{copyMod(), copyValidity(), proofs.CopierProof()},
+				{copyMod(), copyValidity(), proofs.CopyNetworkProof()},
+				{protoMod(), protoValidity(), proofs.SenderTable1Proof()},
+				{protoMod(), protoValidity(), proofs.ProtocolProof()},
 			} {
-				if _, err := pc.prover.Check(pc.pr); err != nil {
+				if _, err := pc.mod.Check(runCtx, pc.pr, csp.CheckOptions{Validity: pc.validity}); err != nil {
 					return "", err
 				}
 			}
-			if _, err := satLine(protoEnv(), paper.NameProtocol, paper.ProtocolSat(), d); err != nil {
+			if _, err := satLine(protoMod(), paper.NameProtocol, paper.ProtocolSat(), d); err != nil {
 				return "", err
 			}
 			return "all machine proofs check and their conclusions model-check", nil
 		}},
 		{"E15", "failures model resolves the §4 defect", func(d int) (string, error) {
-			env := copyEnv()
+			mod := copyMod()
 			copier := syntax.Ref{Name: paper.NameCopier}
 			flaky := syntax.IChoice{L: syntax.Stop{}, R: copier}
 			w := min(d, 4)
-			mc, err := failures.Compute(copier, env, w)
+			mc, err := mod.Failures(runCtx, copier, csp.EngineOptions{Depth: w})
 			if err != nil {
 				return "", err
 			}
-			mf, err := failures.Compute(flaky, env, w)
+			mf, err := mod.Failures(runCtx, flaky, csp.EngineOptions{Depth: w})
 			if err != nil {
 				return "", err
 			}
-			cex, err := failures.Equivalent(mf, mc)
+			cex, err := csp.FailuresEquivalent(mf, mc)
 			if err != nil {
 				return "", err
 			}
@@ -287,7 +278,8 @@ func experiments() []experiment {
 			return fmt.Sprintf("STOP |~| P ≠F P (%s)", cex), nil
 		}},
 		{"E16", "Table 1 synthesised automatically", func(d int) (string, error) {
-			pr, err := auto.Recursive(protoEnv(), []auto.Goal{
+			mod := protoMod()
+			pr, err := auto.Recursive(mod.Env(), []auto.Goal{
 				{Name: paper.NameSender, A: paper.SenderSat()},
 				{Name: paper.NameQ, A: paper.QSat()},
 			})
@@ -295,7 +287,7 @@ func experiments() []experiment {
 				return "", err
 			}
 			var steps []proof.Step
-			prover := protoProver()
+			prover := mod.Prover(runCtx, csp.CheckOptions{Validity: protoValidity()})
 			prover.Steps = &steps
 			if _, err := prover.Check(pr); err != nil {
 				return "", err
@@ -310,7 +302,7 @@ func experiments() []experiment {
 			return philosophers(string(data), min(d, 6))
 		}},
 		{"E18", "the protocol diverges (fairness evasion)", func(d int) (string, error) {
-			tr, div, err := failures.Diverges(syntax.Ref{Name: paper.NameProtocol}, protoEnv(), min(d, 3))
+			tr, div, err := protoMod().Diverges(runCtx, syntax.Ref{Name: paper.NameProtocol}, csp.EngineOptions{Depth: min(d, 3)})
 			if err != nil {
 				return "", err
 			}
@@ -323,19 +315,19 @@ func experiments() []experiment {
 }
 
 func philosophers(src string, depth int) (string, error) {
-	f, err := parseSpec(src)
+	mod, err := csp.Load(runCtx, src, csp.Options{NatWidth: 2})
 	if err != nil {
 		return "", err
 	}
-	env := sem.NewEnv(f, 2)
-	bad, err := op.FindDeadlocks(op.NewState(syntax.Ref{Name: "deadlocking"}, env), depth)
+	opts := csp.CheckOptions{Depth: depth, Workers: workers}
+	bad, err := mod.Deadlocks(runCtx, syntax.Ref{Name: "deadlocking"}, opts)
 	if err != nil {
 		return "", err
 	}
 	if len(bad) == 0 {
 		return "", fmt.Errorf("naive table's deadlock not found")
 	}
-	good, err := op.FindDeadlocks(op.NewState(syntax.Ref{Name: "safe"}, env), depth)
+	good, err := mod.Deadlocks(runCtx, syntax.Ref{Name: "safe"}, opts)
 	if err != nil {
 		return "", err
 	}

@@ -5,52 +5,39 @@
 //
 // Usage:
 //
-//	cspi [-nat W] file.csp process
+//	cspi [-nat W] [-timeout D] [-stats] file.csp process
 //
 // Inside the session: enter a number to perform that communication;
 // :menu :trace :hist :accept :random [n] :undo :reset :quit.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"reflect"
 
-	"cspsat/internal/core"
+	"cspsat/internal/cli"
 	"cspsat/internal/repl"
 )
 
 func main() {
-	nat := flag.Int("nat", 3, "enumeration width of the NAT domain")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cspi [-nat W] file.csp process\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	sys, err := core.LoadFile(flag.Arg(0), core.Options{NatWidth: *nat})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspi:", err)
-		os.Exit(2)
-	}
-	p, err := sys.Proc(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspi:", err)
-		os.Exit(2)
-	}
-	r := repl.New(p, sys.Env(), sys.Funcs())
-	for _, decl := range sys.Asserts {
+	app := cli.New("cspi", "cspi [-nat W] [-timeout D] [-stats] file.csp process")
+	app.NatFlag(3)
+	args := app.Parse(2)
+	ctx, cancel := app.Context()
+	defer cancel()
+
+	mod := app.Load(ctx, args[0])
+	p := app.Proc(mod, args[1])
+	r := repl.New(p, mod.Env(), mod.Funcs())
+	for _, decl := range mod.Asserts() {
 		if decl.A != nil && len(decl.Quants) == 0 && reflect.DeepEqual(decl.Proc, p) {
 			r.Monitor(decl.A)
 		}
 	}
-	fmt.Printf("stepping %s from %s (:help for commands)\n", flag.Arg(1), flag.Arg(0))
+	fmt.Printf("stepping %s from %s (:help for commands)\n", args[1], args[0])
 	if err := r.Run(os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "cspi:", err)
-		os.Exit(1)
+		app.Fail(err)
 	}
+	app.Finish()
 }

@@ -6,7 +6,8 @@
 //  1. Asserts about (possibly arrayed) recursive definitions become goals
 //     for the recursion rule, attempted jointly first (mutual recursion, as
 //     in Table 1 where sender's claim needs q's); goals whose synthesis
-//     fails are dropped from the joint attempt and retried individually.
+//     fails are dropped from the joint attempt and retried individually —
+//     the retries are verified as one batch across the -workers pool.
 //  2. Asserts about network definitions (parallel compositions, possibly
 //     hidden and named) are assembled from the proofs of phase 1 with the
 //     parallelism/consequence/chan/unfold glue — the §2.2(3) six-step shape.
@@ -16,13 +17,14 @@
 //
 // Usage:
 //
-//	cspprove [-nat W] [-maxlen L] [-v] file.csp
+//	cspprove [-nat W] [-maxlen L] [-v] [-show] [-workers N] [-timeout D] [-stats] file.csp
 //
 // Exit status 1 when any assert cannot be proved (it may still hold — use
 // cspcheck for refutation), 2 on load errors.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,57 +33,57 @@ import (
 
 	"cspsat/internal/assertion"
 	"cspsat/internal/auto"
-	"cspsat/internal/core"
+	"cspsat/internal/cli"
 	"cspsat/internal/parser"
 	"cspsat/internal/proof"
 	"cspsat/internal/syntax"
 	"cspsat/internal/value"
+	"cspsat/pkg/csp"
 )
 
 func main() {
-	nat := flag.Int("nat", 2, "enumeration width of the NAT domain")
+	app := cli.New("cspprove", "cspprove [-nat W] [-maxlen L] [-v] [-show] [-workers N] [-timeout D] [-stats] file.csp")
+	app.NatFlag(2)
 	maxLen := flag.Int("maxlen", 3, "history-length bound for validity obligations")
 	verbose := flag.Bool("v", false, "print each verified rule application")
 	show := flag.Bool("show", false, "render each successful proof in the paper's Table-1 style")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cspprove [-nat W] [-maxlen L] [-v] file.csp\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	sys, err := core.LoadFile(flag.Arg(0), core.Options{NatWidth: *nat})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspprove:", err)
-		os.Exit(2)
-	}
-	if len(sys.Asserts) == 0 {
+	args := app.Parse(1)
+	ctx, cancel := app.Context()
+	defer cancel()
+
+	mod := app.Load(ctx, args[0])
+	if len(mod.Asserts()) == 0 {
 		fmt.Println("cspprove: no assert clauses in file")
 		return
 	}
 
-	prover := sys.Prover(&assertion.ValidityConfig{
-		MaxLen: *maxLen,
-		DefaultDom: value.Union{
-			A: value.Nat{SampleWidth: *nat},
-			B: value.NewEnum(value.Sym("ACK"), value.Sym("NACK")),
+	copts := csp.CheckOptions{
+		Workers: app.Workers,
+		Validity: &assertion.ValidityConfig{
+			MaxLen: *maxLen,
+			DefaultDom: value.Union{
+				A: value.Nat{SampleWidth: app.Nat},
+				B: value.NewEnum(value.Sym("ACK"), value.Sym("NACK")),
+			},
 		},
-	})
+	}
+	prover := mod.Prover(ctx, copts)
 	if *verbose {
 		prover.Log = func(s string) { fmt.Println("   ", s) }
 	}
 
-	d := driver{sys: sys, prover: prover, show: *show}
+	d := driver{mod: mod, ctx: ctx, copts: copts, prover: prover, show: *show}
 	d.run()
+	app.Finish()
 	if d.failed {
 		os.Exit(1)
 	}
 }
 
 type driver struct {
-	sys    *core.System
+	mod    *csp.Module
+	ctx    context.Context
+	copts  csp.CheckOptions
 	prover *proof.Checker
 	failed bool
 	show   bool
@@ -113,7 +115,7 @@ func (d *driver) run() {
 		}
 	}
 	for len(pending) > 0 {
-		pr, err := auto.Recursive(d.sys.Env(), pending)
+		pr, err := auto.Recursive(d.mod.Env(), pending)
 		if err != nil {
 			var ge *auto.GoalError
 			if errors.As(err, &ge) {
@@ -132,20 +134,7 @@ func (d *driver) run() {
 		}
 		break
 	}
-	// Individual fallback for anything not yet proved (including second
-	// claims about a definition already proved for another claim).
-	for _, e := range recGoals {
-		if d.hasProved(e.goal.Name, e.goal.A) {
-			fmt.Printf("ok   proved %s\n", e.decl)
-			continue
-		}
-		if err := d.proveIndividually(e.goal); err != nil {
-			d.failed = true
-			fmt.Printf("FAIL %s\n     %v\n", e.decl, err)
-		} else {
-			fmt.Printf("ok   proved %s\n", e.decl)
-		}
-	}
+	d.proveRemaining(recGoals)
 	if d.show {
 		d.renderProved()
 	}
@@ -160,6 +149,50 @@ func (d *driver) run() {
 			continue
 		}
 		fmt.Printf("ok   proved %s (network glue)\n", decl)
+	}
+}
+
+// proveRemaining covers every recursion goal the joint attempt left
+// unproved: each is synthesised individually, then the synthesised
+// candidates are verified as one batch across the worker pool. Lines are
+// reported in goal order regardless of batch completion order.
+func (d *driver) proveRemaining(recGoals []goalEntry) {
+	lines := make([]string, len(recGoals))
+	var obs []csp.Obligation
+	var obsGoal []goalEntry // parallel to obs: the goal each obligation proves
+	for i, e := range recGoals {
+		if d.hasProved(e.goal.Name, e.goal.A) {
+			lines[i] = fmt.Sprintf("ok   proved %s", e.decl)
+			continue
+		}
+		pr, err := auto.Recursive(d.mod.Env(), []auto.Goal{e.goal})
+		if err != nil {
+			d.failed = true
+			lines[i] = fmt.Sprintf("FAIL %s\n     %v", e.decl, err)
+			continue
+		}
+		lines[i] = "" // resolved by the batch below
+		obs = append(obs, csp.Obligation{Name: e.decl, Proof: pr})
+		obsGoal = append(obsGoal, goalEntry{goal: e.goal, decl: e.decl, line: i})
+	}
+	if len(obs) > 0 {
+		// A cancellation error surfaces as Err on the unprocessed entries.
+		results, _ := d.mod.CheckBatch(d.ctx, obs, d.copts)
+		for bi, r := range results {
+			e := obsGoal[bi]
+			if r.Err != nil {
+				d.failed = true
+				lines[e.line] = fmt.Sprintf("FAIL %s\n     %v", e.decl, r.Err)
+				continue
+			}
+			d.addProved(e.goal.Name, e.goal.A, obs[bi].Proof)
+			lines[e.line] = fmt.Sprintf("ok   proved %s", e.decl)
+		}
+	}
+	for _, l := range lines {
+		if l != "" {
+			fmt.Println(l)
+		}
 	}
 }
 
@@ -205,7 +238,7 @@ func (d *driver) proveNetwork(name string, final assertion.A) error {
 			comps[n] = e.pr
 			claims[n] = e.a
 		}
-		pr, err := auto.Network(d.sys.Env(), name, comps, claims, final)
+		pr, err := auto.Network(d.mod.Env(), name, comps, claims, final)
 		if err == nil {
 			if _, err = d.prover.Check(pr); err == nil {
 				return nil
@@ -239,18 +272,6 @@ func (d *driver) hasProved(name string, a assertion.A) bool {
 	return false
 }
 
-func (d *driver) proveIndividually(g auto.Goal) error {
-	pr, err := auto.Recursive(d.sys.Env(), []auto.Goal{g})
-	if err != nil {
-		return err
-	}
-	if _, err := d.prover.Check(pr); err != nil {
-		return err
-	}
-	d.addProved(g.Name, g.A, pr)
-	return nil
-}
-
 func (d *driver) addProved(name string, a assertion.A, pr proof.Proof) {
 	if d.hasProved(name, a) {
 		return
@@ -271,20 +292,22 @@ func (d *driver) markProved(g auto.Goal, joint []auto.Goal, idx int) {
 	rotated = append(rotated, joint[idx])
 	rotated = append(rotated, joint[:idx]...)
 	rotated = append(rotated, joint[idx+1:]...)
-	if pr, err := auto.Recursive(d.sys.Env(), rotated); err == nil {
+	if pr, err := auto.Recursive(d.mod.Env(), rotated); err == nil {
 		d.addProved(g.Name, g.A, pr)
 	}
 }
 
-// goalEntry pairs a recursion goal with the assert text it came from.
+// goalEntry pairs a recursion goal with the assert text it came from and
+// its output slot in proveRemaining.
 type goalEntry struct {
 	goal auto.Goal
 	decl string
+	line int
 }
 
 // classify splits asserts into recursion goals and network-shaped asserts.
 func (d *driver) classify() (goals []goalEntry, netDecls []parser.AssertDecl) {
-	for _, decl := range d.sys.Asserts {
+	for _, decl := range d.mod.Asserts() {
 		if decl.A == nil {
 			continue // refinement asserts are cspcheck's business
 		}
@@ -292,7 +315,7 @@ func (d *driver) classify() (goals []goalEntry, netDecls []parser.AssertDecl) {
 		if !ok {
 			continue
 		}
-		def, found := d.sys.Module.Lookup(ref.Name)
+		def, found := d.mod.Syntax().Lookup(ref.Name)
 		if !found {
 			continue
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cspsim [-seed S] [-events N] [-nat W] [-v] file.csp process
+//	cspsim [-seed S] [-events N] [-nat W] [-v] [-timeout D] [-stats] file.csp process
 package main
 
 import (
@@ -14,47 +14,27 @@ import (
 	"os"
 	"reflect"
 
-	"cspsat/internal/core"
-	"cspsat/internal/runtime"
-	"cspsat/internal/syntax"
-	"cspsat/internal/trace"
+	"cspsat/internal/cli"
+	"cspsat/pkg/csp"
 )
 
 func main() {
+	app := cli.New("cspsim", "cspsim [-seed S] [-events N] [-nat W] [-v] [-timeout D] [-stats] file.csp process")
+	app.NatFlag(3)
 	seed := flag.Int64("seed", 1, "random seed for non-deterministic choices")
 	events := flag.Int("events", 40, "stop after this many communications")
-	nat := flag.Int("nat", 3, "enumeration width of the NAT domain")
 	verbose := flag.Bool("v", false, "print hidden (τ) communications too")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cspsim [-seed S] [-events N] [-nat W] [-v] file.csp process\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	sys, err := core.LoadFile(flag.Arg(0), core.Options{NatWidth: *nat})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspsim:", err)
-		os.Exit(2)
-	}
-	name := flag.Arg(1)
-	p, err := sys.Proc(name)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspsim:", err)
-		os.Exit(2)
-	}
+	args := app.Parse(2)
+	ctx, cancel := app.Context()
+	defer cancel()
 
-	// Attach every assert about this process as a monitor.
-	var monitors []runtime.Monitor
-	for _, decl := range sys.Asserts {
-		if decl.A != nil && len(decl.Quants) == 0 && reflect.DeepEqual(decl.Proc, p) {
-			monitors = append(monitors, runtime.MonitorSat(decl.A, sys.Env(), sys.Funcs()))
-			fmt.Printf("-- monitoring: %s\n", decl.A)
-		}
-	}
-	printer := func(rec runtime.EventRecord, hist trace.History) error {
+	mod := app.Load(ctx, args[0])
+	name := args[1]
+	p := app.Proc(mod, name)
+
+	// Attach every assert about this process as a monitor, after the
+	// printer so violations report against an already-printed event.
+	printer := func(rec csp.EventRecord, hist csp.History) error {
 		if rec.Hidden {
 			if *verbose {
 				fmt.Printf("  τ %s\n", rec.Ev)
@@ -64,34 +44,26 @@ func main() {
 		fmt.Printf("  %s\n", rec.Ev)
 		return nil
 	}
-	all := append([]runtime.Monitor{printer}, monitors...)
-	combined := func(rec runtime.EventRecord, hist trace.History) error {
-		for _, m := range all {
-			if err := m(rec, hist); err != nil {
-				return err
-			}
+	monitors := []csp.Monitor{printer}
+	for _, decl := range mod.Asserts() {
+		if decl.A != nil && len(decl.Quants) == 0 && reflect.DeepEqual(decl.Proc, p) {
+			monitors = append(monitors, mod.MonitorSat(decl.A))
+			fmt.Printf("-- monitoring: %s\n", decl.A)
 		}
-		return nil
 	}
 
-	res, err := runtime.Run(p, runtime.Config{
-		Env:       sys.Env(),
-		Seed:      *seed,
-		MaxEvents: *events,
-		Monitor:   combined,
-	})
+	res, err := mod.Run(ctx, p, csp.EngineOptions{Seed: *seed, MaxEvents: *events}, monitors...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cspsim:", err)
-		os.Exit(1)
+		app.Fail(err)
 	}
 	fmt.Printf("-- %d goroutine leaves, %d events, visible trace length %d\n",
 		res.LeafCount, len(res.Events), len(res.Trace))
 	if res.Quiescent {
 		fmt.Println("-- network quiescent (no communication possible)")
 	}
+	app.Finish()
 	if res.MonitorErr != nil {
 		fmt.Fprintf(os.Stderr, "cspsim: MONITOR VIOLATION: %v\n", res.MonitorErr)
 		os.Exit(1)
 	}
-	_ = syntax.Proc(nil)
 }

@@ -6,71 +6,56 @@
 //
 // Usage:
 //
-//	csptrace [-depth N] [-nat W] [-max] [-den] file.csp process
+//	csptrace [-depth N] [-nat W] [-max] [-den] [-dot] [-workers N] [-timeout D] [-stats] file.csp process
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"cspsat/internal/core"
-	"cspsat/internal/op"
-	"cspsat/internal/sem"
+	"cspsat/internal/cli"
+	"cspsat/pkg/csp"
 )
 
 func main() {
+	app := cli.New("csptrace", "csptrace [-depth N] [-nat W] [-max] [-den] [-dot] [-workers N] [-timeout D] [-stats] file.csp process")
+	app.NatFlag(3)
 	depth := flag.Int("depth", 6, "trace-length bound")
-	nat := flag.Int("nat", 3, "enumeration width of the NAT domain")
 	maxOnly := flag.Bool("max", false, "print only maximal traces")
 	den := flag.Bool("den", false, "use the denotational engine (§3.3 approximation chain)")
 	dot := flag.Bool("dot", false, "emit the bounded LTS as a Graphviz digraph instead of traces")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: csptrace [-depth N] [-nat W] [-max] [-den] [-dot] file.csp process\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	sys, err := core.LoadFile(flag.Arg(0), core.Options{NatWidth: *nat})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "csptrace:", err)
-		os.Exit(2)
-	}
-	p, err := sys.Proc(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "csptrace:", err)
-		os.Exit(2)
-	}
+	args := app.Parse(2)
+	ctx, cancel := app.Context()
+	defer cancel()
+
+	mod := app.Load(ctx, args[0])
+	p := app.Proc(mod, args[1])
 	if *dot {
-		g, err := op.DotLTS(op.NewState(p, sys.Env()), *depth)
+		g, err := mod.DotLTS(p, *depth)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "csptrace:", err)
-			os.Exit(1)
+			app.Fail(err)
 		}
 		fmt.Print(g)
 		return
 	}
-	set, err := sys.Traces(p, *depth)
+	engine := csp.EngineOp
 	if *den {
-		d := sem.NewDenoter(*depth)
-		set, err = d.Denote(p, sys.Env())
-		if err == nil {
-			fmt.Printf("-- approximation chain stabilised after %d iterations\n", d.Iterations())
-		}
+		engine = csp.EngineDenote
 	}
+	res, err := mod.Traces(ctx, p, csp.EngineOptions{Engine: engine, Depth: *depth, Workers: app.Workers})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "csptrace:", err)
-		os.Exit(1)
+		app.Fail(err)
 	}
-	traces := set.Traces()
+	if *den {
+		fmt.Printf("-- approximation chain stabilised after %d iterations\n", res.Iterations)
+	}
+	traces := res.Set.Traces()
 	if *maxOnly {
-		traces = set.TracesMax()
+		traces = res.Set.TracesMax()
 	}
 	for _, t := range traces {
 		fmt.Println(t)
 	}
-	fmt.Printf("-- %d traces (of %d total, max length %d)\n", len(traces), set.Size(), set.MaxLen())
+	fmt.Printf("-- %d traces (of %d total, max length %d)\n", len(traces), res.Set.Size(), res.Set.MaxLen())
+	app.Finish()
 }

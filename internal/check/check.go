@@ -10,9 +10,11 @@
 package check
 
 import (
+	"context"
 	"fmt"
 
 	"cspsat/internal/assertion"
+	"cspsat/internal/closure"
 	"cspsat/internal/op"
 	"cspsat/internal/sem"
 	"cspsat/internal/syntax"
@@ -56,6 +58,14 @@ type Checker struct {
 	env   sem.Env
 	funcs *assertion.Registry
 	depth int
+
+	// Ctx, when non-nil, bounds every trace enumeration this checker runs;
+	// once done, checks return an error wrapping csperr.ErrCanceled.
+	Ctx context.Context
+	// Workers > 1 fans the trace exploration's BFS frontier across a
+	// worker pool (see op.Explorer.Workers); the results are node-identical
+	// to the serial path.
+	Workers int
 }
 
 // New returns a checker over the module environment with the given trace
@@ -76,12 +86,22 @@ func (c *Checker) Funcs() *assertion.Registry { return c.funcs }
 // Depth returns the trace-length bound.
 func (c *Checker) Depth() int { return c.depth }
 
+// traces enumerates p's traces under the checker's context and worker
+// configuration.
+func (c *Checker) traces(p syntax.Proc) (*closure.Set, error) {
+	ctx := c.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return op.TracesContext(ctx, p, c.env, c.depth, c.Workers)
+}
+
 // Sat checks P sat R: every trace of p (to the depth bound) must satisfy a.
 // Free variables of a must be bound in the checker's environment or
 // quantified inside a; use SatForAll for the paper's implicitly quantified
 // shared variables.
 func (c *Checker) Sat(p syntax.Proc, a assertion.A) (Result, error) {
-	traces, err := op.Traces(p, c.env, c.depth)
+	traces, err := c.traces(p)
 	if err != nil {
 		return Result{}, fmt.Errorf("check: enumerating traces of %s: %w", p, err)
 	}
@@ -159,11 +179,11 @@ func (r RefineResult) String() string {
 // Refines checks traces(impl) ⊆ traces(spec) up to the depth bound — trace
 // refinement, the natural ordering of the paper's prefix-closure model.
 func (c *Checker) Refines(impl, spec syntax.Proc) (RefineResult, error) {
-	ti, err := op.Traces(impl, c.env, c.depth)
+	ti, err := c.traces(impl)
 	if err != nil {
 		return RefineResult{}, err
 	}
-	ts, err := op.Traces(spec, c.env, c.depth)
+	ts, err := c.traces(spec)
 	if err != nil {
 		return RefineResult{}, err
 	}

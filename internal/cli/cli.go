@@ -1,0 +1,140 @@
+// Package cli carries the flag plumbing and spec loading every cspsat
+// command shares, so the binaries stay thin wrappers over the pkg/csp
+// facade. It registers the three uniform flags:
+//
+//	-timeout D   cancel the run's context after D (0 = no limit)
+//	-workers N   fan the parallel engines across N goroutines
+//	-stats       print closure cache/shard statistics after the run
+//
+// plus the usage text, argument-count checking (exit 2, matching the
+// documented contract of every tool), and the "tool: error" reporting
+// convention.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"cspsat/pkg/csp"
+)
+
+// App is one command-line tool's shared state.
+type App struct {
+	// Tool is the binary name used as the error-message prefix.
+	Tool string
+
+	// Timeout, Workers, Stats are the uniform flags, populated by Parse.
+	Timeout time.Duration
+	Workers int
+	Stats   bool
+
+	// Nat is the -nat flag when the tool registered it via NatFlag.
+	Nat int
+}
+
+// New registers the uniform flags and the usage function. Call before any
+// tool-specific flag definitions.
+func New(tool, usage string) *App {
+	a := &App{Tool: tool}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s\n", usage)
+		flag.PrintDefaults()
+	}
+	flag.DurationVar(&a.Timeout, "timeout", 0, "cancel the run after this duration, e.g. 30s (0 = no limit)")
+	flag.IntVar(&a.Workers, "workers", 1, "goroutines for the parallel engines (values <= 1 run serially)")
+	flag.BoolVar(&a.Stats, "stats", false, "print closure cache/shard statistics to stderr after the run")
+	return a
+}
+
+// NatFlag registers the -nat flag with the tool's default width.
+func (a *App) NatFlag(def int) {
+	flag.IntVar(&a.Nat, "nat", def, "enumeration width of the NAT domain")
+}
+
+// Parse parses the command line and enforces the positional argument
+// count, exiting 2 on mismatch. It returns the positional arguments.
+func (a *App) Parse(nargs int) []string {
+	flag.Parse()
+	if flag.NArg() != nargs {
+		flag.Usage()
+		os.Exit(2)
+	}
+	return flag.Args()
+}
+
+// Context returns the run context honouring -timeout. The caller should
+// defer cancel.
+func (a *App) Context() (context.Context, context.CancelFunc) {
+	if a.Timeout > 0 {
+		return context.WithTimeout(context.Background(), a.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// Fatal reports a load/usage-class error ("tool: err") and exits 2.
+func (a *App) Fatal(err error) {
+	fmt.Fprintln(os.Stderr, a.Tool+":", err)
+	os.Exit(2)
+}
+
+// Fail reports a run-class error ("tool: err") and exits 1.
+func (a *App) Fail(err error) {
+	fmt.Fprintln(os.Stderr, a.Tool+":", err)
+	os.Exit(1)
+}
+
+// Load parses the .csp file through the facade, exiting 2 on failure.
+func (a *App) Load(ctx context.Context, path string) *csp.Module {
+	m, err := csp.LoadFile(ctx, path, csp.Options{NatWidth: a.Nat})
+	if err != nil {
+		a.Fatal(err)
+	}
+	return m
+}
+
+// Proc resolves a process name on the module, exiting 2 on failure.
+func (a *App) Proc(m *csp.Module, name string) csp.Proc {
+	p, err := m.Proc(name)
+	if err != nil {
+		a.Fatal(err)
+	}
+	return p
+}
+
+// Finish emits the -stats report to stderr when requested; call once on
+// every exit path that completed a run.
+func (a *App) Finish() {
+	if a.Stats {
+		WriteStats(os.Stderr)
+	}
+}
+
+// WriteStats reports the closure layer's interning and memoisation
+// effectiveness over the whole run: canonical trie nodes interned across
+// the lock-striped shards, and how often the operator memo tables answered
+// instead of recomputing.
+func WriteStats(w io.Writer) {
+	s := csp.Stats()
+	fmt.Fprintf(w, "\nclosure caches: %d interned nodes across %d shards (%d hits / %d misses, %d evicted in %d rotations)\n",
+		s.InternedNodes, s.Shards, s.InternHits, s.InternMisses, s.Evicted, s.Rotations)
+	total := s.MemoHits + s.MemoMisses
+	rate := 0.0
+	if total > 0 {
+		rate = float64(s.MemoHits) / float64(total) * 100
+	}
+	fmt.Fprintf(w, "operator memos: %d hits / %d misses (%.1f%% hit rate)\n", s.MemoHits, s.MemoMisses, rate)
+	ops := make([]string, 0, len(s.Ops))
+	for name := range s.Ops {
+		ops = append(ops, name)
+	}
+	sort.Strings(ops)
+	for _, name := range ops {
+		o := s.Ops[name]
+		fmt.Fprintf(w, "  %-10s %8d hits %8d misses\n", name, o.Hits, o.Misses)
+	}
+}

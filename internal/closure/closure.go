@@ -75,11 +75,11 @@ func unionNodes(a, b *node) *node {
 	// Union is commutative; canonicalise the key so P∪Q and Q∪P share one
 	// memo entry. The arbitrary-but-fixed pointer order is fine as a
 	// canonical form because the entry only lives as long as the pointers.
-	k := [2]*node{a, b}
+	k := nodePair{a, b}
 	if nodeLess(b, a) {
-		k = [2]*node{b, a}
+		k = nodePair{b, a}
 	}
-	if v, ok := memoGet(unionMemo, k); ok {
+	if v, ok := unionMemo.get(k); ok {
 		return v
 	}
 	out := make([]edge, 0, len(a.edges)+len(b.edges))
@@ -101,7 +101,7 @@ func unionNodes(a, b *node) *node {
 	out = append(out, a.edges[i:]...)
 	out = append(out, b.edges[j:]...)
 	n := intern(out)
-	memoPut(unionMemo, k, n)
+	unionMemo.put(k, n)
 	return n
 }
 
@@ -123,7 +123,7 @@ func hideNode(n *node, c trace.Set, ck string) *node {
 		return n
 	}
 	mk := nodeStrKey{n: n, s: ck}
-	if v, ok := memoGet(hideMemo, mk); ok {
+	if v, ok := hideMemo.get(mk); ok {
 		return v
 	}
 	var out []edge
@@ -141,7 +141,7 @@ func hideNode(n *node, c trace.Set, ck string) *node {
 	for _, h := range collapsed {
 		res = unionNodes(res, h)
 	}
-	memoPut(hideMemo, mk, res)
+	hideMemo.put(mk, res)
 	return res
 }
 
@@ -175,7 +175,7 @@ func ignoreNode(src *node, chatter []edge, ckey string, budget int) *node {
 		return emptyNode
 	}
 	mk := nodeStrIntKey{n: src, s: ckey, i: budget}
-	if v, ok := memoGet(ignoreMemo, mk); ok {
+	if v, ok := ignoreMemo.get(mk); ok {
 		return v
 	}
 	out := make([]edge, 0, len(src.edges)+len(chatter))
@@ -188,7 +188,7 @@ func ignoreNode(src *node, chatter []edge, ckey string, budget int) *node {
 	// The two groups are each sorted but may interleave (and, if the caller
 	// violates the disjointness precondition, collide — handled by union).
 	n := intern(sortEdges(out))
-	memoPut(ignoreMemo, mk, n)
+	ignoreMemo.put(mk, n)
 	return n
 }
 
@@ -212,7 +212,7 @@ func parallelNodes(a, b *node, x, y trace.Set, xy string) *node {
 		return emptyNode
 	}
 	mk := parKey{a: a, b: b, xy: xy}
-	if v, ok := memoGet(parallelMemo, mk); ok {
+	if v, ok := parallelMemo.get(mk); ok {
 		return v
 	}
 	var out []edge
@@ -240,7 +240,7 @@ func parallelNodes(a, b *node, x, y trace.Set, xy string) *node {
 		out = append(out, edge{key: e.key, ev: e.ev, child: parallelNodes(a, e.child, x, y, xy)})
 	}
 	n := intern(sortEdges(out))
-	memoPut(parallelMemo, mk, n)
+	parallelMemo.put(mk, n)
 	return n
 }
 
@@ -257,11 +257,11 @@ func intersectNodes(a, b *node) *node {
 	if a == emptyNode || b == emptyNode {
 		return emptyNode
 	}
-	k := [2]*node{a, b}
+	k := nodePair{a, b}
 	if nodeLess(b, a) {
-		k = [2]*node{b, a}
+		k = nodePair{b, a}
 	}
-	if v, ok := memoGet(intersectMemo, k); ok {
+	if v, ok := intersectMemo.get(k); ok {
 		return v
 	}
 	var out []edge
@@ -279,7 +279,7 @@ func intersectNodes(a, b *node) *node {
 		}
 	}
 	n := intern(out)
-	memoPut(intersectMemo, k, n)
+	intersectMemo.put(k, n)
 	return n
 }
 
@@ -414,11 +414,8 @@ func nodeSubset(a, b *node) bool {
 	if a.size > b.size || a.height > b.height {
 		return false
 	}
-	k := [2]*node{a, b}
-	mu.Lock()
-	v, ok := subsetMemo.get(k)
-	mu.Unlock()
-	if ok {
+	k := nodePair{a, b}
+	if v, ok := subsetMemo.get(k); ok {
 		return v
 	}
 	res := true
@@ -429,9 +426,7 @@ func nodeSubset(a, b *node) bool {
 			break
 		}
 	}
-	mu.Lock()
 	subsetMemo.put(k, res)
-	mu.Unlock()
 	return res
 }
 
@@ -480,7 +475,7 @@ func truncated(src *node, budget int) *node {
 		return emptyNode
 	}
 	mk := nodeIntKey{n: src, i: budget}
-	if v, ok := memoGet(truncMemo, mk); ok {
+	if v, ok := truncMemo.get(mk); ok {
 		return v
 	}
 	out := make([]edge, len(src.edges))
@@ -488,7 +483,7 @@ func truncated(src *node, budget int) *node {
 		out[i] = edge{key: e.key, ev: e.ev, child: truncated(e.child, budget-1)}
 	}
 	n := intern(out)
-	memoPut(truncMemo, mk, n)
+	truncMemo.put(mk, n)
 	return n
 }
 

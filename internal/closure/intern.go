@@ -16,13 +16,27 @@ package closure
 // equal construction may mint a fresh pointer, so Equal falls back to a
 // structural walk when the pointer test fails.
 //
-// All tables are guarded by a single package mutex, taken only inside the
-// short leaf helpers in this file (never while calling back into operator
-// code), so the package is safe for concurrent use.
+// Both the intern table and the memo tables are lock-striped across
+// NumShards shards so the parallel engines (op's frontier workers, sem's
+// concurrent approximation chains, proof batching) do not serialize on one
+// package mutex. The stripe is a pure function of the key's hash — the
+// node hash for interning, a derived key hash for memos — so every distinct
+// edge list maps to exactly one shard and pointer-canonicality remains
+// global, not merely per-shard: two goroutines interning the same edge list
+// land on the same shard mutex and one of them wins. Locks are taken only
+// inside the short leaf helpers in this file (never while calling back into
+// operator code), so lock ordering is trivially acyclic and the package is
+// safe for concurrent use.
+//
+// Cross-shard publication is safe by happens-before transitivity: a parent
+// node's edge list is built over already-interned children, and any reader
+// that obtains the parent does so under the parent's shard mutex, which the
+// interning goroutine released only after the children were fully written.
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cspsat/internal/trace"
 )
@@ -93,12 +107,28 @@ func hashEdges(edges []edge) uint64 {
 	return h
 }
 
+// NumShards is the number of lock stripes the intern and memo tables are
+// split across. It is a power of two; the stripe for a key is a pure
+// function of the key's hash, which is what keeps canonicality global (see
+// the package comment). 32 stripes keeps contention negligible up to the
+// worker counts the engines use while costing only a few KB of mutexes.
+const NumShards = 32
+
+const shardMask = NumShards - 1
+
+// shardIndex folds the high bits of an FNV hash into the stripe index so
+// keys that differ only above the mask still spread.
+func shardIndex(h uint64) int {
+	return int((h ^ (h >> 16) ^ (h >> 32)) & shardMask)
+}
+
 // gen2 is a two-generation bounded table. Inserts go to the current
 // generation; when it fills, the previous generation is dropped and the
 // current one takes its place. A lookup that hits the previous generation
 // promotes the entry, so the working set survives rotation and only cold
 // entries age out. The scheme bounds retained entries to 2×limit with O(1)
-// amortized maintenance (no LRU list, no per-entry clocks).
+// amortized maintenance (no LRU list, no per-entry clocks). A gen2 is not
+// itself synchronized; its owning shard's mutex guards it.
 type gen2[K comparable, V any] struct {
 	cur, old map[K]V
 	limit    int
@@ -141,52 +171,86 @@ func (g *gen2[K, V]) promote(k K, v V) {
 	}
 }
 
-func (g *gen2[K, V]) len() int { return len(g.cur) + len(g.old) }
-
 func (g *gen2[K, V]) reset() {
 	g.cur = make(map[K]V)
 	g.old = make(map[K]V)
+	g.hits, g.misses, g.evicted, g.rotated = 0, 0, 0, 0
 }
 
-// Default per-generation budgets. A node is ~5 words plus its edge list, so
-// the intern default bounds canonical-node retention to a few hundred MB in
-// the worst case and far less in practice; memo entries are a key plus a
-// pointer. Both are adjustable via SetCacheBudget.
+// Default total entry budgets (split evenly across the stripes). A node is
+// ~5 words plus its edge list, so the intern default bounds canonical-node
+// retention to a few hundred MB in the worst case and far less in practice;
+// memo entries are a key plus a pointer. Both are adjustable via
+// SetCacheBudget.
 const (
 	defaultInternBudget = 1 << 18
 	defaultMemoBudget   = 1 << 18
 )
 
-// opMemo couples a gen2 with the name reported by Stats.
-type opMemo[K comparable] struct {
-	name string
-	tab  *gen2[K, *node]
+// perShardLimit splits a total entry budget across the stripes, rounding up
+// so no stripe gets a zero (degenerate) generation.
+func perShardLimit(total int) int {
+	per := (total + NumShards - 1) / NumShards
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// internShard is one stripe of the intern table: a bucket map from node
+// hash to the canonical nodes with that hash, plus this stripe's share of
+// the hit/miss counters.
+type internShard struct {
+	mu     sync.Mutex
+	tab    *gen2[uint64, []*node]
+	hits   uint64
+	misses uint64
 }
 
 var (
-	mu          sync.Mutex
-	nextNodeID  uint64 // 0 is emptyNode
-	internTab   = newGen2[uint64, []*node](defaultInternBudget)
-	internStats struct{ hits, misses uint64 }
-
-	unionMemo     = opMemo[[2]*node]{name: "union", tab: newGen2[[2]*node, *node](defaultMemoBudget)}
-	intersectMemo = opMemo[[2]*node]{name: "intersect", tab: newGen2[[2]*node, *node](defaultMemoBudget)}
-	hideMemo      = opMemo[nodeStrKey]{name: "hide", tab: newGen2[nodeStrKey, *node](defaultMemoBudget)}
-	ignoreMemo    = opMemo[nodeStrIntKey]{name: "ignore", tab: newGen2[nodeStrIntKey, *node](defaultMemoBudget)}
-	parallelMemo  = opMemo[parKey]{name: "parallel", tab: newGen2[parKey, *node](defaultMemoBudget)}
-	truncMemo     = opMemo[nodeIntKey]{name: "truncate", tab: newGen2[nodeIntKey, *node](defaultMemoBudget)}
-
-	subsetMemo = newGen2[[2]*node, bool](defaultMemoBudget)
+	internShards [NumShards]internShard
+	nextNodeID   atomic.Uint64 // 0 is emptyNode
 )
+
+func init() {
+	per := perShardLimit(defaultInternBudget)
+	for i := range internShards {
+		internShards[i].tab = newGen2[uint64, []*node](per)
+	}
+}
+
+// shardKey is the constraint on memo keys: comparable (map key) and able to
+// name its stripe. The stripe hash folds in the node creation ids rather
+// than the node hashes so distinct nodes with colliding hashes still spread.
+type shardKey interface {
+	comparable
+	shardHash() uint64
+}
+
+// nodePair keys the symmetric binary memos (union, intersect, subset);
+// callers canonicalise the order by node id before lookup.
+type nodePair struct{ a, b *node }
+
+func (k nodePair) shardHash() uint64 {
+	return hashUint(hashUint(fnvOffset, k.a.id), k.b.id)
+}
 
 type nodeStrKey struct {
 	n *node
 	s string
 }
 
+func (k nodeStrKey) shardHash() uint64 {
+	return hashBytes(hashUint(fnvOffset, k.n.id), k.s)
+}
+
 type nodeIntKey struct {
 	n *node
 	i int
+}
+
+func (k nodeIntKey) shardHash() uint64 {
+	return hashUint(hashUint(fnvOffset, k.n.id), uint64(k.i))
 }
 
 type nodeStrIntKey struct {
@@ -195,30 +259,117 @@ type nodeStrIntKey struct {
 	i int
 }
 
+func (k nodeStrIntKey) shardHash() uint64 {
+	return hashUint(hashBytes(hashUint(fnvOffset, k.n.id), k.s), uint64(k.i))
+}
+
 type parKey struct {
 	a, b *node
 	xy   string
 }
 
+func (k parKey) shardHash() uint64 {
+	return hashBytes(hashUint(hashUint(fnvOffset, k.a.id), k.b.id), k.xy)
+}
+
+// stripedMemo is a lock-striped memo table: NumShards independently locked
+// gen2 generations, stripe chosen by the key's shardHash. V is *node for
+// the operator memos and bool for the subset-verdict memo.
+type stripedMemo[K shardKey, V any] struct {
+	name   string
+	stripe [NumShards]struct {
+		mu  sync.Mutex
+		tab *gen2[K, V]
+	}
+}
+
+func newStripedMemo[K shardKey, V any](name string) *stripedMemo[K, V] {
+	m := &stripedMemo[K, V]{name: name}
+	per := perShardLimit(defaultMemoBudget)
+	for i := range m.stripe {
+		m.stripe[i].tab = newGen2[K, V](per)
+	}
+	return m
+}
+
+func (m *stripedMemo[K, V]) get(k K) (V, bool) {
+	s := &m.stripe[shardIndex(k.shardHash())]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tab.get(k)
+}
+
+func (m *stripedMemo[K, V]) put(k K, v V) {
+	s := &m.stripe[shardIndex(k.shardHash())]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tab.put(k, v)
+}
+
+// counters sums this memo's hit/miss/eviction counters across stripes.
+func (m *stripedMemo[K, V]) counters() (hits, misses, evicted, rotated uint64) {
+	for i := range m.stripe {
+		s := &m.stripe[i]
+		s.mu.Lock()
+		hits += s.tab.hits
+		misses += s.tab.misses
+		evicted += s.tab.evicted
+		rotated += s.tab.rotated
+		s.mu.Unlock()
+	}
+	return
+}
+
+func (m *stripedMemo[K, V]) reset() {
+	for i := range m.stripe {
+		s := &m.stripe[i]
+		s.mu.Lock()
+		s.tab.reset()
+		s.mu.Unlock()
+	}
+}
+
+func (m *stripedMemo[K, V]) setLimit(total int) {
+	per := perShardLimit(total)
+	for i := range m.stripe {
+		s := &m.stripe[i]
+		s.mu.Lock()
+		s.tab.limit = per
+		s.mu.Unlock()
+	}
+}
+
+var (
+	unionMemo     = newStripedMemo[nodePair, *node]("union")
+	intersectMemo = newStripedMemo[nodePair, *node]("intersect")
+	hideMemo      = newStripedMemo[nodeStrKey, *node]("hide")
+	ignoreMemo    = newStripedMemo[nodeStrIntKey, *node]("ignore")
+	parallelMemo  = newStripedMemo[parKey, *node]("parallel")
+	truncMemo     = newStripedMemo[nodeIntKey, *node]("truncate")
+	subsetMemo    = newStripedMemo[nodePair, bool]("subset")
+)
+
 // intern returns the canonical node for the given edge list, which must be
 // sorted by key, free of duplicate keys, and built over canonical children.
 // The caller must not retain or mutate edges after the call if the interned
-// node may share it.
+// node may share it. Only the one stripe owning the hash is locked, so
+// interns of unrelated nodes proceed in parallel.
 func intern(edges []edge) *node {
 	if len(edges) == 0 {
 		return emptyNode
 	}
 	h := hashEdges(edges)
-	mu.Lock()
-	defer mu.Unlock()
-	bucket, _ := internTab.get(h)
+	sh := &internShards[shardIndex(h)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket, _ := sh.tab.get(h)
 	for _, cand := range bucket {
 		if edgesIdentical(cand.edges, edges) {
-			internStats.hits++
+			sh.hits++
 			return cand
 		}
 	}
-	internStats.misses++
+	sh.misses++
 	size, height := 1, 0
 	for _, e := range edges {
 		size += e.child.size
@@ -226,9 +377,8 @@ func intern(edges []edge) *node {
 			height = ch
 		}
 	}
-	nextNodeID++
-	n := &node{edges: edges, id: nextNodeID, hash: h, size: size, height: height}
-	internTab.put(h, append(bucket, n))
+	n := &node{edges: edges, id: nextNodeID.Add(1), hash: h, size: size, height: height}
+	sh.tab.put(h, append(bucket, n))
 	return n
 }
 
@@ -246,30 +396,18 @@ func edgesIdentical(a, b []edge) bool {
 	return true
 }
 
-func countInternedLocked() int {
+func countInternedLocked(tab *gen2[uint64, []*node]) int {
 	n := 0
-	for _, bucket := range internTab.cur {
+	for _, bucket := range tab.cur {
 		n += len(bucket)
 	}
-	for h, bucket := range internTab.old {
-		if _, dup := internTab.cur[h]; dup {
+	for h, bucket := range tab.old {
+		if _, dup := tab.cur[h]; dup {
 			continue // promoted buckets appear in both generations
 		}
 		n += len(bucket)
 	}
 	return n
-}
-
-func memoGet[K comparable](m opMemo[K], k K) (*node, bool) {
-	mu.Lock()
-	defer mu.Unlock()
-	return m.tab.get(k)
-}
-
-func memoPut[K comparable](m opMemo[K], k K, v *node) {
-	mu.Lock()
-	defer mu.Unlock()
-	m.tab.put(k, v)
 }
 
 // sortEdges sorts an edge list in place by key and merges duplicate keys by
@@ -295,9 +433,12 @@ type OpStats struct {
 	Misses uint64
 }
 
-// CacheStats is a snapshot of the interning and memoization counters, for
-// benchmark harnesses and long-running hosts watching cache health.
+// CacheStats is a snapshot of the interning and memoization counters,
+// aggregated across the lock stripes, for benchmark harnesses and
+// long-running hosts watching cache health.
 type CacheStats struct {
+	// Shards is the number of lock stripes (NumShards), for display.
+	Shards int
 	// InternedNodes is the number of canonical nodes currently retained by
 	// the intern table (live Sets may additionally pin evicted nodes).
 	InternedNodes int
@@ -307,7 +448,8 @@ type CacheStats struct {
 	InternMisses uint64
 	// Evicted is the cumulative number of intern-table entries dropped by
 	// generation rotation (entries are hash buckets, almost always holding
-	// one node each); Rotations counts the rotations themselves.
+	// one node each); Rotations counts the rotations themselves, summed
+	// over stripes.
 	Evicted   uint64
 	Rotations uint64
 	// MemoHits / MemoMisses aggregate the operator memo tables; Ops breaks
@@ -319,29 +461,40 @@ type CacheStats struct {
 }
 
 // Stats returns a snapshot of the interning and operator-memo counters.
+// Stripes are locked one at a time, so a snapshot taken while engines run
+// is internally consistent per stripe but only approximately so globally —
+// fine for the monitoring it serves.
 func Stats() CacheStats {
-	mu.Lock()
-	defer mu.Unlock()
-	s := CacheStats{
-		InternedNodes: countInternedLocked(),
-		InternHits:    internStats.hits,
-		InternMisses:  internStats.misses,
-		Evicted:       internTab.evicted,
-		Rotations:     internTab.rotated,
-		Ops:           map[string]OpStats{},
+	s := CacheStats{Shards: NumShards, Ops: map[string]OpStats{}}
+	for i := range internShards {
+		sh := &internShards[i]
+		sh.mu.Lock()
+		s.InternedNodes += countInternedLocked(sh.tab)
+		s.InternHits += sh.hits
+		s.InternMisses += sh.misses
+		s.Evicted += sh.tab.evicted
+		s.Rotations += sh.tab.rotated
+		sh.mu.Unlock()
 	}
 	record := func(name string, hits, misses uint64) {
 		s.Ops[name] = OpStats{Hits: hits, Misses: misses}
 		s.MemoHits += hits
 		s.MemoMisses += misses
 	}
-	record(unionMemo.name, unionMemo.tab.hits, unionMemo.tab.misses)
-	record(intersectMemo.name, intersectMemo.tab.hits, intersectMemo.tab.misses)
-	record(hideMemo.name, hideMemo.tab.hits, hideMemo.tab.misses)
-	record(ignoreMemo.name, ignoreMemo.tab.hits, ignoreMemo.tab.misses)
-	record(parallelMemo.name, parallelMemo.tab.hits, parallelMemo.tab.misses)
-	record(truncMemo.name, truncMemo.tab.hits, truncMemo.tab.misses)
-	record("subset", subsetMemo.hits, subsetMemo.misses)
+	uh, um, _, _ := unionMemo.counters()
+	record(unionMemo.name, uh, um)
+	ih, im, _, _ := intersectMemo.counters()
+	record(intersectMemo.name, ih, im)
+	hh, hm, _, _ := hideMemo.counters()
+	record(hideMemo.name, hh, hm)
+	gh, gm, _, _ := ignoreMemo.counters()
+	record(ignoreMemo.name, gh, gm)
+	ph, pm, _, _ := parallelMemo.counters()
+	record(parallelMemo.name, ph, pm)
+	th, tm, _, _ := truncMemo.counters()
+	record(truncMemo.name, th, tm)
+	sh, sm, _, _ := subsetMemo.counters()
+	record(subsetMemo.name, sh, sm)
 	return s
 }
 
@@ -349,34 +502,33 @@ func Stats() CacheStats {
 // Existing Sets remain valid (their nodes are immutable); they merely stop
 // being canonical, so sets built before and after the reset compare by
 // structural walk rather than pointer equality. Intended for tests and
-// cold-cache benchmarking.
+// cold-cache benchmarking; resetting while engines run concurrently is
+// safe (each stripe is locked for its wipe) but makes the hit counters
+// meaningless for that run.
 func ResetCaches() {
-	mu.Lock()
-	defer mu.Unlock()
-	internTab.reset()
-	internTab.hits, internTab.misses, internTab.evicted, internTab.rotated = 0, 0, 0, 0
-	internStats = struct{ hits, misses uint64 }{}
-	for _, t := range []*gen2[[2]*node, *node]{unionMemo.tab, intersectMemo.tab} {
-		t.reset()
-		t.hits, t.misses, t.evicted, t.rotated = 0, 0, 0, 0
+	for i := range internShards {
+		sh := &internShards[i]
+		sh.mu.Lock()
+		sh.tab.reset()
+		sh.hits, sh.misses = 0, 0
+		sh.mu.Unlock()
 	}
-	hideMemo.tab.reset()
-	hideMemo.tab.hits, hideMemo.tab.misses = 0, 0
-	ignoreMemo.tab.reset()
-	ignoreMemo.tab.hits, ignoreMemo.tab.misses = 0, 0
-	parallelMemo.tab.reset()
-	parallelMemo.tab.hits, parallelMemo.tab.misses = 0, 0
-	truncMemo.tab.reset()
-	truncMemo.tab.hits, truncMemo.tab.misses = 0, 0
+	unionMemo.reset()
+	intersectMemo.reset()
+	hideMemo.reset()
+	ignoreMemo.reset()
+	parallelMemo.reset()
+	truncMemo.reset()
 	subsetMemo.reset()
-	subsetMemo.hits, subsetMemo.misses = 0, 0
 }
 
-// SetCacheBudget adjusts the per-generation entry budgets of the intern
-// table and the operator memo tables (each retains at most twice its
-// budget). Values ≤ 0 restore the defaults. Lower budgets trade memo
-// effectiveness for a tighter memory ceiling in long-running hosts; the
-// change applies to subsequent inserts and does not drop current entries.
+// SetCacheBudget adjusts the total entry budgets of the intern table and
+// the operator memo tables; each budget is split evenly across the stripes,
+// and each stripe retains at most twice its share, so total retention is
+// bounded by 2×budget plus rounding slack of at most 2×NumShards entries.
+// Values ≤ 0 restore the defaults. Lower budgets trade memo effectiveness
+// for a tighter memory ceiling in long-running hosts; the change applies to
+// subsequent inserts and does not drop current entries.
 func SetCacheBudget(internNodes, memoEntries int) {
 	if internNodes <= 0 {
 		internNodes = defaultInternBudget
@@ -384,14 +536,18 @@ func SetCacheBudget(internNodes, memoEntries int) {
 	if memoEntries <= 0 {
 		memoEntries = defaultMemoBudget
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	internTab.limit = internNodes
-	unionMemo.tab.limit = memoEntries
-	intersectMemo.tab.limit = memoEntries
-	hideMemo.tab.limit = memoEntries
-	ignoreMemo.tab.limit = memoEntries
-	parallelMemo.tab.limit = memoEntries
-	truncMemo.tab.limit = memoEntries
-	subsetMemo.limit = memoEntries
+	per := perShardLimit(internNodes)
+	for i := range internShards {
+		sh := &internShards[i]
+		sh.mu.Lock()
+		sh.tab.limit = per
+		sh.mu.Unlock()
+	}
+	unionMemo.setLimit(memoEntries)
+	intersectMemo.setLimit(memoEntries)
+	hideMemo.setLimit(memoEntries)
+	ignoreMemo.setLimit(memoEntries)
+	parallelMemo.setLimit(memoEntries)
+	truncMemo.setLimit(memoEntries)
+	subsetMemo.setLimit(memoEntries)
 }

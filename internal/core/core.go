@@ -11,9 +11,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"cspsat/internal/assertion"
 	"cspsat/internal/check"
@@ -21,6 +24,8 @@ import (
 	"cspsat/internal/failures"
 	"cspsat/internal/op"
 	"cspsat/internal/parser"
+	"cspsat/internal/pool"
+	"cspsat/internal/progress"
 	"cspsat/internal/proof"
 	"cspsat/internal/runtime"
 	"cspsat/internal/sem"
@@ -120,15 +125,37 @@ func (s *System) Traces(p syntax.Proc, depth int) (*closure.Set, error) {
 	return op.Traces(p, s.env, depth)
 }
 
+// TracesContext is Traces under a context, with the exploration's BFS
+// frontier fanned across workers goroutines when workers > 1.
+func (s *System) TracesContext(ctx context.Context, p syntax.Proc, depth, workers int) (*closure.Set, error) {
+	return op.TracesContext(ctx, p, s.env, depth, workers)
+}
+
 // Denote computes the paper's denotational semantics of a process to the
 // given trace-length window.
 func (s *System) Denote(p syntax.Proc, depth int) (*closure.Set, error) {
 	return sem.Denote(p, s.env, depth)
 }
 
+// DenoteContext is Denote under a context, with each approximation-chain
+// pass recomputing the registered instances across workers goroutines when
+// workers > 1.
+func (s *System) DenoteContext(ctx context.Context, p syntax.Proc, depth, workers int) (*closure.Set, error) {
+	return sem.DenoteContext(ctx, p, s.env, depth, workers)
+}
+
 // Checker returns a model checker for this system at the given depth.
 func (s *System) Checker(depth int) *check.Checker {
 	return check.New(s.env, s.funcs, depth)
+}
+
+// CheckerContext returns a model checker bound to ctx with the given
+// exploration worker count.
+func (s *System) CheckerContext(ctx context.Context, depth, workers int) *check.Checker {
+	ck := check.New(s.env, s.funcs, depth)
+	ck.Ctx = ctx
+	ck.Workers = workers
+	return ck
 }
 
 // Check model-checks P sat A to the given depth.
@@ -156,23 +183,53 @@ func (r AssertResult) OK() bool {
 // expanding quantified sat-asserts over their (sampled) domains and
 // checking refinement asserts by trace-set inclusion.
 func (s *System) CheckAll(depth int) ([]AssertResult, error) {
-	ck := s.Checker(depth)
-	out := make([]AssertResult, 0, len(s.Asserts))
-	for _, decl := range s.Asserts {
+	return s.CheckAllContext(context.Background(), depth, 1, nil)
+}
+
+// CheckAllContext is CheckAll under a context: the assert declarations are
+// distributed across a pool of workers goroutines (each check itself runs
+// serially — asserts outnumber cores long before a single assert does),
+// results come back in declaration order, and cancellation aborts with an
+// error wrapping csperr.ErrCanceled. prog, when non-nil, receives a
+// "check" stage event per completed assert.
+func (s *System) CheckAllContext(ctx context.Context, depth, workers int, prog progress.Func) ([]AssertResult, error) {
+	start := time.Now()
+	out := make([]AssertResult, len(s.Asserts))
+	var done atomic.Int64
+	err := pool.Run(ctx, workers, len(s.Asserts), func(i int) error {
+		decl := s.Asserts[i]
+		ck := s.CheckerContext(ctx, depth, 1)
 		if decl.Refines != nil {
 			rr, err := ck.Refines(decl.Proc, decl.Refines)
 			if err != nil {
-				return nil, fmt.Errorf("core: %s: %w", decl, err)
+				return fmt.Errorf("core: %s: %w", decl, err)
 			}
-			out = append(out, AssertResult{Decl: decl, Refine: &rr})
-			continue
+			out[i] = AssertResult{Decl: decl, Refine: &rr}
+		} else {
+			res, err := s.checkQuantified(ck, decl.Quants, decl.Proc, decl.A)
+			if err != nil {
+				return fmt.Errorf("core: %s: %w", decl, err)
+			}
+			out[i] = AssertResult{Decl: decl, Result: res}
 		}
-		res, err := s.checkQuantified(ck, decl.Quants, decl.Proc, decl.A)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", decl, err)
-		}
-		out = append(out, AssertResult{Decl: decl, Result: res})
+		prog.Emit(progress.Event{
+			Stage:   "check",
+			Items:   int(done.Add(1)),
+			Total:   len(s.Asserts),
+			Elapsed: time.Since(start),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	prog.Emit(progress.Event{
+		Stage:   "check",
+		Items:   len(s.Asserts),
+		Total:   len(s.Asserts),
+		Elapsed: time.Since(start),
+		Done:    true,
+	})
 	return out, nil
 }
 

@@ -1,0 +1,35 @@
+// Package csperr defines the sentinel errors shared by every engine and
+// surfaced (re-exported) by the pkg/csp facade. Engines wrap these with
+// %w so callers can dispatch with errors.Is across package boundaries —
+// the REPL prints friendlier guidance per class, the CLI tools map them to
+// exit codes, and library users branch on them instead of matching
+// strings.
+//
+// The package sits below parser, op, sem, proof, and repl in the import
+// graph on purpose: the facade cannot be imported from the engines
+// (import cycle), so the sentinels live here and pkg/csp aliases them.
+package csperr
+
+import "errors"
+
+var (
+	// ErrParse marks failures to lex, parse, or resolve a .csp source.
+	ErrParse = errors.New("csp: parse error")
+
+	// ErrDepthExceeded marks an engine giving up on a resource bound: the
+	// τ-closure state cap, a non-stabilising approximation chain, or any
+	// other exploration budget. The result is "unknown at this bound", not
+	// a verdict.
+	ErrDepthExceeded = errors.New("csp: exploration budget exceeded")
+
+	// ErrCanceled marks an engine run cut short by context cancellation or
+	// deadline. Partial results are discarded; shared caches remain valid
+	// (interned nodes are immutable, so a canceled run can never corrupt
+	// them).
+	ErrCanceled = errors.New("csp: canceled")
+
+	// ErrObligationFailed marks a proof rule whose pure side condition was
+	// refuted by the bounded-validity oracle — the claim may still be
+	// provable another way, but this proof object is wrong.
+	ErrObligationFailed = errors.New("csp: proof obligation failed")
+)

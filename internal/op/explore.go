@@ -1,10 +1,14 @@
 package op
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
 	"cspsat/internal/closure"
+	"cspsat/internal/csperr"
+	"cspsat/internal/pool"
+	"cspsat/internal/progress"
 	"cspsat/internal/sem"
 	"cspsat/internal/syntax"
 	"cspsat/internal/trace"
@@ -14,11 +18,28 @@ import (
 // of its transition system. Hidden (τ) steps are closed over transparently:
 // a visible trace of (chan L; P) is a trace of P with the L-communications
 // erased, exactly the paper's (chan L; P) = P\L.
+//
+// An Explorer is not safe for concurrent use by multiple goroutines (its
+// memo is unguarded); the parallelism knob is Workers, which fans the BFS
+// frontier of a single TracesContext call across a worker pool.
 type Explorer struct {
 	// MaxTauStates caps how many distinct states a single τ-closure may
 	// visit before exploration fails; it guards against state explosion in
 	// heavily hidden networks. Zero means DefaultMaxTauStates.
 	MaxTauStates int
+
+	// Workers sets how many goroutines TracesContext spreads the BFS
+	// frontier across. Values ≤ 1 select the serial recursive path. The
+	// parallel path produces node-identical results (same canonical
+	// pointers) as the serial one: the stripe-sharded closure operators are
+	// order-independent, and discovery order is kept deterministic by a
+	// sequential stitch at each depth barrier.
+	Workers int
+
+	// Progress, when non-nil, receives "explore" stage events after each
+	// BFS level (states expanded so far, frontier size, elapsed wall time)
+	// and a final Done event. Callbacks must be cheap and goroutine-safe.
+	Progress progress.Func
 
 	memo map[string]*closure.Set
 }
@@ -36,17 +57,37 @@ func NewExplorer() *Explorer {
 // domains: every trace of the (sampled) process of that length appears, and
 // nothing else.
 func (x *Explorer) Traces(s State, depth int) (*closure.Set, error) {
+	return x.TracesContext(context.Background(), s, depth)
+}
+
+// TracesContext is Traces with cancellation: the exploration checks ctx at
+// every state expansion and returns an error wrapping csperr.ErrCanceled
+// promptly after ctx is done. Partially computed results are discarded;
+// the shared closure caches remain valid (interned nodes are immutable).
+// With Workers > 1 the BFS frontier is expanded in parallel with a barrier
+// per depth level.
+func (x *Explorer) TracesContext(ctx context.Context, s State, depth int) (*closure.Set, error) {
 	if x.memo == nil {
 		x.memo = map[string]*closure.Set{}
 	}
-	return x.tracesFrom(s, depth)
+	if x.Workers > 1 {
+		return x.tracesParallel(ctx, s, depth)
+	}
+	return x.tracesFrom(ctx, s, depth)
 }
 
-func (x *Explorer) tracesFrom(s State, depth int) (*closure.Set, error) {
+func exploreMemoKey(depth int, stateKey string) string {
+	return strconv.Itoa(depth) + "\x00" + stateKey
+}
+
+func (x *Explorer) tracesFrom(ctx context.Context, s State, depth int) (*closure.Set, error) {
 	if depth <= 0 {
 		return closure.Stop(), nil
 	}
-	key := strconv.Itoa(depth) + "\x00" + s.Key()
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	key := exploreMemoKey(depth, s.Key())
 	if cached, ok := x.memo[key]; ok {
 		return cached, nil
 	}
@@ -64,7 +105,7 @@ func (x *Explorer) tracesFrom(s State, depth int) (*closure.Set, error) {
 			if tr.Tau {
 				continue // already folded into reach
 			}
-			sub, err := x.tracesFrom(tr.Next, depth-1)
+			sub, err := x.tracesFrom(ctx, tr.Next, depth-1)
 			if err != nil {
 				return nil, err
 			}
@@ -104,7 +145,7 @@ func (x *Explorer) tauClosure(s State) ([]State, error) {
 				continue
 			}
 			if len(seen) >= limit {
-				return nil, fmt.Errorf("op: τ-closure exceeded %d states; network too internally chatty or diverging", limit)
+				return nil, fmt.Errorf("%w: op: τ-closure exceeded %d states; network too internally chatty or diverging", csperr.ErrDepthExceeded, limit)
 			}
 			seen[k] = true
 			out = append(out, tr.Next)
@@ -118,6 +159,14 @@ func (x *Explorer) tauClosure(s State) ([]State, error) {
 // under env to the given depth with a fresh explorer.
 func Traces(p syntax.Proc, env sem.Env, depth int) (*closure.Set, error) {
 	return NewExplorer().Traces(NewState(p, env), depth)
+}
+
+// TracesContext is the context-aware convenience wrapper: a fresh explorer
+// with the given worker count (≤ 1 for serial) under ctx.
+func TracesContext(ctx context.Context, p syntax.Proc, env sem.Env, depth, workers int) (*closure.Set, error) {
+	x := NewExplorer()
+	x.Workers = workers
+	return x.TracesContext(ctx, NewState(p, env), depth)
 }
 
 // VisibleEvents returns the visible communications enabled after trace t

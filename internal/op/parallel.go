@@ -1,0 +1,172 @@
+package op
+
+// Parallel trace exploration: the Workers>1 path of TracesContext. The
+// serial explorer is a memoized depth-bounded recursion over (state,
+// budget); this file computes the same function as a two-phase parallel
+// schedule:
+//
+//  1. Level-synchronised BFS discovery. Each depth level's frontier is
+//     expanded (τ-closure + Step) concurrently across the pool, then the
+//     results are stitched sequentially in frontier order, so the set of
+//     discovered states, their first-discovery levels, and each state's
+//     visible-transition list are all deterministic.
+//
+//  2. Bottom-up dynamic program over budgets, one pool barrier per budget:
+//     set(s, 0) = {<>} and set(s, b) = ⋃ Prefix(ev, set(s', b−1)) over the
+//     visible transitions s —ev→ s'. A state first discovered at level l is
+//     only ever queried at budgets ≤ depth−l, and all its successors were
+//     indexed during discovery, so every set(s', b−1) a barrier round reads
+//     was published by the previous round (or is the budget-0 base case).
+//
+// The result is node-identical to the serial path: the closure operators
+// return canonical interned nodes, union is order-independent on canonical
+// operands, and both paths enumerate exactly the same transitions. The
+// differential test in partests asserts the Same-pointer equality.
+
+import (
+	"context"
+	"time"
+
+	"cspsat/internal/closure"
+	"cspsat/internal/pool"
+	"cspsat/internal/progress"
+	"cspsat/internal/trace"
+)
+
+// visEdge is one visible transition discovered during the BFS: the event
+// plus the record of the successor state.
+type visEdge struct {
+	ev   trace.Event
+	next *stateRec
+}
+
+// stateRec is the per-state record of a parallel exploration.
+type stateRec struct {
+	key   string
+	state State
+	level int       // BFS level of first discovery
+	vis   []visEdge // visible transitions, in deterministic stitch order
+	sets  []*closure.Set
+}
+
+func (x *Explorer) tracesParallel(ctx context.Context, s State, depth int) (*closure.Set, error) {
+	if depth <= 0 {
+		return closure.Stop(), nil
+	}
+	if cached, ok := x.memo[exploreMemoKey(depth, s.Key())]; ok {
+		return cached, nil
+	}
+	start := time.Now()
+
+	root := &stateRec{key: s.Key(), state: s}
+	discovered := map[string]*stateRec{root.key: root}
+	order := []*stateRec{root}
+	frontier := []*stateRec{root}
+	expanded := 0
+
+	// Phase 1: discovery. expansion carries one frontier state's visible
+	// transitions out of the parallel section; workers write only their own
+	// index, and the stitch below is sequential.
+	type expansion struct {
+		evs   []trace.Event
+		nexts []State
+	}
+	for level := 0; level < depth && len(frontier) > 0; level++ {
+		results := make([]expansion, len(frontier))
+		err := pool.Run(ctx, x.Workers, len(frontier), func(i int) error {
+			reach, err := x.tauClosure(frontier[i].state)
+			if err != nil {
+				return err
+			}
+			var ex expansion
+			for _, st := range reach {
+				ts, err := Step(st)
+				if err != nil {
+					return err
+				}
+				for _, tr := range ts {
+					if tr.Tau {
+						continue // folded into reach
+					}
+					ex.evs = append(ex.evs, tr.Ev)
+					ex.nexts = append(ex.nexts, tr.Next)
+				}
+			}
+			results[i] = ex
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		expanded += len(frontier)
+		var next []*stateRec
+		for i, rec := range frontier {
+			ex := results[i]
+			for j := range ex.evs {
+				k := ex.nexts[j].Key()
+				nr, ok := discovered[k]
+				if !ok {
+					nr = &stateRec{key: k, state: ex.nexts[j], level: level + 1}
+					discovered[k] = nr
+					order = append(order, nr)
+					next = append(next, nr)
+				}
+				rec.vis = append(rec.vis, visEdge{ev: ex.evs[j], next: nr})
+			}
+		}
+		x.Progress.Emit(progress.Event{
+			Stage:          "explore",
+			StatesExpanded: expanded,
+			Frontier:       len(next),
+			Depth:          level + 1,
+			Elapsed:        time.Since(start),
+		})
+		frontier = next
+	}
+
+	// Phase 2: bottom-up DP over budgets. Budget b only reads sets written
+	// at budget b−1, and the pool.Run barrier between rounds publishes
+	// those writes, so workers never race on a record.
+	for _, rec := range order {
+		rec.sets = make([]*closure.Set, depth+1)
+		rec.sets[0] = closure.Stop()
+	}
+	for b := 1; b <= depth; b++ {
+		var work []*stateRec
+		for _, rec := range order {
+			if rec.level <= depth-b {
+				work = append(work, rec)
+			}
+		}
+		err := pool.Run(ctx, x.Workers, len(work), func(i int) error {
+			rec := work[i]
+			branches := make([]*closure.Set, 0, len(rec.vis))
+			for _, e := range rec.vis {
+				branches = append(branches, closure.Prefix(e.ev, e.next.sets[b-1]))
+			}
+			rec.sets[b] = closure.UnionAll(branches...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The DP computed tracesFrom(s, b) for every discovered state and every
+	// budget it can be asked at; fold it all into the serial memo so a later
+	// Traces call (serial or parallel) on this explorer reuses it.
+	for _, rec := range order {
+		for b := 1; b <= depth-rec.level; b++ {
+			if rec.sets[b] != nil {
+				x.memo[exploreMemoKey(b, rec.key)] = rec.sets[b]
+			}
+		}
+	}
+	x.Progress.Emit(progress.Event{
+		Stage:          "explore",
+		StatesExpanded: expanded,
+		Elapsed:        time.Since(start),
+		Done:           true,
+	})
+	return root.sets[depth], nil
+}

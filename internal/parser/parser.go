@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cspsat/internal/assertion"
+	"cspsat/internal/csperr"
 	"cspsat/internal/syntax"
 )
 
@@ -47,8 +48,18 @@ type File struct {
 	Asserts []AssertDecl
 }
 
-// Parse parses a .csp source text.
+// Parse parses a .csp source text. Lexical, syntactic, and assert-
+// resolution failures all wrap csperr.ErrParse, so callers across the
+// package boundary dispatch with errors.Is rather than string matching.
 func Parse(src string) (*File, error) {
+	f, err := parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", csperr.ErrParse, err)
+	}
+	return f, nil
+}
+
+func parse(src string) (*File, error) {
 	toks, err := lexAll(src)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,90 @@
+// Package pool is the shared worker-pool primitive of the parallel
+// engines: run n independent work items over w goroutines, stop early on
+// the first error or on context cancellation, and report cancellation as
+// csperr.ErrCanceled. All parallel stages in op, sem, proof, and core are
+// built from Run so they share one cancellation and error discipline.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cspsat/internal/csperr"
+)
+
+// Run executes f(0..n-1) across up to workers goroutines and waits for
+// completion. It returns the first error any item produced, or a
+// csperr.ErrCanceled-wrapped error when ctx was canceled before all items
+// finished. With workers ≤ 1 (or n ≤ 1) it runs inline on the calling
+// goroutine, preserving serial behavior exactly.
+//
+// Items are claimed from an atomic counter, so ordering across workers is
+// arbitrary; callers that need deterministic output index into
+// preallocated result slices by item index.
+func Run(ctx context.Context, workers, n int, f func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := Canceled(ctx); err != nil {
+				return err
+			}
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		stop     atomic.Bool
+	)
+	record := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := Canceled(ctx); err != nil {
+					record(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					record(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Canceled returns a csperr.ErrCanceled-wrapped error when ctx is done,
+// nil otherwise. Engines call it at loop heads so serial paths honor
+// deadlines too.
+func Canceled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", csperr.ErrCanceled, err)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package progress defines the cross-engine progress callback: a single
+// hook type every long-running engine (the operational explorer, the
+// denotational fixpoint, the proof checker's batch mode, the assert
+// sweep) reports through. The facade (pkg/csp) re-exports the types; the
+// engines only ever call Emit, so a nil callback costs one branch.
+package progress
+
+import "time"
+
+// Event is one progress report. Fields are cumulative for the stage named
+// unless noted; engines fill only the counters that apply to them.
+type Event struct {
+	// Stage identifies the reporting engine phase: "explore" (operational
+	// BFS), "fixpoint" (denotational approximation chain), "prove" (proof
+	// batch), "check" (assert sweep).
+	Stage string
+	// StatesExpanded counts transition-system states expanded so far
+	// (explore stage).
+	StatesExpanded int
+	// Frontier is the size of the current BFS frontier (explore stage).
+	Frontier int
+	// Depth is the level or budget the stage just finished (explore:
+	// BFS level; fixpoint: unused).
+	Depth int
+	// ChainIterations counts approximation-chain passes (fixpoint stage).
+	ChainIterations int
+	// ObligationsDischarged counts pure side conditions the validity
+	// oracle accepted (prove stage).
+	ObligationsDischarged int
+	// Items / Total report batch progress (prove and check stages):
+	// Items of Total units finished.
+	Items, Total int
+	// Elapsed is the wall time since the stage started.
+	Elapsed time.Duration
+	// Done marks the final event of the stage.
+	Done bool
+}
+
+// Func observes progress events. Callbacks must be cheap and
+// goroutine-safe: parallel engines invoke them from worker barriers, and
+// a slow callback stalls the pipeline it is watching.
+type Func func(Event)
+
+// Emit invokes f if non-nil.
+func (f Func) Emit(e Event) {
+	if f != nil {
+		f(e)
+	}
+}

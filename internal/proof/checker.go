@@ -1,12 +1,15 @@
 package proof
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strconv"
 	"strings"
 
 	"cspsat/internal/assertion"
+	"cspsat/internal/csperr"
+	"cspsat/internal/pool"
 	"cspsat/internal/sem"
 	"cspsat/internal/syntax"
 	"cspsat/internal/trace"
@@ -27,9 +30,20 @@ type Checker struct {
 	// post-order (premises before conclusions), for rendering in the
 	// paper's Table-1 style; see Render.
 	Steps *[]Step
+	// Ctx, when non-nil, is checked at every rule application; once done,
+	// Check returns an error wrapping csperr.ErrCanceled. Deep proof trees
+	// and wide validity domains make single obligations slow, so the check
+	// sits on the rule granularity rather than per trace.
+	Ctx context.Context
 
-	nesting int
+	nesting    int
+	discharged int
 }
+
+// Discharged reports how many pure side conditions the validity oracle
+// accepted during the last Check call (the batch layer sums these into the
+// progress events).
+func (c *Checker) Discharged() int { return c.discharged }
 
 // Step is one verified rule application: the claim concluded, the rule
 // used, and the nesting depth of the node in the proof tree (premises sit
@@ -78,6 +92,7 @@ func (s scope) withVar(name string, dom syntax.SetExpr) scope {
 
 // Check verifies the proof tree and returns its conclusion.
 func (c *Checker) Check(p Proof) (Claim, error) {
+	c.discharged = 0
 	return c.check(p, scope{hyps: map[string]Claim{}, varDoms: map[string]syntax.SetExpr{}})
 }
 
@@ -88,6 +103,9 @@ func (c *Checker) log(format string, args ...any) {
 }
 
 func (c *Checker) check(p Proof, sc scope) (Claim, error) {
+	if err := pool.Canceled(c.Ctx); err != nil {
+		return Claim{}, err
+	}
 	c.nesting++
 	cl, err := c.checkNode(p, sc)
 	c.nesting--
@@ -531,8 +549,9 @@ func (c *Checker) discharge(a assertion.A, sc scope) error {
 		return err
 	}
 	if cex != nil {
-		return fmt.Errorf("obligation %s fails at %s", a, cex)
+		return fmt.Errorf("%w: obligation %s fails at %s", csperr.ErrObligationFailed, a, cex)
 	}
+	c.discharged++
 	return nil
 }
 

@@ -7,6 +7,7 @@ package repl
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -16,6 +17,7 @@ import (
 
 	"cspsat/internal/assertion"
 	"cspsat/internal/closure"
+	"cspsat/internal/csperr"
 	"cspsat/internal/failures"
 	"cspsat/internal/op"
 	"cspsat/internal/sem"
@@ -151,7 +153,26 @@ func (r *REPL) Acceptances() ([]failures.Acceptance, error) {
 	return accs, nil
 }
 
-// Run drives the REPL over the given streams until :quit or EOF.
+// friendly renders an engine error for an interactive session: the
+// sentinel classes (csperr) get a recovery hint instead of the raw error
+// chain, and none of them should end the session.
+func friendly(err error) string {
+	switch {
+	case errors.Is(err, csperr.ErrDepthExceeded):
+		return fmt.Sprintf("the process is too internally chatty to explore from here (%v)\nhint: :undo or :reset and try another branch", err)
+	case errors.Is(err, csperr.ErrCanceled):
+		return fmt.Sprintf("interrupted: %v", err)
+	case errors.Is(err, csperr.ErrParse):
+		return fmt.Sprintf("that input did not parse: %v", err)
+	case errors.Is(err, csperr.ErrObligationFailed):
+		return fmt.Sprintf("a proof obligation failed: %v", err)
+	}
+	return err.Error()
+}
+
+// Run drives the REPL over the given streams until :quit or EOF. Engine
+// errors are reported via friendly and never abort the session; only I/O
+// failures on the input stream are returned.
 func (r *REPL) Run(in io.Reader, out io.Writer) error {
 	sc := bufio.NewScanner(in)
 	r.printState(out)
@@ -173,7 +194,7 @@ func (r *REPL) Run(in io.Reader, out io.Writer) error {
 			fmt.Fprintln(out, trace.Ch(r.cur))
 		case line == ":undo":
 			if err := r.Undo(); err != nil {
-				fmt.Fprintln(out, err)
+				fmt.Fprintln(out, friendly(err))
 			} else {
 				r.printState(out)
 			}
@@ -183,7 +204,7 @@ func (r *REPL) Run(in io.Reader, out io.Writer) error {
 		case line == ":accept":
 			accs, err := r.Acceptances()
 			if err != nil {
-				fmt.Fprintln(out, err)
+				fmt.Fprintln(out, friendly(err))
 				continue
 			}
 			if len(accs) == 0 {
@@ -201,7 +222,7 @@ func (r *REPL) Run(in io.Reader, out io.Writer) error {
 			}
 			took, err := r.Random(n)
 			if err != nil {
-				fmt.Fprintln(out, err)
+				fmt.Fprintln(out, friendly(err))
 				continue
 			}
 			fmt.Fprintf(out, "took %d steps\n", took)
@@ -227,14 +248,15 @@ func (r *REPL) Run(in io.Reader, out io.Writer) error {
 			}
 			menu, err := r.Menu()
 			if err != nil {
-				return err
+				fmt.Fprintln(out, friendly(err))
+				continue
 			}
 			if idx < 1 || idx > len(menu) {
 				fmt.Fprintf(out, "choose 1..%d\n", len(menu))
 				continue
 			}
 			if err := r.Step(menu[idx-1]); err != nil {
-				fmt.Fprintln(out, err)
+				fmt.Fprintln(out, friendly(err))
 				continue
 			}
 			r.printState(out)
@@ -249,7 +271,7 @@ func (r *REPL) printState(out io.Writer) {
 	}
 	menu, err := r.Menu()
 	if err != nil {
-		fmt.Fprintln(out, "error:", err)
+		fmt.Fprintln(out, "error:", friendly(err))
 		return
 	}
 	if len(menu) == 0 {

@@ -1,9 +1,16 @@
 package sem
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"sync"
+	"time"
 
 	"cspsat/internal/closure"
+	"cspsat/internal/csperr"
+	"cspsat/internal/pool"
+	"cspsat/internal/progress"
 	"cspsat/internal/syntax"
 	"cspsat/internal/trace"
 )
@@ -52,6 +59,24 @@ type Denoter struct {
 	// pass and never stabilise. The default is Depth + 3×HideSlack.
 	MaxBudget int
 
+	// Workers sets how many goroutines DenoteContext spreads each chain
+	// pass across: the registered instances' approximations are recomputed
+	// concurrently against a snapshot (Jacobi iteration) with a barrier per
+	// pass, instead of in sequence (Gauss-Seidel). Both schedules converge
+	// to the same least fixpoint on the finite window, so the final sets —
+	// and, thanks to canonical interning, the node pointers — coincide with
+	// the serial result; only the pass count may differ. Values ≤ 1 select
+	// the serial path.
+	Workers int
+
+	// Progress, when non-nil, receives a "fixpoint" stage event after each
+	// chain pass and a final Done event.
+	Progress progress.Func
+
+	// mu guards approx, budgets, and instances while a parallel pass has
+	// workers inside eval; the maps are otherwise touched only between
+	// barriers.
+	mu        sync.Mutex
 	approx    map[string]*closure.Set
 	budgets   map[string]int
 	instances map[string]instance
@@ -82,6 +107,14 @@ func (d *Denoter) Iterations() int { return d.iters }
 
 // Denote computes μ⟦p⟧env restricted to traces of length ≤ d.Depth.
 func (d *Denoter) Denote(p syntax.Proc, env Env) (*closure.Set, error) {
+	return d.DenoteContext(context.Background(), p, env)
+}
+
+// DenoteContext is Denote with cancellation: the chain checks ctx at every
+// pass (and the pool between instances) and returns an error wrapping
+// csperr.ErrCanceled promptly after ctx is done. With Workers > 1 each
+// pass recomputes the registered instances concurrently.
+func (d *Denoter) DenoteContext(ctx context.Context, p syntax.Proc, env Env) (*closure.Set, error) {
 	// Iterate the global approximation chain: every process instance
 	// reachable from p is (re)computed against the previous approximations
 	// until nothing grows. Termination: each instance's set only grows, is
@@ -90,33 +123,53 @@ func (d *Denoter) Denote(p syntax.Proc, env Env) (*closure.Set, error) {
 	// bounded by Depth plus the (finite) accumulated hiding slack, and new
 	// instances are registered finitely often for the same reason the
 	// alphabet walker terminates.
+	start := time.Now()
 	d.iters = 0
 	for {
+		if err := pool.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		d.iters++
 		changed := false
 		keys := make([]string, 0, len(d.instances))
 		for k := range d.instances {
 			keys = append(keys, k)
 		}
+		sort.Strings(keys)
 		budgetsBefore := len(d.instances)
-		for _, k := range keys {
-			inst := d.instances[k]
-			before := d.budgets[k]
-			next, err := d.eval(inst.body, inst.env, before)
+		// Snapshot each instance's budget before the pass; a budget raised
+		// mid-pass means a deeper use site was discovered and forces another
+		// pass, under both schedules.
+		befores := make([]int, len(keys))
+		insts := make([]instance, len(keys))
+		for i, k := range keys {
+			befores[i] = d.budgets[k]
+			insts[i] = d.instances[k]
+		}
+		nexts := make([]*closure.Set, len(keys))
+		err := pool.Run(ctx, d.Workers, len(keys), func(i int) error {
+			next, err := d.eval(insts[i].body, insts[i].env, befores[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
+			nexts[i] = next
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range keys {
 			// Union over hash-consed tries returns the canonical node, so
 			// the moment the pass adds nothing (a(i+1) = aᵢ) the union IS
 			// the previous approximation's node and Same short-circuits the
 			// chain with a pointer comparison; Equal is the structural
 			// fallback for nodes straddling a closure-cache eviction.
-			next = closure.Union(next, d.approx[k])
+			next := closure.Union(nexts[i], d.approx[k])
 			if !next.Same(d.approx[k]) && !next.Equal(d.approx[k]) {
 				d.approx[k] = next
 				changed = true
 			}
-			if d.budgets[k] != before {
+			if d.budgets[k] != befores[i] {
 				changed = true // a deeper use site was discovered mid-pass
 			}
 		}
@@ -124,11 +177,24 @@ func (d *Denoter) Denote(p syntax.Proc, env Env) (*closure.Set, error) {
 		if err != nil {
 			return nil, err
 		}
+		d.Progress.Emit(progress.Event{
+			Stage:           "fixpoint",
+			ChainIterations: d.iters,
+			Items:           len(keys),
+			Elapsed:         time.Since(start),
+		})
 		if !changed && len(d.instances) == budgetsBefore {
+			d.Progress.Emit(progress.Event{
+				Stage:           "fixpoint",
+				ChainIterations: d.iters,
+				Items:           len(d.instances),
+				Elapsed:         time.Since(start),
+				Done:            true,
+			})
 			return s.TruncateTo(d.Depth), nil
 		}
 		if d.iters > 10000 {
-			return nil, fmt.Errorf("sem: approximation chain did not stabilise after %d iterations", d.iters)
+			return nil, fmt.Errorf("%w: sem: approximation chain did not stabilise after %d iterations", csperr.ErrDepthExceeded, d.iters)
 		}
 	}
 }
@@ -145,20 +211,34 @@ func (d *Denoter) eval(p syntax.Proc, env Env, budget int) (*closure.Set, error)
 		if err != nil {
 			return nil, err
 		}
-		if _, ok := d.approx[key]; !ok {
+		// The maps are shared with concurrent workers during a parallel
+		// pass; registration and budget-raising are the only map writes
+		// reachable from eval, so this critical section (no operator calls
+		// inside) is all the synchronisation the pass needs. Budget raises
+		// are monotone max-merges, so racing raisers converge to the same
+		// final budgets as any sequential order.
+		d.mu.Lock()
+		cur, ok := d.approx[key]
+		if !ok {
 			// First encounter: register the instance at a₀ = ⟦STOP⟧ and
 			// let the outer chain grow it.
+			d.mu.Unlock()
 			body, err := env.Instantiate(t)
 			if err != nil {
 				return nil, err
 			}
-			d.approx[key] = closure.Stop()
-			d.instances[key] = instance{body: body, env: env}
+			d.mu.Lock()
+			if cur, ok = d.approx[key]; !ok { // lost no race while instantiating
+				cur = closure.Stop()
+				d.approx[key] = cur
+				d.instances[key] = instance{body: body, env: env}
+			}
 		}
 		if budget > d.budgets[key] {
 			d.budgets[key] = budget
 		}
-		return d.approx[key].TruncateTo(budget), nil
+		d.mu.Unlock()
+		return cur.TruncateTo(budget), nil
 	case syntax.Output:
 		c, err := env.EvalChanRef(t.Ch)
 		if err != nil {
@@ -269,4 +349,12 @@ func (d *Denoter) refKey(r syntax.Ref, env Env) (string, error) {
 // a fresh Denoter.
 func Denote(p syntax.Proc, env Env, depth int) (*closure.Set, error) {
 	return NewDenoter(depth).Denote(p, env)
+}
+
+// DenoteContext is the context-aware convenience wrapper: a fresh Denoter
+// with the given worker count (≤ 1 for serial) under ctx.
+func DenoteContext(ctx context.Context, p syntax.Proc, env Env, depth, workers int) (*closure.Set, error) {
+	d := NewDenoter(depth)
+	d.Workers = workers
+	return d.DenoteContext(ctx, p, env)
 }

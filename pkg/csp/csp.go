@@ -1,0 +1,456 @@
+// Package csp is the public facade of this repository: one entry point
+// over the parser, the three trace engines (operational explorer,
+// denotational approximation chain, goroutine runtime), the model checker,
+// the proof checker, and the stable-failures extension.
+//
+// The engines proliferated their own call conventions as they were built
+// (op.Traces vs sem.Denoter vs runtime.Run, each with positional
+// arguments); this package replaces those with context-first methods on a
+// loaded Module, selected and tuned through options structs:
+//
+//	mod, err := csp.LoadFile(ctx, "specs/protocol.csp", csp.Options{NatWidth: 2})
+//	p, err := mod.Proc("protocol")
+//	tr, err := mod.Traces(ctx, p, csp.EngineOptions{Engine: csp.EngineOp, Depth: 8, Workers: 4})
+//	res, err := mod.CheckAll(ctx, csp.CheckOptions{Depth: 8, Workers: 4})
+//
+// Every method takes a context.Context and returns promptly after
+// cancellation with an error wrapping ErrCanceled; Workers > 1 fans the
+// underlying engine across a worker pool over the sharded intern tables
+// (DESIGN.md §3.2). Failure classes are exposed as sentinel errors
+// (ErrParse, ErrDepthExceeded, ErrCanceled, ErrObligationFailed) for
+// errors.Is dispatch.
+package csp
+
+import (
+	"context"
+	"fmt"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/check"
+	"cspsat/internal/closure"
+	"cspsat/internal/core"
+	"cspsat/internal/csperr"
+	"cspsat/internal/failures"
+	"cspsat/internal/op"
+	"cspsat/internal/parser"
+	"cspsat/internal/pool"
+	"cspsat/internal/progress"
+	"cspsat/internal/proof"
+	"cspsat/internal/runtime"
+	"cspsat/internal/sem"
+	"cspsat/internal/syntax"
+	"cspsat/internal/trace"
+)
+
+// Sentinel errors for the facade's failure classes. Every error crossing
+// the package boundary wraps exactly one of these (or is an I/O error from
+// the operating system), so callers dispatch with errors.Is instead of
+// string matching.
+var (
+	// ErrParse wraps every lexical, syntactic, and assert-resolution
+	// failure from Load/LoadFile.
+	ErrParse = csperr.ErrParse
+	// ErrDepthExceeded wraps engine failures where a configured bound was
+	// hit (τ-closure state caps, non-stabilising approximation chains).
+	ErrDepthExceeded = csperr.ErrDepthExceeded
+	// ErrCanceled wraps every error caused by context cancellation or a
+	// deadline expiring.
+	ErrCanceled = csperr.ErrCanceled
+	// ErrObligationFailed wraps proof-checking failures whose root cause is
+	// a pure side condition the bounded-validity oracle refuted.
+	ErrObligationFailed = csperr.ErrObligationFailed
+)
+
+// Aliases re-exporting the result and callback types the facade's methods
+// traffic in, so callers need only import this package.
+type (
+	// TraceSet is a canonical prefix-closed trace set (a hash-consed trie;
+	// pointer equality is structural equality, see TraceSet.Same).
+	TraceSet = closure.Set
+	// Proc is a process expression.
+	Proc = syntax.Proc
+	// Assertion is a predicate over traces (the paper's R in "P sat R").
+	Assertion = assertion.A
+	// Proof is a proof object for the §2.1 inference rules.
+	Proof = proof.Proof
+	// Claim is a verified conclusion "P sat R".
+	Claim = proof.Claim
+	// Obligation names one proof for batch checking.
+	Obligation = proof.Obligation
+	// BatchResult is the per-obligation outcome of CheckBatch.
+	BatchResult = proof.BatchResult
+	// CheckResult is a model-checking verdict with counterexample.
+	CheckResult = check.Result
+	// RefineResult is a trace-refinement verdict with witness.
+	RefineResult = check.RefineResult
+	// AssertResult pairs an assert declaration with its verdict.
+	AssertResult = core.AssertResult
+	// AssertDecl is a parsed assert declaration.
+	AssertDecl = parser.AssertDecl
+	// Progress receives engine progress events; see ProgressEvent.
+	Progress = progress.Func
+	// ProgressEvent is one progress callback payload.
+	ProgressEvent = progress.Event
+	// CacheStats aggregates the sharded intern/memo table counters.
+	CacheStats = closure.CacheStats
+	// RunResult is the outcome of executing a process on goroutines.
+	RunResult = runtime.Result
+	// Monitor observes events during a goroutine run.
+	Monitor = runtime.Monitor
+	// EventRecord is one communication delivered to a Monitor.
+	EventRecord = runtime.EventRecord
+	// History is the per-channel communication history a Monitor sees.
+	History = trace.History
+	// FailuresModel is the §4 stable-failures model of a process.
+	FailuresModel = failures.Model
+	// FailuresCounterexample distinguishes two failures models.
+	FailuresCounterexample = failures.Counterexample
+	// Trace is one visible trace.
+	Trace = trace.T
+	// Deadlock is a reachable stuck configuration.
+	Deadlock = op.Deadlock
+)
+
+// Engine selects which semantic engine computes a trace set.
+type Engine int
+
+const (
+	// EngineOp is the operational explorer: exhaustive bounded search of
+	// the transition system with τ-closure. The default, and the fastest.
+	EngineOp Engine = iota
+	// EngineDenote is the literal §3.3 denotational semantics: the
+	// approximation chain iterated to stabilisation.
+	EngineDenote
+	// EngineRuntime executes the process as a goroutine network with true
+	// rendezvous and returns the prefix closure of one observed trace — a
+	// sampled under-approximation, not the full trace set.
+	EngineRuntime
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineOp:
+		return "op"
+	case EngineDenote:
+		return "denote"
+	case EngineRuntime:
+		return "runtime"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// DefaultDepth is the trace-length bound used when an options struct
+// leaves Depth zero.
+const DefaultDepth = 8
+
+// DefaultMaxEvents bounds an EngineRuntime walk when EngineOptions leaves
+// MaxEvents zero.
+const DefaultMaxEvents = 40
+
+// Options configure loading a module.
+type Options struct {
+	// NatWidth is the enumeration width of the infinite NAT domain in the
+	// finite-branching engines. Zero means the package default.
+	NatWidth int
+	// Funcs supplies the registered assertion functions; nil means the
+	// default registry (which includes the paper's protocol function f).
+	Funcs *assertion.Registry
+}
+
+// EngineOptions select and tune a trace engine.
+type EngineOptions struct {
+	// Engine picks the semantics; the zero value is EngineOp.
+	Engine Engine
+	// Depth is the trace-length bound; zero means DefaultDepth.
+	Depth int
+	// Workers fans the engine across a worker pool when > 1. The parallel
+	// paths return node-identical results to the serial ones.
+	Workers int
+	// Progress, when non-nil, receives per-stage progress events.
+	// Callbacks must be cheap and goroutine-safe.
+	Progress Progress
+	// Seed drives the non-deterministic choices of EngineRuntime.
+	Seed int64
+	// MaxEvents bounds an EngineRuntime walk; zero means DefaultMaxEvents.
+	MaxEvents int
+}
+
+func (o EngineOptions) depth() int {
+	if o.Depth > 0 {
+		return o.Depth
+	}
+	return DefaultDepth
+}
+
+// CheckOptions tune the model checker and the proof checker.
+type CheckOptions struct {
+	// Depth is the trace-length bound of model checks; zero means
+	// DefaultDepth.
+	Depth int
+	// Workers distributes independent obligations (asserts, batch proofs)
+	// across a worker pool when > 1.
+	Workers int
+	// Progress, when non-nil, receives per-obligation progress events.
+	Progress Progress
+	// Validity bounds the discharge of pure proof obligations; nil means
+	// the prover defaults (history length ≤ 3, NAT-sampled domains).
+	Validity *assertion.ValidityConfig
+}
+
+func (o CheckOptions) depth() int {
+	if o.Depth > 0 {
+		return o.Depth
+	}
+	return DefaultDepth
+}
+
+// TraceResult is the outcome of Module.Traces: the set plus engine-specific
+// measurements.
+type TraceResult struct {
+	// Set is the computed prefix-closed trace set.
+	Set *TraceSet
+	// Engine records which engine produced the set.
+	Engine Engine
+	// Iterations is the approximation-chain pass count (EngineDenote only).
+	Iterations int
+	// Events is the total communication count of the walk, hidden events
+	// included (EngineRuntime only).
+	Events int
+}
+
+// Module is a loaded .csp module plus everything needed to analyse it.
+type Module struct {
+	sys *core.System
+}
+
+// Load parses a .csp source text. Parse failures wrap ErrParse.
+func Load(ctx context.Context, src string, opts Options) (*Module, error) {
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	sys, err := core.Load(src, core.Options{NatWidth: opts.NatWidth, Funcs: opts.Funcs})
+	if err != nil {
+		return nil, err
+	}
+	return &Module{sys: sys}, nil
+}
+
+// LoadFile reads and parses a .csp file.
+func LoadFile(ctx context.Context, path string, opts Options) (*Module, error) {
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	sys, err := core.LoadFile(path, core.Options{NatWidth: opts.NatWidth, Funcs: opts.Funcs})
+	if err != nil {
+		return nil, err
+	}
+	return &Module{sys: sys}, nil
+}
+
+// FromModule wraps an already-constructed syntax module (e.g. the paper
+// systems built by internal/paper).
+func FromModule(m *syntax.Module, opts Options) *Module {
+	return &Module{sys: core.FromModule(m, core.Options{NatWidth: opts.NatWidth, Funcs: opts.Funcs})}
+}
+
+// FromSystem wraps an existing core.System.
+func FromSystem(sys *core.System) *Module { return &Module{sys: sys} }
+
+// System exposes the underlying core.System for callers that need engine
+// plumbing the facade does not cover.
+func (m *Module) System() *core.System { return m.sys }
+
+// Syntax returns the parsed module (definitions, sets, constants).
+func (m *Module) Syntax() *syntax.Module { return m.sys.Module }
+
+// Env returns the module's evaluation environment.
+func (m *Module) Env() sem.Env { return m.sys.Env() }
+
+// Funcs returns the module's assertion-function registry.
+func (m *Module) Funcs() *assertion.Registry { return m.sys.Funcs() }
+
+// Asserts returns the module's assert declarations in source order.
+func (m *Module) Asserts() []AssertDecl { return m.sys.Asserts }
+
+// Proc resolves a defined process by name.
+func (m *Module) Proc(name string) (Proc, error) { return m.sys.Proc(name) }
+
+// ProcIdx resolves an element of a process array.
+func (m *Module) ProcIdx(name string, idx int64) (Proc, error) { return m.sys.ProcIdx(name, idx) }
+
+// Traces computes the visible traces of p under the selected engine. For
+// EngineOp and EngineDenote the set is exact to opts.Depth over the sampled
+// domains; for EngineRuntime it is the prefix closure of one random walk.
+func (m *Module) Traces(ctx context.Context, p Proc, opts EngineOptions) (*TraceResult, error) {
+	depth := opts.depth()
+	switch opts.Engine {
+	case EngineOp:
+		x := op.NewExplorer()
+		x.Workers = opts.Workers
+		x.Progress = opts.Progress
+		set, err := x.TracesContext(ctx, op.NewState(p, m.Env()), depth)
+		if err != nil {
+			return nil, err
+		}
+		return &TraceResult{Set: set, Engine: EngineOp}, nil
+	case EngineDenote:
+		d := sem.NewDenoter(depth)
+		d.Workers = opts.Workers
+		d.Progress = opts.Progress
+		set, err := d.DenoteContext(ctx, p, m.Env())
+		if err != nil {
+			return nil, err
+		}
+		return &TraceResult{Set: set, Engine: EngineDenote, Iterations: d.Iterations()}, nil
+	case EngineRuntime:
+		res, err := m.Run(ctx, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		set := closure.Stop()
+		for i := len(res.Trace) - 1; i >= 0; i-- {
+			set = closure.Prefix(res.Trace[i], set)
+		}
+		return &TraceResult{Set: set, Engine: EngineRuntime, Events: len(res.Events)}, nil
+	}
+	return nil, fmt.Errorf("csp: unknown engine %v", opts.Engine)
+}
+
+// Run executes p as a goroutine network with true CSP rendezvous, feeding
+// every communication to the monitors in order. The runtime itself is not
+// preemptible mid-rendezvous; ctx is checked before the run starts.
+func (m *Module) Run(ctx context.Context, p Proc, opts EngineOptions, monitors ...Monitor) (*RunResult, error) {
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	maxEvents := opts.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	var monitor Monitor
+	switch len(monitors) {
+	case 0:
+	case 1:
+		monitor = monitors[0]
+	default:
+		monitor = func(rec EventRecord, hist trace.History) error {
+			for _, mo := range monitors {
+				if err := mo(rec, hist); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return runtime.Run(p, runtime.Config{
+		Env:       m.Env(),
+		Seed:      opts.Seed,
+		MaxEvents: maxEvents,
+		Monitor:   monitor,
+	})
+}
+
+// MonitorSat builds a Monitor evaluating assertion a after every visible
+// event of a run, for attaching to Module.Run.
+func (m *Module) MonitorSat(a Assertion) Monitor {
+	return runtime.MonitorSat(a, m.Env(), m.Funcs())
+}
+
+// DotLTS renders the bounded labelled transition system of p as a Graphviz
+// digraph.
+func (m *Module) DotLTS(p Proc, depth int) (string, error) {
+	return op.DotLTS(op.NewState(p, m.Env()), depth)
+}
+
+// Checker returns a model checker bound to ctx with the options' depth and
+// exploration worker count.
+func (m *Module) Checker(ctx context.Context, opts CheckOptions) *check.Checker {
+	return m.sys.CheckerContext(ctx, opts.depth(), opts.Workers)
+}
+
+// Sat model-checks "p sat a" to the options' depth.
+func (m *Module) Sat(ctx context.Context, p Proc, a Assertion, opts CheckOptions) (CheckResult, error) {
+	return m.Checker(ctx, opts).Sat(p, a)
+}
+
+// Refines checks trace refinement impl ⊑ spec to the options' depth.
+func (m *Module) Refines(ctx context.Context, impl, spec Proc, opts CheckOptions) (RefineResult, error) {
+	return m.Checker(ctx, opts).Refines(impl, spec)
+}
+
+// Deadlocks searches p for reachable stuck configurations to the options'
+// depth.
+func (m *Module) Deadlocks(ctx context.Context, p Proc, opts CheckOptions) ([]Deadlock, error) {
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	return m.Checker(ctx, opts).Deadlocks(p)
+}
+
+// CheckAll model-checks every assert declaration of the module,
+// distributing them across opts.Workers goroutines.
+func (m *Module) CheckAll(ctx context.Context, opts CheckOptions) ([]AssertResult, error) {
+	return m.sys.CheckAllContext(ctx, opts.depth(), opts.Workers, opts.Progress)
+}
+
+// Prover returns a proof checker bound to ctx under the options' validity
+// configuration.
+func (m *Module) Prover(ctx context.Context, opts CheckOptions) *proof.Checker {
+	c := m.sys.Prover(opts.Validity)
+	c.Ctx = ctx
+	return c
+}
+
+// Check verifies one proof object and returns its conclusion. Failed pure
+// side conditions wrap ErrObligationFailed; cancellation wraps ErrCanceled.
+func (m *Module) Check(ctx context.Context, p Proof, opts CheckOptions) (Claim, error) {
+	return m.Prover(ctx, opts).Check(p)
+}
+
+// CheckBatch verifies many independent proofs across opts.Workers
+// goroutines; see proof.CheckBatch for the result contract.
+func (m *Module) CheckBatch(ctx context.Context, obs []Obligation, opts CheckOptions) ([]BatchResult, error) {
+	return proof.CheckBatch(ctx, m.Prover(nil, opts), obs, opts.Workers, opts.Progress)
+}
+
+// Failures computes the §4 stable-failures model of p to the options'
+// depth.
+func (m *Module) Failures(ctx context.Context, p Proc, opts EngineOptions) (*FailuresModel, error) {
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	return failures.Compute(p, m.Env(), opts.depth())
+}
+
+// Diverges reports whether p can engage in unbounded hidden chatter within
+// the options' depth, with the visible trace after which it can.
+func (m *Module) Diverges(ctx context.Context, p Proc, opts EngineOptions) (Trace, bool, error) {
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, false, err
+	}
+	return failures.Diverges(p, m.Env(), opts.depth())
+}
+
+// FailuresRefines checks failures refinement impl ⊑F spec; nil means it
+// holds, otherwise the counterexample distinguishes them.
+func FailuresRefines(impl, spec *FailuresModel) (*FailuresCounterexample, error) {
+	return failures.Refines(impl, spec)
+}
+
+// FailuresEquivalent checks failures equivalence; nil means equivalent.
+func FailuresEquivalent(a, b *FailuresModel) (*FailuresCounterexample, error) {
+	return failures.Equivalent(a, b)
+}
+
+// FormatAssertResults renders CheckAll results as an aligned report.
+func FormatAssertResults(results []AssertResult) string {
+	return core.FormatAssertResults(results)
+}
+
+// Stats aggregates the intern and operator-memo counters across every
+// shard of the closure layer.
+func Stats() CacheStats { return closure.Stats() }
+
+// ResetCaches clears the shared intern and memo tables — between benchmark
+// iterations, or to bound memory in a long session.
+func ResetCaches() { closure.ResetCaches() }

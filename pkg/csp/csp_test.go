@@ -1,0 +1,138 @@
+package csp_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cspsat/pkg/csp"
+)
+
+const spec = `
+copier = input?x:NAT -> wire!x -> copier
+recopier = wire?y:NAT -> output!y -> recopier
+net = copier || recopier
+sys = chan wire; net
+assert copier sat wire <= input
+`
+
+func load(t *testing.T) *csp.Module {
+	t.Helper()
+	mod, err := csp.Load(context.Background(), spec, csp.Options{NatWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestLoadErrParse(t *testing.T) {
+	_, err := csp.Load(context.Background(), "copier = ->", csp.Options{})
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if !errors.Is(err, csp.ErrParse) {
+		t.Fatalf("error does not wrap csp.ErrParse: %v", err)
+	}
+}
+
+func TestLoadCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := csp.Load(ctx, spec, csp.Options{}); !errors.Is(err, csp.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	for e, want := range map[csp.Engine]string{
+		csp.EngineOp:      "op",
+		csp.EngineDenote:  "denote",
+		csp.EngineRuntime: "runtime",
+	} {
+		if got := e.String(); got != want {
+			t.Errorf("Engine(%d).String() = %q, want %q", int(e), got, want)
+		}
+	}
+}
+
+// TestEnginesAgree pins the two exhaustive engines to each other through
+// the facade, and checks the runtime engine's sampled walk is a prefix-
+// closed under-approximation of the exhaustive trace set.
+func TestEnginesAgree(t *testing.T) {
+	mod := load(t)
+	p, err := mod.Proc("sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opRes, err := mod.Traces(context.Background(), p, csp.EngineOptions{Engine: csp.EngineOp, Depth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	denRes, err := mod.Traces(context.Background(), p, csp.EngineOptions{Engine: csp.EngineDenote, Depth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opRes.Set.Same(denRes.Set) {
+		t.Fatal("op and denote engines disagree through the facade")
+	}
+	if denRes.Iterations < 1 {
+		t.Fatalf("denote engine reported %d iterations", denRes.Iterations)
+	}
+	runRes, err := mod.Traces(context.Background(), p, csp.EngineOptions{Engine: csp.EngineRuntime, Seed: 1, MaxEvents: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runRes.Set.SubsetOf(opRes.Set) {
+		t.Fatal("runtime engine observed a trace the op engine says is impossible")
+	}
+}
+
+func TestTracesCanceled(t *testing.T) {
+	mod := load(t)
+	p, err := mod.Proc("sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range []csp.Engine{csp.EngineOp, csp.EngineDenote, csp.EngineRuntime} {
+		if _, err := mod.Traces(ctx, p, csp.EngineOptions{Engine: e, Depth: 6}); !errors.Is(err, csp.ErrCanceled) {
+			t.Errorf("engine %v: want ErrCanceled, got %v", e, err)
+		}
+	}
+}
+
+func TestCheckAllAndSat(t *testing.T) {
+	mod := load(t)
+	results, err := mod.CheckAll(context.Background(), csp.CheckOptions{Depth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("want 1 assert result, got %d", len(results))
+	}
+	if !results[0].OK() {
+		t.Fatalf("assert failed: %v", results[0])
+	}
+	out := csp.FormatAssertResults(results)
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("FormatAssertResults missing OK line:\n%s", out)
+	}
+}
+
+func TestStatsAfterReset(t *testing.T) {
+	csp.ResetCaches()
+	mod := load(t)
+	p, err := mod.Proc("sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mod.Traces(context.Background(), p, csp.EngineOptions{Depth: 5}); err != nil {
+		t.Fatal(err)
+	}
+	s := csp.Stats()
+	if s.InternedNodes == 0 {
+		t.Fatal("Stats reports no interned nodes after an exploration")
+	}
+}
