@@ -1,11 +1,17 @@
 package cspsat_test
 
 import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // End-to-end tests of the command-line tools: each binary is built once
@@ -13,7 +19,7 @@ import (
 // exit codes and the load-bearing lines of output. These are the tests a
 // downstream user's shell session relies on.
 
-var cliTools = []string{"cspcheck", "csptrace", "cspsim", "cspproof", "cspprove", "cspeq", "cspi", "cspexperiments"}
+var cliTools = []string{"cspcheck", "csptrace", "cspsim", "cspproof", "cspprove", "cspeq", "cspi", "cspexperiments", "cspserved"}
 
 // buildTools compiles every cmd/ tool once per test binary run.
 func buildTools(t *testing.T) string {
@@ -182,13 +188,112 @@ func TestCLITools(t *testing.T) {
 
 	t.Run("usage errors exit 2", func(t *testing.T) {
 		for _, tool := range cliTools {
-			if tool == "cspproof" || tool == "cspexperiments" {
+			if tool == "cspproof" || tool == "cspexperiments" || tool == "cspserved" {
 				continue // take no file arguments; no-args is a valid run
 			}
 			_, code := run(t, bin(tool), "")
 			if code != 2 {
 				t.Errorf("%s with no args: exit %d, want 2", tool, code)
 			}
+		}
+	})
+
+	t.Run("stats survive a failing run", func(t *testing.T) {
+		// Fail/Fatal used to os.Exit before the -stats report, so the runs
+		// that most need cache diagnostics — the failing ones — lost them.
+		spec := filepath.Join(t.TempDir(), "bad.csp")
+		if err := os.WriteFile(spec, []byte("p = a!1 -> p\nassert p sat #a <= 1\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, code := run(t, bin("cspcheck"), "", "-stats", "-depth", "4", spec)
+		if code != 1 {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+		if !strings.Contains(out, "closure caches:") {
+			t.Fatalf("-stats report missing from failing run:\n%s", out)
+		}
+	})
+
+	t.Run("timeout reports the deadline", func(t *testing.T) {
+		// The multiplier's data-carrying states defeat the memo; depth 12
+		// runs for seconds, so a 100ms budget always expires mid-run — and
+		// the error must say so, not just "canceled".
+		out, code := run(t, bin("csptrace"), "", "-timeout", "100ms", "-depth", "12", "specs/multiplier.csp", "multiplier")
+		if code != 1 {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+		if !strings.Contains(out, "run deadline exceeded") {
+			t.Fatalf("timeout expiry not named in error:\n%s", out)
+		}
+	})
+
+	t.Run("interrupt reports the signal", func(t *testing.T) {
+		cmd := exec.Command(bin("csptrace"), "-depth", "12", "specs/multiplier.csp", "multiplier")
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(300 * time.Millisecond) // mid-exploration
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		err := cmd.Wait()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("err=%v\n%s", err, out.String())
+		}
+		if !strings.Contains(out.String(), "run interrupted") {
+			t.Fatalf("interrupt not named in error:\n%s", out.String())
+		}
+	})
+
+	t.Run("cspserved boots, serves, drains on SIGTERM", func(t *testing.T) {
+		cmd := exec.Command(bin("cspserved"), "-addr", "127.0.0.1:0")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cmd.Process.Kill()
+
+		// The first stdout line names the bound address.
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			t.Fatalf("no startup line; stderr:\n%s", stderr.String())
+		}
+		line := sc.Text()
+		i := strings.Index(line, "http://")
+		j := strings.Index(line, " (")
+		if i < 0 || j < i {
+			t.Fatalf("unparseable startup line: %q", line)
+		}
+		base := line[i:j]
+
+		body := `{"source": "p = a!1 -> p\nassert p sat 0 <= #a\n", "depth": 4}`
+		resp, err := http.Post(base+"/v1/check", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(payload), `"ok":true`) {
+			t.Fatalf("check: %d %s", resp.StatusCode, payload)
+		}
+
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("exit after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "drained, exiting") {
+			t.Fatalf("drain not reported:\n%s", stderr.String())
 		}
 	})
 }

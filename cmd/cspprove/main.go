@@ -1,19 +1,11 @@
 // Command cspprove synthesises and checks §2.1-style proofs for the assert
-// clauses of a .csp file, using the automatic prover of internal/auto.
-//
-// Strategy, mirroring the shape of the paper's own development:
-//
-//  1. Asserts about (possibly arrayed) recursive definitions become goals
-//     for the recursion rule, attempted jointly first (mutual recursion, as
-//     in Table 1 where sender's claim needs q's); goals whose synthesis
-//     fails are dropped from the joint attempt and retried individually —
-//     the retries are verified as one batch across the -workers pool.
-//  2. Asserts about network definitions (parallel compositions, possibly
-//     hidden and named) are assembled from the proofs of phase 1 with the
-//     parallelism/consequence/chan/unfold glue — the §2.2(3) six-step shape.
-//
-// Pure side conditions are discharged by bounded validity; every accepted
-// proof is fully re-verified by the rule checker.
+// clauses of a .csp file, using the automatic prover behind
+// csp.Module.ProveAsserts (shared with cspserved's /v1/prove endpoint):
+// recursion goals are attempted jointly first, then individually as one
+// batch across the -workers pool, and network asserts are assembled from
+// the component proofs with the §2.2(3) glue. Pure side conditions are
+// discharged by bounded validity; every accepted proof is fully
+// re-verified by the rule checker.
 //
 // Usage:
 //
@@ -25,18 +17,13 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"cspsat/internal/assertion"
-	"cspsat/internal/auto"
 	"cspsat/internal/cli"
-	"cspsat/internal/parser"
 	"cspsat/internal/proof"
-	"cspsat/internal/syntax"
 	"cspsat/internal/value"
 	"cspsat/pkg/csp"
 )
@@ -67,302 +54,58 @@ func main() {
 			},
 		},
 	}
-	prover := mod.Prover(ctx, copts)
+	var log func(string)
 	if *verbose {
-		prover.Log = func(s string) { fmt.Println("   ", s) }
+		log = func(s string) { fmt.Println("   ", s) }
 	}
 
-	d := driver{mod: mod, ctx: ctx, copts: copts, prover: prover, show: *show}
-	d.run()
+	results, err := mod.ProveAsserts(ctx, copts, log)
+	failed := false
+	if *show {
+		renderProofs(mod, ctx, copts, results)
+	}
+	for _, r := range results {
+		switch {
+		case r.OK && r.Method == "network glue":
+			fmt.Printf("ok   proved %s (network glue)\n", r.Decl)
+		case r.OK:
+			fmt.Printf("ok   proved %s\n", r.Decl)
+		default:
+			failed = true
+			fmt.Printf("FAIL %s\n     %v\n", r.Decl, r.Err)
+		}
+	}
+	if err != nil {
+		app.Fail(err)
+	}
 	app.Finish()
-	if d.failed {
+	if failed {
 		os.Exit(1)
 	}
 }
 
-type driver struct {
-	mod    *csp.Module
-	ctx    context.Context
-	copts  csp.CheckOptions
-	prover *proof.Checker
-	failed bool
-	show   bool
-	// proved collects every established claim (with its proof) per
-	// definition; phase 2's network glue picks the combination that makes
-	// the final weakening go through.
-	proved map[string][]provedEntry
-}
-
-type provedEntry struct {
-	a  assertion.A
-	pr proof.Proof
-}
-
-func (d *driver) run() {
-	d.proved = map[string][]provedEntry{}
-
-	recGoals, netDecls := d.classify()
-
-	// Phase 1: joint recursion, shedding unsynthesisable goals.
-	pending := make([]auto.Goal, 0, len(recGoals))
-	seenName := map[string]bool{}
-	for _, e := range recGoals {
-		// Conflicting claims about the same definition cannot share one
-		// recursion application; keep the first for the joint attempt.
-		if !seenName[e.goal.Name] {
-			seenName[e.goal.Name] = true
-			pending = append(pending, e.goal)
-		}
-	}
-	for len(pending) > 0 {
-		pr, err := auto.Recursive(d.mod.Env(), pending)
-		if err != nil {
-			var ge *auto.GoalError
-			if errors.As(err, &ge) {
-				pending = dropGoal(pending, ge.Name)
-				continue
-			}
-			break
-		}
-		if _, err := d.prover.Check(pr); err != nil {
-			// The joint candidate failed checking; fall back to
-			// individual attempts for everything.
-			break
-		}
-		for i, g := range pending {
-			d.markProved(g, pending, i)
-		}
-		break
-	}
-	d.proveRemaining(recGoals)
-	if d.show {
-		d.renderProved()
-	}
-
-	// Phase 2: network asserts glued from phase 1's component proofs,
-	// trying every combination of established component claims.
-	for _, decl := range netDecls {
-		ref := decl.Proc.(syntax.Ref)
-		if err := d.proveNetwork(ref.Name, decl.A); err != nil {
-			d.failed = true
-			fmt.Printf("FAIL %s\n     %v\n", decl, err)
+// renderProofs re-checks each successful recursion proof with step
+// collection on and prints it in the paper's numbered style.
+func renderProofs(mod *csp.Module, ctx context.Context, copts csp.CheckOptions, results []csp.ProveResult) {
+	prover := mod.Prover(ctx, copts)
+	seen := map[string]bool{}
+	for _, r := range results {
+		if !r.OK || r.Proof == nil || r.Method == "network glue" {
 			continue
 		}
-		fmt.Printf("ok   proved %s (network glue)\n", decl)
-	}
-}
-
-// proveRemaining covers every recursion goal the joint attempt left
-// unproved: each is synthesised individually, then the synthesised
-// candidates are verified as one batch across the worker pool. Lines are
-// reported in goal order regardless of batch completion order.
-func (d *driver) proveRemaining(recGoals []goalEntry) {
-	lines := make([]string, len(recGoals))
-	var obs []csp.Obligation
-	var obsGoal []goalEntry // parallel to obs: the goal each obligation proves
-	for i, e := range recGoals {
-		if d.hasProved(e.goal.Name, e.goal.A) {
-			lines[i] = fmt.Sprintf("ok   proved %s", e.decl)
+		key := fmt.Sprintf("%s sat %s", r.Name, r.A)
+		if seen[key] {
 			continue
 		}
-		pr, err := auto.Recursive(d.mod.Env(), []auto.Goal{e.goal})
-		if err != nil {
-			d.failed = true
-			lines[i] = fmt.Sprintf("FAIL %s\n     %v", e.decl, err)
+		seen[key] = true
+		var steps []proof.Step
+		prover.Steps = &steps
+		if _, err := prover.Check(r.Proof); err != nil {
 			continue
 		}
-		lines[i] = "" // resolved by the batch below
-		obs = append(obs, csp.Obligation{Name: e.decl, Proof: pr})
-		obsGoal = append(obsGoal, goalEntry{goal: e.goal, decl: e.decl, line: i})
-	}
-	if len(obs) > 0 {
-		// A cancellation error surfaces as Err on the unprocessed entries.
-		results, _ := d.mod.CheckBatch(d.ctx, obs, d.copts)
-		for bi, r := range results {
-			e := obsGoal[bi]
-			if r.Err != nil {
-				d.failed = true
-				lines[e.line] = fmt.Sprintf("FAIL %s\n     %v", e.decl, r.Err)
-				continue
-			}
-			d.addProved(e.goal.Name, e.goal.A, obs[bi].Proof)
-			lines[e.line] = fmt.Sprintf("ok   proved %s", e.decl)
-		}
-	}
-	for _, l := range lines {
-		if l != "" {
-			fmt.Println(l)
-		}
-	}
-}
-
-// renderProved re-checks each recorded proof with step collection on and
-// prints it in the paper's numbered style.
-func (d *driver) renderProved() {
-	names := make([]string, 0, len(d.proved))
-	for n := range d.proved {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		for _, e := range d.proved[n] {
-			var steps []proof.Step
-			d.prover.Steps = &steps
-			if _, err := d.prover.Check(e.pr); err != nil {
-				continue
-			}
-			d.prover.Steps = nil
-			fmt.Printf("\n-- proof of %s sat %s --\n", n, e.a)
-			_ = proof.Render(os.Stdout, steps)
-		}
+		prover.Steps = nil
+		fmt.Printf("\n-- proof of %s --\n", key)
+		_ = proof.Render(os.Stdout, steps)
 	}
 	fmt.Println()
-}
-
-// proveNetwork tries the network glue with each combination of proved
-// component claims (the combination count is the product of per-name claim
-// counts, small in practice).
-func (d *driver) proveNetwork(name string, final assertion.A) error {
-	names := make([]string, 0, len(d.proved))
-	for n := range d.proved {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	idx := make([]int, len(names))
-	var lastErr error
-	for {
-		comps := map[string]proof.Proof{}
-		claims := map[string]assertion.A{}
-		for i, n := range names {
-			e := d.proved[n][idx[i]]
-			comps[n] = e.pr
-			claims[n] = e.a
-		}
-		pr, err := auto.Network(d.mod.Env(), name, comps, claims, final)
-		if err == nil {
-			if _, err = d.prover.Check(pr); err == nil {
-				return nil
-			}
-		}
-		lastErr = err
-		i := 0
-		for ; i < len(names); i++ {
-			idx[i]++
-			if idx[i] < len(d.proved[names[i]]) {
-				break
-			}
-			idx[i] = 0
-		}
-		if i == len(names) {
-			if lastErr == nil {
-				lastErr = fmt.Errorf("no proved component claims available")
-			}
-			return lastErr
-		}
-	}
-}
-
-func (d *driver) hasProved(name string, a assertion.A) bool {
-	want := fmt.Sprint(a)
-	for _, e := range d.proved[name] {
-		if fmt.Sprint(e.a) == want {
-			return true
-		}
-	}
-	return false
-}
-
-func (d *driver) addProved(name string, a assertion.A, pr proof.Proof) {
-	if d.hasProved(name, a) {
-		return
-	}
-	d.proved[name] = append(d.proved[name], provedEntry{a: a, pr: pr})
-}
-
-// markProved records a joint-recursion goal's proof for reuse by the
-// network glue: the same joint proof is regenerated with this goal's
-// definition leading, so its claim is the conclusion (the recursion rule
-// establishes all participating claims; Main selects which one the proof
-// object reports).
-func (d *driver) markProved(g auto.Goal, joint []auto.Goal, idx int) {
-	if d.hasProved(g.Name, g.A) {
-		return
-	}
-	rotated := make([]auto.Goal, 0, len(joint))
-	rotated = append(rotated, joint[idx])
-	rotated = append(rotated, joint[:idx]...)
-	rotated = append(rotated, joint[idx+1:]...)
-	if pr, err := auto.Recursive(d.mod.Env(), rotated); err == nil {
-		d.addProved(g.Name, g.A, pr)
-	}
-}
-
-// goalEntry pairs a recursion goal with the assert text it came from and
-// its output slot in proveRemaining.
-type goalEntry struct {
-	goal auto.Goal
-	decl string
-	line int
-}
-
-// classify splits asserts into recursion goals and network-shaped asserts.
-func (d *driver) classify() (goals []goalEntry, netDecls []parser.AssertDecl) {
-	for _, decl := range d.mod.Asserts() {
-		if decl.A == nil {
-			continue // refinement asserts are cspcheck's business
-		}
-		ref, ok := decl.Proc.(syntax.Ref)
-		if !ok {
-			continue
-		}
-		def, found := d.mod.Syntax().Lookup(ref.Name)
-		if !found {
-			continue
-		}
-		if len(decl.Quants) == 0 && ref.Sub == nil {
-			if isNetworkDef(def.Body) {
-				netDecls = append(netDecls, decl)
-				continue
-			}
-			goals = append(goals, goalEntry{goal: auto.Goal{Name: ref.Name, A: decl.A}, decl: decl.String()})
-			continue
-		}
-		if len(decl.Quants) == 1 && ref.Sub != nil && def.IsArray() {
-			v, isVar := ref.Sub.(syntax.Var)
-			if !isVar || v.Name != decl.Quants[0].Var {
-				continue
-			}
-			a := decl.A
-			if v.Name != def.Param {
-				a = assertion.SubstVar(a, v.Name, assertion.Var(def.Param))
-			}
-			goals = append(goals, goalEntry{goal: auto.Goal{Name: ref.Name, A: a}, decl: decl.String()})
-		}
-	}
-	return goals, netDecls
-}
-
-// isNetworkDef reports whether a definition's body is a composition shape
-// (parallel or hiding, possibly through references) rather than a
-// communicating process.
-func isNetworkDef(p syntax.Proc) bool {
-	switch t := p.(type) {
-	case syntax.Par, syntax.Hiding:
-		return true
-	case syntax.Ref:
-		_ = t
-		return false
-	default:
-		return false
-	}
-}
-
-func dropGoal(gs []auto.Goal, name string) []auto.Goal {
-	out := gs[:0]
-	for _, g := range gs {
-		if g.Name != name {
-			out = append(out, g)
-		}
-	}
-	return out
 }

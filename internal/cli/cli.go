@@ -8,7 +8,11 @@
 //
 // plus the usage text, argument-count checking (exit 2, matching the
 // documented contract of every tool), and the "tool: error" reporting
-// convention.
+// convention. App.Context additionally wires SIGINT/SIGTERM into the run
+// context with distinct cancellation causes, so every binary cancels
+// gracefully on Ctrl-C and its error message says whether a run died to
+// the -timeout deadline or to an interrupt. cmd/cspserved reuses the same
+// flag set and SignalContext for its drain-on-SIGTERM lifecycle.
 package cli
 
 import (
@@ -17,9 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
+	"cspsat/internal/csperr"
 	"cspsat/pkg/csp"
 )
 
@@ -35,6 +42,11 @@ type App struct {
 
 	// Nat is the -nat flag when the tool registered it via NatFlag.
 	Nat int
+
+	// statsDone makes Finish idempotent, so the failure exit paths can
+	// emit the -stats report unconditionally without double-printing when
+	// a tool already called Finish before deciding to exit non-zero.
+	statsDone bool
 }
 
 // New registers the uniform flags and the usage function. Call before any
@@ -67,24 +79,65 @@ func (a *App) Parse(nargs int) []string {
 	return flag.Args()
 }
 
-// Context returns the run context honouring -timeout. The caller should
-// defer cancel.
+// Context returns the run context honouring -timeout and the process
+// signals: Ctrl-C (SIGINT) and SIGTERM cancel it, so engines unwind
+// promptly through their usual cancellation paths (interned shards stay
+// valid — see csperr.ErrCanceled) instead of the process dying mid-run.
+// The caller should defer cancel.
+//
+// The two ways the context can die carry distinct causes, so the error an
+// engine returns says why the run stopped: a -timeout expiry wraps
+// csperr.ErrDeadline, a signal wraps csperr.ErrInterrupted, and both still
+// wrap csperr.ErrCanceled for coarse errors.Is dispatch.
 func (a *App) Context() (context.Context, context.CancelFunc) {
-	if a.Timeout > 0 {
-		return context.WithTimeout(context.Background(), a.Timeout)
-	}
-	return context.WithCancel(context.Background())
+	return SignalContext(context.Background(), a.Timeout)
 }
 
-// Fatal reports a load/usage-class error ("tool: err") and exits 2.
+// SignalContext builds a context canceled by SIGINT/SIGTERM (cause wraps
+// csperr.ErrInterrupted, naming the signal) and, when timeout > 0, by a
+// deadline (cause wraps csperr.ErrDeadline, naming the budget). A second
+// signal while the first is still draining kills the process hard with
+// exit status 130, so a wedged engine can always be interrupted twice.
+func SignalContext(parent context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	base := parent
+	cancelTimeout := context.CancelFunc(func() {})
+	if timeout > 0 {
+		base, cancelTimeout = context.WithTimeoutCause(base, timeout,
+			fmt.Errorf("%w (-timeout %v)", csperr.ErrDeadline, timeout))
+	}
+	ctx, cancel := context.WithCancelCause(base)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			cancel(fmt.Errorf("%w (%v)", csperr.ErrInterrupted, sig))
+			<-ch // a second signal: the user means it
+			os.Exit(130)
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		cancel(nil)
+		cancelTimeout()
+	}
+}
+
+// Fatal reports a load/usage-class error ("tool: err") and exits 2. The
+// -stats report, when requested, is emitted first: failing runs are
+// exactly the ones whose cache behaviour gets inspected.
 func (a *App) Fatal(err error) {
 	fmt.Fprintln(os.Stderr, a.Tool+":", err)
+	a.Finish()
 	os.Exit(2)
 }
 
-// Fail reports a run-class error ("tool: err") and exits 1.
+// Fail reports a run-class error ("tool: err") and exits 1, emitting the
+// -stats report like every other exit path.
 func (a *App) Fail(err error) {
 	fmt.Fprintln(os.Stderr, a.Tool+":", err)
+	a.Finish()
 	os.Exit(1)
 }
 
@@ -106,10 +159,12 @@ func (a *App) Proc(m *csp.Module, name string) csp.Proc {
 	return p
 }
 
-// Finish emits the -stats report to stderr when requested; call once on
-// every exit path that completed a run.
+// Finish emits the -stats report to stderr when requested. It is
+// idempotent, and Fail/Fatal call it themselves, so every exit path —
+// success, check failure, load error — carries the report.
 func (a *App) Finish() {
-	if a.Stats {
+	if a.Stats && !a.statsDone {
+		a.statsDone = true
 		WriteStats(os.Stderr)
 	}
 }

@@ -305,20 +305,48 @@ func (p *Set) Size() int { return p.root.size }
 func (p *Set) MaxLen() int { return p.root.height }
 
 // Traces returns every trace in the set in canonical (lexicographic) order.
+// Sharing makes the member count exponential in the trie's height, so for
+// sets that may be deep, materialise with TracesN instead: Traces on a set
+// with more members than memory holds cannot succeed.
 func (p *Set) Traces() []trace.T {
-	out := make([]trace.T, 0, p.root.size)
-	var walk func(n *node, pfx trace.T)
-	walk = func(n *node, pfx trace.T) {
+	out, _ := p.TracesN(0)
+	return out
+}
+
+// TracesN returns at most limit traces of the set, sorted lexicographically
+// among themselves, and whether the listing was truncated. limit <= 0 means
+// unlimited. A truncated listing is a prefix-closed subset (the walk visits
+// every prefix of a trace before the trace), but which members survive
+// depends on internal edge order, not on trace order.
+func (p *Set) TracesN(limit int) ([]trace.T, bool) {
+	prealloc := p.root.size
+	if limit > 0 && limit < prealloc {
+		prealloc = limit
+	}
+	if prealloc < 0 || prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	out := make([]trace.T, 0, prealloc)
+	truncated := false
+	var walk func(n *node, pfx trace.T) bool
+	walk = func(n *node, pfx trace.T) bool {
+		if limit > 0 && len(out) == limit {
+			truncated = true
+			return false
+		}
 		cp := make(trace.T, len(pfx))
 		copy(cp, pfx)
 		out = append(out, cp)
 		for _, e := range n.edges {
-			walk(e.child, append(pfx, e.ev))
+			if !walk(e.child, append(pfx, e.ev)) {
+				return false
+			}
 		}
+		return true
 	}
 	walk(p.root, nil)
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
+	return out, truncated
 }
 
 // WalkDFS traverses the set depth-first in unspecified order. visit is
@@ -357,22 +385,38 @@ func (p *Set) WalkDFS(visit func(path trace.T) bool, push, pop func(ev trace.Eve
 // TracesMax returns the maximal traces (those with no extension in the set),
 // useful for compact display.
 func (p *Set) TracesMax() []trace.T {
+	out, _ := p.TracesMaxN(0)
+	return out
+}
+
+// TracesMaxN is TracesN restricted to maximal traces (those that are not a
+// proper prefix of another member): at most limit of them, sorted among
+// themselves, plus a truncation flag. limit <= 0 means unlimited.
+func (p *Set) TracesMaxN(limit int) ([]trace.T, bool) {
 	var out []trace.T
-	var walk func(n *node, pfx trace.T)
-	walk = func(n *node, pfx trace.T) {
+	truncated := false
+	var walk func(n *node, pfx trace.T) bool
+	walk = func(n *node, pfx trace.T) bool {
 		if len(n.edges) == 0 {
+			if limit > 0 && len(out) == limit {
+				truncated = true
+				return false
+			}
 			cp := make(trace.T, len(pfx))
 			copy(cp, pfx)
 			out = append(out, cp)
-			return
+			return true
 		}
 		for _, e := range n.edges {
-			walk(e.child, append(pfx, e.ev))
+			if !walk(e.child, append(pfx, e.ev)) {
+				return false
+			}
 		}
+		return true
 	}
 	walk(p.root, nil)
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
+	return out, truncated
 }
 
 // Same reports whether two sets are represented by the same interned node —

@@ -351,6 +351,15 @@ var (
 
 // intern returns the canonical node for the given edge list, which must be
 // sorted by key, free of duplicate keys, and built over canonical children.
+// satAdd adds two non-negative trace counts, saturating at MaxInt.
+func satAdd(a, b int) int {
+	const maxInt = int(^uint(0) >> 1)
+	if a > maxInt-b {
+		return maxInt
+	}
+	return a + b
+}
+
 // The caller must not retain or mutate edges after the call if the interned
 // node may share it. Only the one stripe owning the hash is locked, so
 // interns of unrelated nodes proceed in parallel.
@@ -372,7 +381,10 @@ func intern(edges []edge) *node {
 	sh.misses++
 	size, height := 1, 0
 	for _, e := range edges {
-		size += e.child.size
+		// Trie sharing makes member counts exponential in depth, so the sum
+		// saturates instead of wrapping: a deep parallel composition easily
+		// exceeds MaxInt members while the trie itself stays tiny.
+		size = satAdd(size, e.child.size)
 		if ch := 1 + e.child.height; ch > height {
 			height = ch
 		}

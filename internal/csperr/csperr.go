@@ -32,4 +32,16 @@ var (
 	// refuted by the bounded-validity oracle — the claim may still be
 	// provable another way, but this proof object is wrong.
 	ErrObligationFailed = errors.New("csp: proof obligation failed")
+
+	// ErrDeadline refines ErrCanceled: the run's configured deadline
+	// (-timeout, or a server request budget) expired. Errors carrying it
+	// also match ErrCanceled, so errors.Is(err, ErrCanceled) stays the
+	// coarse test and errors.Is(err, ErrDeadline) answers "why".
+	ErrDeadline = errors.New("run deadline exceeded")
+
+	// ErrInterrupted refines ErrCanceled: an external interrupt (Ctrl-C,
+	// SIGTERM, a client hanging up, a host draining) canceled the run
+	// before any deadline. Like ErrDeadline it rides alongside
+	// ErrCanceled in the same wrapped error.
+	ErrInterrupted = errors.New("run interrupted")
 )

@@ -7,6 +7,7 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -79,12 +80,22 @@ func Run(ctx context.Context, workers, n int, f func(int) error) error {
 // Canceled returns a csperr.ErrCanceled-wrapped error when ctx is done,
 // nil otherwise. Engines call it at loop heads so serial paths honor
 // deadlines too.
+//
+// When the context carries a cancellation cause (context.Cause) beyond the
+// generic Canceled/DeadlineExceeded, the cause is wrapped too, so callers
+// can distinguish a deadline expiry (csperr.ErrDeadline) from an external
+// interrupt (csperr.ErrInterrupted) with errors.Is while still matching
+// the coarse csperr.ErrCanceled.
 func Canceled(ctx context.Context) error {
 	if ctx == nil {
 		return nil
 	}
-	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("%w: %v", csperr.ErrCanceled, err)
+	err := ctx.Err()
+	if err == nil {
+		return nil
 	}
-	return nil
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(err, cause) {
+		return fmt.Errorf("%w: %w", csperr.ErrCanceled, cause)
+	}
+	return fmt.Errorf("%w: %v", csperr.ErrCanceled, err)
 }

@@ -5,7 +5,10 @@
 // engines only ever call Emit, so a nil callback costs one branch.
 package progress
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Event is one progress report. Fields are cumulative for the stage named
 // unless noted; engines fill only the counters that apply to them.
@@ -46,4 +49,44 @@ func (f Func) Emit(e Event) {
 	if f != nil {
 		f(e)
 	}
+}
+
+// Tracker accumulates the latest Event per stage, so a host can attach
+// one callback to a run and read back a consistent snapshot afterwards —
+// cspserved surfaces these per-request snapshots in its JSON responses.
+// The zero value is ready to use; all methods are goroutine-safe.
+type Tracker struct {
+	mu     sync.Mutex
+	order  []string
+	latest map[string]Event
+}
+
+// Func returns the callback to hand to an engine. The callback only takes
+// the Tracker's lock and copies one Event, so it is cheap enough for
+// worker barriers.
+func (t *Tracker) Func() Func {
+	return func(e Event) {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if t.latest == nil {
+			t.latest = map[string]Event{}
+		}
+		if _, seen := t.latest[e.Stage]; !seen {
+			t.order = append(t.order, e.Stage)
+		}
+		t.latest[e.Stage] = e
+	}
+}
+
+// Snapshot returns the most recent event of every stage that reported, in
+// first-report order. The slice is a copy; mutating it does not affect the
+// Tracker.
+func (t *Tracker) Snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.order))
+	for _, stage := range t.order {
+		out = append(out, t.latest[stage])
+	}
+	return out
 }

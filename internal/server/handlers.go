@@ -1,0 +1,361 @@
+// Request decoding, verification dispatch, and response encoding for the
+// /v1 endpoints. The single-run endpoints (/v1/traces, /v1/check,
+// /v1/prove) and /v1/batch share one execution core, so a batch item
+// behaves exactly like the corresponding standalone request — same
+// defaults, same module cache, same error mapping.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"context"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/pool"
+	"cspsat/internal/value"
+	"cspsat/pkg/csp"
+)
+
+// Sentinels for request-shaped failures, mapped to 400/404 by statusFor.
+var (
+	errBadRequest     = errors.New("bad request")
+	errUnknownProcess = errors.New("unknown process")
+)
+
+// runRequest is the body of a verification request. In a batch, Kind
+// selects the endpoint; standalone endpoints imply it.
+type runRequest struct {
+	// Kind is "traces", "check", or "prove" (batch items only).
+	Kind string `json:"kind,omitempty"`
+	// Source is the .csp module text.
+	Source string `json:"source"`
+	// Process names the root process (/v1/traces only).
+	Process string `json:"process,omitempty"`
+	// Engine picks the trace engine: "op" (default), "denote", "runtime".
+	Engine string `json:"engine,omitempty"`
+	// Depth, Nat, Workers override the server defaults when positive.
+	Depth   int `json:"depth,omitempty"`
+	Nat     int `json:"nat,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// MaxOnly lists only maximal traces (/v1/traces).
+	MaxOnly bool `json:"max_only,omitempty"`
+	// MaxTraces lowers the server's cap on how many traces the response
+	// lists (/v1/traces); it can never raise it. The response marks
+	// truncated listings.
+	MaxTraces int `json:"max_traces,omitempty"`
+	// Seed and MaxEvents drive the runtime engine (/v1/traces).
+	Seed      int64 `json:"seed,omitempty"`
+	MaxEvents int   `json:"max_events,omitempty"`
+	// MaxLen bounds validity obligations (/v1/prove; default 3).
+	MaxLen int `json:"maxlen,omitempty"`
+	// TimeoutMS lowers the request budget below the server's
+	// RequestTimeout; it can never raise it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// runResponse is the body of a verification response. Error and Status
+// are filled on failure (Status only inside batch results, where the
+// outer HTTP status cannot carry per-item codes).
+type runResponse struct {
+	Kind     string `json:"kind"`
+	SpecHash string `json:"spec_hash,omitempty"`
+	// CacheHit reports whether the module came from the module cache.
+	CacheHit bool `json:"cache_hit"`
+	// OK is the overall verdict: traces computed, all asserts held, all
+	// proofs found.
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+	Status int    `json:"status,omitempty"`
+	// Exactly one of Traces/Asserts/Proofs is set, by Kind.
+	Traces  *csp.TraceSetJSON      `json:"traces,omitempty"`
+	Asserts []csp.AssertResultJSON `json:"asserts,omitempty"`
+	Proofs  []csp.ProveResultJSON  `json:"proofs,omitempty"`
+	// Progress is the engine's final per-stage snapshot for this request.
+	Progress  []csp.ProgressEventJSON `json:"progress,omitempty"`
+	ElapsedMS int64                   `json:"elapsed_ms"`
+}
+
+// execute runs one verification request on an already-derived engine
+// context. It returns the response and the error used for status mapping;
+// on error the response still carries Kind/SpecHash/Progress for the body.
+func (s *Server) execute(ctx context.Context, kind string, req runRequest) (*runResponse, error) {
+	start := time.Now()
+	resp := &runResponse{Kind: kind}
+	if req.Source == "" {
+		return resp, fmt.Errorf("%w: missing \"source\"", errBadRequest)
+	}
+	nat := req.Nat
+	if nat <= 0 {
+		nat = s.cfg.NatWidth
+	}
+	depth := req.Depth
+	if depth <= 0 {
+		depth = s.cfg.Depth
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+
+	mod, hash, hit, err := s.cache.Load(ctx, req.Source, csp.Options{NatWidth: nat})
+	resp.SpecHash = hash
+	resp.CacheHit = hit
+	if err != nil {
+		return resp, err
+	}
+
+	var tracker csp.ProgressTracker
+	defer func() {
+		resp.Progress = csp.EncodeProgress(tracker.Snapshot())
+		resp.ElapsedMS = time.Since(start).Milliseconds()
+	}()
+
+	switch kind {
+	case "traces":
+		if req.Process == "" {
+			return resp, fmt.Errorf("%w: missing \"process\"", errBadRequest)
+		}
+		engine, err := parseEngine(req.Engine)
+		if err != nil {
+			return resp, err
+		}
+		p, err := mod.Proc(req.Process)
+		if err != nil {
+			return resp, fmt.Errorf("%w: %v", errUnknownProcess, err)
+		}
+		res, err := mod.Traces(ctx, p, csp.EngineOptions{
+			Engine:    engine,
+			Depth:     depth,
+			Workers:   workers,
+			Progress:  tracker.Func(),
+			Seed:      req.Seed,
+			MaxEvents: req.MaxEvents,
+		})
+		if err != nil {
+			return resp, err
+		}
+		limit := s.cfg.MaxTraces
+		if req.MaxTraces > 0 && req.MaxTraces < limit {
+			limit = req.MaxTraces
+		}
+		set := csp.EncodeTraceSet(res, req.MaxOnly, limit)
+		resp.Traces = &set
+		resp.OK = true
+		return resp, nil
+
+	case "check":
+		results, err := mod.CheckAll(ctx, csp.CheckOptions{
+			Depth:    depth,
+			Workers:  workers,
+			Progress: tracker.Func(),
+		})
+		if err != nil {
+			return resp, err
+		}
+		resp.Asserts = csp.EncodeAssertResults(results)
+		resp.OK = true
+		for _, r := range results {
+			if !r.OK() {
+				resp.OK = false
+			}
+		}
+		return resp, nil
+
+	case "prove":
+		maxLen := req.MaxLen
+		if maxLen <= 0 {
+			maxLen = 3
+		}
+		results, err := mod.ProveAsserts(ctx, csp.CheckOptions{
+			Workers:  workers,
+			Progress: tracker.Func(),
+			Validity: &assertion.ValidityConfig{
+				MaxLen: maxLen,
+				DefaultDom: value.Union{
+					A: value.Nat{SampleWidth: nat},
+					B: value.NewEnum(value.Sym("ACK"), value.Sym("NACK")),
+				},
+			},
+		}, nil)
+		resp.Proofs = csp.EncodeProveResults(results)
+		if err != nil {
+			return resp, err
+		}
+		resp.OK = true
+		for _, r := range results {
+			if !r.OK {
+				resp.OK = false
+			}
+		}
+		return resp, nil
+	}
+	return resp, fmt.Errorf("%w: unknown kind %q", errBadRequest, kind)
+}
+
+func parseEngine(name string) (csp.Engine, error) {
+	switch name {
+	case "", "op":
+		return csp.EngineOp, nil
+	case "denote":
+		return csp.EngineDenote, nil
+	case "runtime":
+		return csp.EngineRuntime, nil
+	}
+	return 0, fmt.Errorf("%w: unknown engine %q", errBadRequest, name)
+}
+
+// runHandler serves one single-run endpoint: decode, admit, derive the
+// request context, execute, encode.
+func (s *Server) runHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req runRequest
+		if !s.admitAndDecode(w, r, kind, &req) {
+			return
+		}
+		defer s.release()
+		defer s.inflight.Done()
+
+		ctx, cancel := s.requestContext(r, req.TimeoutMS)
+		defer cancel()
+
+		started := time.Now()
+		resp, err := s.execute(ctx, kind, req)
+		status := statusFor(r, err)
+		if err != nil {
+			resp.Error = err.Error()
+		}
+		s.metrics.record(kind, status, time.Since(started))
+		writeJSON(w, status, resp)
+	}
+}
+
+// batchRequest runs many requests in one HTTP call; the batch holds one
+// admission slot and fans its items across Workers goroutines.
+type batchRequest struct {
+	Requests []runRequest `json:"requests"`
+	// Workers is the item-level parallelism (default: the server's
+	// worker default, at least 1).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS bounds the whole batch.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type batchResponse struct {
+	// OK is true when every item succeeded.
+	OK bool `json:"ok"`
+	// Results is index-aligned with the request's Requests.
+	Results   []*runResponse `json:"results"`
+	ElapsedMS int64          `json:"elapsed_ms"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.admitAndDecode(w, r, "batch", &req) {
+		return
+	}
+	defer s.release()
+	defer s.inflight.Done()
+
+	if len(req.Requests) == 0 {
+		s.metrics.record("batch", http.StatusBadRequest, 0)
+		writeJSON(w, http.StatusBadRequest, &runResponse{Kind: "batch", Error: "empty batch"})
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+
+	started := time.Now()
+	results := make([]*runResponse, len(req.Requests))
+	// Item failures are per-result; only cancellation aborts the pool.
+	_ = pool.Run(ctx, workers, len(req.Requests), func(i int) error {
+		item := req.Requests[i]
+		resp, err := s.execute(ctx, item.Kind, item)
+		if err != nil {
+			resp.Error = err.Error()
+			resp.Status = statusFor(r, err)
+		}
+		results[i] = resp
+		return pool.Canceled(ctx)
+	})
+
+	out := batchResponse{OK: true, Results: results, ElapsedMS: time.Since(started).Milliseconds()}
+	status := http.StatusOK
+	for i, res := range results {
+		if res == nil {
+			// Never executed: the batch was canceled first.
+			err := pool.Canceled(ctx)
+			res = &runResponse{Kind: req.Requests[i].Kind}
+			if err != nil {
+				res.Error = err.Error()
+				res.Status = statusFor(r, err)
+			}
+			results[i] = res
+		}
+		if res.Error != "" || !res.OK {
+			out.OK = false
+		}
+		// The batch's HTTP status reflects cancellation of the batch
+		// itself (all-item failure classes), not individual verdicts.
+		if res.Status == http.StatusGatewayTimeout ||
+			res.Status == StatusClientClosedRequest ||
+			res.Status == http.StatusServiceUnavailable {
+			status = res.Status
+		}
+	}
+	s.metrics.record("batch", status, time.Since(started))
+	writeJSON(w, status, out)
+}
+
+// admitAndDecode performs the shared front half of every verification
+// endpoint: refuse while draining, decode the JSON body, and take an
+// admission slot. On success the caller owns one slot and one inflight
+// count. On failure it has already written the response.
+func (s *Server) admitAndDecode(w http.ResponseWriter, r *http.Request, kind string, into any) bool {
+	if s.Draining() {
+		s.metrics.admissionRefused.Add(1)
+		s.metrics.record(kind, http.StatusServiceUnavailable, 0)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, &runResponse{Kind: kind, Error: "server draining"})
+		return false
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.metrics.record(kind, http.StatusBadRequest, 0)
+		writeJSON(w, http.StatusBadRequest, &runResponse{Kind: kind, Error: "decoding request: " + err.Error()})
+		return false
+	}
+	if !s.acquire(r.Context()) {
+		s.metrics.admissionRefused.Add(1)
+		if r.Context().Err() != nil {
+			s.metrics.record(kind, StatusClientClosedRequest, 0)
+			writeJSON(w, StatusClientClosedRequest, &runResponse{Kind: kind, Error: "client closed request"})
+			return false
+		}
+		s.metrics.record(kind, http.StatusServiceUnavailable, 0)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, &runResponse{Kind: kind, Error: "admission limit reached"})
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}

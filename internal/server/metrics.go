@@ -1,0 +1,152 @@
+// Observability: request counters and latency per endpoint, admission
+// pressure, the module cache, and the closure layer's intern/memo
+// statistics — served as JSON at /metrics and published once to expvar
+// (GET /debug/vars) under the key "cspserved".
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cspsat/pkg/csp"
+)
+
+// endpointCounters accumulates one endpoint's request count and latency.
+type endpointCounters struct {
+	count        atomic.Uint64
+	errors       atomic.Uint64
+	latencySumMS atomic.Int64
+	latencyMaxMS atomic.Int64
+}
+
+type metrics struct {
+	endpoints map[string]*endpointCounters // fixed keys, no lock needed
+
+	mu       sync.Mutex
+	statuses map[int]uint64
+
+	admissionWaits   atomic.Uint64
+	admissionRefused atomic.Uint64
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		endpoints: map[string]*endpointCounters{},
+		statuses:  map[int]uint64{},
+	}
+	for _, kind := range []string{"traces", "check", "prove", "batch"} {
+		m.endpoints[kind] = &endpointCounters{}
+	}
+	return m
+}
+
+func (m *metrics) record(kind string, status int, elapsed time.Duration) {
+	if ep, ok := m.endpoints[kind]; ok {
+		ep.count.Add(1)
+		if status >= 400 {
+			ep.errors.Add(1)
+		}
+		ms := elapsed.Milliseconds()
+		ep.latencySumMS.Add(ms)
+		for {
+			max := ep.latencyMaxMS.Load()
+			if ms <= max || ep.latencyMaxMS.CompareAndSwap(max, ms) {
+				break
+			}
+		}
+	}
+	m.mu.Lock()
+	m.statuses[status]++
+	m.mu.Unlock()
+}
+
+// EndpointSnapshot is one endpoint's cumulative counters.
+type EndpointSnapshot struct {
+	Count        uint64 `json:"count"`
+	Errors       uint64 `json:"errors"`
+	LatencySumMS int64  `json:"latency_sum_ms"`
+	LatencyMaxMS int64  `json:"latency_max_ms"`
+}
+
+// Snapshot is the /metrics document.
+type Snapshot struct {
+	UptimeMS         int64                       `json:"uptime_ms"`
+	Draining         bool                        `json:"draining"`
+	Inflight         int                         `json:"inflight"`
+	MaxInflight      int                         `json:"max_inflight"`
+	AdmissionWaits   uint64                      `json:"admission_waits"`
+	AdmissionRefused uint64                      `json:"admission_refused"`
+	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
+	Statuses         map[string]uint64           `json:"statuses"`
+	ModuleCache      csp.ModuleCacheStats        `json:"module_cache"`
+	Closure          csp.CacheStats              `json:"closure"`
+}
+
+// Snapshot assembles the current metrics document.
+func (s *Server) Snapshot() Snapshot {
+	snap := Snapshot{
+		UptimeMS:         time.Since(s.start).Milliseconds(),
+		Draining:         s.Draining(),
+		Inflight:         len(s.admit),
+		MaxInflight:      cap(s.admit),
+		AdmissionWaits:   s.metrics.admissionWaits.Load(),
+		AdmissionRefused: s.metrics.admissionRefused.Load(),
+		Endpoints:        map[string]EndpointSnapshot{},
+		Statuses:         map[string]uint64{},
+		ModuleCache:      s.cache.Stats(),
+		Closure:          csp.Stats(),
+	}
+	keys := make([]string, 0, len(s.metrics.endpoints))
+	for k := range s.metrics.endpoints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ep := s.metrics.endpoints[k]
+		snap.Endpoints[k] = EndpointSnapshot{
+			Count:        ep.count.Load(),
+			Errors:       ep.errors.Load(),
+			LatencySumMS: ep.latencySumMS.Load(),
+			LatencyMaxMS: ep.latencyMaxMS.Load(),
+		}
+	}
+	s.metrics.mu.Lock()
+	for code, n := range s.metrics.statuses {
+		snap.Statuses[strconv.Itoa(code)] = n
+	}
+	s.metrics.mu.Unlock()
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// expvar's registry is global and panics on duplicate names, so only the
+// process's first Server publishes there (tests construct many Servers);
+// /metrics always reflects its own Server.
+var expvarOnce sync.Once
+
+func publishExpvar(s *Server) {
+	expvarOnce.Do(func() {
+		expvar.Publish("cspserved", expvar.Func(func() any { return s.Snapshot() }))
+	})
+}

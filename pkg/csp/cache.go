@@ -1,0 +1,141 @@
+// Module caching for resident hosts. A long-running verification service
+// sees the same specs over and over; parsing is cheap, but a fresh Module
+// re-derives every canonical trie from scratch, while a cached Module's
+// engines hit the memo tables warmed by earlier requests on the very same
+// *closure.Set pointers. The cache key is a hash of the source text and
+// the load options, so "the same spec" means byte-identical source, not
+// filename identity.
+package csp
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"cspsat/internal/pool"
+)
+
+// ModuleCache is a bounded LRU of loaded Modules keyed by source hash.
+// Modules are immutable once loaded (their engines share the global intern
+// shards), so one cached Module may serve many concurrent requests. The
+// zero value is not usable; construct with NewModuleCache.
+type ModuleCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+	hits     uint64
+	misses   uint64
+	evicted  uint64
+}
+
+type cacheEntry struct {
+	key string
+	mod *Module
+}
+
+// DefaultModuleCacheCapacity is used when NewModuleCache is given a
+// non-positive capacity.
+const DefaultModuleCacheCapacity = 128
+
+// NewModuleCache builds a cache holding at most capacity modules
+// (DefaultModuleCacheCapacity when capacity <= 0).
+func NewModuleCache(capacity int) *ModuleCache {
+	if capacity <= 0 {
+		capacity = DefaultModuleCacheCapacity
+	}
+	return &ModuleCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  map[string]*list.Element{},
+	}
+}
+
+// SourceHash returns the cache key for a source text under opts: a hex
+// SHA-256 over the source and the load options that change a Module's
+// meaning. Callers can use it to correlate requests with cache entries.
+func SourceHash(src string, opts Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "nat=%d\x00", opts.NatWidth)
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Load returns the cached Module for src under opts, loading and caching
+// it on a miss. It reports the cache key and whether the module was served
+// from cache. Loads with a custom Funcs registry bypass the cache (the
+// registry's contents cannot be hashed); they always load fresh and report
+// hit=false with an empty key.
+func (c *ModuleCache) Load(ctx context.Context, src string, opts Options) (mod *Module, key string, hit bool, err error) {
+	if err := pool.Canceled(ctx); err != nil {
+		return nil, "", false, err
+	}
+	if opts.Funcs != nil {
+		m, err := Load(ctx, src, opts)
+		return m, "", false, err
+	}
+	key = SourceHash(src, opts)
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		m := el.Value.(*cacheEntry).mod
+		c.mu.Unlock()
+		return m, key, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Parse outside the lock: a slow load must not stall hits on other
+	// keys. Two concurrent first requests for the same spec may both
+	// parse; the second Add wins nothing but wastes only the parse (the
+	// closure layer interns the tries globally either way).
+	m, err := Load(ctx, src, opts)
+	if err != nil {
+		return nil, key, false, err
+	}
+	c.add(key, m)
+	return m, key, false, nil
+}
+
+func (c *ModuleCache) add(key string, m *Module) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, mod: m})
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evicted++
+	}
+}
+
+// ModuleCacheStats is a snapshot of a ModuleCache's effectiveness.
+type ModuleCacheStats struct {
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Evicted  uint64 `json:"evicted"`
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (c *ModuleCache) Stats() ModuleCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ModuleCacheStats{
+		Size:     c.order.Len(),
+		Capacity: c.capacity,
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Evicted:  c.evicted,
+	}
+}

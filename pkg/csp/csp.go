@@ -59,6 +59,14 @@ var (
 	// ErrObligationFailed wraps proof-checking failures whose root cause is
 	// a pure side condition the bounded-validity oracle refuted.
 	ErrObligationFailed = csperr.ErrObligationFailed
+	// ErrDeadline refines ErrCanceled when the cancellation cause was a
+	// deadline expiring (a -timeout flag, a server request budget). Errors
+	// carrying it also match ErrCanceled.
+	ErrDeadline = csperr.ErrDeadline
+	// ErrInterrupted refines ErrCanceled when the cancellation cause was an
+	// external interrupt (Ctrl-C, SIGTERM, a client disconnecting). Errors
+	// carrying it also match ErrCanceled.
+	ErrInterrupted = csperr.ErrInterrupted
 )
 
 // Aliases re-exporting the result and callback types the facade's methods
@@ -91,6 +99,9 @@ type (
 	Progress = progress.Func
 	// ProgressEvent is one progress callback payload.
 	ProgressEvent = progress.Event
+	// ProgressTracker accumulates the latest event per stage for snapshot
+	// reporting (see cspserved's per-request progress).
+	ProgressTracker = progress.Tracker
 	// CacheStats aggregates the sharded intern/memo table counters.
 	CacheStats = closure.CacheStats
 	// RunResult is the outcome of executing a process on goroutines.

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of cspserved: boots the service, drives every /v1
+# endpoint with the paper's six specs, checks the module cache shows up in
+# /metrics, and exercises the SIGTERM drain path. CI runs this; it also
+# works locally (needs curl + jq).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:8931
+BASE="http://$ADDR"
+LOG="$(mktemp)"
+BIN="$(mktemp -d)/cspserved"
+
+go build -o "$BIN" ./cmd/cspserved
+
+"$BIN" -addr "$ADDR" -timeout 60s >"$LOG" 2>&1 &
+PID=$!
+trap 'kill -9 $PID 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "cspserved never became healthy"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+echo "== healthy"
+
+# body SPEC ARGS... -> a request JSON embedding the spec source.
+body() {
+  local spec=$1; shift
+  jq -n --rawfile src "specs/$spec" "$@"
+}
+
+# /v1/check on every spec that carries asserts (all six do).
+for spec in copier.csp protocol.csp multiplier.csp buffers.csp philosophers.csp tokenring.csp; do
+  echo "== check $spec"
+  body "$spec" '{source: $src, depth: 6}' \
+    | curl -fsS "$BASE/v1/check" -d @- | jq -e '.ok == true' >/dev/null
+done
+
+# /v1/traces with a root process per spec (multiplier shallow: its
+# data-carrying states make deep exploration slow by design).
+for pair in copier.csp:copier protocol.csp:protocol multiplier.csp:multiplier:4 \
+            buffers.csp:buf1 philosophers.csp:safe tokenring.csp:sys; do
+  spec=${pair%%:*}; rest=${pair#*:}; proc=${rest%%:*}; depth=${rest##*:}
+  [ "$depth" = "$proc" ] && depth=6
+  echo "== traces $spec $proc depth $depth"
+  body "$spec" --arg proc "$proc" --argjson depth "$depth" \
+      '{source: $src, process: $proc, depth: $depth}' \
+    | curl -fsS "$BASE/v1/traces" -d @- | jq -e '.ok == true and (.traces.count >= 1)' >/dev/null
+done
+
+# /v1/prove synthesises the paper's §2.1 proofs for both worked examples.
+for spec in copier.csp protocol.csp; do
+  echo "== prove $spec"
+  body "$spec" '{source: $src}' \
+    | curl -fsS "$BASE/v1/prove" -d @- | jq -e '.ok == true and (.proofs | length >= 1)' >/dev/null
+done
+
+# /v1/batch mixes kinds in one request.
+echo "== batch"
+jq -n --rawfile a specs/copier.csp --rawfile b specs/protocol.csp \
+    '{workers: 2, requests: [
+       {kind: "check", source: $a, depth: 5},
+       {kind: "traces", source: $b, process: "protocol", depth: 5},
+       {kind: "prove", source: $a}]}' \
+  | curl -fsS "$BASE/v1/batch" -d @- | jq -e '.ok == true and (.results | length == 3)' >/dev/null
+
+# A repeated spec must hit the module cache, and /metrics must say so.
+echo "== metrics"
+body copier.csp '{source: $src, depth: 6}' \
+  | curl -fsS "$BASE/v1/check" -d @- | jq -e '.cache_hit == true' >/dev/null
+curl -fsS "$BASE/metrics" | jq -e '
+  .module_cache.hits >= 1 and
+  .closure.InternedNodes >= 1 and
+  ([.endpoints[].count] | add) >= 12 and
+  .statuses["200"] >= 12' >/dev/null
+
+# An over-deep trace listing must come back truncated, never OOM the host.
+echo "== truncation"
+body philosophers.csp '{source: $src, process: "safe", depth: 30, max_traces: 100}' \
+  | curl -fsS "$BASE/v1/traces" -d @- \
+  | jq -e '.ok == true and .traces.truncated == true and (.traces.traces | length == 100)' >/dev/null
+
+# SIGTERM must drain and exit 0, reporting the lifecycle on stderr.
+echo "== drain"
+kill -TERM $PID
+wait $PID
+grep -q "draining in-flight requests" "$LOG"
+grep -q "drained, exiting" "$LOG"
+
+echo "serve smoke: all good"
