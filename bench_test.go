@@ -626,3 +626,74 @@ func BenchmarkLawsCatalogue(b *testing.B) {
 		}
 	}
 }
+
+// --- Symbol layer: the interning and bitset hot paths the closure engine
+// is built on. SymbolInternWarm is the per-edge cost every trie operation
+// pays; BitsetAlphabetOps is the per-node cost of Hide/Parallel membership
+// probes; UnionAllWide is the k-way merge against its pairwise fold.
+
+func BenchmarkSymbolInternWarm(b *testing.B) {
+	e := trace.Event{Chan: "bench_sym", Msg: value.Int(1)}
+	e.ID() // intern once; the loop measures the steady state
+	c := trace.Chan("bench_sym")
+	c.ID()
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += uint64(e.ID()) + uint64(c.ID())
+	}
+	benchSink = sink
+}
+
+// benchSink defeats dead-code elimination of pure id lookups.
+var benchSink uint64
+
+func BenchmarkBitsetAlphabetOps(b *testing.B) {
+	x := trace.NewSet("input", "wire", "ack")
+	y := trace.NewSet("wire", "output")
+	cid := trace.Chan("wire").ID()
+	x.ID()
+	y.ID()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := x.Union(y)
+		if !x.ContainsID(cid) || !u.ContainsID(cid) || x.Intersect(y).Len() != 1 {
+			b.Fatal("bitset algebra broken")
+		}
+		if x.ID() == y.ID() {
+			b.Fatal("distinct alphabets share an id")
+		}
+	}
+}
+
+func BenchmarkUnionAllWide(b *testing.B) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	var sets []*closure.Set
+	for _, name := range []string{paper.NameCopier, paper.NameRecopier, paper.NameCopySys} {
+		for depth := 3; depth <= 8; depth++ {
+			s, err := op.Traces(syntax.Ref{Name: name}, env, depth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sets = append(sets, s)
+		}
+	}
+	b.Run("kway", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if closure.UnionAll(sets...).Size() == 0 {
+				b.Fatal("empty union")
+			}
+		}
+	})
+	b.Run("fold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc := closure.Stop()
+			for _, s := range sets {
+				acc = closure.Union(acc, s)
+			}
+			if acc.Size() == 0 {
+				b.Fatal("empty union")
+			}
+		}
+	})
+}

@@ -192,4 +192,6 @@ func WriteStats(w io.Writer) {
 		o := s.Ops[name]
 		fmt.Fprintf(w, "  %-10s %8d hits %8d misses\n", name, o.Hits, o.Misses)
 	}
+	fmt.Fprintf(w, "symbol tables: %d chans, %d events, %d chan-sets, %d event-alphabets (append-only)\n",
+		s.Symbols.Chans, s.Symbols.Events, s.Symbols.ChanSets, s.Symbols.EventSets)
 }

@@ -1,7 +1,8 @@
 package closure
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"cspsat/internal/trace"
 )
@@ -17,7 +18,7 @@ type Builder struct {
 
 // bnode is the mutable construction-time counterpart of the interned node.
 type bnode struct {
-	children map[string]bedge
+	children map[trace.EventID]bedge
 }
 
 type bedge struct {
@@ -25,7 +26,7 @@ type bedge struct {
 	child *bnode
 }
 
-func newBnode() *bnode { return &bnode{children: map[string]bedge{}} }
+func newBnode() *bnode { return &bnode{children: map[trace.EventID]bedge{}} }
 
 // NewBuilder returns an empty builder (its Set is {<>}).
 func NewBuilder() *Builder { return &Builder{root: newBnode()} }
@@ -34,11 +35,11 @@ func NewBuilder() *Builder { return &Builder{root: newBnode()} }
 func (b *Builder) Add(t trace.T) {
 	n := b.root
 	for _, e := range t {
-		k := eventKey(e)
-		ed, ok := n.children[k]
+		id := e.ID()
+		ed, ok := n.children[id]
 		if !ok {
 			ed = bedge{ev: e, child: newBnode()}
-			n.children[k] = ed
+			n.children[id] = ed
 		}
 		n = ed.child
 	}
@@ -46,17 +47,17 @@ func (b *Builder) Add(t trace.T) {
 
 // Set returns the built set. The builder must not be used afterwards.
 func (b *Builder) Set() *Set {
-	s := &Set{root: internScratch(b.root)}
+	s := internScratch(b.root).wrap()
 	b.root = nil
 	return s
 }
 
 func internScratch(n *bnode) *node {
 	edges := make([]edge, 0, len(n.children))
-	for k, e := range n.children {
-		edges = append(edges, edge{key: k, ev: e.ev, child: internScratch(e.child)})
+	for id, e := range n.children {
+		edges = append(edges, edge{id: id, ev: e.ev, child: internScratch(e.child)})
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i].key < edges[j].key })
+	slices.SortFunc(edges, func(a, b edge) int { return cmp.Compare(a.id, b.id) })
 	return intern(edges)
 }
 

@@ -23,6 +23,8 @@
 package closure
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 	"strings"
 
@@ -36,33 +38,120 @@ type Set struct {
 	root *node
 }
 
-func eventKey(e trace.Event) string { return string(e.Chan) + "\x00" + e.Msg.Key() }
-
 // Stop returns {<>}, the denotation of STOP: the process that never
 // communicates.
-func Stop() *Set { return &Set{root: emptyNode} }
+func Stop() *Set { return emptyNode.wrap() }
 
 // Prefix returns (a → P) = {<>} ∪ { a⌢s | s ∈ P }, the paper's prefixing
-// operator. The result shares P's nodes.
+// operator. The result shares P's nodes. The event is interned to its
+// dense id (see internal/trace sym.go); on warm symbols a hit in the
+// intern table allocates nothing at all — no string key, no edge list,
+// and the *Set wrapper comes from the node's cache.
 func Prefix(a trace.Event, p *Set) *Set {
-	return &Set{root: intern([]edge{{key: eventKey(a), ev: a, child: p.root}})}
+	return internPrefix(a.ID(), a, p.root).wrap()
 }
 
 // Union returns P ∪ Q, the denotation of the alternative (P | Q). Subtrees
 // present in only one operand are shared, not copied, and the merge is
 // memoized on the operand pair.
 func Union(p, q *Set) *Set {
-	return &Set{root: unionNodes(p.root, q.root)}
+	return unionNodes(p.root, q.root).wrap()
 }
 
 // UnionAll returns the union of all the given sets; with no arguments it
-// returns Stop() (the unit {<>}, which is a subset of every prefix closure).
+// returns Stop() (the unit {<>}, which is a subset of every prefix
+// closure). Rather than left-folding Union — which interns k−1 transient
+// intermediate nodes and burns k−1 memo entries per distinct operand list
+// — it k-way-merges all operands' edge lists at once under a single memo
+// entry keyed on the (sorted, deduplicated) operand node ids.
 func UnionAll(sets ...*Set) *Set {
-	out := Stop()
+	switch len(sets) {
+	case 0:
+		return Stop()
+	case 1:
+		return sets[0]
+	}
+	ops := make([]*node, 0, len(sets))
 	for _, s := range sets {
-		out = Union(out, s)
+		if s.root != emptyNode {
+			ops = append(ops, s.root)
+		}
+	}
+	return unionAllNodes(dedupNodes(ops)).wrap()
+}
+
+// dedupNodes sorts operands by creation id and drops duplicates in place,
+// canonicalising the operand list (union is commutative and idempotent).
+func dedupNodes(ns []*node) []*node {
+	slices.SortFunc(ns, func(a, b *node) int { return cmp.Compare(a.id, b.id) })
+	out := ns[:0]
+	for _, n := range ns {
+		if len(out) > 0 && out[len(out)-1] == n {
+			continue
+		}
+		out = append(out, n)
 	}
 	return out
+}
+
+func packNodeIDs(ns []*node) string {
+	b := make([]byte, 0, 8*len(ns))
+	for _, n := range ns {
+		id := n.id
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
+			byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
+	}
+	return string(b)
+}
+
+// unionAllNodes merges k operand nodes (sorted by id, deduplicated, none
+// empty unless k ≤ 1) by advancing a cursor per operand over the sorted
+// edge lists: each distinct event id contributes one output edge whose
+// child is the recursive union of every operand child reached by that
+// event. One memo entry covers the whole k-ary merge.
+func unionAllNodes(ns []*node) *node {
+	switch len(ns) {
+	case 0:
+		return emptyNode
+	case 1:
+		return ns[0]
+	case 2:
+		return unionNodes(ns[0], ns[1])
+	}
+	k := nodeListKey{ids: packNodeIDs(ns)}
+	if v, ok := unionAllMemo.get(k); ok {
+		return v
+	}
+	idx := make([]int, len(ns))
+	var out []edge
+	var children []*node
+	for {
+		const noEvent = ^trace.EventID(0)
+		min := noEvent
+		for oi, n := range ns {
+			if idx[oi] < len(n.edges) {
+				if id := n.edges[idx[oi]].id; id < min {
+					min = id
+				}
+			}
+		}
+		if min == noEvent {
+			break
+		}
+		children = children[:0]
+		var ev trace.Event
+		for oi, n := range ns {
+			if idx[oi] < len(n.edges) && n.edges[idx[oi]].id == min {
+				children = append(children, n.edges[idx[oi]].child)
+				ev = n.edges[idx[oi]].ev
+				idx[oi]++
+			}
+		}
+		out = append(out, edge{id: min, ev: ev, child: unionAllNodes(dedupNodes(children))})
+	}
+	n := intern(out)
+	unionAllMemo.put(k, n)
+	return n
 }
 
 func unionNodes(a, b *node) *node {
@@ -87,14 +176,14 @@ func unionNodes(a, b *node) *node {
 	for i < len(a.edges) && j < len(b.edges) {
 		ae, be := a.edges[i], b.edges[j]
 		switch {
-		case ae.key < be.key:
+		case ae.id < be.id:
 			out = append(out, ae)
 			i++
-		case be.key < ae.key:
+		case be.id < ae.id:
 			out = append(out, be)
 			j++
 		default:
-			out = append(out, edge{key: ae.key, ev: ae.ev, child: unionNodes(ae.child, be.child)})
+			out = append(out, edge{id: ae.id, ev: ae.ev, child: unionNodes(ae.child, be.child)})
 			i, j = i+1, j+1
 		}
 	}
@@ -115,26 +204,26 @@ func nodeLess(a, b *node) bool { return a.id < b.id }
 // depth d, P\C is only guaranteed complete up to the depth d minus the
 // hidden chatter — callers compensate by exploring P deeper (see sem).
 func Hide(p *Set, c trace.Set) *Set {
-	return &Set{root: hideNode(p.root, c, c.Key())}
+	return hideNode(p.root, c, c.ID()).wrap()
 }
 
-func hideNode(n *node, c trace.Set, ck string) *node {
+func hideNode(n *node, c trace.Set, cid trace.ChanSetID) *node {
 	if len(n.edges) == 0 {
 		return n
 	}
-	mk := nodeStrKey{n: n, s: ck}
+	mk := hideKey{n: n, c: cid}
 	if v, ok := hideMemo.get(mk); ok {
 		return v
 	}
 	var out []edge
 	var collapsed []*node
 	for _, e := range n.edges {
-		h := hideNode(e.child, c, ck)
-		if c.Contains(e.ev.Chan) {
+		h := hideNode(e.child, c, cid)
+		if c.ContainsID(trace.EventChanID(e.id)) {
 			// Hidden event: its (hidden) subtree collapses into this node.
 			collapsed = append(collapsed, h)
 		} else {
-			out = append(out, edge{key: e.key, ev: e.ev, child: h})
+			out = append(out, edge{id: e.id, ev: e.ev, child: h})
 		}
 	}
 	res := intern(out) // out is already sorted: it is a subsequence of n.edges
@@ -153,37 +242,39 @@ func hideNode(n *node, c trace.Set, ck string) *node {
 // on any channel of the chatter alphabet.
 func Ignore(p *Set, chatter []trace.Event, maxLen int) *Set {
 	ch := make([]edge, len(chatter))
-	var kb strings.Builder
 	for i, ce := range chatter {
-		ch[i] = edge{key: eventKey(ce), ev: ce}
-		kb.WriteString(ch[i].key)
-		kb.WriteByte('\x01')
+		ch[i] = edge{id: ce.ID(), ev: ce}
 	}
-	sort.Slice(ch, func(i, j int) bool { return ch[i].key < ch[j].key })
-	return &Set{root: ignoreNode(p.root, ch, kb.String(), maxLen)}
+	slices.SortFunc(ch, func(a, b edge) int { return cmp.Compare(a.id, b.id) })
+	ids := make([]trace.EventID, len(ch))
+	for i, e := range ch {
+		ids[i] = e.id
+	}
+	alpha := trace.InternEventIDs(ids)
+	return ignoreNode(p.root, ch, alpha, maxLen).wrap()
 }
 
 // ignoreNode computes one state of the interleaving: from trie node src with
 // budget steps left, either advance src along one of its own edges or emit a
-// chatter event and stay at src. chatter is sorted by key; ckey identifies
-// the chatter alphabet in the memo table.
-func ignoreNode(src *node, chatter []edge, ckey string, budget int) *node {
+// chatter event and stay at src. chatter is sorted by event id; alpha is the
+// chatter alphabet's interned identity in the memo table.
+func ignoreNode(src *node, chatter []edge, alpha trace.EventSetID, budget int) *node {
 	if budget <= 0 {
 		return emptyNode
 	}
 	if len(src.edges) == 0 && len(chatter) == 0 {
 		return emptyNode
 	}
-	mk := nodeStrIntKey{n: src, s: ckey, i: budget}
+	mk := ignoreKey{n: src, alpha: alpha, i: int32(budget)}
 	if v, ok := ignoreMemo.get(mk); ok {
 		return v
 	}
 	out := make([]edge, 0, len(src.edges)+len(chatter))
 	for _, e := range src.edges {
-		out = append(out, edge{key: e.key, ev: e.ev, child: ignoreNode(e.child, chatter, ckey, budget-1)})
+		out = append(out, edge{id: e.id, ev: e.ev, child: ignoreNode(e.child, chatter, alpha, budget-1)})
 	}
 	for _, ce := range chatter {
-		out = append(out, edge{key: ce.key, ev: ce.ev, child: ignoreNode(src, chatter, ckey, budget-1)})
+		out = append(out, edge{id: ce.id, ev: ce.ev, child: ignoreNode(src, chatter, alpha, budget-1)})
 	}
 	// The two groups are each sorted but may interleave (and, if the caller
 	// violates the disjointness precondition, collide — handled by union).
@@ -203,41 +294,39 @@ func ignoreNode(src *node, chatter []edge, ckey string, budget int) *node {
 // so the same (P-state, Q-state) product is computed once ever per
 // alphabet pair, within and across Parallel calls.
 func Parallel(p, q *Set, x, y trace.Set) *Set {
-	xy := x.Key() + "\x02" + y.Key()
-	return &Set{root: parallelNodes(p.root, q.root, x, y, xy)}
+	return parallelNodes(p.root, q.root, x, y, x.ID(), y.ID()).wrap()
 }
 
-func parallelNodes(a, b *node, x, y trace.Set, xy string) *node {
+func parallelNodes(a, b *node, x, y trace.Set, xid, yid trace.ChanSetID) *node {
 	if len(a.edges) == 0 && len(b.edges) == 0 {
 		return emptyNode
 	}
-	mk := parKey{a: a, b: b, xy: xy}
+	mk := parKey{a: a, b: b, x: xid, y: yid}
 	if v, ok := parallelMemo.get(mk); ok {
 		return v
 	}
 	var out []edge
 	for _, e := range a.edges {
-		c := e.ev.Chan
 		// When P communicates outside its own alphabet X the paper's
 		// composition is not defined; treat the event as private to P (X is
 		// extended implicitly), exactly as the pre-interning walk did.
-		if y.Contains(c) {
+		if y.ContainsID(trace.EventChanID(e.id)) {
 			// Shared channel: requires Q to offer the same event.
-			be, ok := b.get(e.key)
+			be, ok := b.get(e.id)
 			if !ok {
 				continue
 			}
-			out = append(out, edge{key: e.key, ev: e.ev, child: parallelNodes(e.child, be.child, x, y, xy)})
+			out = append(out, edge{id: e.id, ev: e.ev, child: parallelNodes(e.child, be.child, x, y, xid, yid)})
 		} else {
 			// Private to P.
-			out = append(out, edge{key: e.key, ev: e.ev, child: parallelNodes(e.child, b, x, y, xy)})
+			out = append(out, edge{id: e.id, ev: e.ev, child: parallelNodes(e.child, b, x, y, xid, yid)})
 		}
 	}
 	for _, e := range b.edges {
-		if x.Contains(e.ev.Chan) {
+		if x.ContainsID(trace.EventChanID(e.id)) {
 			continue // shared (or P-side) events handled above
 		}
-		out = append(out, edge{key: e.key, ev: e.ev, child: parallelNodes(a, e.child, x, y, xy)})
+		out = append(out, edge{id: e.id, ev: e.ev, child: parallelNodes(a, e.child, x, y, xid, yid)})
 	}
 	n := intern(sortEdges(out))
 	parallelMemo.put(mk, n)
@@ -247,7 +336,7 @@ func parallelNodes(a, b *node, x, y trace.Set, xy string) *node {
 // Intersect returns P ∩ Q. Prefix closures are closed under intersection
 // (§3.1), and the paper's parallel operator is defined via ∩.
 func Intersect(p, q *Set) *Set {
-	return &Set{root: intersectNodes(p.root, q.root)}
+	return intersectNodes(p.root, q.root).wrap()
 }
 
 func intersectNodes(a, b *node) *node {
@@ -269,12 +358,12 @@ func intersectNodes(a, b *node) *node {
 	for i < len(a.edges) && j < len(b.edges) {
 		ae, be := a.edges[i], b.edges[j]
 		switch {
-		case ae.key < be.key:
+		case ae.id < be.id:
 			i++
-		case be.key < ae.key:
+		case be.id < ae.id:
 			j++
 		default:
-			out = append(out, edge{key: ae.key, ev: ae.ev, child: intersectNodes(ae.child, be.child)})
+			out = append(out, edge{id: ae.id, ev: ae.ev, child: intersectNodes(ae.child, be.child)})
 			i, j = i+1, j+1
 		}
 	}
@@ -283,11 +372,16 @@ func intersectNodes(a, b *node) *node {
 	return n
 }
 
-// Contains reports whether t ∈ P.
+// Contains reports whether t ∈ P. Events are looked up without interning:
+// an event that was never interned cannot label any trie edge.
 func (p *Set) Contains(t trace.T) bool {
 	n := p.root
 	for _, e := range t {
-		ed, ok := n.get(eventKey(e))
+		id, ok := e.LookupID()
+		if !ok {
+			return false
+		}
+		ed, ok := n.get(id)
 		if !ok {
 			return false
 		}
@@ -439,7 +533,7 @@ func nodesEqual(a, b *node) bool {
 		return false
 	}
 	for i := range a.edges {
-		if a.edges[i].key != b.edges[i].key || !nodesEqual(a.edges[i].child, b.edges[i].child) {
+		if a.edges[i].id != b.edges[i].id || !nodesEqual(a.edges[i].child, b.edges[i].child) {
 			return false
 		}
 	}
@@ -464,7 +558,7 @@ func nodeSubset(a, b *node) bool {
 	}
 	res := true
 	for _, e := range a.edges {
-		be, ok := b.get(e.key)
+		be, ok := b.get(e.id)
 		if !ok || !nodeSubset(e.child, be.child) {
 			res = false
 			break
@@ -483,10 +577,12 @@ func firstNotIn(a, b *node, pfx trace.T) trace.T {
 	if a == b {
 		return nil
 	}
-	// Edges are interned in key order, so the walk is deterministic and the
-	// witness reproducible without sorting.
+	// Edges are interned in event-id order, so the walk is deterministic
+	// for a given interning history and the witness reproducible without
+	// sorting (though a different id-assignment order may pick a different
+	// — equally valid — witness).
 	for _, e := range a.edges {
-		be, ok := b.get(e.key)
+		be, ok := b.get(e.id)
 		ext := append(pfx, e.ev)
 		if !ok {
 			cp := make(trace.T, len(ext))
@@ -508,7 +604,7 @@ func (p *Set) TruncateTo(depth int) *Set {
 	if p.root.height <= depth {
 		return p
 	}
-	return &Set{root: truncated(p.root, depth)}
+	return truncated(p.root, depth).wrap()
 }
 
 func truncated(src *node, budget int) *node {
@@ -524,7 +620,7 @@ func truncated(src *node, budget int) *node {
 	}
 	out := make([]edge, len(src.edges))
 	for i, e := range src.edges {
-		out[i] = edge{key: e.key, ev: e.ev, child: truncated(e.child, budget-1)}
+		out[i] = edge{id: e.id, ev: e.ev, child: truncated(e.child, budget-1)}
 	}
 	n := intern(out)
 	truncMemo.put(mk, n)
@@ -543,7 +639,7 @@ func (p *Set) Channels() trace.Set {
 		}
 		seen[n] = true
 		for _, e := range n.edges {
-			s.Add(e.ev.Chan)
+			s.AddID(trace.EventChanID(e.id))
 			walk(e.child)
 		}
 	}

@@ -34,7 +34,8 @@ package closure
 // interning goroutine released only after the children were fully written.
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -49,27 +50,46 @@ type node struct {
 	hash   uint64
 	size   int // number of member traces in the tree-unfolding (≥ 1 for <>)
 	height int // length of the longest member trace
+
+	// wrapped caches the node's *Set facade. Sets are immutable one-field
+	// views, so every operator that resolves to the same canonical node may
+	// hand out the same wrapper instead of allocating a fresh one.
+	wrapped atomic.Pointer[Set]
 }
 
+// wrap returns the cached *Set for the node, creating it at most once.
+func (n *node) wrap() *Set {
+	if s := n.wrapped.Load(); s != nil {
+		return s
+	}
+	s := &Set{root: n}
+	if n.wrapped.CompareAndSwap(nil, s) {
+		return s
+	}
+	return n.wrapped.Load()
+}
+
+// edge carries the interned event id (the sort/compare key), the event
+// itself for rendering walks, and the canonical child.
 type edge struct {
-	key   string
+	id    trace.EventID
 	ev    trace.Event
 	child *node
 }
 
-// get returns the outgoing edge for an event key, by binary search over the
+// get returns the outgoing edge for an event id, by binary search over the
 // sorted edge list.
-func (n *node) get(k string) (edge, bool) {
+func (n *node) get(id trace.EventID) (edge, bool) {
 	lo, hi := 0, len(n.edges)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if n.edges[mid].key < k {
+		if n.edges[mid].id < id {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(n.edges) && n.edges[lo].key == k {
+	if lo < len(n.edges) && n.edges[lo].id == id {
 		return n.edges[lo], true
 	}
 	return edge{}, false
@@ -101,7 +121,7 @@ func hashUint(h, v uint64) uint64 {
 func hashEdges(edges []edge) uint64 {
 	h := fnvOffset
 	for _, e := range edges {
-		h = hashBytes(h, e.key)
+		h = hashUint(h, uint64(e.id))
 		h = hashUint(h, e.child.hash)
 	}
 	return h
@@ -172,8 +192,16 @@ func (g *gen2[K, V]) promote(k K, v V) {
 }
 
 func (g *gen2[K, V]) reset() {
-	g.cur = make(map[K]V)
-	g.old = make(map[K]V)
+	// Keep already-empty generations: a reset sweep touches every memo
+	// table across every stripe, and most of them are empty in any given
+	// workload — re-making ~2×NumShards maps per table would dominate the
+	// allocation profile of ResetCaches-per-iteration callers.
+	if len(g.cur) > 0 {
+		g.cur = make(map[K]V)
+	}
+	if len(g.old) > 0 {
+		g.old = make(map[K]V)
+	}
 	g.hits, g.misses, g.evicted, g.rotated = 0, 0, 0, 0
 }
 
@@ -235,13 +263,15 @@ func (k nodePair) shardHash() uint64 {
 	return hashUint(hashUint(fnvOffset, k.a.id), k.b.id)
 }
 
-type nodeStrKey struct {
+// hideKey keys the hide memo: the node plus the interned identity of the
+// hidden channel set — a pointer and a uint32, no string materialisation.
+type hideKey struct {
 	n *node
-	s string
+	c trace.ChanSetID
 }
 
-func (k nodeStrKey) shardHash() uint64 {
-	return hashBytes(hashUint(fnvOffset, k.n.id), k.s)
+func (k hideKey) shardHash() uint64 {
+	return hashUint(hashUint(fnvOffset, k.n.id), uint64(k.c))
 }
 
 type nodeIntKey struct {
@@ -253,23 +283,39 @@ func (k nodeIntKey) shardHash() uint64 {
 	return hashUint(hashUint(fnvOffset, k.n.id), uint64(k.i))
 }
 
-type nodeStrIntKey struct {
-	n *node
-	s string
-	i int
+// ignoreKey keys the ignore memo: node, interned chatter-alphabet identity,
+// and remaining budget.
+type ignoreKey struct {
+	n     *node
+	alpha trace.EventSetID
+	i     int32
 }
 
-func (k nodeStrIntKey) shardHash() uint64 {
-	return hashUint(hashBytes(hashUint(fnvOffset, k.n.id), k.s), uint64(k.i))
+func (k ignoreKey) shardHash() uint64 {
+	return hashUint(hashUint(hashUint(fnvOffset, k.n.id), uint64(k.alpha)), uint64(uint32(k.i)))
 }
 
+// parKey keys the parallel memo on the node pair and the interned
+// identities of the two alphabets.
 type parKey struct {
 	a, b *node
-	xy   string
+	x, y trace.ChanSetID
 }
 
 func (k parKey) shardHash() uint64 {
-	return hashBytes(hashUint(hashUint(fnvOffset, k.a.id), k.b.id), k.xy)
+	h := hashUint(hashUint(fnvOffset, k.a.id), k.b.id)
+	return hashUint(h, uint64(k.x)<<32|uint64(k.y))
+}
+
+// nodeListKey keys the k-way UnionAll memo: the packed creation ids of the
+// (sorted, deduplicated) operand nodes. Node ids are never reused, so the
+// key stays unambiguous across cache evictions.
+type nodeListKey struct {
+	ids string
+}
+
+func (k nodeListKey) shardHash() uint64 {
+	return hashBytes(fnvOffset, k.ids)
 }
 
 // stripedMemo is a lock-striped memo table: NumShards independently locked
@@ -341,9 +387,10 @@ func (m *stripedMemo[K, V]) setLimit(total int) {
 
 var (
 	unionMemo     = newStripedMemo[nodePair, *node]("union")
+	unionAllMemo  = newStripedMemo[nodeListKey, *node]("unionAll")
 	intersectMemo = newStripedMemo[nodePair, *node]("intersect")
-	hideMemo      = newStripedMemo[nodeStrKey, *node]("hide")
-	ignoreMemo    = newStripedMemo[nodeStrIntKey, *node]("ignore")
+	hideMemo      = newStripedMemo[hideKey, *node]("hide")
+	ignoreMemo    = newStripedMemo[ignoreKey, *node]("ignore")
 	parallelMemo  = newStripedMemo[parKey, *node]("parallel")
 	truncMemo     = newStripedMemo[nodeIntKey, *node]("truncate")
 	subsetMemo    = newStripedMemo[nodePair, bool]("subset")
@@ -394,6 +441,33 @@ func intern(edges []edge) *node {
 	return n
 }
 
+// internPrefix is intern specialised to the single-edge nodes Prefix
+// builds. On a hit — the steady state of every fixpoint iteration — no
+// edge slice is materialised at all; the probe works from the scalars.
+func internPrefix(id trace.EventID, ev trace.Event, child *node) *node {
+	h := hashUint(hashUint(fnvOffset, uint64(id)), child.hash)
+	sh := &internShards[shardIndex(h)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket, _ := sh.tab.get(h)
+	for _, cand := range bucket {
+		if len(cand.edges) == 1 && cand.edges[0].id == id && cand.edges[0].child == child {
+			sh.hits++
+			return cand
+		}
+	}
+	sh.misses++
+	n := &node{
+		edges:  []edge{{id: id, ev: ev, child: child}},
+		id:     nextNodeID.Add(1),
+		hash:   h,
+		size:   satAdd(1, child.size),
+		height: 1 + child.height,
+	}
+	sh.tab.put(h, append(bucket, n))
+	return n
+}
+
 // edgesIdentical reports structural equality of two sorted edge lists over
 // canonical children (so child comparison is pointer comparison).
 func edgesIdentical(a, b []edge) bool {
@@ -401,7 +475,7 @@ func edgesIdentical(a, b []edge) bool {
 		return false
 	}
 	for i := range a {
-		if a[i].key != b[i].key || a[i].child != b[i].child {
+		if a[i].id != b[i].id || a[i].child != b[i].child {
 			return false
 		}
 	}
@@ -422,15 +496,15 @@ func countInternedLocked(tab *gen2[uint64, []*node]) int {
 	return n
 }
 
-// sortEdges sorts an edge list in place by key and merges duplicate keys by
-// unioning their children (duplicates arise when two construction paths
-// produce the same event, e.g. a hidden subtree collapsing onto a sibling).
-// It returns the (possibly shortened) list.
+// sortEdges sorts an edge list in place by event id and merges duplicate
+// ids by unioning their children (duplicates arise when two construction
+// paths produce the same event, e.g. a hidden subtree collapsing onto a
+// sibling). It returns the (possibly shortened) list.
 func sortEdges(edges []edge) []edge {
-	sort.Slice(edges, func(i, j int) bool { return edges[i].key < edges[j].key })
+	slices.SortFunc(edges, func(a, b edge) int { return cmp.Compare(a.id, b.id) })
 	out := edges[:0]
 	for _, e := range edges {
-		if len(out) > 0 && out[len(out)-1].key == e.key {
+		if len(out) > 0 && out[len(out)-1].id == e.id {
 			out[len(out)-1].child = unionNodes(out[len(out)-1].child, e.child)
 			continue
 		}
@@ -465,11 +539,17 @@ type CacheStats struct {
 	Evicted   uint64
 	Rotations uint64
 	// MemoHits / MemoMisses aggregate the operator memo tables; Ops breaks
-	// them down per operator (union, intersect, hide, ignore, parallel,
-	// truncate, subset).
+	// them down per operator (union, unionAll, intersect, hide, ignore,
+	// parallel, truncate, subset).
 	MemoHits   uint64
 	MemoMisses uint64
 	Ops        map[string]OpStats
+	// Symbols is the occupancy of the process-global symbol tables
+	// (channels, events, set identities). Unlike the intern and memo
+	// tables above, the symbol tables are append-only and survive
+	// ResetCaches — interned ids must stay stable for the lifetime of any
+	// bitset or trie edge that embeds them.
+	Symbols trace.SymbolStats
 }
 
 // Stats returns a snapshot of the interning and operator-memo counters.
@@ -495,6 +575,8 @@ func Stats() CacheStats {
 	}
 	uh, um, _, _ := unionMemo.counters()
 	record(unionMemo.name, uh, um)
+	uah, uam, _, _ := unionAllMemo.counters()
+	record(unionAllMemo.name, uah, uam)
 	ih, im, _, _ := intersectMemo.counters()
 	record(intersectMemo.name, ih, im)
 	hh, hm, _, _ := hideMemo.counters()
@@ -507,13 +589,17 @@ func Stats() CacheStats {
 	record(truncMemo.name, th, tm)
 	sh, sm, _, _ := subsetMemo.counters()
 	record(subsetMemo.name, sh, sm)
+	s.Symbols = trace.SymbolTableStats()
 	return s
 }
 
 // ResetCaches empties the intern and memo tables and zeroes the counters.
 // Existing Sets remain valid (their nodes are immutable); they merely stop
 // being canonical, so sets built before and after the reset compare by
-// structural walk rather than pointer equality. Intended for tests and
+// structural walk rather than pointer equality. The symbol tables in
+// internal/trace are deliberately NOT reset: event and channel ids are
+// embedded in live bitsets and trie edges and must stay stable for the
+// process lifetime (see DESIGN.md §3.4). Intended for tests and
 // cold-cache benchmarking; resetting while engines run concurrently is
 // safe (each stripe is locked for its wipe) but makes the hit counters
 // meaningless for that run.
@@ -526,6 +612,7 @@ func ResetCaches() {
 		sh.mu.Unlock()
 	}
 	unionMemo.reset()
+	unionAllMemo.reset()
 	intersectMemo.reset()
 	hideMemo.reset()
 	ignoreMemo.reset()
@@ -556,6 +643,7 @@ func SetCacheBudget(internNodes, memoEntries int) {
 		sh.mu.Unlock()
 	}
 	unionMemo.setLimit(memoEntries)
+	unionAllMemo.setLimit(memoEntries)
 	intersectMemo.setLimit(memoEntries)
 	hideMemo.setLimit(memoEntries)
 	ignoreMemo.setLimit(memoEntries)

@@ -47,6 +47,18 @@ func (a Acceptance) key() string {
 	return strings.Join(parts, ",")
 }
 
+// idKey is the dedup identity of the acceptance: packed interned event
+// ids. Equal acceptances (same sorted event list) have equal idKeys, and
+// building one never re-renders events the way key does.
+func (a Acceptance) idKey() string {
+	b := make([]byte, 0, 4*len(a))
+	for _, e := range a {
+		id := e.ID()
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
 // String renders the acceptance as an event set.
 func (a Acceptance) String() string { return "{" + a.key() + "}" }
 
@@ -156,7 +168,7 @@ func Compute(p syntax.Proc, env sem.Env, depth int) (*Model, error) {
 }
 
 func (m *Model) entryFor(t trace.T) *entry {
-	k := t.Key()
+	k := t.IDKey()
 	if e, ok := m.traces[k]; ok {
 		return e
 	}
@@ -169,9 +181,9 @@ func (m *Model) entryFor(t trace.T) *entry {
 }
 
 func (e *entry) add(a Acceptance) {
-	k := a.key()
+	k := a.idKey()
 	for _, x := range e.accs {
-		if x.key() == k {
+		if x.idKey() == k {
 			return
 		}
 	}
@@ -230,7 +242,7 @@ func (m *Model) Traces() []trace.T {
 // Acceptances returns the acceptance family after the given trace; the
 // second result is false if the trace is not a trace of the process.
 func (m *Model) Acceptances(t trace.T) ([]Acceptance, bool) {
-	e, ok := m.traces[t.Key()]
+	e, ok := m.traces[t.IDKey()]
 	if !ok {
 		return nil, false
 	}
@@ -240,7 +252,7 @@ func (m *Model) Acceptances(t trace.T) ([]Acceptance, bool) {
 // Refuses reports whether (t, X) is a failure of the process: after t some
 // stable state refuses every event of X.
 func (m *Model) Refuses(t trace.T, xs []trace.Event) bool {
-	e, ok := m.traces[t.Key()]
+	e, ok := m.traces[t.IDKey()]
 	if !ok {
 		return false
 	}

@@ -238,6 +238,7 @@ func (r *REPL) Run(in io.Reader, out io.Writer) error {
 			fmt.Fprintf(out, "closure caches: %d interned nodes, %d/%d intern hits/misses, %d evicted\n",
 				s.InternedNodes, s.InternHits, s.InternMisses, s.Evicted)
 			fmt.Fprintf(out, "operator memos: %d hits, %d misses\n", s.MemoHits, s.MemoMisses)
+			fmt.Fprintf(out, "symbol tables: %d chans, %d events\n", s.Symbols.Chans, s.Symbols.Events)
 		case line == ":help":
 			fmt.Fprintln(out, "enter a number to perform that communication; commands: :menu :trace :hist :accept :random [n] :stats :undo :reset :quit")
 		default:

@@ -287,10 +287,14 @@ func candidates(leaves []leaf, current [][]op.Offer, hidden trace.Set, rng *rand
 	sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
 	for _, ch := range chans {
 		co := byChan[ch]
+		// Resolve the channel id once per round; the per-leaf alphabet and
+		// hidden-set probes below are then single bit tests. An unknown id
+		// (channel never interned) belongs to no set, matching Contains.
+		cid, known := trace.LookupChan(ch)
 		// Every leaf whose alphabet contains ch must currently offer on it.
 		ready := true
 		for _, lf := range leaves {
-			if lf.alphabet.Contains(ch) && !offersOn(current[lf.index], ch) {
+			if known && lf.alphabet.ContainsID(cid) && !offersOn(current[lf.index], ch) {
 				ready = false
 				break
 			}
@@ -303,7 +307,7 @@ func candidates(leaves []leaf, current [][]op.Offer, hidden trace.Set, rng *rand
 				out = append(out, candidate{
 					ch:     ch,
 					val:    v,
-					hidden: hidden.Contains(ch),
+					hidden: known && hidden.ContainsID(cid),
 					parts:  append([]int(nil), co.parts...),
 				})
 			}

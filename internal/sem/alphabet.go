@@ -120,9 +120,7 @@ func (a *alphaWalker) walk(p syntax.Proc, env Env, acc *trace.Set) error {
 			if err != nil {
 				return err
 			}
-			for _, c := range s.Slice() {
-				acc.Add(c)
-			}
+			acc.AddSet(s)
 		} else if err := a.walk(t.L, env, acc); err != nil {
 			return err
 		}
@@ -131,9 +129,7 @@ func (a *alphaWalker) walk(p syntax.Proc, env Env, acc *trace.Set) error {
 			if err != nil {
 				return err
 			}
-			for _, c := range s.Slice() {
-				acc.Add(c)
-			}
+			acc.AddSet(s)
 		} else if err := a.walk(t.R, env, acc); err != nil {
 			return err
 		}
@@ -150,9 +146,7 @@ func (a *alphaWalker) walk(p syntax.Proc, env Env, acc *trace.Set) error {
 		if err := a.walk(t.Body, env, &inner); err != nil {
 			return err
 		}
-		for _, c := range inner.Minus(hidden).Slice() {
-			acc.Add(c)
-		}
+		acc.AddSet(inner.Minus(hidden))
 		return nil
 	default:
 		return fmt.Errorf("sem: alphabet of unknown process form %T", p)

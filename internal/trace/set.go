@@ -1,110 +1,163 @@
 package trace
 
 import (
-	"sort"
+	"math/bits"
 	"strings"
 )
 
 // Set is a finite set of channel identities, used for process alphabets and
 // hiding lists (the paper's X, Y, L, C). The zero Set is empty and usable.
 //
-// Aliasing contract: a Set is a small struct wrapping a map, so copying the
-// struct shares the underlying storage. Add is therefore a
-// construction-phase operation only: it may be called while a set is being
-// built, before the set is returned, stored, or otherwise shared. Every
-// exported operation that returns a Set (NewSet, With, Union, Intersect,
-// Minus, Clone, and the Slice-derived constructors elsewhere) allocates
-// fresh storage that never aliases its inputs, so results may be mutated
-// with Add without affecting the operands — and mutating an operand never
-// changes a previously computed result. TestSetOperationsDoNotAlias guards
-// this contract. To extend a set that may already be shared, use With,
-// which copies.
+// Representation: a bitset over the process-global dense ChanID space (see
+// sym.go) — word i bit j holds channel id 64i+j. Membership by id is a
+// single bit probe (ContainsID), and Union/Intersect/Minus run in O(words)
+// regardless of how many channels the sets hold, which is what the closure
+// engine's hiding/ignore/parallel walkers lean on. The string API (Add,
+// Contains, Slice, Key, …) is unchanged; names are resolved through the
+// symbol table at the boundary.
+//
+// Aliasing contract: a Set is a small struct wrapping a slice, so copying
+// the struct shares the underlying storage. Add/AddID/AddSet are therefore
+// construction-phase operations only: they may be called while a set is
+// being built, before the set is returned, stored, or otherwise shared.
+// Every exported operation that returns a Set (NewSet, With, Union,
+// Intersect, Minus, Clone, and the Slice-derived constructors elsewhere)
+// allocates fresh storage that never aliases its inputs, so results may be
+// mutated with Add without affecting the operands — and mutating an operand
+// never changes a previously computed result. TestSetOperationsDoNotAlias
+// guards this contract. To extend a set that may already be shared, use
+// With, which copies.
+//
+// Invariant: words is normalized — empty, or its last word is non-zero —
+// so Equal and ID can compare word-for-word.
 type Set struct {
-	m map[Chan]bool
+	words []uint64
+}
+
+// trimWords drops trailing zero words, restoring the normalization
+// invariant after an operation that may have cleared the top word.
+func trimWords(ws []uint64) []uint64 {
+	for len(ws) > 0 && ws[len(ws)-1] == 0 {
+		ws = ws[:len(ws)-1]
+	}
+	return ws
 }
 
 // NewSet returns a set containing the given channels.
 func NewSet(cs ...Chan) Set {
-	s := Set{m: make(map[Chan]bool, len(cs))}
+	var s Set
 	for _, c := range cs {
-		s.m[c] = true
+		s.Add(c)
 	}
 	return s
 }
 
-// Add inserts c, allocating the underlying map on first use. Add mutates
-// the receiver's storage in place and must only be used on sets the caller
-// constructed and has not yet shared (see the type comment); use With for
-// a non-mutating extension.
+// Add inserts c, interning it if needed and growing the backing words on
+// first use. Add mutates the receiver's storage in place and must only be
+// used on sets the caller constructed and has not yet shared (see the type
+// comment); use With for a non-mutating extension.
 func (s *Set) Add(c Chan) {
-	if s.m == nil {
-		s.m = make(map[Chan]bool)
+	s.AddID(c.ID())
+}
+
+// AddID inserts a channel by its interned id; same aliasing rules as Add.
+func (s *Set) AddID(id ChanID) {
+	w := int(id >> 6)
+	if w >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
 	}
-	s.m[c] = true
+	s.words[w] |= 1 << (id & 63)
+}
+
+// AddSet inserts every channel of t in O(words); same aliasing rules as Add.
+func (s *Set) AddSet(t Set) {
+	if len(t.words) > len(s.words) {
+		grown := make([]uint64, len(t.words))
+		copy(grown, s.words)
+		s.words = grown
+	}
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
 }
 
 // With returns a new set containing the receiver's channels plus cs. The
 // receiver is never modified and the result never aliases it, so With is
 // safe on shared sets where Add is not.
 func (s Set) With(cs ...Chan) Set {
-	out := make(map[Chan]bool, len(s.m)+len(cs))
-	for c := range s.m {
-		out[c] = true
-	}
+	out := s.Clone()
 	for _, c := range cs {
-		out[c] = true
-	}
-	return Set{m: out}
-}
-
-// Contains reports membership.
-func (s Set) Contains(c Chan) bool { return s.m[c] }
-
-// Len returns the number of channels in the set.
-func (s Set) Len() int { return len(s.m) }
-
-// Union returns s ∪ t.
-func (s Set) Union(t Set) Set {
-	out := NewSet()
-	for c := range s.m {
-		out.Add(c)
-	}
-	for c := range t.m {
 		out.Add(c)
 	}
 	return out
+}
+
+// Contains reports membership. A channel that was never interned anywhere
+// in the process cannot belong to any set, so the lookup does not intern.
+func (s Set) Contains(c Chan) bool {
+	id, ok := LookupChan(c)
+	return ok && s.ContainsID(id)
+}
+
+// ContainsID reports membership by interned id: one bit probe.
+func (s Set) ContainsID(id ChanID) bool {
+	w := int(id >> 6)
+	return w < len(s.words) && s.words[w]&(1<<(id&63)) != 0
+}
+
+// Len returns the number of channels in the set.
+func (s Set) Len() int { return popcountWords(s.words) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	a, b := s.words, t.words
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make([]uint64, len(a))
+	copy(out, a)
+	for i, w := range b {
+		out[i] |= w
+	}
+	return Set{words: out} // both inputs normalized, so the top word is non-zero
 }
 
 // Intersect returns s ∩ t (the channels connecting two parallel processes).
 func (s Set) Intersect(t Set) Set {
-	out := NewSet()
-	for c := range s.m {
-		if t.m[c] {
-			out.Add(c)
-		}
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
 	}
-	return out
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.words[i] & t.words[i]
+	}
+	return Set{words: trimWords(out)}
 }
 
 // Minus returns s − t (the channels private to one side of a parallel
 // composition).
 func (s Set) Minus(t Set) Set {
-	out := NewSet()
-	for c := range s.m {
-		if !t.m[c] {
-			out.Add(c)
+	out := make([]uint64, len(s.words))
+	for i, w := range s.words {
+		if i < len(t.words) {
+			out[i] = w &^ t.words[i]
+		} else {
+			out[i] = w
 		}
 	}
-	return out
+	return Set{words: trimWords(out)}
 }
 
-// Equal reports set equality.
+// Equal reports set equality: word-for-word, thanks to normalization.
 func (s Set) Equal(t Set) bool {
-	if len(s.m) != len(t.m) {
+	if len(s.words) != len(t.words) {
 		return false
 	}
-	for c := range s.m {
-		if !t.m[c] {
+	for i, w := range s.words {
+		if w != t.words[i] {
 			return false
 		}
 	}
@@ -113,28 +166,49 @@ func (s Set) Equal(t Set) bool {
 
 // SubsetOf reports s ⊆ t.
 func (s Set) SubsetOf(t Set) bool {
-	for c := range s.m {
-		if !t.m[c] {
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		if i >= len(t.words) || w&^t.words[i] != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// Slice returns the channels in sorted order.
-func (s Set) Slice() []Chan {
-	out := make([]Chan, 0, len(s.m))
-	for c := range s.m {
-		out = append(out, c)
+// IDs returns the member channel ids in ascending id order.
+func (s Set) IDs() []ChanID {
+	out := make([]ChanID, 0, s.Len())
+	for i, w := range s.words {
+		base := ChanID(i << 6)
+		for w != 0 {
+			out = append(out, base+ChanID(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Slice returns the channels in sorted name order.
+func (s Set) Slice() []Chan {
+	ids := s.IDs()
+	out := make([]Chan, len(ids))
+	for i, id := range ids {
+		out[i] = ChanByID(id)
+	}
+	// Ids are assigned in first-intern order, not name order, so sort.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out
 }
 
 // Key returns a canonical string identity for the set: two sets have equal
-// keys iff they contain the same channels. Used as a cache key by the
-// memoized closure operators, whose results depend on a channel set only
-// through its membership.
+// keys iff they contain the same channels. Retained for display-adjacent
+// callers; the memoized closure operators key on the denser ID().
 func (s Set) Key() string {
 	cs := s.Slice()
 	var sb strings.Builder
@@ -157,9 +231,10 @@ func (s Set) String() string {
 
 // Clone returns an independent copy of the set.
 func (s Set) Clone() Set {
-	out := NewSet()
-	for c := range s.m {
-		out.Add(c)
+	if len(s.words) == 0 {
+		return Set{}
 	}
-	return out
+	out := make([]uint64, len(s.words))
+	copy(out, s.words)
+	return Set{words: out}
 }

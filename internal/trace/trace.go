@@ -191,16 +191,48 @@ func (t T) Key() string {
 	return sb.String()
 }
 
+// IDKey returns a compact canonical identity for the trace: the packed
+// interned event ids, 4 bytes per event. Equal traces have equal IDKeys
+// (and vice versa) for the process lifetime, since event ids are stable.
+// Prefer this over Key for map keys on hot paths — it is one small
+// allocation and never re-renders channel names or message payloads.
+func (t T) IDKey() string {
+	b := make([]byte, 0, 4*len(t))
+	for _, e := range t {
+		id := e.ID()
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
 // History is ch(s): a finite map from channel to the sequence of messages
 // communicated on that channel, in order. Channels absent from the map have
 // the empty history, matching the paper's ch(s)(c) = <> for unused c.
 type History map[Chan][]value.V
 
-// Ch computes the paper's ch(s) for a trace.
+// Ch computes the paper's ch(s) for a trace. All per-channel sequences
+// share one backing array sized up front (traces are short, so the extra
+// scan per distinct channel is cheaper than regrowing per-channel slices);
+// the three-index subslices keep them from stepping on each other if a
+// caller appends.
 func Ch(t T) History {
-	h := make(History)
-	for _, e := range t {
-		h[e.Chan] = append(h[e.Chan], e.Msg)
+	h := make(History, 4)
+	if len(t) == 0 {
+		return h
+	}
+	buf := make([]value.V, 0, len(t))
+	for i, e := range t {
+		if _, done := h[e.Chan]; done {
+			continue
+		}
+		start := len(buf)
+		buf = append(buf, e.Msg)
+		for _, f := range t[i+1:] {
+			if f.Chan == e.Chan {
+				buf = append(buf, f.Msg)
+			}
+		}
+		h[e.Chan] = buf[start:len(buf):len(buf)]
 	}
 	return h
 }

@@ -23,18 +23,29 @@ import (
 // shards), so one cached Module may serve many concurrent requests. The
 // zero value is not usable; construct with NewModuleCache.
 type ModuleCache struct {
-	mu       sync.Mutex
-	capacity int
-	order    *list.List // front = most recently used; values are *cacheEntry
-	entries  map[string]*list.Element
-	hits     uint64
-	misses   uint64
-	evicted  uint64
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; values are *cacheEntry
+	entries   map[string]*list.Element
+	inflight  map[string]*flight
+	hits      uint64
+	misses    uint64
+	evicted   uint64
+	coalesced uint64
 }
 
 type cacheEntry struct {
 	key string
 	mod *Module
+}
+
+// flight is one in-progress load that concurrent requests for the same key
+// wait on instead of parsing redundantly. mod/err are written exactly once,
+// before done is closed; waiters read them only after <-done.
+type flight struct {
+	done chan struct{}
+	mod  *Module
+	err  error
 }
 
 // DefaultModuleCacheCapacity is used when NewModuleCache is given a
@@ -51,6 +62,7 @@ func NewModuleCache(capacity int) *ModuleCache {
 		capacity: capacity,
 		order:    list.New(),
 		entries:  map[string]*list.Element{},
+		inflight: map[string]*flight{},
 	}
 }
 
@@ -69,6 +81,13 @@ func SourceHash(src string, opts Options) string {
 // from cache. Loads with a custom Funcs registry bypass the cache (the
 // registry's contents cannot be hashed); they always load fresh and report
 // hit=false with an empty key.
+//
+// Concurrent first requests for the same key are coalesced (singleflight):
+// one leader parses while the rest wait on its result and report hit=true.
+// A waiter whose own context expires gives up independently; if the leader
+// fails, each waiter retries from the top (one of them becomes the new
+// leader) rather than inheriting an error that may have been the leader's
+// private cancellation.
 func (c *ModuleCache) Load(ctx context.Context, src string, opts Options) (mod *Module, key string, hit bool, err error) {
 	if err := pool.Canceled(ctx); err != nil {
 		return nil, "", false, err
@@ -79,27 +98,51 @@ func (c *ModuleCache) Load(ctx context.Context, src string, opts Options) (mod *
 	}
 	key = SourceHash(src, opts)
 
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits++
-		m := el.Value.(*cacheEntry).mod
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			c.hits++
+			m := el.Value.(*cacheEntry).mod
+			c.mu.Unlock()
+			return m, key, true, nil
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.coalesced++
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, key, false, pool.Canceled(ctx)
+			case <-f.done:
+			}
+			if f.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return f.mod, key, true, nil
+			}
+			continue
+		}
+		c.misses++
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
 		c.mu.Unlock()
-		return m, key, true, nil
-	}
-	c.misses++
-	c.mu.Unlock()
 
-	// Parse outside the lock: a slow load must not stall hits on other
-	// keys. Two concurrent first requests for the same spec may both
-	// parse; the second Add wins nothing but wastes only the parse (the
-	// closure layer interns the tries globally either way).
-	m, err := Load(ctx, src, opts)
-	if err != nil {
-		return nil, key, false, err
+		// Parse outside the lock: a slow load must not stall hits on other
+		// keys. Later arrivals for this key park on f.done instead of
+		// parsing the same source again.
+		m, err := Load(ctx, src, opts)
+		f.mod, f.err = m, err
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return nil, key, false, err
+		}
+		c.add(key, m)
+		return m, key, false, nil
 	}
-	c.add(key, m)
-	return m, key, false, nil
 }
 
 func (c *ModuleCache) add(key string, m *Module) {
@@ -125,6 +168,9 @@ type ModuleCacheStats struct {
 	Hits     uint64 `json:"hits"`
 	Misses   uint64 `json:"misses"`
 	Evicted  uint64 `json:"evicted"`
+	// Coalesced counts requests that joined an in-progress load of the
+	// same key instead of parsing it themselves.
+	Coalesced uint64 `json:"coalesced"`
 }
 
 // Stats returns a consistent snapshot of the cache counters.
@@ -132,10 +178,11 @@ func (c *ModuleCache) Stats() ModuleCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return ModuleCacheStats{
-		Size:     c.order.Len(),
-		Capacity: c.capacity,
-		Hits:     c.hits,
-		Misses:   c.misses,
-		Evicted:  c.evicted,
+		Size:      c.order.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evicted:   c.evicted,
+		Coalesced: c.coalesced,
 	}
 }

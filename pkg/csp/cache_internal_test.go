@@ -1,0 +1,178 @@
+package csp
+
+// White-box singleflight tests. The black-box concurrency test in
+// cache_test.go cannot force waiters to arrive while a load is in
+// progress (a fast parse wins the race and they see a finished cache
+// entry instead), so here we open a flight by hand, park real Load calls
+// on it, and only then complete it — making the coalescing path, its
+// counters, and the waiter-retries-on-leader-error contract deterministic.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parkWaiters starts n Loads of src and blocks until all of them have
+// coalesced onto the open flight for its key.
+func parkWaiters(t *testing.T, c *ModuleCache, src string, opts Options, n int) (*sync.WaitGroup, []*Module, []bool, []error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	mods := make([]*Module, n)
+	hits := make([]bool, n)
+	errs := make([]error, n)
+	base := coalescedNow(c)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mods[i], _, hits[i], errs[i] = c.Load(context.Background(), src, opts)
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for coalescedNow(c) < base+uint64(n) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters parked on the flight", coalescedNow(c)-base, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return &wg, mods, hits, errs
+}
+
+func coalescedNow(c *ModuleCache) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
+}
+
+// TestSingleflightWaitersPark opens a flight, parks waiters, completes the
+// flight with a successful load, and checks every waiter got the leader's
+// module as a hit with the coalesced counter at exactly n.
+func TestSingleflightWaitersPark(t *testing.T) {
+	const n = 6
+	c := NewModuleCache(4)
+	opts := Options{NatWidth: 2}
+	src := "p = a!0 -> p\n"
+	key := SourceHash(src, opts)
+
+	f := &flight{done: make(chan struct{})}
+	c.mu.Lock()
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	wg, mods, hits, errs := parkWaiters(t, c, src, opts, n)
+
+	m, err := Load(context.Background(), src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.mod = m
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if mods[i] != m {
+			t.Fatalf("waiter %d got a different module than the leader produced", i)
+		}
+		if !hits[i] {
+			t.Fatalf("waiter %d reported a miss for a coalesced load", i)
+		}
+	}
+	if st := c.Stats(); st.Coalesced != n || st.Hits != n || st.Misses != 0 {
+		t.Fatalf("counters after coalesced success: %+v", st)
+	}
+}
+
+// TestSingleflightLeaderErrorRetries completes the flight with an error and
+// checks the waiters do NOT inherit it: each retries from the top, one
+// becomes the new leader, and all end up with the module.
+func TestSingleflightLeaderErrorRetries(t *testing.T) {
+	const n = 4
+	c := NewModuleCache(4)
+	opts := Options{NatWidth: 2}
+	src := "p = b!1 -> p\n"
+	key := SourceHash(src, opts)
+
+	f := &flight{done: make(chan struct{})}
+	c.mu.Lock()
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	wg, mods, _, errs := parkWaiters(t, c, src, opts, n)
+
+	f.err = errors.New("leader's private cancellation")
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d inherited the leader's error: %v", i, errs[i])
+		}
+		if mods[i] == nil || mods[i] != mods[0] {
+			t.Fatalf("waiter %d did not converge on the retried module", i)
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d after retry, want exactly one new leader", st.Misses)
+	}
+}
+
+// TestSingleflightWaiterContext checks a parked waiter honours its own
+// context: it gives up with a cancellation error while other waiters keep
+// waiting, and the eventual completion still serves them.
+func TestSingleflightWaiterContext(t *testing.T) {
+	c := NewModuleCache(4)
+	opts := Options{NatWidth: 2}
+	src := "p = c!0 -> p\n"
+	key := SourceHash(src, opts)
+
+	f := &flight{done: make(chan struct{})}
+	c.mu.Lock()
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Load(ctx, src, opts)
+		errCh <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for coalescedNow(c) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("canceled waiter returned no error")
+	}
+
+	m, err := Load(context.Background(), src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.mod = m
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	c.add(key, m) // what the real leader does after closing its flight
+
+	got, _, hit, err := c.Load(context.Background(), src, opts)
+	if err != nil || got == nil || !hit {
+		t.Fatalf("load after completed flight: mod=%v hit=%v err=%v", got, hit, err)
+	}
+}

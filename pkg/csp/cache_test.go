@@ -1,0 +1,152 @@
+package csp_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"cspsat/internal/assertion"
+	"cspsat/pkg/csp"
+)
+
+// TestModuleCacheBasics exercises hit/miss accounting and LRU eviction.
+func TestModuleCacheBasics(t *testing.T) {
+	c := csp.NewModuleCache(2)
+	ctx := context.Background()
+	opts := csp.Options{NatWidth: 2}
+	specs := []string{
+		"p0 = a!0 -> p0\n",
+		"p1 = a!1 -> p1\n",
+		"p2 = a!0 -> a!1 -> p2\n",
+	}
+
+	m, key, hit, err := c.Load(ctx, specs[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || key != csp.SourceHash(specs[0], opts) {
+		t.Fatalf("first load: hit=%v key=%q", hit, key)
+	}
+	m2, _, hit, err := c.Load(ctx, specs[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || m2 != m {
+		t.Fatalf("second load: hit=%v, same module=%v", hit, m2 == m)
+	}
+
+	// Touch two more keys; capacity 2 must evict the least recently used.
+	for _, s := range specs[1:] {
+		if _, _, _, err := c.Load(ctx, s, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Evicted != 1 || st.Misses != 3 || st.Hits != 1 {
+		t.Fatalf("stats after churn: %+v", st)
+	}
+}
+
+// TestModuleCacheSingleflight issues N concurrent first loads of the same
+// source: exactly one may parse (one miss), the rest must coalesce onto the
+// leader's flight and come back with the very same *Module as cache hits.
+func TestModuleCacheSingleflight(t *testing.T) {
+	const n = 16
+	c := csp.NewModuleCache(8)
+	opts := csp.Options{NatWidth: 2}
+	src := "p = tick!0 -> p\nassert p sat tick <= tick\n"
+
+	start := make(chan struct{})
+	mods := make([]*csp.Module, n)
+	hits := make([]bool, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			mods[i], _, hits[i], errs[i] = c.Load(context.Background(), src, opts)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	hitCount := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("load %d: %v", i, errs[i])
+		}
+		if mods[i] != mods[0] {
+			t.Fatalf("load %d returned a different *Module than load 0", i)
+		}
+		if hits[i] {
+			hitCount++
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (only the leader parses)", st.Misses)
+	}
+	if hitCount != n-1 {
+		t.Fatalf("%d of %d loads reported hit, want %d (everyone but the leader)", hitCount, n, n-1)
+	}
+	// How many of the n-1 hits coalesced onto the open flight versus found
+	// the finished cache entry depends on scheduling; the deterministic
+	// coalescing assertions live in TestSingleflightWaitersPark.
+	if st.Coalesced > n-1 {
+		t.Fatalf("coalesced = %d, more than the %d non-leaders", st.Coalesced, n-1)
+	}
+}
+
+// TestModuleCacheSingleflightError checks that a failing leader does not
+// poison waiters: each retries from the top, so a bad source yields a parse
+// error to every caller and a subsequently fixed source loads fresh.
+func TestModuleCacheSingleflightError(t *testing.T) {
+	const n = 8
+	c := csp.NewModuleCache(8)
+	opts := csp.Options{NatWidth: 2}
+	bad := "p = ->\n"
+
+	start := make(chan struct{})
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, _, _, errs[i] = c.Load(context.Background(), bad, opts)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("load %d of a bad source succeeded", i)
+		}
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("failed loads were cached: %+v", st)
+	}
+}
+
+// TestModuleCacheFuncsBypass checks loads with a Funcs registry skip the
+// cache entirely (their meaning cannot be keyed by source text alone).
+func TestModuleCacheFuncsBypass(t *testing.T) {
+	c := csp.NewModuleCache(8)
+	opts := csp.Options{NatWidth: 2, Funcs: assertion.NewRegistry()}
+	src := "p = a!0 -> p\n"
+	for i := 0; i < 2; i++ {
+		_, key, hit, err := c.Load(context.Background(), src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit || key != "" {
+			t.Fatalf("load %d with Funcs: hit=%v key=%q, want bypass", i, hit, key)
+		}
+	}
+	if st := c.Stats(); st.Size != 0 || st.Misses != 0 {
+		t.Fatalf("Funcs loads touched the cache: %+v", st)
+	}
+}

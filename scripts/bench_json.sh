@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench_json.sh — run the experiment benchmarks (E01–E15) with -benchmem
+# and write the results as BENCH_<date>.json in the repo root, one object
+# per benchmark with ns/op, B/op, allocs/op, and any custom metrics the
+# benchmark reported (memo-hit-rate, interned-nodes, ...).
+#
+# Usage: scripts/bench_json.sh [extra go test args...]
+#   BENCH_OUT=path    override the output file
+#   BENCH_PATTERN=re  override the benchmark regex (default: the E01–E15 set)
+#   BENCH_TIME=d      override -benchtime (default 1s)
+#
+# The JSON is a snapshot for EXPERIMENTS.md and the CI artifact, not a
+# benchstat replacement: re-run on the same machine before comparing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${BENCH_PATTERN:-^BenchmarkE[0-9]+}"
+benchtime="${BENCH_TIME:-1s}"
+out="${BENCH_OUT:-BENCH_$(date +%Y-%m-%d).json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" "$@" . | tee "$tmp"
+
+awk -v date="$(date +%Y-%m-%dT%H:%M:%S%z)" '
+BEGIN { n = 0 }
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    iters = $2
+    extra = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_.-]/, "_", unit)
+        extra = extra sprintf(",\"%s\":%s", unit, $i)
+    }
+    rows[n++] = sprintf("  {\"name\":\"%s\",\"iterations\":%s%s}", name, iters, extra)
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "  %s%s\n", rows[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out" >&2
