@@ -1,0 +1,120 @@
+// E19 (DESIGN.md §3.5): a cspserved warm boot from the artifact store must
+// beat cold compilation of the same workload by a wide margin, because a
+// store hit skips parsing and denotation entirely — it re-interns the
+// persisted trie graphs bottom-up and serves trace sets from the rehydrated
+// results cache. The cold/warm sub-benchmarks run the identical workload:
+// all six specs/ files, each with its smoke-test process and depth.
+package cspsat_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cspsat/pkg/csp"
+)
+
+// storeSpecs is the serve_smoke.sh workload: every committed spec with the
+// process and depth the smoke scripts exercise.
+var storeSpecs = []struct {
+	file  string
+	proc  string
+	depth int
+}{
+	{"copier", "copier", 6},
+	{"protocol", "protocol", 6},
+	{"multiplier", "multiplier", 4},
+	{"buffers", "buf1", 6},
+	{"philosophers", "safe", 6},
+	{"tokenring", "sys", 6},
+}
+
+func readSpecSource(b *testing.B, name string) string {
+	b.Helper()
+	data, err := os.ReadFile(filepath.Join("specs", name+".csp"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return string(data)
+}
+
+func BenchmarkE19WarmBootFromStore(b *testing.B) {
+	ctx := context.Background()
+	sources := make([]string, len(storeSpecs))
+	for i, s := range storeSpecs {
+		sources[i] = readSpecSource(b, s.file)
+	}
+
+	// Populate the store once: compile each spec and persist its trace set,
+	// exactly what a serving cspserved leaves behind.
+	dir := b.TempDir()
+	st, err := csp.OpenStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := csp.NewModuleCache(0)
+	seed.SetStore(st, nil)
+	for i, s := range storeSpecs {
+		mod, _, _, err := seed.Load(ctx, sources[i], csp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := mod.Proc(s.proc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := mod.Traces(ctx, p, csp.EngineOptions{Engine: csp.EngineOp, Depth: s.depth})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod.StoreTraces(csp.EngineOp, s.depth, s.proc, res)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csp.ResetCaches()
+			for j, s := range storeSpecs {
+				mod, err := csp.Load(ctx, sources[j], csp.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := mod.Proc(s.proc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := mod.Traces(ctx, p, csp.EngineOptions{Engine: csp.EngineOp, Depth: s.depth})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Set.Size() == 0 {
+					b.Fatal("empty trace set")
+				}
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csp.ResetCaches()
+			cache := csp.NewModuleCache(0)
+			cache.SetStore(st, nil)
+			if loaded, _, err := cache.WarmBoot(ctx); err != nil || loaded != len(storeSpecs) {
+				b.Fatalf("warm boot: loaded=%d err=%v", loaded, err)
+			}
+			for j, s := range storeSpecs {
+				mod, _, hit, err := cache.Load(ctx, sources[j], csp.Options{})
+				if err != nil || !hit {
+					b.Fatalf("%s: hit=%v err=%v", s.file, hit, err)
+				}
+				res, ok := mod.CachedTraces(csp.EngineOp, s.depth, s.proc)
+				if !ok {
+					b.Fatalf("%s: no cached traces after warm boot", s.file)
+				}
+				if res.Set.Size() == 0 {
+					b.Fatal("empty trace set")
+				}
+			}
+		}
+	})
+}

@@ -5,9 +5,14 @@
 // additionally searches each asserted process for reachable stuck
 // configurations — the property the paper's §4 admits sat cannot express.
 //
+// With -store DIR the run shares cspserved's artifact store: the compiled
+// module is reused when persisted, and the verdicts this run computes are
+// persisted back so a cspserved (or cspstore verify) over the same
+// directory sees them without recomputing.
+//
 // Usage:
 //
-//	cspcheck [-depth N] [-nat W] [-deadlocks] [-workers N] [-timeout D] [-stats] file.csp
+//	cspcheck [-depth N] [-nat W] [-deadlocks] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp
 //
 // Exit status 1 when any assertion fails (or -deadlocks finds one), 2 on
 // usage or load errors.
@@ -24,8 +29,9 @@ import (
 )
 
 func main() {
-	app := cli.New("cspcheck", "cspcheck [-depth N] [-nat W] [-deadlocks] [-workers N] [-timeout D] [-stats] file.csp")
+	app := cli.New("cspcheck", "cspcheck [-depth N] [-nat W] [-deadlocks] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp")
 	app.NatFlag(3)
+	app.StoreFlag()
 	depth := flag.Int("depth", 8, "trace-length bound for the exhaustive check")
 	deadlocks := flag.Bool("deadlocks", false, "also search asserted processes for reachable deadlocks")
 	args := app.Parse(1)
@@ -41,6 +47,7 @@ func main() {
 	if err != nil {
 		app.Fatal(err)
 	}
+	mod.StoreCheck(*depth, csp.EncodeAssertResults(results))
 	fmt.Print(csp.FormatAssertResults(results))
 	bad := false
 	for _, r := range results {

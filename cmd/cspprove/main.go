@@ -9,7 +9,11 @@
 //
 // Usage:
 //
-//	cspprove [-nat W] [-maxlen L] [-v] [-show] [-workers N] [-timeout D] [-stats] file.csp
+//	cspprove [-nat W] [-maxlen L] [-v] [-show] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp
+//
+// With -store DIR the run shares cspserved's artifact store: the compiled
+// module is reused when persisted, and the proof verdicts are persisted
+// back for the next reader of the same directory.
 //
 // Exit status 1 when any assert cannot be proved (it may still hold — use
 // cspcheck for refutation), 2 on load errors.
@@ -29,8 +33,9 @@ import (
 )
 
 func main() {
-	app := cli.New("cspprove", "cspprove [-nat W] [-maxlen L] [-v] [-show] [-workers N] [-timeout D] [-stats] file.csp")
+	app := cli.New("cspprove", "cspprove [-nat W] [-maxlen L] [-v] [-show] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp")
 	app.NatFlag(2)
+	app.StoreFlag()
 	maxLen := flag.Int("maxlen", 3, "history-length bound for validity obligations")
 	verbose := flag.Bool("v", false, "print each verified rule application")
 	show := flag.Bool("show", false, "render each successful proof in the paper's Table-1 style")
@@ -60,6 +65,9 @@ func main() {
 	}
 
 	results, err := mod.ProveAsserts(ctx, copts, log)
+	if err == nil {
+		mod.StoreProve(*maxLen, csp.EncodeProveResults(results))
+	}
 	failed := false
 	if *show {
 		renderProofs(mod, ctx, copts, results)

@@ -6,8 +6,15 @@
 //	curl -s localhost:8777/v1/check -d '{"source": "p = a!1 -> p\nassert p sat 0 <= #a\n"}'
 //
 // Endpoints: POST /v1/traces, /v1/check, /v1/prove, /v1/batch; GET
-// /metrics, /healthz; /debug/pprof. See internal/server for the wire
-// contract.
+// /metrics, /healthz, /readyz; /debug/pprof. See internal/server for the
+// wire contract.
+//
+// With -store DIR the module cache persists compiled modules and their
+// results to an on-disk content-addressed artifact store: a restart warm
+// boots from DIR instead of recomputing (during which /readyz answers 503
+// "starting" while /healthz stays live), and corrupt or stale artifacts
+// are quarantined, logged, and recomputed — never fatal. cmd/cspstore
+// operates the same directory offline.
 //
 // The uniform flags keep their CLI meaning where one exists: -timeout is
 // the per-request engine budget (not the process lifetime), -workers the
@@ -21,7 +28,8 @@
 // Usage:
 //
 //	cspserved [-addr HOST:PORT] [-depth N] [-nat W] [-workers N]
-//	          [-timeout D] [-max-inflight N] [-drain D] [-cache N] [-stats]
+//	          [-timeout D] [-max-inflight N] [-drain D] [-cache N]
+//	          [-store DIR] [-stats]
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -40,13 +49,14 @@ import (
 
 func main() {
 	app := cli.New("cspserved",
-		"cspserved [-addr HOST:PORT] [-depth N] [-nat W] [-workers N] [-timeout D] [-max-inflight N] [-drain D] [-cache N] [-stats]")
+		"cspserved [-addr HOST:PORT] [-depth N] [-nat W] [-workers N] [-timeout D] [-max-inflight N] [-drain D] [-cache N] [-store DIR] [-stats]")
 	app.NatFlag(3)
 	addr := flag.String("addr", "127.0.0.1:8777", "listen address")
 	depth := flag.Int("depth", 8, "default trace-length bound for requests that send none")
 	maxInflight := flag.Int("max-inflight", 0, "admission limit on concurrently served requests (0 = 2×GOMAXPROCS)")
 	drain := flag.Duration("drain", 15*time.Second, "how long a shutdown waits for in-flight requests before hard-canceling them")
 	cacheCap := flag.Int("cache", 0, "module cache capacity in specs (0 = default)")
+	storeDir := flag.String("store", "", "artifact store directory for persistent warm starts (empty = no persistence)")
 	app.Parse(0)
 
 	reqTimeout := app.Timeout
@@ -60,6 +70,8 @@ func main() {
 		RequestTimeout: reqTimeout,
 		MaxInflight:    *maxInflight,
 		CacheCapacity:  *cacheCap,
+		StoreDir:       *storeDir,
+		Logf:           log.Printf,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -78,6 +90,11 @@ func main() {
 	}
 	fmt.Printf("cspserved: listening on http://%s (request budget %v, drain %v)\n",
 		ln.Addr(), reqTimeout, *drain)
+
+	// Warm boot in the background: the listener is already accepting (so
+	// /healthz answers immediately) but /readyz reports "starting" until
+	// every stored artifact has been rehydrated or skipped.
+	go srv.WarmBoot(ctx)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

@@ -4,9 +4,14 @@
 // denotational semantics (the §3.3 approximation chain) instead and also
 // reports how many chain iterations were needed.
 //
+// With -store DIR the run shares cspserved's artifact store: a trace set
+// already persisted for this exact source, engine, depth, and process is
+// served from disk without parsing or running an engine, and a freshly
+// computed one is persisted for the next reader.
+//
 // Usage:
 //
-//	csptrace [-depth N] [-nat W] [-max] [-den] [-dot] [-workers N] [-timeout D] [-stats] file.csp process
+//	csptrace [-depth N] [-nat W] [-max] [-den] [-dot] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp process
 package main
 
 import (
@@ -18,8 +23,9 @@ import (
 )
 
 func main() {
-	app := cli.New("csptrace", "csptrace [-depth N] [-nat W] [-max] [-den] [-dot] [-workers N] [-timeout D] [-stats] file.csp process")
+	app := cli.New("csptrace", "csptrace [-depth N] [-nat W] [-max] [-den] [-dot] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp process")
 	app.NatFlag(3)
+	app.StoreFlag()
 	depth := flag.Int("depth", 6, "trace-length bound")
 	maxOnly := flag.Bool("max", false, "print only maximal traces")
 	den := flag.Bool("den", false, "use the denotational engine (§3.3 approximation chain)")
@@ -29,9 +35,8 @@ func main() {
 	defer cancel()
 
 	mod := app.Load(ctx, args[0])
-	p := app.Proc(mod, args[1])
 	if *dot {
-		g, err := mod.DotLTS(p, *depth)
+		g, err := mod.DotLTS(app.Proc(mod, args[1]), *depth)
 		if err != nil {
 			app.Fail(err)
 		}
@@ -42,9 +47,17 @@ func main() {
 	if *den {
 		engine = csp.EngineDenote
 	}
-	res, err := mod.Traces(ctx, p, csp.EngineOptions{Engine: engine, Depth: *depth, Workers: app.Workers})
-	if err != nil {
-		app.Fail(err)
+	// A persisted trace set for this engine/depth/process serves the run
+	// without resolving the process — i.e. without parsing the module at
+	// all when the whole load came from the store.
+	res, hit := mod.CachedTraces(engine, *depth, args[1])
+	if !hit {
+		var err error
+		res, err = mod.Traces(ctx, app.Proc(mod, args[1]), csp.EngineOptions{Engine: engine, Depth: *depth, Workers: app.Workers})
+		if err != nil {
+			app.Fail(err)
+		}
+		mod.StoreTraces(engine, *depth, args[1], res)
 	}
 	if *den {
 		fmt.Printf("-- approximation chain stabilised after %d iterations\n", res.Iterations)

@@ -43,6 +43,10 @@ type App struct {
 	// Nat is the -nat flag when the tool registered it via NatFlag.
 	Nat int
 
+	// StoreDir is the -store flag when the tool registered it via
+	// StoreFlag: the artifact store directory shared with cspserved.
+	StoreDir string
+
 	// statsDone makes Finish idempotent, so the failure exit paths can
 	// emit the -stats report unconditionally without double-printing when
 	// a tool already called Finish before deciding to exit non-zero.
@@ -66,6 +70,14 @@ func New(tool, usage string) *App {
 // NatFlag registers the -nat flag with the tool's default width.
 func (a *App) NatFlag(def int) {
 	flag.IntVar(&a.Nat, "nat", def, "enumeration width of the NAT domain")
+}
+
+// StoreFlag registers the -store flag. Tools that register it load specs
+// through a store-backed module cache: a spec already persisted (by a
+// previous run or by cspserved) skips parse and denotation, and results
+// this run computes are persisted back for the next reader.
+func (a *App) StoreFlag() {
+	flag.StringVar(&a.StoreDir, "store", "", "artifact store directory shared with cspserved (empty = no persistence)")
 }
 
 // Parse parses the command line and enforces the positional argument
@@ -142,8 +154,33 @@ func (a *App) Fail(err error) {
 }
 
 // Load parses the .csp file through the facade, exiting 2 on failure.
+// With -store set (via StoreFlag) the load goes through a store-backed
+// module cache instead: a persisted artifact for the same source skips
+// parse+denote, and results the tool stores on the module afterwards are
+// persisted for cspserved and later runs. Store trouble is reported and
+// degrades to a plain load — persistence is never fatal.
 func (a *App) Load(ctx context.Context, path string) *csp.Module {
-	m, err := csp.LoadFile(ctx, path, csp.Options{NatWidth: a.Nat})
+	opts := csp.Options{NatWidth: a.Nat}
+	if a.StoreDir != "" {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			a.Fatal(err)
+		}
+		if st, err := csp.OpenStore(a.StoreDir); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: opening store %s: %v (continuing without persistence)\n", a.Tool, a.StoreDir, err)
+		} else {
+			cache := csp.NewModuleCache(0)
+			cache.SetStore(st, func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, a.Tool+": "+format+"\n", args...)
+			})
+			m, _, _, err := cache.Load(ctx, string(src), opts)
+			if err != nil {
+				a.Fatal(fmt.Errorf("%s: %w", path, err))
+			}
+			return m
+		}
+	}
+	m, err := csp.LoadFile(ctx, path, opts)
 	if err != nil {
 		a.Fatal(err)
 	}

@@ -1,0 +1,65 @@
+package closure
+
+// Export/FromEdges: the serialization seam of the trie layer. A Set's
+// graph structure can be walked out as plain (event, child) edge lists and
+// rebuilt later — in another process — through the ordinary interning
+// path, so loaded nodes are pointer-canonical with freshly built ones.
+// Event identity crosses the process boundary by *name* (trace.Event
+// carries the channel string and message value); the dense EventIDs baked
+// into edges are process-local and are re-derived on rebuild by
+// re-interning each event through the live symbol tables (internal/trace
+// sym.go). internal/store's codec is the only intended caller.
+
+import "cspsat/internal/trace"
+
+// Edge is one outgoing edge of a trie node in its portable form: the event
+// by name and the canonical child. The dense event id is deliberately
+// absent — it is process-local.
+type Edge struct {
+	Ev    trace.Event
+	Child *Set
+}
+
+// Export enumerates the distinct nodes reachable from p in bottom-up
+// (children-first) order, each exactly once, ending with p's own node.
+// visit receives the node's *Set facade and its outgoing edges (empty for
+// the leaf {<>}); every Child passed to visit was itself visited earlier,
+// so a serializer can refer to children by their visit index. The edges
+// slice is only valid for the duration of the call.
+func (p *Set) Export(visit func(n *Set, edges []Edge)) {
+	seen := map[*node]bool{}
+	var edges []Edge
+	var walk func(n *node)
+	walk = func(n *node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, e := range n.edges {
+			walk(e.child)
+		}
+		edges = edges[:0]
+		for _, e := range n.edges {
+			edges = append(edges, Edge{Ev: e.ev, Child: e.child.wrap()})
+		}
+		visit(n.wrap(), edges)
+	}
+	walk(p.root)
+}
+
+// FromEdges returns the canonical node with the given outgoing edges,
+// interning each event to its dense id first. It is the inverse of one
+// Export visit: rebuilding a trie bottom-up through FromEdges yields a Set
+// that is Same (pointer-identical) as an equal freshly built one, memo
+// entries and all. Duplicate events are merged by union, and edges may
+// arrive in any order.
+func FromEdges(edges []Edge) *Set {
+	if len(edges) == 0 {
+		return Stop()
+	}
+	out := make([]edge, len(edges))
+	for i, e := range edges {
+		out[i] = edge{id: e.Ev.ID(), ev: e.Ev, child: e.Child.root}
+	}
+	return intern(sortEdges(out)).wrap()
+}

@@ -1,0 +1,122 @@
+package closure
+
+import (
+	"math/rand"
+	"testing"
+
+	"cspsat/internal/trace"
+	"cspsat/internal/value"
+)
+
+// exportFlatten serializes a set the way internal/store's codec does:
+// nodes in visit order, edges referring to children by visit index.
+type flatNode struct {
+	events   []trace.Event
+	children []int
+}
+
+func exportFlatten(t *testing.T, s *Set) (nodes []flatNode, root int) {
+	t.Helper()
+	idx := map[*Set]int{}
+	s.Export(func(n *Set, edges []Edge) {
+		fn := flatNode{}
+		for _, e := range edges {
+			ci, ok := idx[e.Child]
+			if !ok {
+				t.Fatalf("Export visited a parent before its child %p", e.Child)
+			}
+			fn.events = append(fn.events, e.Ev)
+			fn.children = append(fn.children, ci)
+		}
+		idx[n] = len(nodes)
+		nodes = append(nodes, fn)
+	})
+	return nodes, len(nodes) - 1
+}
+
+func rebuildFlat(nodes []flatNode, root int) *Set {
+	sets := make([]*Set, len(nodes))
+	for i, fn := range nodes {
+		edges := make([]Edge, len(fn.events))
+		for j := range fn.events {
+			edges[j] = Edge{Ev: fn.events[j], Child: sets[fn.children[j]]}
+		}
+		sets[i] = FromEdges(edges)
+	}
+	return sets[root]
+}
+
+func randomSet(rng *rand.Rand, events []trace.Event, traces, maxLen int) *Set {
+	s := Stop()
+	for i := 0; i < traces; i++ {
+		t := Stop()
+		for j := rng.Intn(maxLen + 1); j > 0; j-- {
+			t = Prefix(events[rng.Intn(len(events))], t)
+		}
+		s = Union(s, t)
+	}
+	return s
+}
+
+// TestExportRebuildCanonical round-trips random sets through the flatten /
+// rebuild cycle and demands pointer identity, not just equality: rebuilt
+// nodes must re-intern onto the canonical originals.
+func TestExportRebuildCanonical(t *testing.T) {
+	events := []trace.Event{
+		{Chan: "a", Msg: value.Int(0)},
+		{Chan: "a", Msg: value.Int(1)},
+		{Chan: "b", Msg: value.Sym("ACK")},
+		{Chan: "c[2]", Msg: value.Bool(true)},
+	}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 200; i++ {
+		s := randomSet(rng, events, rng.Intn(8), 6)
+		nodes, root := exportFlatten(t, s)
+		got := rebuildFlat(nodes, root)
+		if !got.Same(s) {
+			t.Fatalf("rebuild of %v is not pointer-canonical (got %v)", s, got)
+		}
+	}
+}
+
+// TestExportVisitsEachNodeOnce checks the dedup contract on a set with
+// heavy sharing (every node reachable along many paths).
+func TestExportVisitsEachNodeOnce(t *testing.T) {
+	a := trace.Event{Chan: "a", Msg: value.Int(0)}
+	b := trace.Event{Chan: "b", Msg: value.Int(0)}
+	s := Stop()
+	for i := 0; i < 6; i++ {
+		s = Union(Prefix(a, s), Prefix(b, s))
+	}
+	seen := map[*Set]int{}
+	visits := 0
+	s.Export(func(n *Set, _ []Edge) {
+		seen[n]++
+		visits++
+	})
+	for n, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %p visited %d times", n, c)
+		}
+	}
+	if visits != len(seen) {
+		t.Fatalf("visits %d != distinct nodes %d", visits, len(seen))
+	}
+}
+
+// TestFromEdgesMergesDuplicates: duplicate events union their children,
+// matching the operator layer's sortEdges contract.
+func TestFromEdgesMergesDuplicates(t *testing.T) {
+	a := trace.Event{Chan: "a", Msg: value.Int(0)}
+	b := trace.Event{Chan: "b", Msg: value.Int(1)}
+	x := Prefix(b, Stop())
+	y := Prefix(a, Stop())
+	got := FromEdges([]Edge{{Ev: a, Child: x}, {Ev: a, Child: y}})
+	want := Union(Prefix(a, x), Prefix(a, y))
+	if !got.Same(want) {
+		t.Fatalf("duplicate-edge merge: got %v want %v", got, want)
+	}
+	if FromEdges(nil) != Stop() {
+		t.Fatalf("FromEdges(nil) is not the canonical Stop")
+	}
+}

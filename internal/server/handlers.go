@@ -123,6 +123,19 @@ func (s *Server) execute(ctx context.Context, kind string, req runRequest) (*run
 		if err != nil {
 			return resp, err
 		}
+		limit := s.cfg.MaxTraces
+		if req.MaxTraces > 0 && req.MaxTraces < limit {
+			limit = req.MaxTraces
+		}
+		// Result cache first — a warm-booted module answers without
+		// parsing, let alone denoting (Module.CachedTraces never forces
+		// the lazy parse; mod.Proc below does).
+		if res, ok := mod.CachedTraces(engine, depth, req.Process); ok {
+			set := csp.EncodeTraceSet(res, req.MaxOnly, limit)
+			resp.Traces = &set
+			resp.OK = true
+			return resp, nil
+		}
 		p, err := mod.Proc(req.Process)
 		if err != nil {
 			return resp, fmt.Errorf("%w: %v", errUnknownProcess, err)
@@ -138,28 +151,30 @@ func (s *Server) execute(ctx context.Context, kind string, req runRequest) (*run
 		if err != nil {
 			return resp, err
 		}
-		limit := s.cfg.MaxTraces
-		if req.MaxTraces > 0 && req.MaxTraces < limit {
-			limit = req.MaxTraces
-		}
+		mod.StoreTraces(engine, depth, req.Process, res)
 		set := csp.EncodeTraceSet(res, req.MaxOnly, limit)
 		resp.Traces = &set
 		resp.OK = true
 		return resp, nil
 
 	case "check":
-		results, err := mod.CheckAll(ctx, csp.CheckOptions{
-			Depth:    depth,
-			Workers:  workers,
-			Progress: tracker.Func(),
-		})
-		if err != nil {
-			return resp, err
+		encoded, ok := mod.CachedCheck(depth)
+		if !ok {
+			results, err := mod.CheckAll(ctx, csp.CheckOptions{
+				Depth:    depth,
+				Workers:  workers,
+				Progress: tracker.Func(),
+			})
+			if err != nil {
+				return resp, err
+			}
+			encoded = csp.EncodeAssertResults(results)
+			mod.StoreCheck(depth, encoded)
 		}
-		resp.Asserts = csp.EncodeAssertResults(results)
+		resp.Asserts = encoded
 		resp.OK = true
-		for _, r := range results {
-			if !r.OK() {
+		for _, r := range encoded {
+			if !r.OK {
 				resp.OK = false
 			}
 		}
@@ -170,23 +185,29 @@ func (s *Server) execute(ctx context.Context, kind string, req runRequest) (*run
 		if maxLen <= 0 {
 			maxLen = 3
 		}
-		results, err := mod.ProveAsserts(ctx, csp.CheckOptions{
-			Workers:  workers,
-			Progress: tracker.Func(),
-			Validity: &assertion.ValidityConfig{
-				MaxLen: maxLen,
-				DefaultDom: value.Union{
-					A: value.Nat{SampleWidth: nat},
-					B: value.NewEnum(value.Sym("ACK"), value.Sym("NACK")),
+		encoded, ok := mod.CachedProve(maxLen)
+		if !ok {
+			results, err := mod.ProveAsserts(ctx, csp.CheckOptions{
+				Workers:  workers,
+				Progress: tracker.Func(),
+				Validity: &assertion.ValidityConfig{
+					MaxLen: maxLen,
+					DefaultDom: value.Union{
+						A: value.Nat{SampleWidth: nat},
+						B: value.NewEnum(value.Sym("ACK"), value.Sym("NACK")),
+					},
 				},
-			},
-		}, nil)
-		resp.Proofs = csp.EncodeProveResults(results)
-		if err != nil {
-			return resp, err
+			}, nil)
+			encoded = csp.EncodeProveResults(results)
+			resp.Proofs = encoded
+			if err != nil {
+				return resp, err
+			}
+			mod.StoreProve(maxLen, encoded)
 		}
+		resp.Proofs = encoded
 		resp.OK = true
-		for _, r := range results {
+		for _, r := range encoded {
 			if !r.OK {
 				resp.OK = false
 			}

@@ -76,6 +76,7 @@ type EndpointSnapshot struct {
 // Snapshot is the /metrics document.
 type Snapshot struct {
 	UptimeMS         int64                       `json:"uptime_ms"`
+	Ready            bool                        `json:"ready"`
 	Draining         bool                        `json:"draining"`
 	Inflight         int                         `json:"inflight"`
 	MaxInflight      int                         `json:"max_inflight"`
@@ -91,6 +92,7 @@ type Snapshot struct {
 func (s *Server) Snapshot() Snapshot {
 	snap := Snapshot{
 		UptimeMS:         time.Since(s.start).Milliseconds(),
+		Ready:            s.Ready(),
 		Draining:         s.Draining(),
 		Inflight:         len(s.admit),
 		MaxInflight:      cap(s.admit),
@@ -131,6 +133,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
 	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz liveness: a
+// store-backed server is not ready until its warm boot finishes, and any
+// server stops being ready once it starts draining. Load balancers route
+// on this; /healthz keeps answering "am I alive" throughout.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status := "ready"
+	code := http.StatusOK
+	switch {
+	case !s.Ready():
+		status = "starting"
+		code = http.StatusServiceUnavailable
+	case s.Draining():
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}

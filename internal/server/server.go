@@ -37,6 +37,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cspsat/internal/csperr"
@@ -79,6 +80,15 @@ type Config struct {
 	// memory long before the wire; requests may lower the cap via
 	// max_traces, never raise it.
 	MaxTraces int
+	// StoreDir, when non-empty, attaches an on-disk artifact store as the
+	// module cache's second tier (memory LRU → disk → compile): compiled
+	// modules and their results survive restarts, and WarmBoot rehydrates
+	// them on start. A store that cannot be opened is logged and the
+	// server runs storeless — persistence is never fatal.
+	StoreDir string
+	// Logf receives operational log lines (store warm boot, corrupt
+	// artifacts). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +116,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTraces <= 0 {
 		c.MaxTraces = 10000
 	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
 	return c
 }
 
@@ -118,6 +131,12 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *metrics
 	start   time.Time
+
+	// ready gates /readyz: servers without a store are born ready; a
+	// store-backed server reports ready only once WarmBoot has finished
+	// (successfully or not), so load balancers keep traffic off a cold
+	// instance that is still rehydrating artifacts.
+	ready atomic.Bool
 
 	// hardCtx is canceled by Abort to cut every in-flight request's
 	// engine context during a forced shutdown.
@@ -147,12 +166,23 @@ func New(cfg Config) *Server {
 	}
 	s.hardCtx, s.hardCancel = context.WithCancelCause(context.Background())
 
+	s.ready.Store(true)
+	if cfg.StoreDir != "" {
+		if st, err := csp.OpenStore(cfg.StoreDir); err != nil {
+			cfg.Logf("cspserved: opening store %s: %v (serving without persistence)", cfg.StoreDir, err)
+		} else {
+			s.cache.SetStore(st, cfg.Logf)
+			s.ready.Store(false) // until WarmBoot finishes
+		}
+	}
+
 	s.mux.HandleFunc("POST /v1/traces", s.runHandler("traces"))
 	s.mux.HandleFunc("POST /v1/check", s.runHandler("check"))
 	s.mux.HandleFunc("POST /v1/prove", s.runHandler("prove"))
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -167,6 +197,28 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Cache exposes the module cache (for tests and metrics).
 func (s *Server) Cache() *csp.ModuleCache { return s.cache }
+
+// WarmBoot rehydrates every artifact in the configured store into the
+// module cache and then marks the server ready. It is safe (and a no-op
+// beyond the ready flip) without a store. Store trouble during the boot is
+// logged per artifact and never fatal: the server comes up ready either
+// way, at worst cold.
+func (s *Server) WarmBoot(ctx context.Context) (loaded, skipped int) {
+	defer s.ready.Store(true)
+	loaded, skipped, err := s.cache.WarmBoot(ctx)
+	if err != nil {
+		s.cfg.Logf("cspserved: warm boot interrupted: %v (%d loaded, %d skipped)", err, loaded, skipped)
+		return loaded, skipped
+	}
+	if loaded+skipped > 0 {
+		s.cfg.Logf("cspserved: warm boot: %d modules rehydrated, %d artifacts skipped", loaded, skipped)
+	}
+	return loaded, skipped
+}
+
+// Ready reports whether the server has finished warm boot (always true
+// for storeless servers).
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // BeginDrain flips the server into draining mode: /healthz reports
 // "draining" and new verification requests are refused with 503, while

@@ -1,0 +1,226 @@
+// Package store persists compiled CSP modules as content-addressed
+// artifacts: the on-disk L2 tier under pkg/csp's in-memory ModuleCache.
+// The paper's semantics make every artifact section a pure function of the
+// module source — a prefix-closed trace set (§3) and the verdicts it
+// discharges (§2.1) cannot change unless the text does — so the source
+// hash the module cache already computes is the natural address, and
+// artifacts never need invalidation, only garbage collection.
+//
+// An artifact carries the module source, a local symbol table (events by
+// channel name and message value), the closure trie graph in bottom-up
+// order, the named denotation roots (trace sets per process/engine/depth),
+// and the check/prove verdicts as opaque wire-format blobs. Everything
+// id-shaped is process-local in the live engines (trace.ChanID/EventID are
+// dense first-intern-order ids), so the codec serializes by symbol *name*
+// and the loader re-derives ids by re-interning through the live symbol
+// tables, rebuilding tries bottom-up so loaded nodes are pointer-canonical
+// with freshly computed ones (closure.FromEdges).
+//
+// Files are written via temp file + atomic rename and read with strict
+// version, bounds, and checksum checks (codec.go); a corrupt artifact is a
+// recompute, never a crash.
+package store
+
+import (
+	"fmt"
+
+	"cspsat/internal/closure"
+	"cspsat/internal/trace"
+	"cspsat/internal/value"
+)
+
+// Artifact is the decoded form of one stored module. It is plain data:
+// decoding touches no global state, so a corrupt file is rejected (by
+// checksum and bounds checks) before anything is interned.
+type Artifact struct {
+	// Key is the content address: the hex source hash pkg/csp computes
+	// (csp.SourceHash). It is stored inside the payload too, so a file
+	// renamed to the wrong address is detected.
+	Key string
+	// Source is the module's .csp text — small next to the tries, and
+	// carrying it makes a loaded artifact self-contained: the module can
+	// re-parse lazily if a request needs more than the precomputed roots.
+	Source string
+	// NatWidth is the load option baked into Key.
+	NatWidth int
+	// CreatedUnix records when the artifact was first written.
+	CreatedUnix int64
+
+	// Events is the local symbol table: every event appearing on a trie
+	// edge, identified by name, referenced by index from Nodes.
+	Events []EventSym
+	// Nodes is the trie graph in bottom-up order: Nodes[i]'s edges refer
+	// only to events by index and to children j < i, with the implicit
+	// node index 0 naming the empty trie {<>} (so Nodes[i] describes node
+	// index i+1).
+	Nodes [][]EdgeSpec
+	// TraceRoots names the precomputed trace sets.
+	TraceRoots []TraceRoot
+	// Checks and Proves hold verdict blocks in the facade's stable JSON
+	// wire encodings, opaque to this package.
+	Checks []CheckBlock
+	Proves []ProveBlock
+}
+
+// EventSym identifies one event portably: channel by rendered name,
+// message by value.
+type EventSym struct {
+	Chan string
+	Msg  value.V
+}
+
+// EdgeSpec is one trie edge: an event index into Artifact.Events and a
+// child node index (0 = the empty trie).
+type EdgeSpec struct {
+	Event uint32
+	Child uint32
+}
+
+// TraceRoot names one precomputed trace set: which process, under which
+// engine and depth, denotes the trie rooted at node index Root.
+type TraceRoot struct {
+	// Engine is "op" or "denote" (runtime walks are sampled, not pure
+	// functions of the source, and are never stored).
+	Engine string
+	// Depth is the trace-length bound the set was computed to.
+	Depth uint32
+	// Process is the root process expression, canonically rendered (a
+	// plain name for the common case).
+	Process string
+	// Root is the node index of the set (0 = {<>}).
+	Root uint32
+	// Iterations preserves the approximation-chain pass count (denote
+	// only), so a served result is indistinguishable from a computed one.
+	Iterations uint32
+}
+
+// CheckBlock is one CheckAll outcome: the verdicts for a depth, as the
+// facade's []AssertResultJSON marshaled bytes.
+type CheckBlock struct {
+	Depth   uint32
+	Results []byte
+}
+
+// ProveBlock is one ProveAsserts outcome: the verdicts for a validity
+// bound, as the facade's []ProveResultJSON marshaled bytes.
+type ProveBlock struct {
+	MaxLen  uint32
+	Results []byte
+}
+
+// Sets rebuilds every trie node into a canonical *closure.Set, bottom-up,
+// re-interning events by name. sets[0] is the empty trie; sets[i+1]
+// corresponds to Nodes[i]. Decode has already bounds-checked the graph, so
+// errors here indicate a logic bug or a hand-built Artifact; they are
+// reported, not panicked.
+func (a *Artifact) Sets() ([]*closure.Set, error) {
+	events := make([]trace.Event, len(a.Events))
+	for i, es := range a.Events {
+		events[i] = trace.Event{Chan: trace.Chan(es.Chan), Msg: es.Msg}
+	}
+	sets := make([]*closure.Set, len(a.Nodes)+1)
+	sets[0] = closure.Stop()
+	edges := make([]closure.Edge, 0, 8)
+	for i, specs := range a.Nodes {
+		edges = edges[:0]
+		for _, sp := range specs {
+			if int(sp.Event) >= len(events) {
+				return nil, fmt.Errorf("store: node %d: event index %d out of range", i+1, sp.Event)
+			}
+			if int(sp.Child) > i {
+				return nil, fmt.Errorf("store: node %d: forward child reference %d", i+1, sp.Child)
+			}
+			edges = append(edges, closure.Edge{Ev: events[sp.Event], Child: sets[sp.Child]})
+		}
+		sets[i+1] = closure.FromEdges(edges)
+	}
+	return sets, nil
+}
+
+// RootSet returns the rebuilt set for a TraceRoot given the Sets() result.
+func (a *Artifact) RootSet(sets []*closure.Set, r TraceRoot) (*closure.Set, error) {
+	if int(r.Root) >= len(sets) {
+		return nil, fmt.Errorf("store: trace root %q: node index %d out of range", r.Process, r.Root)
+	}
+	return sets[r.Root], nil
+}
+
+// Builder flattens canonical Sets into an Artifact, sharing the symbol
+// table and node graph across all added roots (two roots whose tries share
+// subtrees share their flattened nodes too).
+type Builder struct {
+	art     *Artifact
+	nodeIdx map[*closure.Set]uint32
+	evIdx   map[trace.EventID]uint32
+}
+
+// NewBuilder starts an artifact for one module.
+func NewBuilder(key, source string, natWidth int, createdUnix int64) *Builder {
+	b := &Builder{
+		art: &Artifact{
+			Key:         key,
+			Source:      source,
+			NatWidth:    natWidth,
+			CreatedUnix: createdUnix,
+		},
+		nodeIdx: map[*closure.Set]uint32{closure.Stop(): 0},
+		evIdx:   map[trace.EventID]uint32{},
+	}
+	return b
+}
+
+// addSet flattens s (sharing already-added nodes) and returns its node
+// index.
+func (b *Builder) addSet(s *closure.Set) uint32 {
+	if idx, ok := b.nodeIdx[s]; ok {
+		return idx
+	}
+	s.Export(func(n *closure.Set, edges []closure.Edge) {
+		if _, ok := b.nodeIdx[n]; ok {
+			return
+		}
+		specs := make([]EdgeSpec, len(edges))
+		for i, e := range edges {
+			specs[i] = EdgeSpec{Event: b.eventIndex(e.Ev), Child: b.nodeIdx[e.Child]}
+		}
+		b.art.Nodes = append(b.art.Nodes, specs)
+		b.nodeIdx[n] = uint32(len(b.art.Nodes)) // implicit +1: index 0 is {<>}
+	})
+	return b.nodeIdx[s]
+}
+
+func (b *Builder) eventIndex(ev trace.Event) uint32 {
+	id := ev.ID()
+	if idx, ok := b.evIdx[id]; ok {
+		return idx
+	}
+	idx := uint32(len(b.art.Events))
+	b.art.Events = append(b.art.Events, EventSym{Chan: string(ev.Chan), Msg: ev.Msg})
+	b.evIdx[id] = idx
+	return idx
+}
+
+// AddTraceRoot records one precomputed trace set.
+func (b *Builder) AddTraceRoot(engine string, depth int, process string, set *closure.Set, iterations int) {
+	b.art.TraceRoots = append(b.art.TraceRoots, TraceRoot{
+		Engine:     engine,
+		Depth:      uint32(depth),
+		Process:    process,
+		Root:       b.addSet(set),
+		Iterations: uint32(iterations),
+	})
+}
+
+// AddCheck records one CheckAll verdict block.
+func (b *Builder) AddCheck(depth int, results []byte) {
+	b.art.Checks = append(b.art.Checks, CheckBlock{Depth: uint32(depth), Results: results})
+}
+
+// AddProve records one ProveAsserts verdict block.
+func (b *Builder) AddProve(maxLen int, results []byte) {
+	b.art.Proves = append(b.art.Proves, ProveBlock{MaxLen: uint32(maxLen), Results: results})
+}
+
+// Artifact returns the built artifact. The builder must not be reused
+// afterwards.
+func (b *Builder) Artifact() *Artifact { return b.art }

@@ -1,0 +1,416 @@
+package store
+
+// The artifact wire format, versioned and checksummed:
+//
+//	magic   8 bytes  "CSPSTORE"
+//	version uint32   little-endian (currently 1)
+//	payload uvarint-framed sections (see encodePayload)
+//	crc64   8 bytes  little-endian ECMA checksum of magic+version+payload
+//
+// Decode verifies the checksum over the whole prefix before looking at any
+// payload byte, then bounds-checks every count, index, and length against
+// the bytes actually present. Only a fully validated Artifact reaches the
+// caller, so a truncated or bit-flipped file can never intern partial
+// symbols or tries: decoding is pure, interning happens later in
+// Artifact.Sets on data that already passed validation.
+//
+// Integers are unsigned varints (zigzag for signed), strings and blobs are
+// length-prefixed. Counts are additionally sanity-bounded by the number of
+// remaining input bytes, so a corrupted count fails fast instead of
+// attempting a multi-gigabyte allocation.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+
+	"cspsat/internal/value"
+)
+
+const (
+	magic = "CSPSTORE"
+	// Version is the current wire format version. Bump on any layout
+	// change; old files then read as ErrVersionSkew and are recomputed.
+	Version uint32 = 1
+
+	// maxSeqDepth bounds value-sequence nesting on decode so a corrupt
+	// file cannot drive unbounded recursion.
+	maxSeqDepth = 64
+)
+
+var (
+	// ErrCorrupt reports a file that is not a well-formed artifact:
+	// bad magic, failed checksum, truncation, or out-of-bounds structure.
+	ErrCorrupt = errors.New("store: corrupt artifact")
+	// ErrVersionSkew reports a well-formed file written by a different
+	// codec version. Callers treat it as stale: recompute and overwrite.
+	ErrVersionSkew = errors.New("store: artifact version skew")
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Encode serializes an artifact into the versioned, checksummed wire form.
+func Encode(a *Artifact) []byte {
+	var w writer
+	w.buf = append(w.buf, magic...)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, Version)
+	w.encodePayload(a)
+	sum := crc64.Checksum(w.buf, crcTable)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, sum)
+	return w.buf
+}
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) uvarint(v uint64)  { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) varint(v int64)    { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) str(s string)      { w.uvarint(uint64(len(s))); w.buf = append(w.buf, s...) }
+func (w *writer) bytes(b []byte)    { w.uvarint(uint64(len(b))); w.buf = append(w.buf, b...) }
+
+func (w *writer) value(v value.V) {
+	w.buf = append(w.buf, byte(v.Kind()))
+	switch v.Kind() {
+	case value.KindInt:
+		w.varint(v.AsInt())
+	case value.KindSym:
+		w.str(v.AsSym())
+	case value.KindBool:
+		if v.AsBool() {
+			w.buf = append(w.buf, 1)
+		} else {
+			w.buf = append(w.buf, 0)
+		}
+	case value.KindSeq:
+		elems := v.AsSeq()
+		w.uvarint(uint64(len(elems)))
+		for _, e := range elems {
+			w.value(e)
+		}
+	default:
+		panic(fmt.Sprintf("store: cannot encode value kind %v", v.Kind()))
+	}
+}
+
+func (w *writer) encodePayload(a *Artifact) {
+	w.str(a.Key)
+	w.str(a.Source)
+	w.varint(int64(a.NatWidth))
+	w.varint(a.CreatedUnix)
+
+	w.uvarint(uint64(len(a.Events)))
+	for _, e := range a.Events {
+		w.str(e.Chan)
+		w.value(e.Msg)
+	}
+
+	w.uvarint(uint64(len(a.Nodes)))
+	for _, edges := range a.Nodes {
+		w.uvarint(uint64(len(edges)))
+		for _, sp := range edges {
+			w.uvarint(uint64(sp.Event))
+			w.uvarint(uint64(sp.Child))
+		}
+	}
+
+	w.uvarint(uint64(len(a.TraceRoots)))
+	for _, r := range a.TraceRoots {
+		w.str(r.Engine)
+		w.uvarint(uint64(r.Depth))
+		w.str(r.Process)
+		w.uvarint(uint64(r.Root))
+		w.uvarint(uint64(r.Iterations))
+	}
+
+	w.uvarint(uint64(len(a.Checks)))
+	for _, c := range a.Checks {
+		w.uvarint(uint64(c.Depth))
+		w.bytes(c.Results)
+	}
+
+	w.uvarint(uint64(len(a.Proves)))
+	for _, p := range a.Proves {
+		w.uvarint(uint64(p.MaxLen))
+		w.bytes(p.Results)
+	}
+}
+
+// Decode parses and fully validates an artifact. It returns ErrCorrupt
+// (possibly wrapped, with detail) for malformed input and ErrVersionSkew
+// for a well-formed file from another codec version. Decode never touches
+// intern tables or any other global state.
+func Decode(data []byte) (*Artifact, error) {
+	// Frame: magic + version + payload + crc64 trailer.
+	if len(data) < len(magic)+4+8 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the minimal frame", ErrCorrupt, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	want := binary.LittleEndian.Uint64(trailer)
+	if got := crc64.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %016x want %016x)", ErrCorrupt, got, want)
+	}
+	ver := binary.LittleEndian.Uint32(data[len(magic):])
+	if ver != Version {
+		return nil, fmt.Errorf("%w: file version %d, codec version %d", ErrVersionSkew, ver, Version)
+	}
+
+	r := &reader{buf: body[len(magic)+4:]}
+	a, err := r.decodePayload()
+	if err != nil {
+		return nil, err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(r.buf))
+	}
+	return a, nil
+}
+
+type reader struct {
+	buf []byte
+}
+
+func (r *reader) corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+func (r *reader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, r.corrupt("truncated uvarint (%s)", what)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *reader) varint(what string) (int64, error) {
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		return 0, r.corrupt("truncated varint (%s)", what)
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+// count reads a collection length and rejects values that could not
+// possibly fit in the remaining bytes (each element costs ≥1 byte).
+func (r *reader) count(what string) (int, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.buf)) {
+		return 0, r.corrupt("%s count %d exceeds %d remaining bytes", what, v, len(r.buf))
+	}
+	return int(v), nil
+}
+
+func (r *reader) str(what string) (string, error) {
+	n, err := r.count(what)
+	if err != nil {
+		return "", err
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s, nil
+}
+
+func (r *reader) blob(what string) ([]byte, error) {
+	n, err := r.count(what)
+	if err != nil {
+		return nil, err
+	}
+	var b []byte
+	if n > 0 {
+		b = make([]byte, n)
+		copy(b, r.buf[:n])
+	}
+	r.buf = r.buf[n:]
+	return b, nil
+}
+
+func (r *reader) value(depth int) (value.V, error) {
+	if depth > maxSeqDepth {
+		return value.V{}, r.corrupt("value nesting deeper than %d", maxSeqDepth)
+	}
+	if len(r.buf) == 0 {
+		return value.V{}, r.corrupt("truncated value kind")
+	}
+	k := value.Kind(r.buf[0])
+	r.buf = r.buf[1:]
+	switch k {
+	case value.KindInt:
+		i, err := r.varint("int value")
+		if err != nil {
+			return value.V{}, err
+		}
+		return value.Int(i), nil
+	case value.KindSym:
+		s, err := r.str("sym value")
+		if err != nil {
+			return value.V{}, err
+		}
+		return value.Sym(s), nil
+	case value.KindBool:
+		if len(r.buf) == 0 {
+			return value.V{}, r.corrupt("truncated bool value")
+		}
+		b := r.buf[0]
+		r.buf = r.buf[1:]
+		if b > 1 {
+			return value.V{}, r.corrupt("bool value byte %d", b)
+		}
+		return value.Bool(b == 1), nil
+	case value.KindSeq:
+		n, err := r.count("seq value")
+		if err != nil {
+			return value.V{}, err
+		}
+		elems := make([]value.V, n)
+		for i := range elems {
+			if elems[i], err = r.value(depth + 1); err != nil {
+				return value.V{}, err
+			}
+		}
+		return value.SeqOf(elems), nil
+	default:
+		return value.V{}, r.corrupt("value kind byte %d", byte(k))
+	}
+}
+
+func (r *reader) decodePayload() (*Artifact, error) {
+	a := &Artifact{}
+	var err error
+	if a.Key, err = r.str("key"); err != nil {
+		return nil, err
+	}
+	if a.Source, err = r.str("source"); err != nil {
+		return nil, err
+	}
+	nw, err := r.varint("nat width")
+	if err != nil {
+		return nil, err
+	}
+	a.NatWidth = int(nw)
+	if a.CreatedUnix, err = r.varint("created"); err != nil {
+		return nil, err
+	}
+
+	nEvents, err := r.count("events")
+	if err != nil {
+		return nil, err
+	}
+	a.Events = make([]EventSym, nEvents)
+	for i := range a.Events {
+		if a.Events[i].Chan, err = r.str("event chan"); err != nil {
+			return nil, err
+		}
+		if a.Events[i].Msg, err = r.value(0); err != nil {
+			return nil, err
+		}
+	}
+
+	nNodes, err := r.count("nodes")
+	if err != nil {
+		return nil, err
+	}
+	a.Nodes = make([][]EdgeSpec, nNodes)
+	for i := range a.Nodes {
+		nEdges, err := r.count("node edges")
+		if err != nil {
+			return nil, err
+		}
+		edges := make([]EdgeSpec, nEdges)
+		for j := range edges {
+			ev, err := r.uvarint("edge event")
+			if err != nil {
+				return nil, err
+			}
+			if ev >= uint64(nEvents) {
+				return nil, r.corrupt("node %d edge %d: event index %d out of %d", i+1, j, ev, nEvents)
+			}
+			child, err := r.uvarint("edge child")
+			if err != nil {
+				return nil, err
+			}
+			// Bottom-up invariant: children precede parents, and node
+			// index 0 is the implicit empty trie.
+			if child > uint64(i) {
+				return nil, r.corrupt("node %d edge %d: forward child reference %d", i+1, j, child)
+			}
+			edges[j] = EdgeSpec{Event: uint32(ev), Child: uint32(child)}
+		}
+		a.Nodes[i] = edges
+	}
+
+	nRoots, err := r.count("trace roots")
+	if err != nil {
+		return nil, err
+	}
+	a.TraceRoots = make([]TraceRoot, nRoots)
+	for i := range a.TraceRoots {
+		tr := &a.TraceRoots[i]
+		if tr.Engine, err = r.str("root engine"); err != nil {
+			return nil, err
+		}
+		depth, err := r.uvarint("root depth")
+		if err != nil {
+			return nil, err
+		}
+		tr.Depth = uint32(depth)
+		if tr.Process, err = r.str("root process"); err != nil {
+			return nil, err
+		}
+		root, err := r.uvarint("root node")
+		if err != nil {
+			return nil, err
+		}
+		if root > uint64(nNodes) {
+			return nil, r.corrupt("trace root %d: node index %d out of %d", i, root, nNodes)
+		}
+		tr.Root = uint32(root)
+		iters, err := r.uvarint("root iterations")
+		if err != nil {
+			return nil, err
+		}
+		tr.Iterations = uint32(iters)
+	}
+
+	nChecks, err := r.count("checks")
+	if err != nil {
+		return nil, err
+	}
+	a.Checks = make([]CheckBlock, nChecks)
+	for i := range a.Checks {
+		depth, err := r.uvarint("check depth")
+		if err != nil {
+			return nil, err
+		}
+		a.Checks[i].Depth = uint32(depth)
+		if a.Checks[i].Results, err = r.blob("check results"); err != nil {
+			return nil, err
+		}
+	}
+
+	nProves, err := r.count("proves")
+	if err != nil {
+		return nil, err
+	}
+	a.Proves = make([]ProveBlock, nProves)
+	for i := range a.Proves {
+		maxLen, err := r.uvarint("prove maxlen")
+		if err != nil {
+			return nil, err
+		}
+		a.Proves[i].MaxLen = uint32(maxLen)
+		if a.Proves[i].Results, err = r.blob("prove results"); err != nil {
+			return nil, err
+		}
+	}
+
+	return a, nil
+}

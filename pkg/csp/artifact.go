@@ -1,0 +1,144 @@
+// Module ↔ store.Artifact conversion. internal/store knows nothing about
+// modules or engines (it traffics in tries, symbols, and opaque verdict
+// blobs); this file is the bridge: flattening a Module's recorded results
+// into an artifact for persisting, and rehydrating an artifact into a
+// deferred Module whose caches are pre-warmed — the warm-boot path that
+// serves requests without parsing or denoting anything.
+package csp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"cspsat/internal/store"
+)
+
+// ArtifactStore re-exports the on-disk content-addressed store so hosts
+// (cspserved, the CLI tools) can stay on the facade import.
+type ArtifactStore = store.Store
+
+// OpenStore opens (creating if needed) an artifact store directory for
+// attaching to a ModuleCache via SetStore.
+func OpenStore(dir string) (*ArtifactStore, error) { return store.Open(dir) }
+
+// engineFromName is the inverse of Engine.String for the storable engines.
+func engineFromName(name string) (Engine, bool) {
+	switch name {
+	case "op":
+		return EngineOp, true
+	case "denote":
+		return EngineDenote, true
+	}
+	return 0, false
+}
+
+// buildArtifact flattens the module's source and recorded results into a
+// store artifact under the given content address. It fails for modules
+// without source text (FromModule/FromSystem) — they have no stable
+// address to store under.
+func (m *Module) buildArtifact(key string, createdUnix int64) (*store.Artifact, error) {
+	if m.src == "" {
+		return nil, fmt.Errorf("csp: module has no source text to persist")
+	}
+	b := store.NewBuilder(key, m.src, m.opts.NatWidth, createdUnix)
+
+	m.res.mu.Lock()
+	defer m.res.mu.Unlock()
+
+	// Deterministic artifact bytes for identical result sets: flatten in
+	// sorted key order.
+	tkeys := make([]traceResultKey, 0, len(m.res.traces))
+	for k := range m.res.traces {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		a, b := tkeys[i], tkeys[j]
+		if a.engine != b.engine {
+			return a.engine < b.engine
+		}
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		return a.process < b.process
+	})
+	for _, k := range tkeys {
+		r := m.res.traces[k]
+		b.AddTraceRoot(k.engine.String(), k.depth, k.process, r.Set, r.Iterations)
+	}
+
+	depths := make([]int, 0, len(m.res.checks))
+	for d := range m.res.checks {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	for _, d := range depths {
+		blob, err := json.Marshal(m.res.checks[d])
+		if err != nil {
+			return nil, fmt.Errorf("csp: encoding check verdicts: %w", err)
+		}
+		b.AddCheck(d, blob)
+	}
+
+	lens := make([]int, 0, len(m.res.proves))
+	for l := range m.res.proves {
+		lens = append(lens, l)
+	}
+	sort.Ints(lens)
+	for _, l := range lens {
+		blob, err := json.Marshal(m.res.proves[l])
+		if err != nil {
+			return nil, fmt.Errorf("csp: encoding prove verdicts: %w", err)
+		}
+		b.AddProve(l, blob)
+	}
+
+	return b.Artifact(), nil
+}
+
+// moduleFromArtifact rehydrates a decoded artifact into a deferred Module:
+// tries are re-interned bottom-up (pointer-canonical with freshly computed
+// ones), verdict blobs are decoded back into the wire types, and the
+// source is retained for a lazy parse should a request need more than the
+// precomputed results. The artifact's NatWidth is the load option baked
+// into its key, so the rehydrated module behaves exactly like one loaded
+// with those options.
+func moduleFromArtifact(art *store.Artifact) (*Module, error) {
+	m := newDeferred(art.Source, Options{NatWidth: art.NatWidth})
+	m.createdUnix = art.CreatedUnix
+
+	sets, err := art.Sets()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range art.TraceRoots {
+		engine, ok := engineFromName(r.Engine)
+		if !ok {
+			return nil, fmt.Errorf("csp: artifact names unknown engine %q", r.Engine)
+		}
+		set, err := art.RootSet(sets, r)
+		if err != nil {
+			return nil, err
+		}
+		m.StoreTraces(engine, int(r.Depth), r.Process, &TraceResult{
+			Set:        set,
+			Engine:     engine,
+			Iterations: int(r.Iterations),
+		})
+	}
+	for _, c := range art.Checks {
+		var results []AssertResultJSON
+		if err := json.Unmarshal(c.Results, &results); err != nil {
+			return nil, fmt.Errorf("csp: decoding check verdicts: %w", err)
+		}
+		m.StoreCheck(int(c.Depth), results)
+	}
+	for _, p := range art.Proves {
+		var results []ProveResultJSON
+		if err := json.Unmarshal(p.Results, &results); err != nil {
+			return nil, fmt.Errorf("csp: decoding prove verdicts: %w", err)
+		}
+		m.StoreProve(int(p.MaxLen), results)
+	}
+	return m, nil
+}

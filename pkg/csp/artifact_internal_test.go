@@ -1,0 +1,60 @@
+package csp
+
+import (
+	"context"
+	"testing"
+)
+
+// TestStoreHitSkipsParse is the white-box half of the warm-boot claim: a
+// module rehydrated from the store must not parse its source until an
+// engine actually needs the AST — served-from-cache requests never touch
+// the parser or the denoters.
+func TestStoreHitSkipsParse(t *testing.T) {
+	ctx := context.Background()
+	opts := Options{NatWidth: 2}
+	src := "p = a!0 -> a!1 -> p\n"
+
+	c1 := NewModuleCache(8)
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.SetStore(st, t.Logf)
+	mod, _, _, err := c1.Load(ctx, src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mod.Proc("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := mod.Traces(ctx, p, EngineOptions{Engine: EngineOp, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.StoreTraces(EngineOp, 4, "p", tr)
+
+	c2 := NewModuleCache(8)
+	c2.SetStore(st, t.Logf)
+	mod2, _, hit, err := c2.Load(ctx, src, opts)
+	if err != nil || !hit {
+		t.Fatalf("reload: hit=%v err=%v", hit, err)
+	}
+	if mod2.sys != nil {
+		t.Fatalf("store hit parsed the source eagerly")
+	}
+	if _, ok := mod2.CachedTraces(EngineOp, 4, "p"); !ok {
+		t.Fatalf("cached traces missing after store hit")
+	}
+	if mod2.sys != nil {
+		t.Fatalf("CachedTraces forced a parse")
+	}
+	// An engine request beyond the precomputed results forces the lazy
+	// parse, transparently.
+	if _, err := mod2.Proc("p"); err != nil {
+		t.Fatal(err)
+	}
+	if mod2.sys == nil {
+		t.Fatalf("Proc did not force the parse")
+	}
+}

@@ -12,16 +12,23 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"cspsat/internal/pool"
+	"cspsat/internal/store"
 )
 
-// ModuleCache is a bounded LRU of loaded Modules keyed by source hash.
-// Modules are immutable once loaded (their engines share the global intern
-// shards), so one cached Module may serve many concurrent requests. The
-// zero value is not usable; construct with NewModuleCache.
+// ModuleCache is a bounded LRU of loaded Modules keyed by source hash,
+// optionally backed by an on-disk artifact store (SetStore) as a second
+// tier: memory LRU → disk store → compile, with the singleflight covering
+// both tiers (one leader per key probes the disk and, failing that,
+// parses; everyone else waits on its result). Modules are immutable once
+// loaded (their engines share the global intern shards), so one cached
+// Module may serve many concurrent requests. The zero value is not usable;
+// construct with NewModuleCache.
 type ModuleCache struct {
 	mu        sync.Mutex
 	capacity  int
@@ -32,6 +39,20 @@ type ModuleCache struct {
 	misses    uint64
 	evicted   uint64
 	coalesced uint64
+
+	// L2 tier. st and logf are set once by SetStore before the cache is
+	// shared; the counters are guarded by mu. persistMu serializes artifact
+	// writes so concurrent result notifications for one module cannot
+	// interleave encodes.
+	st                *store.Store
+	logf              func(format string, args ...any)
+	persistMu         sync.Mutex
+	storeHits         uint64
+	storeMisses       uint64
+	storeCorrupt      uint64
+	storePuts         uint64
+	storeBytesRead    uint64
+	storeBytesWritten uint64
 }
 
 type cacheEntry struct {
@@ -128,10 +149,15 @@ func (c *ModuleCache) Load(ctx context.Context, src string, opts Options) (mod *
 		c.inflight[key] = f
 		c.mu.Unlock()
 
-		// Parse outside the lock: a slow load must not stall hits on other
+		// Load outside the lock: a slow load must not stall hits on other
 		// keys. Later arrivals for this key park on f.done instead of
-		// parsing the same source again.
-		m, err := Load(ctx, src, opts)
+		// loading the same source again. The disk tier is probed first —
+		// inside the flight, so a store read also happens once per key.
+		m, fromStore := c.loadFromStore(key)
+		var err error
+		if m == nil {
+			m, err = Load(ctx, src, opts)
+		}
 		f.mod, f.err = m, err
 		c.mu.Lock()
 		delete(c.inflight, key)
@@ -140,9 +166,149 @@ func (c *ModuleCache) Load(ctx context.Context, src string, opts Options) (mod *
 		if err != nil {
 			return nil, key, false, err
 		}
+		c.wirePersist(key, m)
 		c.add(key, m)
-		return m, key, false, nil
+		if !fromStore {
+			// Persist on first compile so a restart can at least skip the
+			// parse; result persists (wirePersist) enrich the artifact as
+			// requests compute trace sets and verdicts.
+			c.persist(key, m)
+		}
+		return m, key, fromStore, nil
 	}
+}
+
+// SetStore attaches an on-disk artifact store as the cache's second tier
+// and must be called before the cache is shared across goroutines. logf
+// receives operational messages (corrupt artifacts, persist failures);
+// nil discards them.
+func (c *ModuleCache) SetStore(st *store.Store, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c.st, c.logf = st, logf
+}
+
+// Store returns the attached artifact store, or nil.
+func (c *ModuleCache) Store() *store.Store { return c.st }
+
+// loadFromStore probes the disk tier for key. A corrupt artifact is
+// quarantined, logged, and reported as a miss — the caller recompiles; a
+// version-skewed artifact is logged and left in place (the next persist
+// overwrites it). Never fatal.
+func (c *ModuleCache) loadFromStore(key string) (*Module, bool) {
+	if c.st == nil {
+		return nil, false
+	}
+	art, n, err := c.st.Get(key)
+	if err == nil {
+		var m *Module
+		if m, err = moduleFromArtifact(art); err == nil {
+			c.mu.Lock()
+			c.storeHits++
+			c.storeBytesRead += uint64(n)
+			c.mu.Unlock()
+			return m, true
+		}
+		// A structurally valid file the facade cannot rehydrate (unknown
+		// engine name, undecodable verdicts) is corrupt for our purposes.
+		err = fmt.Errorf("%w: %v", store.ErrCorrupt, err)
+	}
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		c.mu.Lock()
+		c.storeMisses++
+		c.mu.Unlock()
+	case errors.Is(err, store.ErrVersionSkew):
+		c.mu.Lock()
+		c.storeCorrupt++
+		c.mu.Unlock()
+		c.logf("store: stale artifact %s: %v (recomputing)", key, err)
+	default:
+		c.mu.Lock()
+		c.storeCorrupt++
+		c.mu.Unlock()
+		if qerr := c.st.Quarantine(key); qerr != nil {
+			c.logf("store: quarantining %s: %v", key, qerr)
+		}
+		c.logf("store: corrupt artifact %s quarantined: %v (recomputing)", key, err)
+	}
+	return nil, false
+}
+
+// wirePersist makes every newly recorded result on m re-persist its
+// artifact. No-op without a store or for modules without source.
+func (c *ModuleCache) wirePersist(key string, m *Module) {
+	if c.st == nil || m.src == "" {
+		return
+	}
+	m.res.setOnResult(func() { c.persist(key, m) })
+}
+
+// persist writes m's current artifact under key. Failures are logged and
+// counted, never returned: persistence is an optimization, not a
+// correctness requirement.
+func (c *ModuleCache) persist(key string, m *Module) {
+	if c.st == nil || m.src == "" {
+		return
+	}
+	c.persistMu.Lock()
+	defer c.persistMu.Unlock()
+	created := m.createdUnix
+	if created == 0 {
+		created = time.Now().Unix()
+		m.createdUnix = created
+	}
+	art, err := m.buildArtifact(key, created)
+	if err != nil {
+		c.logf("store: building artifact %s: %v", key, err)
+		return
+	}
+	n, err := c.st.Put(art)
+	if err != nil {
+		c.logf("store: persisting %s: %v", key, err)
+		return
+	}
+	c.mu.Lock()
+	c.storePuts++
+	c.storeBytesWritten += uint64(n)
+	c.mu.Unlock()
+}
+
+// WarmBoot loads every artifact in the attached store into the memory
+// tier, reporting how many modules were rehydrated and how many artifacts
+// were skipped (corrupt, stale, or unreadable — logged, quarantined where
+// appropriate, never fatal). Keys already resident are counted as loaded
+// without touching the disk. Respects ctx between artifacts.
+func (c *ModuleCache) WarmBoot(ctx context.Context) (loaded, skipped int, err error) {
+	if c.st == nil {
+		return 0, 0, nil
+	}
+	keys, err := c.st.Keys()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, key := range keys {
+		if err := pool.Canceled(ctx); err != nil {
+			return loaded, skipped, err
+		}
+		c.mu.Lock()
+		_, resident := c.entries[key]
+		c.mu.Unlock()
+		if resident {
+			loaded++
+			continue
+		}
+		m, ok := c.loadFromStore(key)
+		if !ok {
+			skipped++
+			continue
+		}
+		c.wirePersist(key, m)
+		c.add(key, m)
+		loaded++
+	}
+	return loaded, skipped, nil
 }
 
 func (c *ModuleCache) add(key string, m *Module) {
@@ -171,6 +337,16 @@ type ModuleCacheStats struct {
 	// Coalesced counts requests that joined an in-progress load of the
 	// same key instead of parsing it themselves.
 	Coalesced uint64 `json:"coalesced"`
+	// The Store* counters cover the on-disk tier (zero without SetStore):
+	// artifacts rehydrated (hits), keys with no artifact (misses), corrupt
+	// or stale artifacts skipped (corrupt), artifacts written (puts), and
+	// bytes moved in each direction.
+	StoreHits         uint64 `json:"store_hits"`
+	StoreMisses       uint64 `json:"store_misses"`
+	StoreCorrupt      uint64 `json:"store_corrupt"`
+	StorePuts         uint64 `json:"store_puts"`
+	StoreBytesRead    uint64 `json:"store_bytes_read"`
+	StoreBytesWritten uint64 `json:"store_bytes_written"`
 }
 
 // Stats returns a consistent snapshot of the cache counters.
@@ -178,11 +354,17 @@ func (c *ModuleCache) Stats() ModuleCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return ModuleCacheStats{
-		Size:      c.order.Len(),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evicted:   c.evicted,
-		Coalesced: c.coalesced,
+		Size:              c.order.Len(),
+		Capacity:          c.capacity,
+		Hits:              c.hits,
+		Misses:            c.misses,
+		Evicted:           c.evicted,
+		Coalesced:         c.coalesced,
+		StoreHits:         c.storeHits,
+		StoreMisses:       c.storeMisses,
+		StoreCorrupt:      c.storeCorrupt,
+		StorePuts:         c.storePuts,
+		StoreBytesRead:    c.storeBytesRead,
+		StoreBytesWritten: c.storeBytesWritten,
 	}
 }

@@ -24,6 +24,8 @@ package csp
 import (
 	"context"
 	"fmt"
+	"os"
+	"sync"
 
 	"cspsat/internal/assertion"
 	"cspsat/internal/check"
@@ -230,8 +232,45 @@ type TraceResult struct {
 }
 
 // Module is a loaded .csp module plus everything needed to analyse it.
+//
+// A Module parses its source lazily: Load parses eagerly (so parse errors
+// surface at load time, as always), but a Module rehydrated from the
+// artifact store (internal/store) defers the parse until an engine
+// actually needs the AST. A store hit whose precomputed results cover the
+// request — consulted via CachedTraces / CachedCheck / CachedProve —
+// therefore answers without parsing or denoting anything.
 type Module struct {
-	sys *core.System
+	// src and opts are retained for the lazy parse and for persisting the
+	// module as a store artifact. Modules built via FromModule/FromSystem
+	// have no source and are not persistable.
+	src  string
+	opts Options
+
+	parse  sync.Once
+	sys    *core.System
+	sysErr error
+
+	// res caches computed results per (engine, depth/bound, process) so
+	// resident hosts can serve repeats — and store warm boots — without
+	// recomputing; see results.go.
+	res resultsCache
+
+	// createdUnix is the artifact creation time carried across persist
+	// cycles (zero for modules never stored).
+	createdUnix int64
+}
+
+// system returns the parsed core.System, parsing on first need. For
+// deferred modules the source already parsed successfully when it was
+// stored, so an error here means the grammar drifted since the artifact
+// was written; engine methods propagate it like any load failure.
+func (m *Module) system() (*core.System, error) {
+	m.parse.Do(func() {
+		if m.sys == nil {
+			m.sys, m.sysErr = core.Load(m.src, core.Options{NatWidth: m.opts.NatWidth, Funcs: m.opts.Funcs})
+		}
+	})
+	return m.sys, m.sysErr
 }
 
 // Load parses a .csp source text. Parse failures wrap ErrParse.
@@ -239,11 +278,11 @@ func Load(ctx context.Context, src string, opts Options) (*Module, error) {
 	if err := pool.Canceled(ctx); err != nil {
 		return nil, err
 	}
-	sys, err := core.Load(src, core.Options{NatWidth: opts.NatWidth, Funcs: opts.Funcs})
-	if err != nil {
+	m := &Module{src: src, opts: opts}
+	if _, err := m.system(); err != nil {
 		return nil, err
 	}
-	return &Module{sys: sys}, nil
+	return m, nil
 }
 
 // LoadFile reads and parses a .csp file.
@@ -251,43 +290,87 @@ func LoadFile(ctx context.Context, path string, opts Options) (*Module, error) {
 	if err := pool.Canceled(ctx); err != nil {
 		return nil, err
 	}
-	sys, err := core.LoadFile(path, core.Options{NatWidth: opts.NatWidth, Funcs: opts.Funcs})
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Module{sys: sys}, nil
+	m, err := Load(ctx, string(data), opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s:%w", path, err)
+	}
+	return m, nil
+}
+
+// newDeferred returns a Module that parses src on first engine use. Only
+// the artifact-store path constructs these; everything else parses eagerly.
+func newDeferred(src string, opts Options) *Module {
+	return &Module{src: src, opts: opts}
 }
 
 // FromModule wraps an already-constructed syntax module (e.g. the paper
 // systems built by internal/paper).
 func FromModule(m *syntax.Module, opts Options) *Module {
-	return &Module{sys: core.FromModule(m, core.Options{NatWidth: opts.NatWidth, Funcs: opts.Funcs})}
+	return &Module{opts: opts, sys: core.FromModule(m, core.Options{NatWidth: opts.NatWidth, Funcs: opts.Funcs})}
 }
 
 // FromSystem wraps an existing core.System.
 func FromSystem(sys *core.System) *Module { return &Module{sys: sys} }
 
+// Source returns the module's source text; empty for modules built via
+// FromModule/FromSystem.
+func (m *Module) Source() string { return m.src }
+
 // System exposes the underlying core.System for callers that need engine
-// plumbing the facade does not cover.
-func (m *Module) System() *core.System { return m.sys }
+// plumbing the facade does not cover, forcing the parse if deferred.
+func (m *Module) System() *core.System { sys, _ := m.system(); return sys }
 
 // Syntax returns the parsed module (definitions, sets, constants).
-func (m *Module) Syntax() *syntax.Module { return m.sys.Module }
+func (m *Module) Syntax() *syntax.Module { return m.System().Module }
 
 // Env returns the module's evaluation environment.
-func (m *Module) Env() sem.Env { return m.sys.Env() }
+func (m *Module) Env() sem.Env {
+	sys, err := m.system()
+	if err != nil {
+		return sem.Env{}
+	}
+	return sys.Env()
+}
 
 // Funcs returns the module's assertion-function registry.
-func (m *Module) Funcs() *assertion.Registry { return m.sys.Funcs() }
+func (m *Module) Funcs() *assertion.Registry {
+	sys, err := m.system()
+	if err != nil {
+		return nil
+	}
+	return sys.Funcs()
+}
 
 // Asserts returns the module's assert declarations in source order.
-func (m *Module) Asserts() []AssertDecl { return m.sys.Asserts }
+func (m *Module) Asserts() []AssertDecl {
+	sys, err := m.system()
+	if err != nil {
+		return nil
+	}
+	return sys.Asserts
+}
 
 // Proc resolves a defined process by name.
-func (m *Module) Proc(name string) (Proc, error) { return m.sys.Proc(name) }
+func (m *Module) Proc(name string) (Proc, error) {
+	sys, err := m.system()
+	if err != nil {
+		return nil, err
+	}
+	return sys.Proc(name)
+}
 
 // ProcIdx resolves an element of a process array.
-func (m *Module) ProcIdx(name string, idx int64) (Proc, error) { return m.sys.ProcIdx(name, idx) }
+func (m *Module) ProcIdx(name string, idx int64) (Proc, error) {
+	sys, err := m.system()
+	if err != nil {
+		return nil, err
+	}
+	return sys.ProcIdx(name, idx)
+}
 
 // Traces computes the visible traces of p under the selected engine. For
 // EngineOp and EngineDenote the set is exact to opts.Depth over the sampled
@@ -376,7 +459,7 @@ func (m *Module) DotLTS(p Proc, depth int) (string, error) {
 // Checker returns a model checker bound to ctx with the options' depth and
 // exploration worker count.
 func (m *Module) Checker(ctx context.Context, opts CheckOptions) *check.Checker {
-	return m.sys.CheckerContext(ctx, opts.depth(), opts.Workers)
+	return m.System().CheckerContext(ctx, opts.depth(), opts.Workers)
 }
 
 // Sat model-checks "p sat a" to the options' depth.
@@ -401,13 +484,17 @@ func (m *Module) Deadlocks(ctx context.Context, p Proc, opts CheckOptions) ([]De
 // CheckAll model-checks every assert declaration of the module,
 // distributing them across opts.Workers goroutines.
 func (m *Module) CheckAll(ctx context.Context, opts CheckOptions) ([]AssertResult, error) {
-	return m.sys.CheckAllContext(ctx, opts.depth(), opts.Workers, opts.Progress)
+	sys, err := m.system()
+	if err != nil {
+		return nil, err
+	}
+	return sys.CheckAllContext(ctx, opts.depth(), opts.Workers, opts.Progress)
 }
 
 // Prover returns a proof checker bound to ctx under the options' validity
 // configuration.
 func (m *Module) Prover(ctx context.Context, opts CheckOptions) *proof.Checker {
-	c := m.sys.Prover(opts.Validity)
+	c := m.System().Prover(opts.Validity)
 	c.Ctx = ctx
 	return c
 }

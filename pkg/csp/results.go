@@ -1,0 +1,154 @@
+// Per-module result caching. The engines are deterministic over the
+// sampled domains (EngineRuntime excepted), so a (engine, bound, process)
+// triple fully determines a result: resident hosts record each computed
+// result on the Module and serve repeats — and artifact-store warm boots —
+// without touching the engines. These caches are what the artifact store
+// persists; CachedTraces on a deferred module is the path that answers a
+// request without ever parsing the source.
+package csp
+
+import "sync"
+
+// traceResultKey identifies one deterministic trace computation.
+type traceResultKey struct {
+	engine  Engine
+	depth   int
+	process string
+}
+
+// resultsCache is the per-Module memo of deterministic results. All maps
+// are lazily allocated; values are treated as immutable once stored.
+type resultsCache struct {
+	mu     sync.Mutex
+	traces map[traceResultKey]*TraceResult
+	checks map[int][]AssertResultJSON
+	proves map[int][]ProveResultJSON
+	// onResult, when set, fires after each newly stored result (outside
+	// the mutex). The module cache uses it to persist the module's
+	// artifact; see ModuleCache.SetStore.
+	onResult func()
+}
+
+func (rc *resultsCache) setOnResult(f func()) {
+	rc.mu.Lock()
+	rc.onResult = f
+	rc.mu.Unlock()
+}
+
+func (rc *resultsCache) notify() {
+	rc.mu.Lock()
+	f := rc.onResult
+	rc.mu.Unlock()
+	if f != nil {
+		f()
+	}
+}
+
+// CachedTraces returns the recorded trace result for (engine, depth,
+// process), if any. process is the name the result was stored under
+// (StoreTraces); depth 0 is normalized to DefaultDepth like everywhere
+// else.
+func (m *Module) CachedTraces(engine Engine, depth int, process string) (*TraceResult, bool) {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	m.res.mu.Lock()
+	defer m.res.mu.Unlock()
+	r, ok := m.res.traces[traceResultKey{engine, depth, process}]
+	return r, ok
+}
+
+// StoreTraces records a computed trace result for later CachedTraces hits
+// (and, when the module came through a store-backed ModuleCache, persists
+// it). EngineRuntime results are sampled walks, not functions of the
+// source, and are never recorded.
+func (m *Module) StoreTraces(engine Engine, depth int, process string, r *TraceResult) {
+	if engine == EngineRuntime || r == nil {
+		return
+	}
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	key := traceResultKey{engine, depth, process}
+	m.res.mu.Lock()
+	if _, ok := m.res.traces[key]; ok {
+		m.res.mu.Unlock()
+		return
+	}
+	if m.res.traces == nil {
+		m.res.traces = map[traceResultKey]*TraceResult{}
+	}
+	m.res.traces[key] = r
+	m.res.mu.Unlock()
+	m.res.notify()
+}
+
+// CachedCheck returns the recorded CheckAll verdicts for a depth, in the
+// stable wire encoding.
+func (m *Module) CachedCheck(depth int) ([]AssertResultJSON, bool) {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	m.res.mu.Lock()
+	defer m.res.mu.Unlock()
+	r, ok := m.res.checks[depth]
+	return r, ok
+}
+
+// StoreCheck records CheckAll verdicts for a depth. The slice is retained;
+// callers must not mutate it afterwards.
+func (m *Module) StoreCheck(depth int, results []AssertResultJSON) {
+	if results == nil {
+		return
+	}
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	m.res.mu.Lock()
+	if _, ok := m.res.checks[depth]; ok {
+		m.res.mu.Unlock()
+		return
+	}
+	if m.res.checks == nil {
+		m.res.checks = map[int][]AssertResultJSON{}
+	}
+	m.res.checks[depth] = results
+	m.res.mu.Unlock()
+	m.res.notify()
+}
+
+// CachedProve returns the recorded ProveAsserts verdicts for a validity
+// bound, in the stable wire encoding.
+func (m *Module) CachedProve(maxLen int) ([]ProveResultJSON, bool) {
+	m.res.mu.Lock()
+	defer m.res.mu.Unlock()
+	r, ok := m.res.proves[maxLen]
+	return r, ok
+}
+
+// StoreProve records ProveAsserts verdicts for a validity bound. The slice
+// is retained; callers must not mutate it afterwards.
+func (m *Module) StoreProve(maxLen int, results []ProveResultJSON) {
+	if results == nil {
+		return
+	}
+	m.res.mu.Lock()
+	if _, ok := m.res.proves[maxLen]; ok {
+		m.res.mu.Unlock()
+		return
+	}
+	if m.res.proves == nil {
+		m.res.proves = map[int][]ProveResultJSON{}
+	}
+	m.res.proves[maxLen] = results
+	m.res.mu.Unlock()
+	m.res.notify()
+}
+
+// CachedResultCount reports how many deterministic results the module has
+// recorded (trace sets + check blocks + prove blocks).
+func (m *Module) CachedResultCount() int {
+	m.res.mu.Lock()
+	defer m.res.mu.Unlock()
+	return len(m.res.traces) + len(m.res.checks) + len(m.res.proves)
+}

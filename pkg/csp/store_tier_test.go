@@ -1,0 +1,406 @@
+package csp_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cspsat/internal/gen"
+	"cspsat/pkg/csp"
+)
+
+// specRoots mirrors scripts/serve_smoke.sh: a root process and depth per
+// spec (multiplier shallow — its data-carrying states make deep
+// exploration slow by design).
+var specRoots = []struct {
+	file  string
+	proc  string
+	depth int
+}{
+	{"copier.csp", "copier", 6},
+	{"protocol.csp", "protocol", 6},
+	{"multiplier.csp", "multiplier", 4},
+	{"buffers.csp", "buf1", 6},
+	{"philosophers.csp", "safe", 6},
+	{"tokenring.csp", "sys", 6},
+}
+
+func readSpec(t *testing.T, file string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "specs", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func storeBackedCache(t *testing.T, dir string) *csp.ModuleCache {
+	t.Helper()
+	c := csp.NewModuleCache(32)
+	st, err := csp.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetStore(st, t.Logf)
+	return c
+}
+
+// TestStoreTierRoundTripSpecs saves every spec's trace sets and verdicts
+// through the store tier, reloads them in a fresh cache, and demands
+// pointer-canonical trace sets (Same, not just equal) and byte-identical
+// verdict encodings against a fresh recompute.
+func TestStoreTierRoundTripSpecs(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	opts := csp.Options{NatWidth: 2}
+
+	c1 := storeBackedCache(t, dir)
+	for _, sr := range specRoots {
+		src := readSpec(t, sr.file)
+		mod, _, _, err := c1.Load(ctx, src, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", sr.file, err)
+		}
+		p, err := mod.Proc(sr.proc)
+		if err != nil {
+			t.Fatalf("%s: %v", sr.file, err)
+		}
+		tr, err := mod.Traces(ctx, p, csp.EngineOptions{Engine: csp.EngineOp, Depth: sr.depth})
+		if err != nil {
+			t.Fatalf("%s traces: %v", sr.file, err)
+		}
+		mod.StoreTraces(csp.EngineOp, sr.depth, sr.proc, tr)
+
+		checks, err := mod.CheckAll(ctx, csp.CheckOptions{Depth: sr.depth})
+		if err != nil {
+			t.Fatalf("%s check: %v", sr.file, err)
+		}
+		mod.StoreCheck(sr.depth, csp.EncodeAssertResults(checks))
+	}
+	if st := c1.Stats(); st.StorePuts == 0 {
+		t.Fatalf("no artifacts persisted: %+v", st)
+	}
+
+	c2 := storeBackedCache(t, dir)
+	for _, sr := range specRoots {
+		src := readSpec(t, sr.file)
+		mod2, _, hit, err := c2.Load(ctx, src, opts)
+		if err != nil {
+			t.Fatalf("%s reload: %v", sr.file, err)
+		}
+		if !hit {
+			t.Fatalf("%s reload missed the store tier", sr.file)
+		}
+		cached, ok := mod2.CachedTraces(csp.EngineOp, sr.depth, sr.proc)
+		if !ok {
+			t.Fatalf("%s: no cached traces after store hit", sr.file)
+		}
+		// Recompute and demand pointer identity: the rebuilt trie must
+		// re-intern onto the canonical nodes a fresh computation yields.
+		p, err := mod2.Proc(sr.proc)
+		if err != nil {
+			t.Fatalf("%s: %v", sr.file, err)
+		}
+		fresh, err := mod2.Traces(ctx, p, csp.EngineOptions{Engine: csp.EngineOp, Depth: sr.depth})
+		if err != nil {
+			t.Fatalf("%s recompute: %v", sr.file, err)
+		}
+		if !cached.Set.Same(fresh.Set) {
+			t.Fatalf("%s: rehydrated trace set is not pointer-canonical with recompute", sr.file)
+		}
+
+		cachedChecks, ok := mod2.CachedCheck(sr.depth)
+		if !ok {
+			t.Fatalf("%s: no cached check verdicts", sr.file)
+		}
+		freshChecks, err := mod2.CheckAll(ctx, csp.CheckOptions{Depth: sr.depth})
+		if err != nil {
+			t.Fatalf("%s recheck: %v", sr.file, err)
+		}
+		got, _ := json.Marshal(cachedChecks)
+		want, _ := json.Marshal(csp.EncodeAssertResults(freshChecks))
+		if string(got) != string(want) {
+			t.Fatalf("%s: verdicts differ after round trip:\n got %s\nwant %s", sr.file, got, want)
+		}
+	}
+	if st := c2.Stats(); st.StoreHits != uint64(len(specRoots)) {
+		t.Fatalf("store hits = %d, want %d: %+v", st.StoreHits, len(specRoots), st)
+	}
+}
+
+// TestStoreTierProveRoundTrip persists §2.1 prover verdicts for the two
+// worked examples and checks byte-identity after reload.
+func TestStoreTierProveRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	opts := csp.Options{NatWidth: 2}
+	const maxLen = 3
+
+	c1 := storeBackedCache(t, dir)
+	for _, file := range []string{"copier.csp", "protocol.csp"} {
+		src := readSpec(t, file)
+		mod, _, _, err := c1.Load(ctx, src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := mod.ProveAsserts(ctx, csp.CheckOptions{}, nil)
+		if err != nil {
+			t.Fatalf("%s prove: %v", file, err)
+		}
+		mod.StoreProve(maxLen, csp.EncodeProveResults(results))
+	}
+
+	c2 := storeBackedCache(t, dir)
+	for _, file := range []string{"copier.csp", "protocol.csp"} {
+		src := readSpec(t, file)
+		mod2, _, hit, err := c2.Load(ctx, src, opts)
+		if err != nil || !hit {
+			t.Fatalf("%s reload: hit=%v err=%v", file, hit, err)
+		}
+		cached, ok := mod2.CachedProve(maxLen)
+		if !ok {
+			t.Fatalf("%s: no cached prove verdicts", file)
+		}
+		fresh, err := mod2.ProveAsserts(ctx, csp.CheckOptions{}, nil)
+		if err != nil {
+			t.Fatalf("%s reprove: %v", file, err)
+		}
+		got, _ := json.Marshal(cached)
+		want, _ := json.Marshal(csp.EncodeProveResults(fresh))
+		if string(got) != string(want) {
+			t.Fatalf("%s: prover verdicts differ:\n got %s\nwant %s", file, got, want)
+		}
+	}
+}
+
+// TestStoreTierPropertyGen round-trips random generated modules through
+// the store: for each term, save its op- and denote-engine trace sets,
+// reload in a fresh cache, and demand Same-pointer trace sets against a
+// recompute.
+func TestStoreTierPropertyGen(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(23))
+	opts := csp.Options{NatWidth: 2}
+
+	for i := 0; i < 25; i++ {
+		m, p := gen.Module(rng, gen.Config{})
+		src := m.String()
+		procKey := p.String()
+
+		dir := t.TempDir()
+		c1 := storeBackedCache(t, dir)
+		mod, _, _, err := c1.Load(ctx, src, opts)
+		if err != nil {
+			// gen emits reparseable modules (internal/gen tests); a parse
+			// failure here is a real bug, not generator noise.
+			t.Fatalf("case %d: load: %v\n%s", i, err, src)
+		}
+		for _, engine := range []csp.Engine{csp.EngineOp, csp.EngineDenote} {
+			tr, err := mod.Traces(ctx, p, csp.EngineOptions{Engine: engine, Depth: 5})
+			if err != nil {
+				t.Fatalf("case %d %v: %v\n%s", i, engine, err, src)
+			}
+			mod.StoreTraces(engine, 5, procKey, tr)
+		}
+
+		c2 := storeBackedCache(t, dir)
+		mod2, _, hit, err := c2.Load(ctx, src, opts)
+		if err != nil || !hit {
+			t.Fatalf("case %d: reload hit=%v err=%v", i, hit, err)
+		}
+		for _, engine := range []csp.Engine{csp.EngineOp, csp.EngineDenote} {
+			cached, ok := mod2.CachedTraces(engine, 5, procKey)
+			if !ok {
+				t.Fatalf("case %d %v: cached traces missing", i, engine)
+			}
+			fresh, err := mod2.Traces(ctx, p, csp.EngineOptions{Engine: engine, Depth: 5})
+			if err != nil {
+				t.Fatalf("case %d %v recompute: %v", i, engine, err)
+			}
+			if !cached.Set.Same(fresh.Set) {
+				t.Fatalf("case %d %v: rehydrated set not pointer-canonical\n%s", i, engine, src)
+			}
+			if engine == csp.EngineDenote && cached.Iterations != fresh.Iterations {
+				t.Fatalf("case %d: iterations %d != %d", i, cached.Iterations, fresh.Iterations)
+			}
+		}
+	}
+}
+
+// TestStoreTierCorruptArtifact flips a byte in a persisted artifact and
+// hammers the fresh cache with concurrent loads: every request must
+// succeed by recompute (never fail, never panic), the artifact must be
+// quarantined, and the recomputed results must match a clean compute —
+// i.e. the failed decode polluted nothing. Run under -race in CI.
+func TestStoreTierCorruptArtifact(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	opts := csp.Options{NatWidth: 2}
+	src := readSpec(t, "copier.csp")
+	key := csp.SourceHash(src, opts)
+
+	c1 := storeBackedCache(t, dir)
+	mod, _, _, err := c1.Load(ctx, src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mod.Proc("copier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mod.Traces(ctx, p, csp.EngineOptions{Engine: csp.EngineOp, Depth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.StoreTraces(csp.EngineOp, 6, "copier", want)
+
+	// Flip one byte mid-file.
+	path := filepath.Join(dir, key+".cspa")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := storeBackedCache(t, dir)
+	const n = 8
+	var wg sync.WaitGroup
+	mods := make([]*csp.Module, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			mods[i], _, _, errs[i] = c2.Load(ctx, src, opts)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("load %d failed on a corrupt artifact: %v", i, errs[i])
+		}
+		if mods[i] != mods[0] {
+			t.Fatalf("load %d: singleflight broke across the corrupt fallback", i)
+		}
+	}
+	st := c2.Stats()
+	if st.StoreCorrupt == 0 {
+		t.Fatalf("corrupt artifact not counted: %+v", st)
+	}
+	if st.StoreHits != 0 {
+		t.Fatalf("corrupt artifact reported as a store hit: %+v", st)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt artifact not quarantined: %v", err)
+	}
+	// The recompute re-persisted a clean artifact under the same key: a
+	// third cache must hit the store again.
+	c3 := storeBackedCache(t, dir)
+	if _, _, hit, err := c3.Load(ctx, src, opts); err != nil || !hit {
+		t.Fatalf("post-recompute load: hit=%v err=%v", hit, err)
+	}
+
+	// The recomputed module behaves identically to the clean one.
+	p2, err := mods[0].Proc("copier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mods[0].Traces(ctx, p2, csp.EngineOptions{Engine: csp.EngineOp, Depth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Set.Same(want.Set) {
+		t.Fatalf("recompute after corruption diverged from clean compute")
+	}
+}
+
+// TestStoreTierVersionSkew rewrites an artifact with a bumped version and
+// checks the load falls back to recompute, logging but not quarantining.
+func TestStoreTierVersionSkew(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	opts := csp.Options{NatWidth: 2}
+	src := "p = a!0 -> p\n"
+	key := csp.SourceHash(src, opts)
+
+	c1 := storeBackedCache(t, dir)
+	if _, _, _, err := c1.Load(ctx, src, opts); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".cspa")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := csp.RestampArtifactVersionForTest(data, 99)
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := storeBackedCache(t, dir)
+	if _, _, hit, err := c2.Load(ctx, src, opts); err != nil || hit {
+		t.Fatalf("skewed load: hit=%v err=%v", hit, err)
+	}
+	st := c2.Stats()
+	if st.StoreCorrupt != 1 {
+		t.Fatalf("version skew not counted: %+v", st)
+	}
+	// Not quarantined: the file stays for the next persist to overwrite.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("skewed artifact was removed: %v", err)
+	}
+}
+
+// TestWarmBoot persists several modules, warm-boots a fresh cache, and
+// checks everything is resident (memory-tier hits, no store reads on the
+// subsequent loads).
+func TestWarmBoot(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	opts := csp.Options{NatWidth: 2}
+	srcs := []string{
+		"p = a!0 -> p\n",
+		"q = b!1 -> q\n",
+		strings.Repeat("r = c!2 -> r\n", 1),
+	}
+
+	c1 := storeBackedCache(t, dir)
+	for _, src := range srcs {
+		if _, _, _, err := c1.Load(ctx, src, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2 := storeBackedCache(t, dir)
+	loaded, skipped, err := c2.WarmBoot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != len(srcs) || skipped != 0 {
+		t.Fatalf("WarmBoot = (%d, %d), want (%d, 0)", loaded, skipped, len(srcs))
+	}
+	before := c2.Stats()
+	for _, src := range srcs {
+		if _, _, hit, err := c2.Load(ctx, src, opts); err != nil || !hit {
+			t.Fatalf("post-boot load: hit=%v err=%v", hit, err)
+		}
+	}
+	after := c2.Stats()
+	if after.StoreHits != before.StoreHits {
+		t.Fatalf("post-boot loads touched the disk tier: %+v -> %+v", before, after)
+	}
+	if after.Hits-before.Hits != uint64(len(srcs)) {
+		t.Fatalf("post-boot loads were not memory hits: %+v -> %+v", before, after)
+	}
+}

@@ -1,8 +1,10 @@
 #!/bin/sh
-# bench_json.sh — run the experiment benchmarks (E01–E15) with -benchmem
+# bench_json.sh — run the experiment benchmarks (E01–E19) with -benchmem
 # and write the results as BENCH_<date>.json in the repo root, one object
 # per benchmark with ns/op, B/op, allocs/op, and any custom metrics the
-# benchmark reported (memo-hit-rate, interned-nodes, ...).
+# benchmark reported (memo-hit-rate, interned-nodes, ...). The header
+# records the git commit and GOMAXPROCS so snapshots from different
+# commits or core counts are never compared blindly.
 #
 # Usage: scripts/bench_json.sh [extra go test args...]
 #   BENCH_OUT=path    override the output file
@@ -18,12 +20,15 @@ cd "$(dirname "$0")/.."
 pattern="${BENCH_PATTERN:-^BenchmarkE[0-9]+}"
 benchtime="${BENCH_TIME:-1s}"
 out="${BENCH_OUT:-BENCH_$(date +%Y-%m-%d).json}"
+commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+git diff --quiet HEAD 2>/dev/null || commit="$commit-dirty"
+maxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" "$@" . | tee "$tmp"
 
-awk -v date="$(date +%Y-%m-%dT%H:%M:%S%z)" '
+awk -v date="$(date +%Y-%m-%dT%H:%M:%S%z)" -v commit="$commit" -v maxprocs="$maxprocs" '
 BEGIN { n = 0 }
 /^goos: /   { goos = $2 }
 /^goarch: / { goarch = $2 }
@@ -44,6 +49,8 @@ BEGIN { n = 0 }
 END {
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"gomaxprocs\": %s,\n", maxprocs
     printf "  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"benchmarks\": [\n"
