@@ -17,6 +17,7 @@ import (
 	"cspsat/internal/closure"
 	"cspsat/internal/failures"
 	"cspsat/internal/laws"
+	"cspsat/internal/model"
 	"cspsat/internal/op"
 	"cspsat/internal/paper"
 	"cspsat/internal/parser"
@@ -560,6 +561,41 @@ func BenchmarkE15FailuresModel(b *testing.B) {
 			b.Fatal("failures model must distinguish STOP |~| P from P")
 		}
 	}
+}
+
+// E20: the failures-refinement backend end-to-end — both acceptance-family
+// models plus the refinement scan, through the same Checker path cspcheck
+// -model failures and /v1/refine use. The negative direction (flaky
+// against copier) is the expensive one: the scan cannot stop at trace
+// inclusion, it must compare acceptance families.
+func BenchmarkE20FailuresRefine(b *testing.B) {
+	env := sem.NewEnv(paper.CopySystem(), 2)
+	ck := check.New(env, nil, 4)
+	ck.Model = model.Failures
+	copier := syntax.Ref{Name: paper.NameCopier}
+	flaky := syntax.IChoice{L: syntax.Stop{}, R: copier}
+	b.Run("holds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ck.Refines(copier, flaky)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.OK {
+				b.Fatalf("copier ⊑F STOP |~| copier must hold: %s", res)
+			}
+		}
+	})
+	b.Run("refuted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ck.Refines(flaky, copier)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.OK || res.Failure == nil {
+				b.Fatal("STOP |~| copier ⊑F copier must fail with a counterexample failure")
+			}
+		}
+	})
 }
 
 func BenchmarkFailuresProtocolVsBuffer(b *testing.B) {

@@ -95,6 +95,45 @@ func TestCLITools(t *testing.T) {
 		}
 	})
 
+	t.Run("cspcheck model axis on nondet.csp", func(t *testing.T) {
+		// Traces model: the refusal-level asserts hold vacuously; only the
+		// model-pinned refinement assert fails (it is checked under
+		// failures whatever -model says), so the exit status is 1.
+		out, code := run(t, bin("cspcheck"), "", "specs/nondet.csp")
+		if code != 1 {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+		if !strings.Contains(out, "vacuous under traces model") {
+			t.Errorf("vacuity note missing:\n%s", out)
+		}
+		if strings.Contains(out, "DEADLOCK") {
+			t.Errorf("traces model must not see the deadlock:\n%s", out)
+		}
+		// Failures model: the deadlock hiding in flaky surfaces as an
+		// empty acceptance, and the unpinned refinement assert fails too.
+		out, code = run(t, bin("cspcheck"), "", "-model", "failures", "specs/nondet.csp")
+		if code != 1 {
+			t.Fatalf("failures: code=%d\n%s", code, out)
+		}
+		if !strings.Contains(out, "DEADLOCK after <>") {
+			t.Errorf("failures model missed the deadlock:\n%s", out)
+		}
+		if strings.Contains(out, "FAIL  assert vend sat deadlockfree") {
+			t.Errorf("vend should be deadlock-free under failures:\n%s", out)
+		}
+		// Unknown model names are usage errors.
+		if _, code := run(t, bin("cspcheck"), "", "-model", "nope", "specs/nondet.csp"); code != 2 {
+			t.Errorf("unknown -model: exit %d, want 2", code)
+		}
+	})
+
+	t.Run("cspprove rejects non-trace models", func(t *testing.T) {
+		out, code := run(t, bin("cspprove"), "", "-model", "failures", "specs/copier.csp")
+		if code != 2 || !strings.Contains(out, "trace-model calculus") {
+			t.Fatalf("code=%d\n%s", code, out)
+		}
+	})
+
 	t.Run("csptrace", func(t *testing.T) {
 		out, code := run(t, bin("csptrace"), "", "-depth", "3", "specs/copier.csp", "copier")
 		if code != 0 || !strings.Contains(out, "<input.0, wire.0>") {
@@ -107,6 +146,20 @@ func TestCLITools(t *testing.T) {
 		out, code = run(t, bin("csptrace"), "", "-dot", "-depth", "3", "specs/copier.csp", "copysys")
 		if code != 0 || !strings.Contains(out, "digraph lts") {
 			t.Fatalf("dot: code=%d\n%s", code, out)
+		}
+		// -engine denote is the uniform spelling of the deprecated -den.
+		out, code = run(t, bin("csptrace"), "", "-engine", "denote", "-depth", "3", "specs/copier.csp", "copier")
+		if code != 0 || !strings.Contains(out, "approximation chain stabilised") {
+			t.Fatalf("-engine denote: code=%d\n%s", code, out)
+		}
+		// -model failures lists acceptance families; flaky's deadlock is
+		// the empty acceptance {} after the empty trace.
+		out, code = run(t, bin("csptrace"), "", "-model", "failures", "-depth", "3", "specs/nondet.csp", "flaky")
+		if code != 0 || !strings.Contains(out, "acceptance families") {
+			t.Fatalf("-model failures: code=%d\n%s", code, out)
+		}
+		if !strings.Contains(out, "{}") {
+			t.Errorf("flaky's empty acceptance missing:\n%s", out)
 		}
 	})
 

@@ -1,9 +1,14 @@
 // Command cspcheck model-checks the assert clauses of a .csp file: every
 // trace of each asserted process, up to a depth bound, is checked against
 // its assertion, exactly the paper's semantics of "P sat R" restricted to
-// bounded traces over sampled message domains. With -deadlocks it
-// additionally searches each asserted process for reachable stuck
-// configurations — the property the paper's §4 admits sat cannot express.
+// bounded traces over sampled message domains.
+//
+// The -model flag selects the semantic model verdicts are computed under.
+// The default, traces, is the paper's model: refusal-level assertions
+// (deadlockfree, offers) hold vacuously there — §4's admission that sat
+// cannot see a deadlock. With -model failures the same assertions are
+// discharged against the §4 stable-failures model, and refinement asserts
+// become failures refinement, so "STOP |~| P refines P" correctly fails.
 //
 // With -store DIR the run shares cspserved's artifact store: the compiled
 // module is reused when persisted, and the verdicts this run computes are
@@ -12,10 +17,10 @@
 //
 // Usage:
 //
-//	cspcheck [-depth N] [-nat W] [-deadlocks] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp
+//	cspcheck [-depth N] [-nat W] [-model M] [-deadlocks] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp
 //
-// Exit status 1 when any assertion fails (or -deadlocks finds one), 2 on
-// usage or load errors.
+// Exit status 1 when any assertion fails (or the deadlock search finds
+// one), 2 on usage or load errors.
 package main
 
 import (
@@ -29,12 +34,14 @@ import (
 )
 
 func main() {
-	app := cli.New("cspcheck", "cspcheck [-depth N] [-nat W] [-deadlocks] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp")
+	app := cli.New("cspcheck", "cspcheck [-depth N] [-nat W] [-model M] [-deadlocks] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp")
 	app.NatFlag(3)
 	app.StoreFlag()
+	app.ModelFlag()
 	depth := flag.Int("depth", 8, "trace-length bound for the exhaustive check")
-	deadlocks := flag.Bool("deadlocks", false, "also search asserted processes for reachable deadlocks")
+	deadlocks := flag.Bool("deadlocks", false, "also search asserted processes for reachable deadlocks (deprecated: prefer -model failures with 'sat deadlockfree' asserts)")
 	args := app.Parse(1)
+	mdl := app.Model()
 	ctx, cancel := app.Context()
 	defer cancel()
 
@@ -43,11 +50,16 @@ func main() {
 		fmt.Println("cspcheck: no assert clauses in file")
 		return
 	}
-	results, err := mod.CheckAll(ctx, csp.CheckOptions{Depth: *depth, Workers: app.Workers})
+	results, err := mod.CheckAll(ctx, csp.CheckOptions{Model: mdl, Depth: *depth, Workers: app.Workers})
 	if err != nil {
 		app.Fatal(err)
 	}
-	mod.StoreCheck(*depth, csp.EncodeAssertResults(results))
+	// The persisted check-verdict block is the trace-model one (the cache
+	// key carries no model); failures-model runs are never stored so a
+	// later traces-model reader cannot pick up the wrong verdicts.
+	if mdl == csp.ModelTraces {
+		mod.StoreCheck(*depth, csp.EncodeAssertResults(results))
+	}
 	fmt.Print(csp.FormatAssertResults(results))
 	bad := false
 	for _, r := range results {

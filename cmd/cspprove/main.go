@@ -9,7 +9,12 @@
 //
 // Usage:
 //
-//	cspprove [-nat W] [-maxlen L] [-v] [-show] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp
+//	cspprove [-nat W] [-maxlen L] [-model M] [-v] [-show] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp
+//
+// The uniform -model flag is accepted for symmetry with cspcheck and
+// csptrace, but the §2.1 proof system is a trace-model calculus: only
+// -model traces is provable; -model failures is rejected with a pointer to
+// cspcheck, whose failures-model checker discharges refusal-level claims.
 //
 // With -store DIR the run shares cspserved's artifact store: the compiled
 // module is reused when persisted, and the proof verdicts are persisted
@@ -33,13 +38,17 @@ import (
 )
 
 func main() {
-	app := cli.New("cspprove", "cspprove [-nat W] [-maxlen L] [-v] [-show] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp")
+	app := cli.New("cspprove", "cspprove [-nat W] [-maxlen L] [-model M] [-v] [-show] [-store DIR] [-workers N] [-timeout D] [-stats] file.csp")
 	app.NatFlag(2)
 	app.StoreFlag()
+	app.ModelFlag()
 	maxLen := flag.Int("maxlen", 3, "history-length bound for validity obligations")
 	verbose := flag.Bool("v", false, "print each verified rule application")
 	show := flag.Bool("show", false, "render each successful proof in the paper's Table-1 style")
 	args := app.Parse(1)
+	if mdl := app.Model(); mdl != csp.ModelTraces {
+		app.Fatal(fmt.Errorf("the §2.1 proof rules are a trace-model calculus and cannot discharge %s-model claims; use cspcheck -model %s", mdl, mdl))
+	}
 	ctx, cancel := app.Context()
 	defer cancel()
 

@@ -109,9 +109,9 @@ func ls(st *store.Store) {
 			fmt.Printf("%s  %8d bytes  UNREADABLE: %v\n", key, size, err)
 			continue
 		}
-		fmt.Printf("%s  %8d bytes  %s  nat=%d  %d nodes  %d trace roots  %d checks  %d proofs\n",
+		fmt.Printf("%s  %8d bytes  %s  nat=%d  %d nodes  %d trace roots  %d checks  %d proofs  %d refinements\n",
 			key, size, time.Unix(a.CreatedUnix, 0).UTC().Format("2006-01-02 15:04"),
-			a.NatWidth, len(a.Nodes), len(a.TraceRoots), len(a.Checks), len(a.Proves))
+			a.NatWidth, len(a.Nodes), len(a.TraceRoots), len(a.Checks), len(a.Proves), len(a.Refinements))
 	}
 }
 

@@ -1,0 +1,51 @@
+package assertion
+
+// Behavioural assertion forms: predicates over a process's *refusals*
+// rather than its channel histories. The paper's assertion language (§2)
+// speaks only about traces, so "P sat R" can never distinguish STOP | P
+// from P (§4); these forms close that gap. They are not evaluable over a
+// single history — Eval rejects them — and are instead discharged by the
+// model checker against the stable-failures model (internal/failures) when
+// a check runs under the failures model. Under the trace model they hold
+// vacuously, which is exactly the paper's observation that STOP satisfies
+// every satisfiable trace assertion.
+
+// DeadlockFree asserts the process never reaches a stable state that
+// refuses everything (an empty acceptance).
+type DeadlockFree struct{}
+
+// Offers asserts the process can never refuse all of the named channels:
+// after every trace, every stable state offers at least one event on some
+// channel in Chans. It generalises DeadlockFree (which demands *some*
+// offer) to a named environment interface.
+type Offers struct {
+	Chans []string
+}
+
+func (DeadlockFree) assertNode() {}
+func (Offers) assertNode()       {}
+
+func (DeadlockFree) String() string { return "deadlockfree" }
+
+func (a Offers) String() string {
+	out := "offers "
+	for i, c := range a.Chans {
+		if i > 0 {
+			out += ","
+		}
+		out += c
+	}
+	return out
+}
+
+// Behavioural reports whether the assertion is a refusal-level form that
+// only a model richer than traces can discharge. Behavioural forms are
+// top-level only (the parser enforces it), so the check needs no
+// recursion.
+func Behavioural(a A) bool {
+	switch a.(type) {
+	case DeadlockFree, Offers:
+		return true
+	}
+	return false
+}

@@ -362,6 +362,10 @@ func Eval(a A, ctx *Ctx) (bool, error) {
 			args[i] = v
 		}
 		return p(args)
+	case DeadlockFree, Offers:
+		// Behavioural forms are about refusals, not histories; they are
+		// discharged by the failures-model checker, never by Eval.
+		return false, fmt.Errorf("assertion: %s is a behavioural (refusal-level) form; it needs the failures model, not a history evaluation", a)
 	default:
 		return false, fmt.Errorf("assertion: cannot evaluate formula %T", a)
 	}

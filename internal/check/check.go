@@ -15,6 +15,8 @@ import (
 
 	"cspsat/internal/assertion"
 	"cspsat/internal/closure"
+	"cspsat/internal/failures"
+	"cspsat/internal/model"
 	"cspsat/internal/op"
 	"cspsat/internal/sem"
 	"cspsat/internal/syntax"
@@ -37,8 +39,20 @@ func (v *Violation) String() string {
 type Result struct {
 	// OK is true when every explored trace satisfied the assertion.
 	OK bool
-	// Counter holds the first violating trace when OK is false.
+	// Counter holds the first violating trace when OK is false and the
+	// violation is a history one.
 	Counter *Violation
+	// Refusal holds the violating stable state when OK is false and the
+	// assertion was behavioural (deadlockfree / offers) checked under the
+	// failures model.
+	Refusal *failures.CheckResult
+	// Vacuous reports that a behavioural assertion was checked under the
+	// trace model, where it holds for want of expressiveness (the paper's
+	// §4: STOP satisfies every satisfiable trace assertion). OK is true
+	// but the verdict says nothing about refusals.
+	Vacuous bool
+	// Model is the semantic model the verdict was computed under.
+	Model model.Model
 	// TracesChecked counts the traces (including all prefixes) examined.
 	TracesChecked int
 	// Depth is the trace-length bound the check is exhaustive up to.
@@ -47,7 +61,13 @@ type Result struct {
 
 func (r Result) String() string {
 	if r.OK {
+		if r.Vacuous {
+			return fmt.Sprintf("sat holds vacuously under the trace model (refusals invisible; re-check with the failures model), depth %d", r.Depth)
+		}
 		return fmt.Sprintf("sat holds on all %d traces up to depth %d", r.TracesChecked, r.Depth)
+	}
+	if r.Refusal != nil {
+		return fmt.Sprintf("sat VIOLATED: %s", r.Refusal)
 	}
 	return fmt.Sprintf("sat VIOLATED: %s (after %d traces, depth %d)", r.Counter, r.TracesChecked, r.Depth)
 }
@@ -66,6 +86,12 @@ type Checker struct {
 	// worker pool (see op.Explorer.Workers); the results are node-identical
 	// to the serial path.
 	Workers int
+	// Model selects the semantic model verdicts are computed under. The
+	// zero value is the trace model of the paper; model.Failures switches
+	// Refines/Equivalent to stable-failures refinement and discharges
+	// behavioural assertions (deadlockfree, offers) against the failures
+	// model instead of vacuously.
+	Model model.Model
 }
 
 // New returns a checker over the module environment with the given trace
@@ -101,11 +127,14 @@ func (c *Checker) traces(p syntax.Proc) (*closure.Set, error) {
 // quantified inside a; use SatForAll for the paper's implicitly quantified
 // shared variables.
 func (c *Checker) Sat(p syntax.Proc, a assertion.A) (Result, error) {
+	if assertion.Behavioural(a) {
+		return c.satBehavioural(p, a)
+	}
 	traces, err := c.traces(p)
 	if err != nil {
 		return Result{}, fmt.Errorf("check: enumerating traces of %s: %w", p, err)
 	}
-	res := Result{OK: true, Depth: c.depth}
+	res := Result{OK: true, Depth: c.depth, Model: c.Model}
 	// The history is maintained incrementally across the DFS rather than
 	// recomputed as ch(s) per trace: push appends the message, pop trims it.
 	hist := make(trace.History)
@@ -137,6 +166,53 @@ func (c *Checker) Sat(p syntax.Proc, a assertion.A) (Result, error) {
 	return res, nil
 }
 
+// satBehavioural discharges a refusal-level assertion. Under the trace
+// model the verdict is vacuously OK — traces cannot see refusals, which is
+// the paper's §4 limitation this form exists to escape. Under the failures
+// model the process's acceptance families are computed and checked.
+func (c *Checker) satBehavioural(p syntax.Proc, a assertion.A) (Result, error) {
+	if c.Model != model.Failures {
+		return Result{OK: true, Vacuous: true, Depth: c.depth, Model: c.Model}, nil
+	}
+	fm, err := c.failuresModel(p)
+	if err != nil {
+		return Result{}, err
+	}
+	var fr failures.CheckResult
+	switch x := a.(type) {
+	case assertion.DeadlockFree:
+		fr = fm.CheckDeadlockFree()
+	case assertion.Offers:
+		chans := make([]trace.Chan, len(x.Chans))
+		for i, ch := range x.Chans {
+			chans[i] = trace.Chan(ch)
+		}
+		fr = fm.CheckOffers(chans)
+	default:
+		return Result{}, fmt.Errorf("check: unknown behavioural assertion %T", a)
+	}
+	res := Result{OK: fr.OK, Depth: c.depth, Model: c.Model, TracesChecked: len(fm.Traces())}
+	if !fr.OK {
+		fr := fr
+		res.Refusal = &fr
+	}
+	return res, nil
+}
+
+// failuresModel computes p's stable-failures model under the checker's
+// context and depth bound.
+func (c *Checker) failuresModel(p syntax.Proc) (*failures.Model, error) {
+	ctx := c.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fm, err := failures.ComputeContext(ctx, p, c.env, c.depth)
+	if err != nil {
+		return nil, fmt.Errorf("check: computing failures of %s: %w", p, err)
+	}
+	return fm, nil
+}
+
 // SatForAll checks "∀x∈dom. P[x] sat R[x]" by instantiating the shared
 // variable x with every value of the (sampled) domain — the paper's reading
 // of a free variable occurring in both P and R.
@@ -160,25 +236,44 @@ func (c *Checker) SatForAll(x string, dom value.Domain, p syntax.Proc, a asserti
 	return total, nil
 }
 
-// RefineResult reports a trace-refinement check.
+// RefineResult reports a refinement check under some semantic model.
 type RefineResult struct {
 	OK bool
 	// Witness is a trace of the implementation that the specification
-	// cannot perform, when OK is false.
+	// cannot perform, when OK is false. Set under both models (a failures
+	// counterexample always includes its trace).
 	Witness trace.T
-	Depth   int
+	// Failure is the violating stable failure (s, X) when OK is false and
+	// the check ran under the failures model: after Witness the
+	// implementation can stably refuse everything outside
+	// Failure.ImplAcceptance, which no acceptance of the specification
+	// permits. Nil under the trace model, and nil under the failures model
+	// when the violation was already at the trace level.
+	Failure *failures.Counterexample
+	// Model is the semantic model the verdict was computed under.
+	Model model.Model
+	Depth int
 }
 
 func (r RefineResult) String() string {
 	if r.OK {
-		return fmt.Sprintf("refinement holds up to depth %d", r.Depth)
+		return fmt.Sprintf("%s refinement holds up to depth %d", r.Model, r.Depth)
 	}
-	return fmt.Sprintf("refinement FAILS: impl performs %s which spec cannot (depth %d)", r.Witness, r.Depth)
+	if r.Failure != nil && r.Failure.ImplAcceptance != nil {
+		return fmt.Sprintf("%s refinement FAILS: after %s impl stably offers only %s, which spec never permits (depth %d)",
+			r.Model, r.Witness, r.Failure.ImplAcceptance, r.Depth)
+	}
+	return fmt.Sprintf("%s refinement FAILS: impl performs %s which spec cannot (depth %d)", r.Model, r.Witness, r.Depth)
 }
 
-// Refines checks traces(impl) ⊆ traces(spec) up to the depth bound — trace
-// refinement, the natural ordering of the paper's prefix-closure model.
+// Refines checks refinement of impl against spec up to the depth bound
+// under the checker's model: trace refinement (traces(impl) ⊆ traces(spec),
+// the natural ordering of the paper's prefix-closure model) by default, or
+// stable-failures refinement under model.Failures.
 func (c *Checker) Refines(impl, spec syntax.Proc) (RefineResult, error) {
+	if c.Model == model.Failures {
+		return c.refinesFailures(impl, spec)
+	}
 	ti, err := c.traces(impl)
 	if err != nil {
 		return RefineResult{}, err
@@ -188,9 +283,32 @@ func (c *Checker) Refines(impl, spec syntax.Proc) (RefineResult, error) {
 		return RefineResult{}, err
 	}
 	if w := ti.FirstNotIn(ts); w != nil {
-		return RefineResult{OK: false, Witness: w, Depth: c.depth}, nil
+		return RefineResult{OK: false, Witness: w, Depth: c.depth, Model: c.Model}, nil
 	}
-	return RefineResult{OK: true, Depth: c.depth}, nil
+	return RefineResult{OK: true, Depth: c.depth, Model: c.Model}, nil
+}
+
+// refinesFailures checks stable-failures refinement: trace inclusion plus,
+// after every shared trace, every stable acceptance of the implementation
+// must include some acceptance of the specification (so the implementation
+// never refuses a set the specification must accept).
+func (c *Checker) refinesFailures(impl, spec syntax.Proc) (RefineResult, error) {
+	fi, err := c.failuresModel(impl)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	fs, err := c.failuresModel(spec)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	cex, err := failures.Refines(fi, fs)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	if cex != nil {
+		return RefineResult{OK: false, Witness: cex.Trace, Failure: cex, Depth: c.depth, Model: c.Model}, nil
+	}
+	return RefineResult{OK: true, Depth: c.depth, Model: c.Model}, nil
 }
 
 // Deadlocks searches for reachable stuck configurations to the depth

@@ -6,6 +6,15 @@
 //	-workers N   fan the parallel engines across N goroutines
 //	-stats       print closure cache/shard statistics after the run
 //
+// and offers the two uniform verification selectors for tools that opt in
+// (ModelFlag / EngineFlag):
+//
+//	-model M     semantic model for verdicts: traces (default) or failures
+//	-engine E    trace engine: op (default), denote, or runtime
+//
+// Older per-binary spellings (csptrace -den, cspcheck -deadlocks) keep
+// working but are deprecated in favour of this pair.
+//
 // plus the usage text, argument-count checking (exit 2, matching the
 // documented contract of every tool), and the "tool: error" reporting
 // convention. App.Context additionally wires SIGINT/SIGTERM into the run
@@ -43,6 +52,14 @@ type App struct {
 	// Nat is the -nat flag when the tool registered it via NatFlag.
 	Nat int
 
+	// ModelName is the -model flag when the tool registered it via
+	// ModelFlag; resolve it with Model.
+	ModelName string
+
+	// EngineName is the -engine flag when the tool registered it via
+	// EngineFlag; resolve it with Engine.
+	EngineName string
+
 	// StoreDir is the -store flag when the tool registered it via
 	// StoreFlag: the artifact store directory shared with cspserved.
 	StoreDir string
@@ -70,6 +87,40 @@ func New(tool, usage string) *App {
 // NatFlag registers the -nat flag with the tool's default width.
 func (a *App) NatFlag(def int) {
 	flag.IntVar(&a.Nat, "nat", def, "enumeration width of the NAT domain")
+}
+
+// ModelFlag registers the uniform -model flag: which semantic model
+// verdicts are computed under. Every verification tool takes the same
+// spelling, paired with -engine where the tool also picks how trace sets
+// are computed.
+func (a *App) ModelFlag() {
+	flag.StringVar(&a.ModelName, "model", "traces",
+		"semantic model for verdicts: traces (the paper's §3 model) or failures (§4 refusal-aware)")
+}
+
+// Model resolves the -model flag, exiting 2 on an unknown name.
+func (a *App) Model() csp.Model {
+	mdl, err := csp.ParseModel(a.ModelName)
+	if err != nil {
+		a.Fatal(err)
+	}
+	return mdl
+}
+
+// EngineFlag registers the uniform -engine flag: which engine computes
+// trace sets. def is the tool's default engine name.
+func (a *App) EngineFlag(def string) {
+	flag.StringVar(&a.EngineName, "engine", def,
+		"trace engine: op (operational explorer), denote (§3.3 approximation chain), or runtime (goroutine walk)")
+}
+
+// Engine resolves the -engine flag, exiting 2 on an unknown name.
+func (a *App) Engine() csp.Engine {
+	e, err := csp.ParseEngine(a.EngineName)
+	if err != nil {
+		a.Fatal(err)
+	}
+	return e
 }
 
 // StoreFlag registers the -store flag. Tools that register it load specs

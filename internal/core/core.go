@@ -22,6 +22,7 @@ import (
 	"cspsat/internal/check"
 	"cspsat/internal/closure"
 	"cspsat/internal/failures"
+	"cspsat/internal/model"
 	"cspsat/internal/op"
 	"cspsat/internal/parser"
 	"cspsat/internal/pool"
@@ -158,6 +159,13 @@ func (s *System) CheckerContext(ctx context.Context, depth, workers int) *check.
 	return ck
 }
 
+// CheckerModel is CheckerContext with the semantic model pinned.
+func (s *System) CheckerModel(ctx context.Context, mdl model.Model, depth, workers int) *check.Checker {
+	ck := s.CheckerContext(ctx, depth, workers)
+	ck.Model = mdl
+	return ck
+}
+
 // Check model-checks P sat A to the given depth.
 func (s *System) Check(p syntax.Proc, a assertion.A, depth int) (check.Result, error) {
 	return s.Checker(depth).Sat(p, a)
@@ -186,19 +194,31 @@ func (s *System) CheckAll(depth int) ([]AssertResult, error) {
 	return s.CheckAllContext(context.Background(), depth, 1, nil)
 }
 
-// CheckAllContext is CheckAll under a context: the assert declarations are
-// distributed across a pool of workers goroutines (each check itself runs
-// serially — asserts outnumber cores long before a single assert does),
-// results come back in declaration order, and cancellation aborts with an
-// error wrapping csperr.ErrCanceled. prog, when non-nil, receives a
-// "check" stage event per completed assert.
+// CheckAllContext is CheckAllModel under the trace model.
 func (s *System) CheckAllContext(ctx context.Context, depth, workers int, prog progress.Func) ([]AssertResult, error) {
+	return s.CheckAllModel(ctx, model.Traces, depth, workers, prog)
+}
+
+// CheckAllModel is CheckAll under a context and a semantic model: the
+// assert declarations are distributed across a pool of workers goroutines
+// (each check itself runs serially — asserts outnumber cores long before a
+// single assert does), results come back in declaration order, and
+// cancellation aborts with an error wrapping csperr.ErrCanceled. prog, when
+// non-nil, receives a "check" stage event per completed assert.
+//
+// mdl is the run's requested model; a declaration that pins its own model
+// ("assert P refines Q in failures") overrides it for that declaration.
+func (s *System) CheckAllModel(ctx context.Context, mdl model.Model, depth, workers int, prog progress.Func) ([]AssertResult, error) {
 	start := time.Now()
 	out := make([]AssertResult, len(s.Asserts))
 	var done atomic.Int64
 	err := pool.Run(ctx, workers, len(s.Asserts), func(i int) error {
 		decl := s.Asserts[i]
-		ck := s.CheckerContext(ctx, depth, 1)
+		eff := mdl
+		if decl.Model != model.Traces {
+			eff = decl.Model
+		}
+		ck := s.CheckerModel(ctx, eff, depth, 1)
 		if decl.Refines != nil {
 			rr, err := ck.Refines(decl.Proc, decl.Refines)
 			if err != nil {
@@ -283,6 +303,12 @@ func (s *System) Failures(p syntax.Proc, depth int) (*failures.Model, error) {
 	return failures.Compute(p, s.env, depth)
 }
 
+// FailuresContext is Failures under a context: cancellation aborts the BFS
+// with an error wrapping csperr.ErrCanceled.
+func (s *System) FailuresContext(ctx context.Context, p syntax.Proc, depth int) (*failures.Model, error) {
+	return failures.ComputeContext(ctx, p, s.env, depth)
+}
+
 // Run executes a named process as a concurrent goroutine network.
 func (s *System) Run(name string, seed int64, maxEvents int) (*runtime.Result, error) {
 	p, err := s.Proc(name)
@@ -332,16 +358,30 @@ func FormatAssertResults(results []AssertResult) string {
 			status = "FAIL"
 		}
 		if r.Refine != nil {
-			fmt.Fprintf(&sb, "%s  %-70s (depth %d)\n", status, r.Decl.String(), r.Refine.Depth)
+			fmt.Fprintf(&sb, "%s  %-70s (%s model, depth %d)\n", status, r.Decl.String(), r.Refine.Model, r.Refine.Depth)
 			if !r.Refine.OK {
-				fmt.Fprintf(&sb, "      witness: impl performs %s which spec cannot\n", r.Refine.Witness)
+				if r.Refine.Failure != nil && r.Refine.Failure.ImplAcceptance != nil {
+					fmt.Fprintf(&sb, "      witness: after %s impl stably offers only %s, which spec never permits\n",
+						r.Refine.Witness, r.Refine.Failure.ImplAcceptance)
+				} else {
+					fmt.Fprintf(&sb, "      witness: impl performs %s which spec cannot\n", r.Refine.Witness)
+				}
 			}
+			continue
+		}
+		if r.Result.Vacuous {
+			fmt.Fprintf(&sb, "%s  %-70s (vacuous under traces model; re-check with -model failures)\n",
+				status, r.Decl.String())
 			continue
 		}
 		fmt.Fprintf(&sb, "%s  %-70s (%d traces, depth %d)\n",
 			status, r.Decl.String(), r.Result.TracesChecked, r.Result.Depth)
 		if !r.Result.OK {
-			fmt.Fprintf(&sb, "      counterexample: %s\n", r.Result.Counter)
+			if r.Result.Refusal != nil {
+				fmt.Fprintf(&sb, "      counterexample: %s\n", r.Result.Refusal)
+			} else {
+				fmt.Fprintf(&sb, "      counterexample: %s\n", r.Result.Counter)
+			}
 		}
 	}
 	return sb.String()

@@ -44,4 +44,13 @@ var (
 	// before any deadline. Like ErrDeadline it rides alongside
 	// ErrCanceled in the same wrapped error.
 	ErrInterrupted = errors.New("run interrupted")
+
+	// ErrRefinementFailed marks a completed refinement check whose verdict
+	// is "does not refine" — the check itself succeeded and produced a
+	// counterexample (a trace, and under the failures model a stable
+	// failure (s, X)). Like ErrObligationFailed it describes a negative
+	// verdict, not an engine fault: servers map it to a structured
+	// 200-with-verdict, CLIs to a non-zero exit with the counterexample
+	// printed.
+	ErrRefinementFailed = errors.New("csp: refinement does not hold")
 )

@@ -24,11 +24,13 @@
 package failures
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"cspsat/internal/op"
+	"cspsat/internal/pool"
 	"cspsat/internal/sem"
 	"cspsat/internal/syntax"
 	"cspsat/internal/trace"
@@ -102,6 +104,13 @@ func (m *Model) Depth() int { return m.depth }
 // Compute explores the process and builds its stable-failures model to the
 // given visible-trace depth.
 func Compute(p syntax.Proc, env sem.Env, depth int) (*Model, error) {
+	return ComputeContext(context.Background(), p, env, depth)
+}
+
+// ComputeContext is Compute under a context: cancellation is checked per
+// explored trace and surfaces as an error wrapping csperr.ErrCanceled, the
+// same discipline as every other engine.
+func ComputeContext(ctx context.Context, p syntax.Proc, env sem.Env, depth int) (*Model, error) {
 	m := &Model{depth: depth, traces: map[string]*entry{}}
 
 	type node struct {
@@ -117,6 +126,9 @@ func Compute(p syntax.Proc, env sem.Env, depth int) (*Model, error) {
 	// exploration is a tree over traces, bounded by the depth cut-off.
 	queue := []node{{states: start, prefix: nil}}
 	for len(queue) > 0 {
+		if err := pool.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		ent := m.entryFor(cur.prefix)

@@ -1,0 +1,56 @@
+// Package model names the semantic models a verification request can run
+// under — the pluggable axis the paper's §4 conclusion asks for. The
+// paper's own semantics is the prefix-closed trace model; it deliberately
+// identifies STOP | P with P, so deadlock and refusal properties are
+// invisible to it. The stable-failures model (internal/failures) is the
+// first richer model behind the same API; divergences and availability
+// (Lowe) slot in as further constants without another API break.
+//
+// The package sits at the bottom of the import graph on purpose: the
+// parser (assert declarations carry a model), the checkers, the facade,
+// and the wire layer all need the selector, and none of them may import
+// each other for it.
+package model
+
+import "fmt"
+
+// Model selects the semantic model a verification runs under.
+type Model int
+
+const (
+	// Traces is the paper's prefix-closed trace model: the zero value, so
+	// every existing call site and wire message that says nothing keeps
+	// its meaning.
+	Traces Model = iota
+	// Failures is the stable-failures model: traces plus, per trace, the
+	// acceptance family of reachable stable states. Deadlock (the empty
+	// acceptance) and refusal properties become observable; refinement
+	// additionally requires every impl acceptance to cover a spec one.
+	Failures
+)
+
+// String names the model the way flags and wire messages spell it.
+func (m Model) String() string {
+	switch m {
+	case Traces:
+		return "traces"
+	case Failures:
+		return "failures"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Parse maps a flag or wire spelling to a Model. The empty string is the
+// trace model, keeping every pre-model message valid.
+func Parse(name string) (Model, error) {
+	switch name {
+	case "", "traces":
+		return Traces, nil
+	case "failures":
+		return Failures, nil
+	}
+	return 0, fmt.Errorf("unknown semantic model %q (want traces or failures)", name)
+}
+
+// Known lists the models in order, for usage strings and docs.
+func Known() []Model { return []Model{Traces, Failures} }

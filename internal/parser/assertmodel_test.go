@@ -1,0 +1,110 @@
+package parser_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cspsat/internal/assertion"
+	"cspsat/internal/model"
+	"cspsat/internal/parser"
+)
+
+// TestParseModelPinnedRefinement covers the optional "in MODEL" clause on
+// refinement asserts: the zero value (traces) means "whatever -model the
+// check runs under", an explicit "in failures" pins the declaration.
+func TestParseModelPinnedRefinement(t *testing.T) {
+	src := `
+p = a!1 -> STOP
+q = a!1 -> STOP |~| STOP
+assert q refines p
+assert q refines p in failures
+assert q refines p in traces
+`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(f.Asserts) != 3 {
+		t.Fatalf("want 3 asserts, got %d", len(f.Asserts))
+	}
+	wantModels := []model.Model{model.Traces, model.Failures, model.Traces}
+	for i, want := range wantModels {
+		if got := f.Asserts[i].Model; got != want {
+			t.Errorf("assert %d: model %s, want %s", i, got, want)
+		}
+		if f.Asserts[i].Refines == nil {
+			t.Errorf("assert %d: not parsed as a refinement", i)
+		}
+	}
+	// The renderer keeps the pin, and only the pin: reparse must agree.
+	if got, want := f.Asserts[1].String(), "assert q refines p in failures"; got != want {
+		t.Errorf("pinned assert renders %q, want %q", got, want)
+	}
+	if got, want := f.Asserts[0].String(), "assert q refines p"; got != want {
+		t.Errorf("unpinned assert renders %q, want %q", got, want)
+	}
+}
+
+// TestParseBehaviouralForms covers the refusal-level assertion forms
+// introduced with the failures model: deadlockfree and offers.
+func TestParseBehaviouralForms(t *testing.T) {
+	src := `
+p = a!1 -> b!2 -> p
+assert p sat deadlockfree
+assert p sat offers a,b
+`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(f.Asserts) != 2 {
+		t.Fatalf("want 2 asserts, got %d", len(f.Asserts))
+	}
+	if _, ok := f.Asserts[0].A.(assertion.DeadlockFree); !ok {
+		t.Fatalf("assert 0 parsed as %T, want DeadlockFree", f.Asserts[0].A)
+	}
+	off, ok := f.Asserts[1].A.(assertion.Offers)
+	if !ok {
+		t.Fatalf("assert 1 parsed as %T, want Offers", f.Asserts[1].A)
+	}
+	if !reflect.DeepEqual(off.Chans, []string{"a", "b"}) {
+		t.Fatalf("offers channels %v, want [a b]", off.Chans)
+	}
+	for i, want := range []string{"assert p sat deadlockfree", "assert p sat offers a,b"} {
+		if got := f.Asserts[i].String(); got != want {
+			t.Errorf("assert %d renders %q, want %q", i, got, want)
+		}
+	}
+	// Reparse of the rendering must agree — behavioural forms round-trip.
+	for _, d := range f.Asserts {
+		f2, err := parser.Parse("p = a!1 -> b!2 -> p\n" + d.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", d.String(), err)
+		}
+		if !reflect.DeepEqual(f2.Asserts[0].A, d.A) {
+			t.Errorf("round trip changed %q to %q", d, f2.Asserts[0])
+		}
+	}
+}
+
+// TestParseModelErrors pins the rejection paths: unknown model names,
+// quantified behavioural asserts (refusal-level forms are top-level only),
+// and behavioural forms nested under connectives.
+func TestParseModelErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown model", "p = STOP\nq = STOP\nassert p refines q in nondet"},
+		{"quantified behavioural", "p = STOP\nassert forall x in {0..1}. p sat deadlockfree"},
+		{"behavioural under connective", "p = STOP\nassert p sat deadlockfree and a <= b"},
+		{"offers without channels", "p = STOP\nassert p sat offers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parser.Parse(tc.src); err == nil {
+				t.Fatalf("expected a parse error for %q", tc.src)
+			}
+		})
+	}
+}

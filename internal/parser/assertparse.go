@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cspsat/internal/assertion"
+	"cspsat/internal/model"
 	"cspsat/internal/syntax"
 	"cspsat/internal/value"
 )
@@ -53,19 +54,75 @@ func (p *parser) parseAssertDecl() error {
 		if len(quants) != 0 {
 			return p.errf("refinement asserts cannot be quantified")
 		}
-		p.asserts = append(p.asserts, AssertDecl{Proc: proc, Refines: spec, Line: line})
+		// Optional model pin: "assert P refines Q in failures".
+		var mdl model.Model
+		if p.atKeyword("in") {
+			p.take()
+			name, err := p.expect(tIdent)
+			if err != nil {
+				return err
+			}
+			if mdl, err = model.Parse(name.text); err != nil {
+				return p.errf("%v", err)
+			}
+		}
+		p.asserts = append(p.asserts, AssertDecl{Proc: proc, Refines: spec, Model: mdl, Line: line})
 		return nil
 	}
 	if !p.atKeyword("sat") {
 		return p.errf("expected 'sat' or 'refines', found %s", p.peek())
 	}
 	p.take()
+	// Behavioural (refusal-level) forms are top-level only: they describe
+	// the whole process's stable states, so nesting them under connectives
+	// or quantifiers has no meaning in any model served here.
+	if a, ok, err := p.parseBehavioural(); ok {
+		if err != nil {
+			return err
+		}
+		if len(quants) != 0 {
+			return p.errf("behavioural asserts cannot be quantified")
+		}
+		p.asserts = append(p.asserts, AssertDecl{Proc: proc, A: a, Line: line})
+		return nil
+	}
 	a, err := p.parseFormula()
 	if err != nil {
 		return err
 	}
 	p.asserts = append(p.asserts, AssertDecl{Quants: quants, Proc: proc, A: a, Line: line})
 	return nil
+}
+
+// parseBehavioural parses the refusal-level assertion forms:
+//
+//	deadlockfree
+//	offers CHAN {, CHAN}
+//
+// It reports ok=false (without consuming anything) when the next token
+// opens an ordinary formula instead.
+func (p *parser) parseBehavioural() (assertion.A, bool, error) {
+	switch {
+	case p.atKeyword("deadlockfree"):
+		p.take()
+		return assertion.DeadlockFree{}, true, nil
+	case p.atKeyword("offers"):
+		p.take()
+		var chans []string
+		for {
+			c, err := p.expect(tIdent)
+			if err != nil {
+				return nil, true, err
+			}
+			chans = append(chans, c.text)
+			if !p.at(tComma) {
+				break
+			}
+			p.take()
+		}
+		return assertion.Offers{Chans: chans}, true, nil
+	}
+	return nil, false, nil
 }
 
 // parseFormula parses an assertion with precedence:
@@ -651,6 +708,18 @@ func resolveFormula(a assertion.A, chans chanUsage, m *syntax.Module, bound map[
 			args[i] = r
 		}
 		return assertion.Pred{Name: x.Name, Args: args}, nil
+	case assertion.DeadlockFree:
+		return x, nil
+	case assertion.Offers:
+		// The named channels must be ones the module communicates on —
+		// an assertion about a channel nothing uses is a typo, and it
+		// would hold vacuously forever.
+		for _, c := range x.Chans {
+			if !chans.used[c] {
+				return nil, fmt.Errorf("offers names channel %q which no process uses", c)
+			}
+		}
+		return x, nil
 	default:
 		return nil, fmt.Errorf("parser: cannot resolve formula %T", a)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"cspsat/internal/assertion"
 	"cspsat/internal/csperr"
+	"cspsat/internal/model"
 	"cspsat/internal/syntax"
 )
 
@@ -17,13 +18,17 @@ type Quant struct {
 }
 
 // AssertDecl is one assert declaration: either a sat-claim
-// "assert [forall …] P sat R" (Refines nil) or a trace-refinement claim
-// "assert P refines Q" (A nil, Refines the specification process).
+// "assert [forall …] P sat R" (Refines nil) or a refinement claim
+// "assert P refines Q [in MODEL]" (A nil, Refines the specification
+// process). Model pins the declaration to a semantic model: the zero
+// value (traces) means "whatever model the check runs under", an explicit
+// "in failures" forces the failures model even under a trace-model run.
 type AssertDecl struct {
 	Quants  []Quant
 	Proc    syntax.Proc
 	A       assertion.A
 	Refines syntax.Proc
+	Model   model.Model
 	Line    int
 }
 
@@ -36,6 +41,9 @@ func (d AssertDecl) String() string {
 	}
 	if d.Refines != nil {
 		fmt.Fprintf(&sb, "%s refines %s", d.Proc, d.Refines)
+		if d.Model != model.Traces {
+			fmt.Fprintf(&sb, " in %s", d.Model)
+		}
 		return sb.String()
 	}
 	fmt.Fprintf(&sb, "%s sat %s", d.Proc, d.A)

@@ -1,8 +1,9 @@
 // Request decoding, verification dispatch, and response encoding for the
 // /v1 endpoints. The single-run endpoints (/v1/traces, /v1/check,
-// /v1/prove) and /v1/batch share one execution core, so a batch item
-// behaves exactly like the corresponding standalone request — same
-// defaults, same module cache, same error mapping.
+// /v1/prove, /v1/refine) and /v1/batch share one execution core, so a
+// batch item behaves exactly like the corresponding standalone request —
+// same defaults, same module cache, same error mapping. Every response
+// body carries "schema" (csp.WireSchema).
 package server
 
 import (
@@ -29,7 +30,7 @@ var (
 // runRequest is the body of a verification request. In a batch, Kind
 // selects the endpoint; standalone endpoints imply it.
 type runRequest struct {
-	// Kind is "traces", "check", or "prove" (batch items only).
+	// Kind is "traces", "check", "prove", or "refine" (batch items only).
 	Kind string `json:"kind,omitempty"`
 	// Source is the .csp module text.
 	Source string `json:"source"`
@@ -37,6 +38,13 @@ type runRequest struct {
 	Process string `json:"process,omitempty"`
 	// Engine picks the trace engine: "op" (default), "denote", "runtime".
 	Engine string `json:"engine,omitempty"`
+	// Model picks the semantic model: "traces" (default), "failures"
+	// (/v1/check and /v1/refine).
+	Model string `json:"model,omitempty"`
+	// Impl and Spec name the two processes of a refinement check
+	// (/v1/refine only): does Impl refine Spec?
+	Impl string `json:"impl,omitempty"`
+	Spec string `json:"spec,omitempty"`
 	// Depth, Nat, Workers override the server defaults when positive.
 	Depth   int `json:"depth,omitempty"`
 	Nat     int `json:"nat,omitempty"`
@@ -61,22 +69,34 @@ type runRequest struct {
 // are filled on failure (Status only inside batch results, where the
 // outer HTTP status cannot carry per-item codes).
 type runResponse struct {
+	// Schema is the wire schema version (csp.WireSchema), stamped into
+	// every /v1/* response body; see DESIGN.md §3.6 for the compatibility
+	// rule.
+	Schema   int    `json:"schema"`
 	Kind     string `json:"kind"`
 	SpecHash string `json:"spec_hash,omitempty"`
 	// CacheHit reports whether the module came from the module cache.
 	CacheHit bool `json:"cache_hit"`
 	// OK is the overall verdict: traces computed, all asserts held, all
-	// proofs found.
+	// proofs found, refinement holds. A completed refinement check whose
+	// verdict is "does not refine" is OK=false with HTTP 200 — the verdict
+	// is the answer, not a server fault.
 	OK     bool   `json:"ok"`
 	Error  string `json:"error,omitempty"`
 	Status int    `json:"status,omitempty"`
-	// Exactly one of Traces/Asserts/Proofs is set, by Kind.
+	// Exactly one of Traces/Asserts/Proofs/Refine is set, by Kind.
 	Traces  *csp.TraceSetJSON      `json:"traces,omitempty"`
 	Asserts []csp.AssertResultJSON `json:"asserts,omitempty"`
 	Proofs  []csp.ProveResultJSON  `json:"proofs,omitempty"`
+	Refine  *csp.RefineResultJSON  `json:"refine,omitempty"`
 	// Progress is the engine's final per-stage snapshot for this request.
 	Progress  []csp.ProgressEventJSON `json:"progress,omitempty"`
 	ElapsedMS int64                   `json:"elapsed_ms"`
+}
+
+// newRunResponse starts a response body with the schema version stamped.
+func newRunResponse(kind string) *runResponse {
+	return &runResponse{Schema: csp.WireSchema, Kind: kind}
 }
 
 // execute runs one verification request on an already-derived engine
@@ -84,7 +104,7 @@ type runResponse struct {
 // on error the response still carries Kind/SpecHash/Progress for the body.
 func (s *Server) execute(ctx context.Context, kind string, req runRequest) (*runResponse, error) {
 	start := time.Now()
-	resp := &runResponse{Kind: kind}
+	resp := newRunResponse(kind)
 	if req.Source == "" {
 		return resp, fmt.Errorf("%w: missing \"source\"", errBadRequest)
 	}
@@ -158,9 +178,22 @@ func (s *Server) execute(ctx context.Context, kind string, req runRequest) (*run
 		return resp, nil
 
 	case "check":
-		encoded, ok := mod.CachedCheck(depth)
+		mdl, err := parseModel(req.Model)
+		if err != nil {
+			return resp, err
+		}
+		s.metrics.recordModel(mdl)
+		// The check-verdict cache (and its persisted artifact block) holds
+		// the trace-model verdicts; the failures model can flip behavioural
+		// and refinement verdicts, so non-default models always recompute.
+		var encoded []csp.AssertResultJSON
+		ok := false
+		if mdl == csp.ModelTraces {
+			encoded, ok = mod.CachedCheck(depth)
+		}
 		if !ok {
 			results, err := mod.CheckAll(ctx, csp.CheckOptions{
+				Model:    mdl,
 				Depth:    depth,
 				Workers:  workers,
 				Progress: tracker.Func(),
@@ -169,7 +202,9 @@ func (s *Server) execute(ctx context.Context, kind string, req runRequest) (*run
 				return resp, err
 			}
 			encoded = csp.EncodeAssertResults(results)
-			mod.StoreCheck(depth, encoded)
+			if mdl == csp.ModelTraces {
+				mod.StoreCheck(depth, encoded)
+			}
 		}
 		resp.Asserts = encoded
 		resp.OK = true
@@ -178,6 +213,48 @@ func (s *Server) execute(ctx context.Context, kind string, req runRequest) (*run
 				resp.OK = false
 			}
 		}
+		return resp, nil
+
+	case "refine":
+		if req.Impl == "" || req.Spec == "" {
+			return resp, fmt.Errorf("%w: refine needs both \"impl\" and \"spec\"", errBadRequest)
+		}
+		mdl, err := parseModel(req.Model)
+		if err != nil {
+			return resp, err
+		}
+		s.metrics.recordModel(mdl)
+		// Result cache first: a warm-booted module answers a repeat verdict
+		// without parsing (the cache key is the request's process names, so
+		// the lookup never forces the lazy parse).
+		if res, ok := mod.CachedRefine(mdl, depth, req.Impl, req.Spec); ok {
+			resp.Refine = &res
+			resp.OK = res.OK
+			return resp, nil
+		}
+		impl, err := mod.Proc(req.Impl)
+		if err != nil {
+			return resp, fmt.Errorf("%w: %v", errUnknownProcess, err)
+		}
+		spec, err := mod.Proc(req.Spec)
+		if err != nil {
+			return resp, fmt.Errorf("%w: %v", errUnknownProcess, err)
+		}
+		r, err := mod.Refine(ctx, impl, spec, csp.CheckOptions{
+			Model:   mdl,
+			Depth:   depth,
+			Workers: workers,
+		})
+		if err != nil {
+			return resp, err
+		}
+		enc := csp.EncodeRefineResult(r.RefineResult)
+		mod.StoreRefine(mdl, depth, req.Impl, req.Spec, enc)
+		resp.Refine = &enc
+		// A failed refinement is a structured 200-with-verdict, mirroring
+		// failed proof obligations: OK=false, no error, counterexample in
+		// the body.
+		resp.OK = enc.OK
 		return resp, nil
 
 	case "prove":
@@ -229,6 +306,14 @@ func parseEngine(name string) (csp.Engine, error) {
 	return 0, fmt.Errorf("%w: unknown engine %q", errBadRequest, name)
 }
 
+func parseModel(name string) (csp.Model, error) {
+	mdl, err := csp.ParseModel(name)
+	if err != nil {
+		return mdl, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return mdl, nil
+}
+
 // runHandler serves one single-run endpoint: decode, admit, derive the
 // request context, execute, encode.
 func (s *Server) runHandler(kind string) http.HandlerFunc {
@@ -266,6 +351,8 @@ type batchRequest struct {
 }
 
 type batchResponse struct {
+	// Schema is the wire schema version (csp.WireSchema).
+	Schema int `json:"schema"`
 	// OK is true when every item succeeded.
 	OK bool `json:"ok"`
 	// Results is index-aligned with the request's Requests.
@@ -283,7 +370,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	if len(req.Requests) == 0 {
 		s.metrics.record("batch", http.StatusBadRequest, 0)
-		writeJSON(w, http.StatusBadRequest, &runResponse{Kind: "batch", Error: "empty batch"})
+		writeJSON(w, http.StatusBadRequest, &runResponse{Schema: csp.WireSchema, Kind: "batch", Error: "empty batch"})
 		return
 	}
 
@@ -309,13 +396,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return pool.Canceled(ctx)
 	})
 
-	out := batchResponse{OK: true, Results: results, ElapsedMS: time.Since(started).Milliseconds()}
+	out := batchResponse{Schema: csp.WireSchema, OK: true, Results: results, ElapsedMS: time.Since(started).Milliseconds()}
 	status := http.StatusOK
 	for i, res := range results {
 		if res == nil {
 			// Never executed: the batch was canceled first.
 			err := pool.Canceled(ctx)
-			res = &runResponse{Kind: req.Requests[i].Kind}
+			res = newRunResponse(req.Requests[i].Kind)
 			if err != nil {
 				res.Error = err.Error()
 				res.Status = statusFor(r, err)
@@ -346,7 +433,7 @@ func (s *Server) admitAndDecode(w http.ResponseWriter, r *http.Request, kind str
 		s.metrics.admissionRefused.Add(1)
 		s.metrics.record(kind, http.StatusServiceUnavailable, 0)
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, &runResponse{Kind: kind, Error: "server draining"})
+		writeJSON(w, http.StatusServiceUnavailable, &runResponse{Schema: csp.WireSchema, Kind: kind, Error: "server draining"})
 		return false
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
@@ -354,19 +441,19 @@ func (s *Server) admitAndDecode(w http.ResponseWriter, r *http.Request, kind str
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		s.metrics.record(kind, http.StatusBadRequest, 0)
-		writeJSON(w, http.StatusBadRequest, &runResponse{Kind: kind, Error: "decoding request: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, &runResponse{Schema: csp.WireSchema, Kind: kind, Error: "decoding request: " + err.Error()})
 		return false
 	}
 	if !s.acquire(r.Context()) {
 		s.metrics.admissionRefused.Add(1)
 		if r.Context().Err() != nil {
 			s.metrics.record(kind, StatusClientClosedRequest, 0)
-			writeJSON(w, StatusClientClosedRequest, &runResponse{Kind: kind, Error: "client closed request"})
+			writeJSON(w, StatusClientClosedRequest, &runResponse{Schema: csp.WireSchema, Kind: kind, Error: "client closed request"})
 			return false
 		}
 		s.metrics.record(kind, http.StatusServiceUnavailable, 0)
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, &runResponse{Kind: kind, Error: "admission limit reached"})
+		writeJSON(w, http.StatusServiceUnavailable, &runResponse{Schema: csp.WireSchema, Kind: kind, Error: "admission limit reached"})
 		return false
 	}
 	s.inflight.Add(1)

@@ -26,6 +26,7 @@ type endpointCounters struct {
 
 type metrics struct {
 	endpoints map[string]*endpointCounters // fixed keys, no lock needed
+	models    map[string]*atomic.Uint64    // fixed keys, no lock needed
 
 	mu       sync.Mutex
 	statuses map[int]uint64
@@ -37,12 +38,24 @@ type metrics struct {
 func newMetrics() *metrics {
 	m := &metrics{
 		endpoints: map[string]*endpointCounters{},
+		models:    map[string]*atomic.Uint64{},
 		statuses:  map[int]uint64{},
 	}
-	for _, kind := range []string{"traces", "check", "prove", "batch"} {
+	for _, kind := range []string{"traces", "check", "prove", "refine", "batch"} {
 		m.endpoints[kind] = &endpointCounters{}
 	}
+	for _, mdl := range csp.KnownModels() {
+		m.models[mdl.String()] = &atomic.Uint64{}
+	}
 	return m
+}
+
+// recordModel counts one model-parameterised verification (a check or
+// refine execution, batch items included) against its semantic model.
+func (m *metrics) recordModel(mdl csp.Model) {
+	if c, ok := m.models[mdl.String()]; ok {
+		c.Add(1)
+	}
 }
 
 func (m *metrics) record(kind string, status int, elapsed time.Duration) {
@@ -83,7 +96,10 @@ type Snapshot struct {
 	AdmissionWaits   uint64                      `json:"admission_waits"`
 	AdmissionRefused uint64                      `json:"admission_refused"`
 	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
-	Statuses         map[string]uint64           `json:"statuses"`
+	// Models counts model-parameterised verifications (check and refine,
+	// batch items included) per semantic model.
+	Models   map[string]uint64 `json:"models"`
+	Statuses map[string]uint64 `json:"statuses"`
 	ModuleCache      csp.ModuleCacheStats        `json:"module_cache"`
 	Closure          csp.CacheStats              `json:"closure"`
 }
@@ -99,6 +115,7 @@ func (s *Server) Snapshot() Snapshot {
 		AdmissionWaits:   s.metrics.admissionWaits.Load(),
 		AdmissionRefused: s.metrics.admissionRefused.Load(),
 		Endpoints:        map[string]EndpointSnapshot{},
+		Models:           map[string]uint64{},
 		Statuses:         map[string]uint64{},
 		ModuleCache:      s.cache.Stats(),
 		Closure:          csp.Stats(),
@@ -116,6 +133,9 @@ func (s *Server) Snapshot() Snapshot {
 			LatencySumMS: ep.latencySumMS.Load(),
 			LatencyMaxMS: ep.latencyMaxMS.Load(),
 		}
+	}
+	for name, c := range s.metrics.models {
+		snap.Models[name] = c.Load()
 	}
 	s.metrics.mu.Lock()
 	for code, n := range s.metrics.statuses {

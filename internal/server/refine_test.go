@@ -1,0 +1,147 @@
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"cspsat/internal/server"
+)
+
+// TestRefineEndpoint drives /v1/refine through its verdict matrix on the
+// committed §4 separation spec: trace-model refinement of flaky against
+// vend holds, failures-model refinement fails as a structured
+// 200-with-verdict (the negative verdict is an answer, not a server
+// fault), and the request-validation paths return their 4xx classes.
+func TestRefineEndpoint(t *testing.T) {
+	srv := server.New(server.Config{})
+	h := srv.Handler()
+	nondet := readSpec(t, "nondet.csp")
+
+	t.Run("traces holds", func(t *testing.T) {
+		code, out := post(t, h, nil, "/v1/refine", map[string]any{
+			"source": nondet, "impl": "flaky", "spec": "vend", "depth": 5,
+		})
+		if code != http.StatusOK || out["ok"] != true {
+			t.Fatalf("code=%d body=%v", code, out)
+		}
+		ref := out["refine"].(map[string]any)
+		if ref["model"] != "traces" || ref["ok"] != true {
+			t.Fatalf("refine payload: %v", ref)
+		}
+		if out["schema"].(float64) != 1 {
+			t.Fatalf("missing schema stamp: %v", out)
+		}
+	})
+
+	t.Run("failures refutes with counterexample", func(t *testing.T) {
+		code, out := post(t, h, nil, "/v1/refine", map[string]any{
+			"source": nondet, "impl": "flaky", "spec": "vend", "model": "failures", "depth": 5,
+		})
+		if code != http.StatusOK {
+			t.Fatalf("negative verdict must be HTTP 200, got %d: %v", code, out)
+		}
+		if out["ok"] != false {
+			t.Fatalf("failures refinement of flaky against vend should fail: %v", out)
+		}
+		ref := out["refine"].(map[string]any)
+		if ref["model"] != "failures" || ref["ok"] != false {
+			t.Fatalf("refine payload: %v", ref)
+		}
+		fail, ok := ref["failure"].(map[string]any)
+		if !ok {
+			t.Fatalf("no counterexample failure in %v", ref)
+		}
+		// The §4 counterexample: after <> the impl stably accepts nothing.
+		if accs, ok := fail["acceptance"].([]any); ok && len(accs) != 0 {
+			t.Fatalf("want the empty acceptance, got %v", accs)
+		}
+	})
+
+	t.Run("missing process names", func(t *testing.T) {
+		code, _ := post(t, h, nil, "/v1/refine", map[string]any{"source": nondet, "impl": "flaky"})
+		if code != http.StatusBadRequest {
+			t.Fatalf("want 400 for missing spec, got %d", code)
+		}
+	})
+
+	t.Run("unknown process", func(t *testing.T) {
+		code, _ := post(t, h, nil, "/v1/refine", map[string]any{
+			"source": nondet, "impl": "flaky", "spec": "nosuch",
+		})
+		if code != http.StatusNotFound {
+			t.Fatalf("want 404 for unknown process, got %d", code)
+		}
+	})
+
+	t.Run("unknown model", func(t *testing.T) {
+		code, _ := post(t, h, nil, "/v1/refine", map[string]any{
+			"source": nondet, "impl": "flaky", "spec": "vend", "model": "divergences",
+		})
+		if code != http.StatusBadRequest {
+			t.Fatalf("want 400 for unknown model, got %d", code)
+		}
+	})
+
+	t.Run("metrics count per model", func(t *testing.T) {
+		code, out := get(t, h, "/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("metrics: %d", code)
+		}
+		models, ok := out["models"].(map[string]any)
+		if !ok {
+			t.Fatalf("metrics missing models: %v", out)
+		}
+		if models["traces"].(float64) < 1 || models["failures"].(float64) < 1 {
+			t.Fatalf("per-model counters not incremented: %v", models)
+		}
+		eps := out["endpoints"].(map[string]any)
+		if ep, ok := eps["refine"].(map[string]any); !ok || ep["count"].(float64) < 2 {
+			t.Fatalf("refine endpoint counter: %v", eps)
+		}
+	})
+}
+
+// TestRefineWarmRestart is the acceptance bar for the refinement artifact
+// kind: a verdict computed against a store-backed server must be replayed
+// byte-identically by a second server warm-booted over the same directory
+// — including the failing failures-model verdict — without recomputing.
+func TestRefineWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	nondet := readSpec(t, "nondet.csp")
+	requests := []map[string]any{
+		{"source": nondet, "impl": "flaky", "spec": "vend", "depth": 5},
+		{"source": nondet, "impl": "flaky", "spec": "vend", "model": "failures", "depth": 5},
+		{"source": nondet, "impl": "vend", "spec": "vend", "model": "failures", "depth": 5},
+	}
+
+	srv1 := server.New(server.Config{StoreDir: dir, Logf: t.Logf})
+	srv1.WarmBoot(context.Background())
+	cold := make([]string, len(requests))
+	for i, body := range requests {
+		code, raw := postRaw(t, srv1.Handler(), "/v1/refine", body)
+		if code != http.StatusOK {
+			t.Fatalf("cold refine %d: code=%d body=%s", i, code, raw)
+		}
+		cold[i] = payloadField(t, raw, "refine")
+	}
+
+	srv2 := server.New(server.Config{StoreDir: dir, Logf: t.Logf})
+	if loaded, _ := srv2.WarmBoot(context.Background()); loaded == 0 {
+		t.Fatal("warm boot loaded nothing")
+	}
+	for i, body := range requests {
+		code, raw := postRaw(t, srv2.Handler(), "/v1/refine", body)
+		if code != http.StatusOK {
+			t.Fatalf("warm refine %d: code=%d body=%s", i, code, raw)
+		}
+		if got := payloadField(t, raw, "refine"); got != cold[i] {
+			t.Fatalf("warm refine %d payload differs:\ncold %s\nwarm %s", i, cold[i], got)
+		}
+		// The replay is served ahead of process resolution, so the module
+		// cache must report a hit (the parse was never forced).
+		if hit := payloadField(t, raw, "cache_hit"); hit != "true" {
+			t.Fatalf("warm refine %d: cache_hit=%s", i, hit)
+		}
+	}
+}

@@ -6,6 +6,9 @@
 //   - POST /v1/traces   enumerate visible traces of a process
 //   - POST /v1/check    model-check a module's assert clauses
 //   - POST /v1/prove    synthesise and check §2.1-style proofs
+//   - POST /v1/refine   check refinement impl ⊑ spec under a semantic
+//     model ("traces" or "failures"); a failed refinement is a 200 with
+//     the counterexample in the body
 //   - POST /v1/batch    many of the above in one request
 //   - GET  /metrics     request counters, latency, module-cache and
 //     closure-cache statistics (also published to expvar)
@@ -179,6 +182,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/traces", s.runHandler("traces"))
 	s.mux.HandleFunc("POST /v1/check", s.runHandler("check"))
 	s.mux.HandleFunc("POST /v1/prove", s.runHandler("prove"))
+	s.mux.HandleFunc("POST /v1/refine", s.runHandler("refine"))
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -321,6 +325,10 @@ func statusFor(r *http.Request, err error) int {
 			return StatusClientClosedRequest
 		}
 		return http.StatusServiceUnavailable
+	case errors.Is(err, csp.ErrRefinementFailed):
+		// A completed check whose verdict is "does not refine": the body
+		// carries the structured verdict, mirroring failed obligations.
+		return http.StatusOK
 	case errors.Is(err, csp.ErrDepthExceeded):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, errBadRequest):

@@ -56,10 +56,11 @@ type Artifact struct {
 	Nodes [][]EdgeSpec
 	// TraceRoots names the precomputed trace sets.
 	TraceRoots []TraceRoot
-	// Checks and Proves hold verdict blocks in the facade's stable JSON
-	// wire encodings, opaque to this package.
-	Checks []CheckBlock
-	Proves []ProveBlock
+	// Checks, Proves, and Refinements hold verdict blocks in the facade's
+	// stable JSON wire encodings, opaque to this package.
+	Checks      []CheckBlock
+	Proves      []ProveBlock
+	Refinements []RefineBlock
 }
 
 // EventSym identifies one event portably: channel by rendered name,
@@ -106,6 +107,18 @@ type CheckBlock struct {
 type ProveBlock struct {
 	MaxLen  uint32
 	Results []byte
+}
+
+// RefineBlock is one refinement verdict: impl against spec under a named
+// semantic model ("traces", "failures") at a depth bound, as the facade's
+// RefineResultJSON marshaled bytes. Introduced in wire version 2.
+type RefineBlock struct {
+	Model string
+	Depth uint32
+	// Impl and Spec are the two process expressions, canonically rendered.
+	Impl   string
+	Spec   string
+	Result []byte
 }
 
 // Sets rebuilds every trie node into a canonical *closure.Set, bottom-up,
@@ -219,6 +232,17 @@ func (b *Builder) AddCheck(depth int, results []byte) {
 // AddProve records one ProveAsserts verdict block.
 func (b *Builder) AddProve(maxLen int, results []byte) {
 	b.art.Proves = append(b.art.Proves, ProveBlock{MaxLen: uint32(maxLen), Results: results})
+}
+
+// AddRefinement records one refinement verdict block.
+func (b *Builder) AddRefinement(model string, depth int, impl, spec string, result []byte) {
+	b.art.Refinements = append(b.art.Refinements, RefineBlock{
+		Model:  model,
+		Depth:  uint32(depth),
+		Impl:   impl,
+		Spec:   spec,
+		Result: result,
+	})
 }
 
 // Artifact returns the built artifact. The builder must not be reused

@@ -32,7 +32,9 @@ const (
 	magic = "CSPSTORE"
 	// Version is the current wire format version. Bump on any layout
 	// change; old files then read as ErrVersionSkew and are recomputed.
-	Version uint32 = 1
+	// History: 1 = initial layout; 2 = appended the Refinements section
+	// (model-tagged refinement verdict blocks).
+	Version uint32 = 2
 
 	// maxSeqDepth bounds value-sequence nesting on decode so a corrupt
 	// file cannot drive unbounded recursion.
@@ -134,6 +136,15 @@ func (w *writer) encodePayload(a *Artifact) {
 	for _, p := range a.Proves {
 		w.uvarint(uint64(p.MaxLen))
 		w.bytes(p.Results)
+	}
+
+	w.uvarint(uint64(len(a.Refinements)))
+	for _, rf := range a.Refinements {
+		w.str(rf.Model)
+		w.uvarint(uint64(rf.Depth))
+		w.str(rf.Impl)
+		w.str(rf.Spec)
+		w.bytes(rf.Result)
 	}
 }
 
@@ -408,6 +419,34 @@ func (r *reader) decodePayload() (*Artifact, error) {
 		}
 		a.Proves[i].MaxLen = uint32(maxLen)
 		if a.Proves[i].Results, err = r.blob("prove results"); err != nil {
+			return nil, err
+		}
+	}
+
+	nRefines, err := r.count("refinements")
+	if err != nil {
+		return nil, err
+	}
+	if nRefines > 0 {
+		a.Refinements = make([]RefineBlock, nRefines)
+	}
+	for i := range a.Refinements {
+		rf := &a.Refinements[i]
+		if rf.Model, err = r.str("refinement model"); err != nil {
+			return nil, err
+		}
+		depth, err := r.uvarint("refinement depth")
+		if err != nil {
+			return nil, err
+		}
+		rf.Depth = uint32(depth)
+		if rf.Impl, err = r.str("refinement impl"); err != nil {
+			return nil, err
+		}
+		if rf.Spec, err = r.str("refinement spec"); err != nil {
+			return nil, err
+		}
+		if rf.Result, err = r.blob("refinement result"); err != nil {
 			return nil, err
 		}
 	}

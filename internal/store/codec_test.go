@@ -33,6 +33,8 @@ func sampleArtifact(t *testing.T) *Artifact {
 	bld.AddCheck(6, []byte(`[{"name":"A1","holds":true}]`))
 	bld.AddProve(8, []byte(`[{"name":"T1","valid":true}]`))
 	bld.AddProve(2, nil)
+	bld.AddRefinement("failures", 6, "Q", "P", []byte(`{"ok":false}`))
+	bld.AddRefinement("traces", 4, "P", "P", []byte(`{"ok":true}`))
 	return bld.Artifact()
 }
 

@@ -93,6 +93,31 @@ func (m *Module) buildArtifact(key string, createdUnix int64) (*store.Artifact, 
 		b.AddProve(l, blob)
 	}
 
+	rkeys := make([]refineResultKey, 0, len(m.res.refines))
+	for k := range m.res.refines {
+		rkeys = append(rkeys, k)
+	}
+	sort.Slice(rkeys, func(i, j int) bool {
+		a, b := rkeys[i], rkeys[j]
+		if a.model != b.model {
+			return a.model < b.model
+		}
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		if a.impl != b.impl {
+			return a.impl < b.impl
+		}
+		return a.spec < b.spec
+	})
+	for _, k := range rkeys {
+		blob, err := json.Marshal(m.res.refines[k])
+		if err != nil {
+			return nil, fmt.Errorf("csp: encoding refinement verdict: %w", err)
+		}
+		b.AddRefinement(k.model.String(), k.depth, k.impl, k.spec, blob)
+	}
+
 	return b.Artifact(), nil
 }
 
@@ -139,6 +164,17 @@ func moduleFromArtifact(art *store.Artifact) (*Module, error) {
 			return nil, fmt.Errorf("csp: decoding prove verdicts: %w", err)
 		}
 		m.StoreProve(int(p.MaxLen), results)
+	}
+	for _, rf := range art.Refinements {
+		mdl, err := ParseModel(rf.Model)
+		if err != nil {
+			return nil, fmt.Errorf("csp: artifact names unknown model %q", rf.Model)
+		}
+		var result RefineResultJSON
+		if err := json.Unmarshal(rf.Result, &result); err != nil {
+			return nil, fmt.Errorf("csp: decoding refinement verdict: %w", err)
+		}
+		m.StoreRefine(mdl, int(rf.Depth), rf.Impl, rf.Spec, result)
 	}
 	return m, nil
 }

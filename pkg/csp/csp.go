@@ -33,6 +33,7 @@ import (
 	"cspsat/internal/core"
 	"cspsat/internal/csperr"
 	"cspsat/internal/failures"
+	"cspsat/internal/model"
 	"cspsat/internal/op"
 	"cspsat/internal/parser"
 	"cspsat/internal/pool"
@@ -69,6 +70,11 @@ var (
 	// external interrupt (Ctrl-C, SIGTERM, a client disconnecting). Errors
 	// carrying it also match ErrCanceled.
 	ErrInterrupted = csperr.ErrInterrupted
+	// ErrRefinementFailed marks a completed refinement check whose verdict
+	// is "does not refine". It describes a negative verdict, not an engine
+	// fault: Module.Refine returns the verdict with a nil error, and
+	// Refinement.Err wraps this sentinel for callers that want an error.
+	ErrRefinementFailed = csperr.ErrRefinementFailed
 )
 
 // Aliases re-exporting the result and callback types the facade's methods
@@ -152,6 +158,45 @@ func (e Engine) String() string {
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
 
+// ParseEngine resolves an engine name ("op", "denote", "runtime"; "" means
+// EngineOp) — the -engine flag and the wire "engine" field.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "op":
+		return EngineOp, nil
+	case "denote":
+		return EngineDenote, nil
+	case "runtime":
+		return EngineRuntime, nil
+	}
+	return 0, fmt.Errorf("csp: unknown engine %q (known: op, denote, runtime)", name)
+}
+
+// Model selects the semantic model verdicts are computed under — the
+// second axis of every verification request, orthogonal to Engine (which
+// picks how trace sets are computed; Model picks what observations count).
+// The zero value is ModelTraces, the paper's model, so existing callers
+// are unchanged.
+type Model = model.Model
+
+const (
+	// ModelTraces is the paper's trace model: prefix-closed trace sets,
+	// trace refinement, history assertions. Refusals are invisible — STOP
+	// satisfies every satisfiable assertion (§4).
+	ModelTraces = model.Traces
+	// ModelFailures is the §4 stable-failures model: traces plus per-trace
+	// acceptance families, so deadlock, internal choice, and refusal
+	// assertions become observable.
+	ModelFailures = model.Failures
+)
+
+// ParseModel resolves a model name ("traces", "failures"; "" means
+// ModelTraces) — the -model flag and the wire "model" field.
+func ParseModel(name string) (Model, error) { return model.Parse(name) }
+
+// KnownModels lists the selectable models in definition order.
+func KnownModels() []Model { return model.Known() }
+
 // DefaultDepth is the trace-length bound used when an options struct
 // leaves Depth zero.
 const DefaultDepth = 8
@@ -197,6 +242,12 @@ func (o EngineOptions) depth() int {
 
 // CheckOptions tune the model checker and the proof checker.
 type CheckOptions struct {
+	// Model selects the semantic model verdicts are computed under; the
+	// zero value is ModelTraces. Under ModelFailures, Refine/Refines check
+	// stable-failures refinement and behavioural asserts (deadlockfree,
+	// offers) are discharged against acceptance families instead of
+	// holding vacuously.
+	Model Model
 	// Depth is the trace-length bound of model checks; zero means
 	// DefaultDepth.
 	Depth int
@@ -456,20 +507,58 @@ func (m *Module) DotLTS(p Proc, depth int) (string, error) {
 	return op.DotLTS(op.NewState(p, m.Env()), depth)
 }
 
-// Checker returns a model checker bound to ctx with the options' depth and
-// exploration worker count.
+// Checker returns a model checker bound to ctx with the options' model,
+// depth, and exploration worker count.
 func (m *Module) Checker(ctx context.Context, opts CheckOptions) *check.Checker {
-	return m.System().CheckerContext(ctx, opts.depth(), opts.Workers)
+	return m.System().CheckerModel(ctx, opts.Model, opts.depth(), opts.Workers)
 }
 
-// Sat model-checks "p sat a" to the options' depth.
+// Sat model-checks "p sat a" to the options' depth under the options'
+// model. Behavioural assertions (deadlockfree, offers) hold vacuously
+// under ModelTraces and are discharged against acceptance families under
+// ModelFailures.
 func (m *Module) Sat(ctx context.Context, p Proc, a Assertion, opts CheckOptions) (CheckResult, error) {
 	return m.Checker(ctx, opts).Sat(p, a)
 }
 
-// Refines checks trace refinement impl ⊑ spec to the options' depth.
+// Refines checks refinement impl ⊑ spec to the options' depth under the
+// options' model: trace refinement by default, stable-failures refinement
+// under ModelFailures.
 func (m *Module) Refines(ctx context.Context, impl, spec Proc, opts CheckOptions) (RefineResult, error) {
 	return m.Checker(ctx, opts).Refines(impl, spec)
+}
+
+// Refinement is the verdict of Module.Refine. A completed check always
+// returns a verdict with a nil error — "does not refine" is an answer,
+// not a fault; use Err for an error-shaped view wrapping
+// ErrRefinementFailed.
+type Refinement struct {
+	RefineResult
+}
+
+// Err returns nil when the refinement holds, and otherwise an error
+// wrapping ErrRefinementFailed that renders the counterexample — the
+// bridge from verdict-shaped results to errors.Is dispatch (CLI exit
+// codes, batch pipelines).
+func (r *Refinement) Err() error {
+	if r == nil || r.OK {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrRefinementFailed, r.RefineResult)
+}
+
+// Refine checks refinement impl ⊑ spec under the options' model and
+// returns the verdict: trace inclusion under ModelTraces, stable-failures
+// refinement under ModelFailures (where a violation carries the
+// counterexample failure (s, X) — the trace s and the acceptance
+// complementing the refused set X). The error is non-nil only when the
+// check itself could not complete (parse failure, cancellation, budget).
+func (m *Module) Refine(ctx context.Context, impl, spec Proc, opts CheckOptions) (*Refinement, error) {
+	rr, err := m.Refines(ctx, impl, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Refinement{RefineResult: rr}, nil
 }
 
 // Deadlocks searches p for reachable stuck configurations to the options'
@@ -481,14 +570,16 @@ func (m *Module) Deadlocks(ctx context.Context, p Proc, opts CheckOptions) ([]De
 	return m.Checker(ctx, opts).Deadlocks(p)
 }
 
-// CheckAll model-checks every assert declaration of the module,
-// distributing them across opts.Workers goroutines.
+// CheckAll model-checks every assert declaration of the module under the
+// options' model, distributing them across opts.Workers goroutines. A
+// declaration that pins its own model ("assert P refines Q in failures")
+// overrides opts.Model for that declaration.
 func (m *Module) CheckAll(ctx context.Context, opts CheckOptions) ([]AssertResult, error) {
 	sys, err := m.system()
 	if err != nil {
 		return nil, err
 	}
-	return sys.CheckAllContext(ctx, opts.depth(), opts.Workers, opts.Progress)
+	return sys.CheckAllModel(ctx, opts.Model, opts.depth(), opts.Workers, opts.Progress)
 }
 
 // Prover returns a proof checker bound to ctx under the options' validity
@@ -517,7 +608,7 @@ func (m *Module) Failures(ctx context.Context, p Proc, opts EngineOptions) (*Fai
 	if err := pool.Canceled(ctx); err != nil {
 		return nil, err
 	}
-	return failures.Compute(p, m.Env(), opts.depth())
+	return failures.ComputeContext(ctx, p, m.Env(), opts.depth())
 }
 
 // Diverges reports whether p can engage in unbounded hidden chatter within

@@ -6,8 +6,16 @@
 package csp
 
 import (
+	"cspsat/internal/failures"
 	"cspsat/internal/progress"
 )
+
+// WireSchema is the version stamped as "schema" into every /v1/* JSON
+// response body. The compatibility rule (DESIGN.md §3.6): within one
+// schema version fields are only ever added, never renamed, retyped, or
+// repurposed, so clients may ignore unknown fields and must tolerate new
+// ones; any breaking change bumps this number.
+const WireSchema = 1
 
 // TraceJSON is one visible trace as a sequence of "chan.msg" events.
 type TraceJSON []string
@@ -78,40 +86,97 @@ type ViolationJSON struct {
 	Hist string `json:"hist"`
 }
 
+// RefusalJSON is a refusal-level counterexample: a stable state reached
+// after Trace whose acceptance (the complete set of events it offers) is
+// Acceptance — empty for a deadlock.
+type RefusalJSON struct {
+	Trace TraceJSON `json:"trace"`
+	// Acceptance lists every event the violating stable state offers, as
+	// "chan.msg" strings; empty means the state is deadlocked.
+	Acceptance []string `json:"acceptance"`
+	// Deadlock reports that the acceptance is empty.
+	Deadlock bool `json:"deadlock,omitempty"`
+}
+
+func encodeAcceptance(a failures.Acceptance) []string {
+	out := make([]string, 0, len(a))
+	for _, e := range a {
+		out = append(out, e.String())
+	}
+	return out
+}
+
 // SatResultJSON is the wire form of a sat-check Result.
 type SatResultJSON struct {
 	OK             bool           `json:"ok"`
 	Counterexample *ViolationJSON `json:"counterexample,omitempty"`
-	TracesChecked  int            `json:"traces_checked"`
-	Depth          int            `json:"depth"`
+	// Refusal is the counterexample of a behavioural assertion checked
+	// under the failures model; Counterexample and Refusal are mutually
+	// exclusive.
+	Refusal *RefusalJSON `json:"refusal,omitempty"`
+	// Model names the semantic model the verdict was computed under.
+	Model string `json:"model"`
+	// Vacuous reports a behavioural assertion evaluated under the trace
+	// model, where it holds for want of expressiveness.
+	Vacuous       bool `json:"vacuous,omitempty"`
+	TracesChecked int  `json:"traces_checked"`
+	Depth         int  `json:"depth"`
 }
 
 // EncodeSatResult renders a model-checking verdict.
 func EncodeSatResult(r CheckResult) SatResultJSON {
-	out := SatResultJSON{OK: r.OK, TracesChecked: r.TracesChecked, Depth: r.Depth}
+	out := SatResultJSON{
+		OK:            r.OK,
+		Model:         r.Model.String(),
+		Vacuous:       r.Vacuous,
+		TracesChecked: r.TracesChecked,
+		Depth:         r.Depth,
+	}
 	if r.Counter != nil {
 		out.Counterexample = &ViolationJSON{
 			Trace: EncodeTrace(r.Counter.Trace),
 			Hist:  r.Counter.Hist.String(),
 		}
 	}
+	if r.Refusal != nil {
+		out.Refusal = &RefusalJSON{
+			Trace:      EncodeTrace(r.Refusal.Trace),
+			Acceptance: encodeAcceptance(r.Refusal.Acceptance),
+			Deadlock:   len(r.Refusal.Acceptance) == 0,
+		}
+	}
 	return out
 }
 
-// RefineResultJSON is the wire form of a trace-refinement verdict.
+// RefineResultJSON is the wire form of a refinement verdict.
 type RefineResultJSON struct {
 	OK bool `json:"ok"`
+	// Model names the semantic model the verdict was computed under.
+	Model string `json:"model"`
 	// Witness is a trace of the implementation the specification cannot
-	// perform, when OK is false.
+	// perform — or, for a failures-level violation, the trace after which
+	// the refusals come apart — when OK is false.
 	Witness TraceJSON `json:"witness,omitempty"`
-	Depth   int       `json:"depth"`
+	// Failure is the counterexample failure (s, X) of a failures-model
+	// violation: after Witness the implementation may stop in a stable
+	// state offering exactly Acceptance (refusing everything else), which
+	// no specification acceptance permits. Nil for trace-level violations.
+	Failure *RefusalJSON `json:"failure,omitempty"`
+	Depth   int          `json:"depth"`
 }
 
 // EncodeRefineResult renders a refinement verdict.
 func EncodeRefineResult(r RefineResult) RefineResultJSON {
-	out := RefineResultJSON{OK: r.OK, Depth: r.Depth}
+	out := RefineResultJSON{OK: r.OK, Model: r.Model.String(), Depth: r.Depth}
 	if r.Witness != nil {
 		out.Witness = EncodeTrace(r.Witness)
+	}
+	if r.Failure != nil && r.Failure.ImplAcceptance != nil {
+		out.Failure = &RefusalJSON{
+			Trace:      EncodeTrace(r.Failure.Trace),
+			Acceptance: encodeAcceptance(*r.Failure.ImplAcceptance),
+			Deadlock:   len(*r.Failure.ImplAcceptance) == 0,
+		}
 	}
 	return out
 }

@@ -1,0 +1,126 @@
+package csp_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cspsat/pkg/csp"
+)
+
+const nondetSpec = `
+vend = coin?x:NAT -> choc!x -> vend
+flaky = vend |~| STOP
+`
+
+func loadNondet(t *testing.T) *csp.Module {
+	t.Helper()
+	mod, err := csp.Load(context.Background(), nondetSpec, csp.Options{NatWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestParseModel(t *testing.T) {
+	cases := []struct {
+		name string
+		want csp.Model
+		err  bool
+	}{
+		{"", csp.ModelTraces, false},
+		{"traces", csp.ModelTraces, false},
+		{"failures", csp.ModelFailures, false},
+		{"divergences", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := csp.ParseModel(tc.name)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseModel(%q): want error", tc.name)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("ParseModel(%q) = %v, %v; want %v", tc.name, got, err, tc.want)
+		}
+	}
+	for _, m := range csp.KnownModels() {
+		back, err := csp.ParseModel(m.String())
+		if err != nil || back != m {
+			t.Errorf("model %v does not round-trip through its name: %v, %v", m, back, err)
+		}
+	}
+}
+
+// TestRefineVerdicts drives Module.Refine through both models on the §4
+// pair: a completed check always returns (verdict, nil) — the negative
+// verdict travels as Refinement.Err(), wrapping ErrRefinementFailed.
+func TestRefineVerdicts(t *testing.T) {
+	mod := loadNondet(t)
+	ctx := context.Background()
+	impl, err := mod.Proc("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := mod.Proc("vend")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := mod.Refine(ctx, impl, spec, csp.CheckOptions{Depth: 5})
+	if err != nil {
+		t.Fatalf("traces refine: %v", err)
+	}
+	if !tr.OK || tr.Err() != nil {
+		t.Fatalf("flaky ⊑T vend must hold: %s", tr.RefineResult)
+	}
+
+	fl, err := mod.Refine(ctx, impl, spec, csp.CheckOptions{Model: csp.ModelFailures, Depth: 5})
+	if err != nil {
+		t.Fatalf("failures refine: %v", err)
+	}
+	if fl.OK {
+		t.Fatal("flaky ⊑F vend must fail")
+	}
+	verr := fl.Err()
+	if !errors.Is(verr, csp.ErrRefinementFailed) {
+		t.Fatalf("Err() does not wrap ErrRefinementFailed: %v", verr)
+	}
+	if fl.Failure == nil || fl.Failure.ImplAcceptance == nil || len(*fl.Failure.ImplAcceptance) != 0 {
+		t.Fatalf("want the empty acceptance after <> as counterexample, got %+v", fl.Failure)
+	}
+	if !strings.Contains(verr.Error(), "offers only {}") {
+		t.Errorf("error should carry the counterexample: %v", verr)
+	}
+
+	// The opposite direction holds in both models.
+	back, err := mod.Refine(ctx, spec, impl, csp.CheckOptions{Model: csp.ModelFailures, Depth: 5})
+	if err != nil || !back.OK {
+		t.Fatalf("vend ⊑F flaky must hold: %v, %v", back, err)
+	}
+}
+
+// TestRefineCacheKeyedByModel pins the refine results cache: the same
+// (impl, spec, depth) under different models are distinct entries, so a
+// failures verdict can never shadow a traces one.
+func TestRefineCacheKeyedByModel(t *testing.T) {
+	mod := loadNondet(t)
+	tr := csp.RefineResultJSON{OK: true, Model: "traces", Depth: 5}
+	fl := csp.RefineResultJSON{OK: false, Model: "failures", Depth: 5}
+	mod.StoreRefine(csp.ModelTraces, 5, "flaky", "vend", tr)
+	mod.StoreRefine(csp.ModelFailures, 5, "flaky", "vend", fl)
+
+	got, ok := mod.CachedRefine(csp.ModelTraces, 5, "flaky", "vend")
+	if !ok || !got.OK || got.Model != "traces" {
+		t.Fatalf("traces entry: %+v, ok=%v", got, ok)
+	}
+	got, ok = mod.CachedRefine(csp.ModelFailures, 5, "flaky", "vend")
+	if !ok || got.OK || got.Model != "failures" {
+		t.Fatalf("failures entry: %+v, ok=%v", got, ok)
+	}
+	if _, ok := mod.CachedRefine(csp.ModelFailures, 6, "flaky", "vend"); ok {
+		t.Fatal("different depth must miss")
+	}
+}

@@ -7,7 +7,11 @@
 // request without ever parsing the source.
 package csp
 
-import "sync"
+import (
+	"sync"
+
+	"cspsat/internal/model"
+)
 
 // traceResultKey identifies one deterministic trace computation.
 type traceResultKey struct {
@@ -16,13 +20,24 @@ type traceResultKey struct {
 	process string
 }
 
+// refineResultKey identifies one deterministic refinement verdict: the
+// semantic model is part of the key because the same (impl, spec, depth)
+// triple can hold under traces and fail under failures.
+type refineResultKey struct {
+	model model.Model
+	depth int
+	impl  string
+	spec  string
+}
+
 // resultsCache is the per-Module memo of deterministic results. All maps
 // are lazily allocated; values are treated as immutable once stored.
 type resultsCache struct {
-	mu     sync.Mutex
-	traces map[traceResultKey]*TraceResult
-	checks map[int][]AssertResultJSON
-	proves map[int][]ProveResultJSON
+	mu      sync.Mutex
+	traces  map[traceResultKey]*TraceResult
+	checks  map[int][]AssertResultJSON
+	proves  map[int][]ProveResultJSON
+	refines map[refineResultKey]RefineResultJSON
 	// onResult, when set, fires after each newly stored result (outside
 	// the mutex). The module cache uses it to persist the module's
 	// artifact; see ModuleCache.SetStore.
@@ -145,10 +160,45 @@ func (m *Module) StoreProve(maxLen int, results []ProveResultJSON) {
 	m.res.notify()
 }
 
+// CachedRefine returns the recorded refinement verdict for (model, depth,
+// impl, spec), in the stable wire encoding. impl and spec are the
+// canonical process renderings the verdict was stored under.
+func (m *Module) CachedRefine(mdl Model, depth int, impl, spec string) (RefineResultJSON, bool) {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	m.res.mu.Lock()
+	defer m.res.mu.Unlock()
+	r, ok := m.res.refines[refineResultKey{mdl, depth, impl, spec}]
+	return r, ok
+}
+
+// StoreRefine records a refinement verdict for later CachedRefine hits
+// (and, when the module came through a store-backed ModuleCache, persists
+// it).
+func (m *Module) StoreRefine(mdl Model, depth int, impl, spec string, r RefineResultJSON) {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	key := refineResultKey{mdl, depth, impl, spec}
+	m.res.mu.Lock()
+	if _, ok := m.res.refines[key]; ok {
+		m.res.mu.Unlock()
+		return
+	}
+	if m.res.refines == nil {
+		m.res.refines = map[refineResultKey]RefineResultJSON{}
+	}
+	m.res.refines[key] = r
+	m.res.mu.Unlock()
+	m.res.notify()
+}
+
 // CachedResultCount reports how many deterministic results the module has
-// recorded (trace sets + check blocks + prove blocks).
+// recorded (trace sets + check blocks + prove blocks + refinement
+// verdicts).
 func (m *Module) CachedResultCount() int {
 	m.res.mu.Lock()
 	defer m.res.mu.Unlock()
-	return len(m.res.traces) + len(m.res.checks) + len(m.res.proves)
+	return len(m.res.traces) + len(m.res.checks) + len(m.res.proves) + len(m.res.refines)
 }

@@ -56,6 +56,19 @@ for spec in copier.csp protocol.csp; do
     | curl -fsS "$BASE/v1/prove" -d @- | jq -e '.ok == true and (.proofs | length >= 1)' >/dev/null
 done
 
+# /v1/refine on the §4 separation pair: the trace-model refinement holds;
+# the failures-model one is deliberately refuted — that verdict must come
+# back as a structured 200 (ok=false with a counterexample failure), never
+# a 5xx. Both responses carry the wire schema stamp.
+echo "== refine"
+body nondet.csp '{source: $src, impl: "flaky", spec: "vend", depth: 5}' \
+  | curl -fsS "$BASE/v1/refine" -d @- \
+  | jq -e '.schema == 1 and .ok == true and .refine.model == "traces"' >/dev/null
+body nondet.csp '{source: $src, impl: "flaky", spec: "vend", model: "failures", depth: 5}' \
+  | curl -fsS "$BASE/v1/refine" -d @- \
+  | jq -e '.schema == 1 and .ok == false and .refine.model == "failures"
+           and .refine.failure.deadlock == true' >/dev/null
+
 # /v1/batch mixes kinds in one request.
 echo "== batch"
 jq -n --rawfile a specs/copier.csp --rawfile b specs/protocol.csp \
@@ -73,6 +86,8 @@ curl -fsS "$BASE/metrics" | jq -e '
   .module_cache.hits >= 1 and
   .closure.InternedNodes >= 1 and
   ([.endpoints[].count] | add) >= 12 and
+  .endpoints.refine.count >= 2 and
+  .models.traces >= 1 and .models.failures >= 1 and
   .statuses["200"] >= 12' >/dev/null
 
 # An over-deep trace listing must come back truncated, never OOM the host.

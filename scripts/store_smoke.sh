@@ -45,6 +45,11 @@ drive() {
     | curl -fsS "$BASE/v1/check" -d @- | jq -S '.asserts' >"$OUT/$tag.asserts"
   jq -n --rawfile src specs/copier.csp '{source: $src}' \
     | curl -fsS "$BASE/v1/prove" -d @- | jq -S '.proofs' >"$OUT/$tag.proofs"
+  # The refinement artifact kind: a deliberately failing failures-model
+  # verdict must round-trip the store like the passing kinds do.
+  jq -n --rawfile src specs/nondet.csp \
+      '{source: $src, impl: "flaky", spec: "vend", model: "failures", depth: 5}' \
+    | curl -fsS "$BASE/v1/refine" -d @- | jq -S '.refine' >"$OUT/$tag.refine"
 }
 
 echo "== cold boot"
@@ -57,7 +62,7 @@ ls "$STORE"/*.cspa >/dev/null || { echo "no artifacts persisted"; exit 1; }
 echo "== warm restart over the same store"
 start
 drive warm
-for field in traces asserts proofs; do
+for field in traces asserts proofs refine; do
   diff "$OUT/cold.$field" "$OUT/warm.$field" \
     || { echo "warm $field payload differs from cold"; exit 1; }
 done
@@ -74,7 +79,7 @@ done
 start
 grep -q "quarantined" "$LOG"
 drive corrupt
-for field in traces asserts proofs; do
+for field in traces asserts proofs refine; do
   diff "$OUT/cold.$field" "$OUT/corrupt.$field" \
     || { echo "recomputed $field payload differs from cold"; exit 1; }
 done
