@@ -1,9 +1,22 @@
 // E13/E14 parallel-engine scaling benchmarks: the worker-pool explorer and
 // the Jacobi-parallel denoter across a GOMAXPROCS 1/4/8 matrix, with the
 // closure caches emptied every iteration so each measurement is a real
-// exploration rather than a memo replay. EXPERIMENTS.md records the
-// outcomes; on a 1-CPU machine the >1-proc rows measure scheduling
-// overhead only.
+// exploration, not a memo replay. The multi-megabyte workloads also force
+// a collection per iteration (outside the timer) so every op starts from
+// a uniform heap instead of the GC trigger point the previous row left
+// behind (twice: the second cycle forces the first's lazy sweep to
+// finish, so no sweep debt bleeds into the timed region — at 8 Ps that
+// debt is systematically larger and would bias the high-proc rows);
+// the microsecond workloads deliberately do not — a forced GC's
+// sweep debt is comparable to the op itself there and would distort the
+// timed region, while thousands of iterations self-equilibrate anyway.
+// The gc flag on each workload records that choice — plus the E16/E17 width-N matrix
+// over gen.Philosophers/gen.TokenRing, wide enough to show real scaling.
+// EXPERIMENTS.md records the outcomes. On a 1-CPU machine the >1-proc rows
+// of the small workloads measure scheduling overhead (the adaptive cutover
+// must keep them flat), while the wide rows still speed up: the parallel
+// path's level-synchronised BFS expands each state once instead of once
+// per (state, budget) pair, an algorithmic win independent of core count.
 package cspsat_test
 
 import (
@@ -11,9 +24,11 @@ import (
 	"fmt"
 	"os"
 	goruntime "runtime"
+	"runtime/debug"
 	"testing"
 
 	"cspsat/internal/closure"
+	"cspsat/internal/gen"
 	"cspsat/pkg/csp"
 )
 
@@ -23,9 +38,10 @@ import (
 var parallelWorkloads = []struct {
 	file, root string
 	depth      int
+	gc         bool
 }{
-	{"specs/tokenring.csp", "sys", 6},
-	{"specs/philosophers.csp", "safe", 5},
+	{"specs/tokenring.csp", "sys", 6, false},
+	{"specs/philosophers.csp", "safe", 5, true},
 }
 
 func loadBenchModule(b *testing.B, path string) *csp.Module {
@@ -51,10 +67,17 @@ func BenchmarkE13ParallelExplore(b *testing.B) {
 		for _, procs := range []int{1, 4, 8} {
 			b.Run(fmt.Sprintf("%s/procs=%d", w.root, procs), func(b *testing.B) {
 				defer goruntime.GOMAXPROCS(goruntime.GOMAXPROCS(procs))
+				b.StopTimer()
+				debug.FreeOSMemory() // drop span/RSS state inherited from earlier rows
+				b.StartTimer()
 				opts := csp.EngineOptions{Engine: csp.EngineOp, Depth: w.depth, Workers: procs}
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
 					closure.ResetCaches()
+					if w.gc {
+						goruntime.GC()
+						goruntime.GC()
+					}
 					b.StartTimer()
 					res, err := mod.Traces(context.Background(), p, opts)
 					if err != nil || res.Set.Size() == 0 {
@@ -64,6 +87,95 @@ func BenchmarkE13ParallelExplore(b *testing.B) {
 				reportCacheStats(b)
 			})
 		}
+	}
+}
+
+// wideWorkloads is the width-N scaling matrix: parameterised specs big
+// enough that the parallel explorer must beat the serial recursion
+// outright (the acceptance bar is ≥2× at 8 procs on the width-4
+// philosophers), plus a deliberately narrow wide-ring row pinning that
+// the adaptive cutover keeps near-serial cost when the frontier never
+// widens.
+var wideWorkloads = []struct {
+	name, src, root string
+	depth           int
+	gc              bool
+}{
+	{"philosophers/N=4", gen.Philosophers(4), "safe", 9, true},
+	{"tokenring/N=8", gen.TokenRing(8), "sys", 8, false},
+}
+
+func BenchmarkE16WideExplore(b *testing.B) {
+	for _, w := range wideWorkloads {
+		mod, err := csp.Load(context.Background(), w.src, csp.Options{NatWidth: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := mod.Proc(w.root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, procs := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/procs=%d", w.name, procs), func(b *testing.B) {
+				defer goruntime.GOMAXPROCS(goruntime.GOMAXPROCS(procs))
+				b.StopTimer()
+				debug.FreeOSMemory() // drop span/RSS state inherited from earlier rows
+				b.StartTimer()
+				opts := csp.EngineOptions{Engine: csp.EngineOp, Depth: w.depth, Workers: procs}
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					closure.ResetCaches()
+					if w.gc {
+						goruntime.GC()
+						goruntime.GC()
+					}
+					b.StartTimer()
+					res, err := mod.Traces(context.Background(), p, opts)
+					if err != nil || res.Set.Size() == 0 {
+						b.Fatalf("%v %v", res, err)
+					}
+				}
+				reportCacheStats(b)
+			})
+		}
+	}
+}
+
+// BenchmarkE17AutoWorkers runs the same wide matrix through WorkersAuto —
+// the -workers auto path: machine-sized pools behind the adaptive
+// cutover. Its rows should track the best explicit row of E16 on wide
+// workloads and the procs=1 row on narrow ones.
+func BenchmarkE17AutoWorkers(b *testing.B) {
+	for _, w := range wideWorkloads {
+		mod, err := csp.Load(context.Background(), w.src, csp.Options{NatWidth: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := mod.Proc(w.root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(w.name, func(b *testing.B) {
+			defer goruntime.GOMAXPROCS(goruntime.GOMAXPROCS(8))
+			b.StopTimer()
+			debug.FreeOSMemory() // drop span/RSS state inherited from earlier rows
+			b.StartTimer()
+			opts := csp.EngineOptions{Engine: csp.EngineOp, Depth: w.depth, Workers: csp.WorkersAuto}
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				closure.ResetCaches()
+				if w.gc {
+					goruntime.GC()
+					goruntime.GC()
+				}
+				b.StartTimer()
+				res, err := mod.Traces(context.Background(), p, opts)
+				if err != nil || res.Set.Size() == 0 {
+					b.Fatalf("%v %v", res, err)
+				}
+			}
+			reportCacheStats(b)
+		})
 	}
 }
 
@@ -78,10 +190,17 @@ func BenchmarkE14ParallelFixpoint(b *testing.B) {
 		for _, procs := range []int{1, 4, 8} {
 			b.Run(fmt.Sprintf("%s/procs=%d", w.root, procs), func(b *testing.B) {
 				defer goruntime.GOMAXPROCS(goruntime.GOMAXPROCS(procs))
+				b.StopTimer()
+				debug.FreeOSMemory() // drop span/RSS state inherited from earlier rows
+				b.StartTimer()
 				opts := csp.EngineOptions{Engine: csp.EngineDenote, Depth: depth, Workers: procs}
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
 					closure.ResetCaches()
+					if w.gc {
+						goruntime.GC()
+						goruntime.GC()
+					}
 					b.StartTimer()
 					res, err := mod.Traces(context.Background(), p, opts)
 					if err != nil || res.Set.Size() == 0 {

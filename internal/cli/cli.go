@@ -3,7 +3,8 @@
 // facade. It registers the three uniform flags:
 //
 //	-timeout D   cancel the run's context after D (0 = no limit)
-//	-workers N   fan the parallel engines across N goroutines
+//	-workers N   fan the parallel engines across N goroutines, or "auto"
+//	             to size pools to the machine with the adaptive cutover
 //	-stats       print closure cache/shard statistics after the run
 //
 // and offers the two uniform verification selectors for tools that opt in
@@ -32,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -79,9 +81,39 @@ func New(tool, usage string) *App {
 		flag.PrintDefaults()
 	}
 	flag.DurationVar(&a.Timeout, "timeout", 0, "cancel the run after this duration, e.g. 30s (0 = no limit)")
-	flag.IntVar(&a.Workers, "workers", 1, "goroutines for the parallel engines (values <= 1 run serially)")
+	a.Workers = 1
+	flag.Var(workersValue{&a.Workers}, "workers",
+		"goroutines for the parallel engines: a count (<= 1 runs serially) or auto (size pools to the machine; small stages still run inline)")
 	flag.BoolVar(&a.Stats, "stats", false, "print closure cache/shard statistics to stderr after the run")
 	return a
+}
+
+// workersValue is the -workers flag: an integer worker count, or the
+// spelling "auto" for csp.WorkersAuto (machine-sized pools behind the
+// adaptive serial/parallel cutover).
+type workersValue struct{ v *int }
+
+func (w workersValue) String() string {
+	if w.v == nil {
+		return "1"
+	}
+	if *w.v == csp.WorkersAuto {
+		return "auto"
+	}
+	return strconv.Itoa(*w.v)
+}
+
+func (w workersValue) Set(s string) error {
+	if s == "auto" {
+		*w.v = csp.WorkersAuto
+		return nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("want a worker count or \"auto\", got %q", s)
+	}
+	*w.v = n
+	return nil
 }
 
 // NatFlag registers the -nat flag with the tool's default width.

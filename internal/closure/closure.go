@@ -27,6 +27,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync"
 
 	"cspsat/internal/trace"
 )
@@ -332,6 +333,83 @@ func parallelNodes(a, b *node, x, y trace.Set, xid, yid trace.ChanSetID) *node {
 	parallelMemo.put(mk, n)
 	return n
 }
+
+// ParallelTo returns Parallel(p, q, x, y).TruncateTo(budget) without ever
+// materialising the truncated-away depths. A product trace consumes a step
+// of P, of Q, or (on a shared channel) of both, so product height reaches
+// a.height+b.height — for equal-depth operands, twice what a depth-bounded
+// caller keeps. Threading the budget through the walk prunes that deep half
+// before it allocates, which is what the denoter's fixpoint chain needs: its
+// every approximation is budget-truncated anyway. Trace sets are prefix
+// closed, so cutting the walk at length `budget` yields exactly the
+// truncation of the full product, and the result interns to the very same
+// canonical node.
+func ParallelTo(p, q *Set, x, y trace.Set, budget int) *Set {
+	return parallelBounded(p.root, q.root, x, y, x.ID(), y.ID(), budget).wrap()
+}
+
+func parallelBounded(a, b *node, x, y trace.Set, xid, yid trace.ChanSetID, budget int) *node {
+	if len(a.edges) == 0 && len(b.edges) == 0 {
+		return emptyNode
+	}
+	if budget <= 0 {
+		return emptyNode
+	}
+	if a.height+b.height <= budget {
+		// The bound cannot bind anywhere below here; the unbounded memo
+		// shares this subproduct across all sufficient budgets.
+		return parallelNodes(a, b, x, y, xid, yid)
+	}
+	// The shallow fringe — bounded products at budgets 1 and 2 — holds most
+	// of the walk's distinct (a, b, budget) triples but each is a near-flat
+	// edge merge, cheaper to recompute than to table: a memo entry there
+	// costs more map allocation than the walk it saves, and the fixpoint
+	// chain's GC bill tracks exactly that allocation.
+	memoize := budget > 2
+	var mk parBoundKey
+	if memoize {
+		mk = parBoundKey{a: a, b: b, x: xid, y: yid, i: int32(budget)}
+		if v, ok := parBoundMemo.get(mk); ok {
+			return v
+		}
+	}
+	// The walk's edge lists are mostly intern hits (the product revisits the
+	// same subproducts through many interleavings), so they are built in a
+	// pooled scratch and interned copy-on-miss: the allocation rate of the
+	// fixpoint chain — hence its GC bill on GOMAXPROCS > cores — tracks the
+	// miss count, not the walk size.
+	sp := edgeScratch.Get().(*[]edge)
+	out := (*sp)[:0]
+	for _, e := range a.edges {
+		if y.ContainsID(trace.EventChanID(e.id)) {
+			be, ok := b.get(e.id)
+			if !ok {
+				continue
+			}
+			out = append(out, edge{id: e.id, ev: e.ev, child: parallelBounded(e.child, be.child, x, y, xid, yid, budget-1)})
+		} else {
+			out = append(out, edge{id: e.id, ev: e.ev, child: parallelBounded(e.child, b, x, y, xid, yid, budget-1)})
+		}
+	}
+	for _, e := range b.edges {
+		if x.ContainsID(trace.EventChanID(e.id)) {
+			continue
+		}
+		out = append(out, edge{id: e.id, ev: e.ev, child: parallelBounded(a, e.child, x, y, xid, yid, budget-1)})
+	}
+	n := internCopy(sortEdges(out))
+	*sp = out[:0]
+	edgeScratch.Put(sp)
+	if memoize {
+		parBoundMemo.put(mk, n)
+	}
+	return n
+}
+
+// edgeScratch pools edge buffers for the bounded product walk. Each frame
+// checks one out for the duration of its own edge list only (child frames
+// draw their own), so buffers never alias across the recursion.
+var edgeScratch = sync.Pool{New: func() any { s := make([]edge, 0, 16); return &s }}
 
 // Intersect returns P ∩ Q. Prefix closures are closed under intersection
 // (§3.1), and the paper's parallel operator is defined via ∩.

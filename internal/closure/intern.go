@@ -307,6 +307,22 @@ func (k parKey) shardHash() uint64 {
 	return hashUint(h, uint64(k.x)<<32|uint64(k.y))
 }
 
+// parBoundKey keys the budget-bounded parallel memo. The budget only joins
+// the key when the bound can actually bind (a.height+b.height > budget);
+// shallower products fall through to the unbounded parallelMemo, which
+// shares entries across budgets.
+type parBoundKey struct {
+	a, b *node
+	x, y trace.ChanSetID
+	i    int32
+}
+
+func (k parBoundKey) shardHash() uint64 {
+	h := hashUint(hashUint(fnvOffset, k.a.id), k.b.id)
+	h = hashUint(h, uint64(k.x)<<32|uint64(k.y))
+	return hashUint(h, uint64(uint32(k.i)))
+}
+
 // nodeListKey keys the k-way UnionAll memo: the packed creation ids of the
 // (sorted, deduplicated) operand nodes. Node ids are never reused, so the
 // key stays unambiguous across cache evictions.
@@ -392,6 +408,7 @@ var (
 	hideMemo      = newStripedMemo[hideKey, *node]("hide")
 	ignoreMemo    = newStripedMemo[ignoreKey, *node]("ignore")
 	parallelMemo  = newStripedMemo[parKey, *node]("parallel")
+	parBoundMemo  = newStripedMemo[parBoundKey, *node]("parallelTo")
 	truncMemo     = newStripedMemo[nodeIntKey, *node]("truncate")
 	subsetMemo    = newStripedMemo[nodePair, bool]("subset")
 )
@@ -437,6 +454,40 @@ func intern(edges []edge) *node {
 		}
 	}
 	n := &node{edges: edges, id: nextNodeID.Add(1), hash: h, size: size, height: height}
+	sh.tab.put(h, append(bucket, n))
+	return n
+}
+
+// internCopy is intern for callers that reuse their edge buffer: edges may
+// be a scratch slice the caller recycles after the call. On a hit nothing
+// is retained; on a miss an exact-size copy is interned, never edges
+// itself — which also sheds the append slack a growing scratch carries.
+func internCopy(edges []edge) *node {
+	if len(edges) == 0 {
+		return emptyNode
+	}
+	h := hashEdges(edges)
+	sh := &internShards[shardIndex(h)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bucket, _ := sh.tab.get(h)
+	for _, cand := range bucket {
+		if edgesIdentical(cand.edges, edges) {
+			sh.hits++
+			return cand
+		}
+	}
+	sh.misses++
+	cp := make([]edge, len(edges))
+	copy(cp, edges)
+	size, height := 1, 0
+	for _, e := range cp {
+		size = satAdd(size, e.child.size)
+		if ch := 1 + e.child.height; ch > height {
+			height = ch
+		}
+	}
+	n := &node{edges: cp, id: nextNodeID.Add(1), hash: h, size: size, height: height}
 	sh.tab.put(h, append(bucket, n))
 	return n
 }
@@ -585,6 +636,8 @@ func Stats() CacheStats {
 	record(ignoreMemo.name, gh, gm)
 	ph, pm, _, _ := parallelMemo.counters()
 	record(parallelMemo.name, ph, pm)
+	pbh, pbm, _, _ := parBoundMemo.counters()
+	record(parBoundMemo.name, pbh, pbm)
 	th, tm, _, _ := truncMemo.counters()
 	record(truncMemo.name, th, tm)
 	sh, sm, _, _ := subsetMemo.counters()
@@ -617,6 +670,7 @@ func ResetCaches() {
 	hideMemo.reset()
 	ignoreMemo.reset()
 	parallelMemo.reset()
+	parBoundMemo.reset()
 	truncMemo.reset()
 	subsetMemo.reset()
 }
@@ -648,6 +702,7 @@ func SetCacheBudget(internNodes, memoEntries int) {
 	hideMemo.setLimit(memoEntries)
 	ignoreMemo.setLimit(memoEntries)
 	parallelMemo.setLimit(memoEntries)
+	parBoundMemo.setLimit(memoEntries)
 	truncMemo.setLimit(memoEntries)
 	subsetMemo.setLimit(memoEntries)
 }

@@ -317,6 +317,29 @@ func TestPropParallelDefinition(t *testing.T) {
 	}
 }
 
+// TestPropParallelToIsTruncatedParallel pins the budget-bounded product to
+// its definition: for every budget — binding, exactly sufficient, and slack
+// — ParallelTo must return the very same canonical node as the unbounded
+// product followed by truncation.
+func TestPropParallelToIsTruncatedParallel(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	x := trace.NewSet("a", "w")
+	y := trace.NewSet("w", "b")
+	for i := 0; i < propIters; i++ {
+		p := randClosure(r, []string{"a", "w"}, 2, 3)
+		q := randClosure(r, []string{"w", "b"}, 2, 3)
+		full := closure.Parallel(p, q, x, y)
+		for budget := 0; budget <= p.MaxLen()+q.MaxLen()+1; budget++ {
+			bounded := closure.ParallelTo(p, q, x, y, budget)
+			want := full.TruncateTo(budget)
+			if !bounded.Same(want) {
+				t.Fatalf("iter %d budget %d: ParallelTo %v not canonical with truncated product %v (Equal=%v)",
+					i, budget, bounded, want, bounded.Equal(want))
+			}
+		}
+	}
+}
+
 // TestPropSubsetEqualConsistency ties SubsetOf, Equal, Same, FirstNotIn and
 // the monotonicity of union together on random operands.
 func TestPropSubsetEqualConsistency(t *testing.T) {

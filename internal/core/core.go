@@ -212,7 +212,10 @@ func (s *System) CheckAllModel(ctx context.Context, mdl model.Model, depth, work
 	start := time.Now()
 	out := make([]AssertResult, len(s.Asserts))
 	var done atomic.Int64
-	err := pool.Run(ctx, workers, len(s.Asserts), func(i int) error {
+	// Asserts are whole model checks, so like proof batches the adaptive
+	// cutover is just "more than one" — and WorkersAuto resolves to the
+	// machine size.
+	err := pool.Run(ctx, pool.Adaptive(workers, len(s.Asserts), 2), len(s.Asserts), func(i int) error {
 		decl := s.Asserts[i]
 		eff := mdl
 		if decl.Model != model.Traces {

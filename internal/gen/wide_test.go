@@ -1,0 +1,88 @@
+package gen_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cspsat/internal/gen"
+	"cspsat/pkg/csp"
+)
+
+// TestWideMatchesCommittedSpecs pins the generators to the committed spec
+// files at their widths: the generated width-3 philosophers and width-4
+// token ring must denote the very same canonical trace sets (pointer
+// identity via Same) as specs/philosophers.csp and specs/tokenring.csp.
+func TestWideMatchesCommittedSpecs(t *testing.T) {
+	cases := []struct {
+		file  string
+		src   string
+		roots []string
+		depth int
+	}{
+		{"philosophers.csp", gen.Philosophers(3), []string{"deadlocking", "safe"}, 5},
+		{"tokenring.csp", gen.TokenRing(4), []string{"sys"}, 6},
+	}
+	for _, c := range cases {
+		data, err := os.ReadFile(filepath.Join("..", "..", "specs", c.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed, err := csp.Load(context.Background(), string(data), csp.Options{NatWidth: 2})
+		if err != nil {
+			t.Fatalf("loading %s: %v", c.file, err)
+		}
+		generated, err := csp.Load(context.Background(), c.src, csp.Options{NatWidth: 2})
+		if err != nil {
+			t.Fatalf("loading generated %s: %v", c.file, err)
+		}
+		for _, root := range c.roots {
+			cp, err := committed.Proc(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gp, err := generated.Proc(root)
+			if err != nil {
+				t.Fatalf("generated %s lacks %s: %v", c.file, root, err)
+			}
+			want, err := committed.Traces(context.Background(), cp, csp.EngineOptions{Depth: c.depth})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := generated.Traces(context.Background(), gp, csp.EngineOptions{Depth: c.depth})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.Set.Same(got.Set) {
+				t.Errorf("%s/%s: generated spec denotes a different set (Equal=%v)",
+					c.file, root, want.Set.Equal(got.Set))
+			}
+		}
+	}
+}
+
+// TestWideScalesUp checks the generators stay loadable and analysable as
+// the width grows, and that every width keeps its asserts true. The
+// philosophers table is capped at width 4 here: the hidden take/put
+// chatter of the interleaving product grows combinatorially, and width 5+
+// belongs to benchmarks, not the test suite.
+func TestWideScalesUp(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		for name, src := range map[string]string{"philosophers": gen.Philosophers(n), "tokenring": gen.TokenRing(n + 4)} {
+			mod, err := csp.Load(context.Background(), src, csp.Options{NatWidth: 2})
+			if err != nil {
+				t.Fatalf("%s width %d: %v", name, n, err)
+			}
+			results, err := mod.CheckAll(context.Background(), csp.CheckOptions{Depth: 3})
+			if err != nil {
+				t.Fatalf("%s width %d: %v", name, n, err)
+			}
+			for _, r := range results {
+				if !r.OK() {
+					t.Errorf("%s width %d: assert failed: %s", name, n, r.Decl)
+				}
+			}
+		}
+	}
+}

@@ -3,7 +3,6 @@ package op
 import (
 	"context"
 	"fmt"
-	"strconv"
 
 	"cspsat/internal/closure"
 	"cspsat/internal/csperr"
@@ -29,19 +28,59 @@ type Explorer struct {
 	MaxTauStates int
 
 	// Workers sets how many goroutines TracesContext spreads the BFS
-	// frontier across. Values ≤ 1 select the serial recursive path. The
-	// parallel path produces node-identical results (same canonical
-	// pointers) as the serial one: the stripe-sharded closure operators are
+	// frontier across. Values ≤ 1 select the serial recursive path;
+	// pool.WorkersAuto sizes the pool to the machine. The parallel path
+	// produces node-identical results (same canonical pointers) as the
+	// serial one: the stripe-sharded closure operators are
 	// order-independent, and discovery order is kept deterministic by a
 	// sequential stitch at each depth barrier.
 	Workers int
+
+	// SerialCutover tunes the adaptive serial/parallel cutover of the
+	// parallel path: a BFS level or DP round with fewer items than the
+	// cutover is expanded inline on the calling goroutine instead of
+	// across the pool, so Workers: 8 on a tiny spec costs the same as
+	// Workers: 1. Zero means pool.DefaultSerialCutover; 1 forces every
+	// round through the pool (the differential tests pin serial/parallel
+	// equivalence this way).
+	SerialCutover int
 
 	// Progress, when non-nil, receives "explore" stage events after each
 	// BFS level (states expanded so far, frontier size, elapsed wall time)
 	// and a final Done event. Callbacks must be cheap and goroutine-safe.
 	Progress progress.Func
 
-	memo map[string]*closure.Set
+	// memo caches set(state, budget) by comparable struct key — the
+	// budget plus the explorer-local dense id of the state — so a lookup
+	// neither allocates nor hashes the full state string (ids finish the
+	// string→id migration of DESIGN.md §3.4 inside the explorer).
+	memo map[memoKey]*closure.Set
+	// ids interns state keys to the dense ids memo keys use. Both maps
+	// are confined to the exploring goroutine (the parallel path touches
+	// them only between pool barriers).
+	ids map[string]uint32
+}
+
+// memoKey identifies one memo entry: a remaining trace-length budget and
+// the explorer-local id of the state it was computed from.
+type memoKey struct {
+	depth int
+	state uint32
+}
+
+// stateID interns a state key to the explorer-local dense id used in memo
+// keys. Not safe for concurrent use; callers hold the single-goroutine
+// discipline of memo itself.
+func (x *Explorer) stateID(key string) uint32 {
+	if id, ok := x.ids[key]; ok {
+		return id
+	}
+	if x.ids == nil {
+		x.ids = map[string]uint32{}
+	}
+	id := uint32(len(x.ids))
+	x.ids[key] = id
+	return id
 }
 
 // DefaultMaxTauStates is the default τ-closure state cap.
@@ -49,7 +88,7 @@ const DefaultMaxTauStates = 1 << 16
 
 // NewExplorer returns an explorer with default limits.
 func NewExplorer() *Explorer {
-	return &Explorer{memo: map[string]*closure.Set{}}
+	return &Explorer{memo: map[memoKey]*closure.Set{}}
 }
 
 // Traces returns the set of visible traces of length ≤ depth from state s,
@@ -64,20 +103,17 @@ func (x *Explorer) Traces(s State, depth int) (*closure.Set, error) {
 // every state expansion and returns an error wrapping csperr.ErrCanceled
 // promptly after ctx is done. Partially computed results are discarded;
 // the shared closure caches remain valid (interned nodes are immutable).
-// With Workers > 1 the BFS frontier is expanded in parallel with a barrier
-// per depth level.
+// With Workers > 1 the BFS frontier is expanded in parallel, and the
+// adaptive cutover (SerialCutover) keeps rounds too small to amortise the
+// pool on the calling goroutine.
 func (x *Explorer) TracesContext(ctx context.Context, s State, depth int) (*closure.Set, error) {
 	if x.memo == nil {
-		x.memo = map[string]*closure.Set{}
+		x.memo = map[memoKey]*closure.Set{}
 	}
-	if x.Workers > 1 {
+	if pool.Resolve(x.Workers) > 1 {
 		return x.tracesParallel(ctx, s, depth)
 	}
 	return x.tracesFrom(ctx, s, depth)
-}
-
-func exploreMemoKey(depth int, stateKey string) string {
-	return strconv.Itoa(depth) + "\x00" + stateKey
 }
 
 func (x *Explorer) tracesFrom(ctx context.Context, s State, depth int) (*closure.Set, error) {
@@ -87,7 +123,7 @@ func (x *Explorer) tracesFrom(ctx context.Context, s State, depth int) (*closure
 	if err := pool.Canceled(ctx); err != nil {
 		return nil, err
 	}
-	key := exploreMemoKey(depth, s.Key())
+	key := memoKey{depth: depth, state: x.stateID(s.Key())}
 	if cached, ok := x.memo[key]; ok {
 		return cached, nil
 	}

@@ -1,0 +1,4 @@
+package op
+
+// SetFrontierProbe exposes the discovery-level probe to external tests.
+func SetFrontierProbe(f func(level, n int)) { frontierProbe = f }

@@ -43,22 +43,26 @@ type visEdge struct {
 // stateRec is the per-state record of a parallel exploration.
 type stateRec struct {
 	key   string
+	id    uint32 // explorer-local interned id (memo keys)
 	state State
 	level int       // BFS level of first discovery
 	vis   []visEdge // visible transitions, in deterministic stitch order
 	sets  []*closure.Set
+	need  []bool // which budgets the DP must actually compute
 }
 
 func (x *Explorer) tracesParallel(ctx context.Context, s State, depth int) (*closure.Set, error) {
 	if depth <= 0 {
 		return closure.Stop(), nil
 	}
-	if cached, ok := x.memo[exploreMemoKey(depth, s.Key())]; ok {
+	rootKey := s.Key()
+	if cached, ok := x.memo[memoKey{depth: depth, state: x.stateID(rootKey)}]; ok {
 		return cached, nil
 	}
+	workers := pool.Resolve(x.Workers)
 	start := time.Now()
 
-	root := &stateRec{key: s.Key(), state: s}
+	root := &stateRec{key: rootKey, id: x.stateID(rootKey), state: s}
 	discovered := map[string]*stateRec{root.key: root}
 	order := []*stateRec{root}
 	frontier := []*stateRec{root}
@@ -66,14 +70,19 @@ func (x *Explorer) tracesParallel(ctx context.Context, s State, depth int) (*clo
 
 	// Phase 1: discovery. expansion carries one frontier state's visible
 	// transitions out of the parallel section; workers write only their own
-	// index, and the stitch below is sequential.
+	// index, and the stitch below is sequential. Each level sizes its pool
+	// through the adaptive cutover: a frontier too small to repay goroutine
+	// spawn expands inline, so worker count never taxes a narrow level.
 	type expansion struct {
 		evs   []trace.Event
 		nexts []State
 	}
 	for level := 0; level < depth && len(frontier) > 0; level++ {
+		if frontierProbe != nil {
+			frontierProbe(level, len(frontier))
+		}
 		results := make([]expansion, len(frontier))
-		err := pool.Run(ctx, x.Workers, len(frontier), func(i int) error {
+		err := pool.Run(ctx, pool.Adaptive(workers, len(frontier), x.SerialCutover), len(frontier), func(i int) error {
 			reach, err := x.tauClosure(frontier[i].state)
 			if err != nil {
 				return err
@@ -106,7 +115,7 @@ func (x *Explorer) tracesParallel(ctx context.Context, s State, depth int) (*clo
 				k := ex.nexts[j].Key()
 				nr, ok := discovered[k]
 				if !ok {
-					nr = &stateRec{key: k, state: ex.nexts[j], level: level + 1}
+					nr = &stateRec{key: k, id: x.stateID(k), state: ex.nexts[j], level: level + 1}
 					discovered[k] = nr
 					order = append(order, nr)
 					next = append(next, nr)
@@ -124,21 +133,50 @@ func (x *Explorer) tracesParallel(ctx context.Context, s State, depth int) (*clo
 		frontier = next
 	}
 
-	// Phase 2: bottom-up DP over budgets. Budget b only reads sets written
-	// at budget b−1, and the pool.Run barrier between rounds publishes
-	// those writes, so workers never race on a record.
+	// Demand marking: which (state, budget) pairs does the root actually
+	// need? The serial recursion only ever memoizes set(s', d−|path|) for
+	// paths it walks; computing every budget 1..depth−level per state (the
+	// old schedule) did strictly more Prefix/Union work than the serial
+	// path on chain-shaped graphs — measurably slower on narrow specs.
+	// Budgets strictly decrease along edges, so the worklist terminates on
+	// cyclic graphs too, and marks exactly the pairs the recursion would.
 	for _, rec := range order {
 		rec.sets = make([]*closure.Set, depth+1)
 		rec.sets[0] = closure.Stop()
+		rec.need = make([]bool, depth+1)
 	}
+	root.need[depth] = true
+	type demand struct {
+		rec *stateRec
+		b   int
+	}
+	stack := []demand{{root, depth}}
+	for len(stack) > 0 {
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.b <= 1 {
+			continue // successors are budget-0 base cases
+		}
+		for _, e := range d.rec.vis {
+			if !e.next.need[d.b-1] {
+				e.next.need[d.b-1] = true
+				stack = append(stack, demand{e.next, d.b - 1})
+			}
+		}
+	}
+
+	// Phase 2: bottom-up DP over budgets. Budget b only reads sets written
+	// at budget b−1, and the pool.Run barrier between rounds publishes
+	// those writes, so workers never race on a record. Each round sizes
+	// its pool through the adaptive cutover, like discovery.
 	for b := 1; b <= depth; b++ {
 		var work []*stateRec
 		for _, rec := range order {
-			if rec.level <= depth-b {
+			if rec.need[b] {
 				work = append(work, rec)
 			}
 		}
-		err := pool.Run(ctx, x.Workers, len(work), func(i int) error {
+		err := pool.Run(ctx, pool.Adaptive(workers, len(work), x.SerialCutover), len(work), func(i int) error {
 			rec := work[i]
 			branches := make([]*closure.Set, 0, len(rec.vis))
 			for _, e := range rec.vis {
@@ -158,7 +196,7 @@ func (x *Explorer) tracesParallel(ctx context.Context, s State, depth int) (*clo
 	for _, rec := range order {
 		for b := 1; b <= depth-rec.level; b++ {
 			if rec.sets[b] != nil {
-				x.memo[exploreMemoKey(b, rec.key)] = rec.sets[b]
+				x.memo[memoKey{depth: b, state: rec.id}] = rec.sets[b]
 			}
 		}
 	}
@@ -170,3 +208,7 @@ func (x *Explorer) tracesParallel(ctx context.Context, s State, depth int) (*clo
 	})
 	return root.sets[depth], nil
 }
+
+// frontierProbe, when non-nil, observes each discovery level's frontier
+// size; set only by tests measuring cutover thresholds.
+var frontierProbe func(level, n int)

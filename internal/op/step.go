@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"cspsat/internal/sem"
 	"cspsat/internal/syntax"
@@ -109,19 +110,33 @@ const maxUnfold = 256
 
 // Offers returns every communication offer enabled in state s.
 func Offers(s State) ([]Offer, error) {
-	return offers(s.Proc, s.Env, 0)
+	var out []Offer
+	if err := offers(s.Proc, s.Env, 0, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
+
+// offerScratch recycles the offer buffers the recursion fills: exploration
+// computes offers on every state visit and discards them immediately, so
+// pooling them (and the per-composition merge scratch) takes the slice
+// churn out of the GC's hands.
+var offerScratch = sync.Pool{New: func() any { s := make([]Offer, 0, 16); return &s }}
 
 // Step returns every concrete transition enabled in state s,
 // deterministically ordered. Unsynchronised input offers are expanded over
 // their sampled domains here, at the external boundary.
 func Step(s State) ([]Transition, error) {
-	offs, err := Offers(s)
-	if err != nil {
+	sp := offerScratch.Get().(*[]Offer)
+	defer func() {
+		*sp = (*sp)[:0]
+		offerScratch.Put(sp)
+	}()
+	if err := offers(s.Proc, s.Env, 0, sp); err != nil {
 		return nil, err
 	}
 	var ts []Transition
-	for _, o := range offs {
+	for _, o := range *sp {
 		switch o.Kind {
 		case OfferOut:
 			ts = append(ts, Transition{
@@ -139,61 +154,89 @@ func Step(s State) ([]Transition, error) {
 			}
 		}
 	}
-	sort.Slice(ts, func(i, j int) bool {
-		if ts[i].Tau != ts[j].Tau {
-			return !ts[i].Tau
-		}
-		if c := ts[i].Ev.Compare(ts[j].Ev); c != 0 {
-			return c < 0
-		}
-		return strings.Compare(ts[i].Next.Key(), ts[j].Next.Key()) < 0
-	})
+	sort.Sort(&tsByLabel{ts: ts, keys: make([]string, len(ts))})
 	return ts, nil
 }
 
-func offers(p syntax.Proc, env sem.Env, unfolds int) ([]Offer, error) {
+// tsByLabel orders transitions visible-first, then by event, then by
+// successor key. The key tiebreak only applies to transitions sharing an
+// event, so keys are rendered lazily and at most once per transition —
+// rendering is the successor term's full text, far too expensive to repeat
+// on every comparison (or to run eagerly for the common all-distinct case).
+type tsByLabel struct {
+	ts   []Transition
+	keys []string
+}
+
+func (s *tsByLabel) Len() int { return len(s.ts) }
+func (s *tsByLabel) Swap(i, j int) {
+	s.ts[i], s.ts[j] = s.ts[j], s.ts[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+func (s *tsByLabel) key(i int) string {
+	if s.keys[i] == "" {
+		s.keys[i] = s.ts[i].Next.Key()
+	}
+	return s.keys[i]
+}
+func (s *tsByLabel) Less(i, j int) bool {
+	if s.ts[i].Tau != s.ts[j].Tau {
+		return !s.ts[i].Tau
+	}
+	if c := s.ts[i].Ev.Compare(s.ts[j].Ev); c != 0 {
+		return c < 0
+	}
+	return strings.Compare(s.key(i), s.key(j)) < 0
+}
+
+// offers appends every communication offer enabled by p to *dst. The
+// append-into shape lets Alt and the prefix forms contribute offers with no
+// slice allocation at all, and lets Par and Hiding carve their operands'
+// offers out of dst as spans instead of materialising fresh slices.
+func offers(p syntax.Proc, env sem.Env, unfolds int, dst *[]Offer) error {
 	switch t := p.(type) {
 	case syntax.Stop:
-		return nil, nil
+		return nil
 
 	case syntax.Ref:
 		if unfolds >= maxUnfold {
-			return nil, fmt.Errorf("op: unguarded recursion: %d consecutive unfoldings at %s", unfolds, t)
+			return fmt.Errorf("op: unguarded recursion: %d consecutive unfoldings at %s", unfolds, t)
 		}
 		body, err := env.Instantiate(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return offers(body, env, unfolds+1)
+		return offers(body, env, unfolds+1, dst)
 
 	case syntax.Output:
 		c, err := env.EvalChanRef(t.Ch)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v, err := env.EvalExpr(t.Val)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cont := t.Cont
-		return []Offer{{
+		*dst = append(*dst, Offer{
 			Ch:   c,
 			Kind: OfferOut,
 			Val:  v,
 			next: func(value.V) State { return State{Proc: cont, Env: env} },
-		}}, nil
+		})
+		return nil
 
 	case syntax.Input:
 		c, err := env.EvalChanRef(t.Ch)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dom, err := env.EvalSet(t.Dom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cont, varName := t.Cont, t.Var
-		return []Offer{{
+		*dst = append(*dst, Offer{
 			Ch:   c,
 			Kind: OfferIn,
 			Dom:  dom,
@@ -202,20 +245,16 @@ func offers(p syntax.Proc, env sem.Env, unfolds int) ([]Offer, error) {
 				// value into the continuation term, keeping terms closed.
 				return State{Proc: syntax.SubstProc(cont, varName, sem.ValueToExpr(v)), Env: env}
 			},
-		}}, nil
+		})
+		return nil
 
 	case syntax.Alt:
 		// In the trace model (P | Q) denotes the union of behaviours; the
 		// enabled first offers are those of either side.
-		l, err := offers(t.L, env, unfolds)
-		if err != nil {
-			return nil, err
+		if err := offers(t.L, env, unfolds, dst); err != nil {
+			return err
 		}
-		r, err := offers(t.R, env, unfolds)
-		if err != nil {
-			return nil, err
-		}
-		return append(l, r...), nil
+		return offers(t.R, env, unfolds, dst)
 
 	case syntax.IChoice:
 		// Internal choice resolves by a silent step to one side — the
@@ -223,40 +262,52 @@ func offers(p syntax.Proc, env sem.Env, unfolds int) ([]Offer, error) {
 		// The τ-events carry branch indices on the pseudo-channel TauChan
 		// for the step log; they never become visible.
 		left, right := t.L, t.R
-		return []Offer{
-			{Ch: trace.TauChan, Kind: OfferOut, Tau: true, Val: value.Int(0),
+		*dst = append(*dst,
+			Offer{Ch: trace.TauChan, Kind: OfferOut, Tau: true, Val: value.Int(0),
 				next: func(value.V) State { return State{Proc: left, Env: env} }},
-			{Ch: trace.TauChan, Kind: OfferOut, Tau: true, Val: value.Int(1),
-				next: func(value.V) State { return State{Proc: right, Env: env} }},
-		}, nil
+			Offer{Ch: trace.TauChan, Kind: OfferOut, Tau: true, Val: value.Int(1),
+				next: func(value.V) State { return State{Proc: right, Env: env} }})
+		return nil
 
 	case syntax.Par:
-		return offersPar(t, env, unfolds)
+		return offersPar(t, env, unfolds, dst)
 
 	case syntax.Hiding:
-		return offersHiding(t, env, unfolds)
+		return offersHiding(t, env, unfolds, dst)
 
 	default:
-		return nil, fmt.Errorf("op: cannot step process form %T", p)
+		return fmt.Errorf("op: cannot step process form %T", p)
 	}
 }
 
-func offersHiding(t syntax.Hiding, env sem.Env, unfolds int) ([]Offer, error) {
+// hideCtx is the context shared by every rewrapped offer of one hiding
+// visit. Offer continuations capture only a pointer to it (plus the inner
+// continuation), keeping the per-offer closure small — exploration mints
+// these closures on every state visit, so their size sets the GC rate.
+type hideCtx struct {
+	channels []syntax.ChanItem
+}
+
+func (c *hideCtx) rewrap(on func(value.V) State, v value.V) State {
+	n := on(v)
+	return State{Proc: syntax.Hiding{Channels: c.channels, Body: n.Proc}, Env: n.Env}
+}
+
+func offersHiding(t syntax.Hiding, env sem.Env, unfolds int, dst *[]Offer) error {
 	hidden, err := env.EvalChanItems(t.Channels)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	inner, err := offers(t.Body, env, unfolds)
-	if err != nil {
-		return nil, err
+	base := len(*dst)
+	if err := offers(t.Body, env, unfolds, dst); err != nil {
+		return err
 	}
-	out := make([]Offer, 0, len(inner))
-	for _, o := range inner {
-		o := o
-		rewrap := func(v value.V) State {
-			n := o.Next(v)
-			return State{Proc: syntax.Hiding{Channels: t.Channels, Body: n.Proc}, Env: n.Env}
-		}
+	ctx := &hideCtx{channels: t.Channels}
+	sp := offerScratch.Get().(*[]Offer)
+	out := (*sp)[:0]
+	for _, o := range (*dst)[base:] {
+		on := o.next
+		rewrap := func(v value.V) State { return ctx.rewrap(on, v) }
 		if !hidden.Contains(o.Ch) {
 			out = append(out, Offer{Ch: o.Ch, Kind: o.Kind, Tau: o.Tau, Val: o.Val, Dom: o.Dom, next: rewrap})
 			continue
@@ -269,18 +320,40 @@ func offersHiding(t syntax.Hiding, env sem.Env, unfolds int) ([]Offer, error) {
 			// internally with a non-determinate value; expand over the
 			// sampled domain as internal τ events.
 			for _, v := range o.Dom.Enumerate() {
-				v := v
 				out = append(out, Offer{Ch: o.Ch, Kind: OfferOut, Tau: true, Val: v, next: rewrap})
 			}
 		}
 	}
-	return out, nil
+	*dst = append((*dst)[:base], out...)
+	*sp = out[:0]
+	offerScratch.Put(sp)
+	return nil
 }
 
-func offersPar(t syntax.Par, env sem.Env, unfolds int) ([]Offer, error) {
+// parCtx is the context shared by every offer of one parallel-composition
+// visit; as with hideCtx, per-offer continuations capture only the pointer
+// and the two inner continuations.
+type parCtx struct {
+	l, r           syntax.Proc
+	alphaL, alphaR []syntax.ChanItem
+	env            sem.Env
+}
+
+func (c *parCtx) rejoin(ln, rn func(value.V) State, v value.V) State {
+	lp, rp := c.l, c.r
+	if ln != nil {
+		lp = ln(v).Proc
+	}
+	if rn != nil {
+		rp = rn(v).Proc
+	}
+	return State{Proc: syntax.Par{L: lp, R: rp, AlphaL: c.alphaL, AlphaR: c.alphaR}, Env: c.env}
+}
+
+func offersPar(t syntax.Par, env sem.Env, unfolds int, dst *[]Offer) error {
 	x, y, err := sem.ParAlphabets(t, env)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Keep the (possibly explicit) alphabets on the successor terms, so
 	// they are not re-inferred from the narrowed residual processes: the
@@ -292,33 +365,25 @@ func offersPar(t syntax.Par, env sem.Env, unfolds int) ([]Offer, error) {
 	if alphaR == nil {
 		alphaR = itemsOf(y)
 	}
-	l, err := offers(t.L, env, unfolds)
-	if err != nil {
-		return nil, err
+	// Both sides' offers land in dst as adjacent spans; the combined offers
+	// are assembled in a pooled scratch (reading the spans) and then written
+	// back over them.
+	base := len(*dst)
+	if err := offers(t.L, env, unfolds, dst); err != nil {
+		return err
 	}
-	r, err := offers(t.R, env, unfolds)
-	if err != nil {
-		return nil, err
+	mid := len(*dst)
+	if err := offers(t.R, env, unfolds, dst); err != nil {
+		return err
 	}
+	l, r := (*dst)[base:mid], (*dst)[mid:]
+	ctx := &parCtx{l: t.L, r: t.R, alphaL: alphaL, alphaR: alphaR, env: env}
 	rejoin := func(ln, rn func(value.V) State) func(value.V) State {
-		return func(v value.V) State {
-			var lp, rp syntax.Proc
-			if ln == nil {
-				lp = t.L
-			} else {
-				lp = ln(v).Proc
-			}
-			if rn == nil {
-				rp = t.R
-			} else {
-				rp = rn(v).Proc
-			}
-			return State{Proc: syntax.Par{L: lp, R: rp, AlphaL: alphaL, AlphaR: alphaR}, Env: env}
-		}
+		return func(v value.V) State { return ctx.rejoin(ln, rn, v) }
 	}
-	var out []Offer
+	sp := offerScratch.Get().(*[]Offer)
+	out := (*sp)[:0]
 	for _, lo := range l {
-		lo := lo
 		if lo.Tau || !y.Contains(lo.Ch) {
 			// τ-steps and channels private to the left interleave.
 			out = append(out, Offer{Ch: lo.Ch, Kind: lo.Kind, Tau: lo.Tau, Val: lo.Val, Dom: lo.Dom, next: rejoin(lo.next, nil)})
@@ -326,7 +391,6 @@ func offersPar(t syntax.Par, env sem.Env, unfolds int) ([]Offer, error) {
 		}
 		// Shared channel: needs a matching offer on the right.
 		for _, ro := range r {
-			ro := ro
 			if ro.Tau || ro.Ch != lo.Ch {
 				continue
 			}
@@ -336,13 +400,15 @@ func offersPar(t syntax.Par, env sem.Env, unfolds int) ([]Offer, error) {
 		}
 	}
 	for _, ro := range r {
-		ro := ro
 		if ro.Tau || !x.Contains(ro.Ch) {
 			out = append(out, Offer{Ch: ro.Ch, Kind: ro.Kind, Tau: ro.Tau, Val: ro.Val, Dom: ro.Dom, next: rejoin(nil, ro.next)})
 		}
 		// Shared offers were handled (or refused) in the left pass.
 	}
-	return out, nil
+	*dst = append((*dst)[:base], out...)
+	*sp = out[:0]
+	offerScratch.Put(sp)
+	return nil
 }
 
 // syncOffers combines two offers on the same shared channel into the joint

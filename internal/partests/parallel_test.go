@@ -19,14 +19,16 @@ import (
 	"cspsat/internal/assertion"
 	"cspsat/internal/closure"
 	"cspsat/internal/csperr"
+	"cspsat/internal/op"
 	"cspsat/internal/proof"
+	"cspsat/internal/sem"
 	"cspsat/internal/syntax"
 	"cspsat/internal/trace"
 	"cspsat/internal/value"
 	"cspsat/pkg/csp"
 )
 
-// specRoots names, for each of the paper's six specs, the processes whose
+// specRoots names, for each of the repo's seven specs, the processes whose
 // trace sets the differential tests compare across engines.
 var specRoots = []struct {
 	file  string
@@ -39,6 +41,7 @@ var specRoots = []struct {
 	{"buffers.csp", []string{"buf1", "buf2"}, 6},
 	{"philosophers.csp", []string{"deadlocking", "safe"}, 5},
 	{"tokenring.csp", []string{"sys"}, 6},
+	{"nondet.csp", []string{"vend", "flaky"}, 6},
 }
 
 func loadSpec(t testing.TB, name string) *csp.Module {
@@ -80,6 +83,74 @@ func TestParallelExploreIdentical(t *testing.T) {
 					if !serial.Set.Same(par.Set) {
 						t.Fatalf("workers=%d: parallel explorer returned a different canonical node (Equal=%v)",
 							workers, serial.Set.Equal(par.Set))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAdaptiveCutoverIdentical pins the adaptive serial/parallel cutover
+// itself, on every root of all seven specs and for both engines: the
+// adaptive path (wide pool, default cutover — small rounds expand inline),
+// the forced-serial path (Workers 1), and the forced-parallel path
+// (SerialCutover 1, every round through the pool no matter how narrow)
+// must all return the same canonical node by pointer identity. A cutover
+// that changed expansion order in a way the stitch or the DP did not mask
+// would surface here as a Same failure.
+func TestAdaptiveCutoverIdentical(t *testing.T) {
+	denoteDepths := map[string]int{"multiplier.csp": 3, "tokenring.csp": 4, "philosophers.csp": 4}
+	for _, s := range specRoots {
+		mod := loadSpec(t, s.file)
+		for _, root := range s.roots {
+			t.Run(s.file+"/"+root, func(t *testing.T) {
+				p, err := mod.Proc(root)
+				if err != nil {
+					t.Fatal(err)
+				}
+				env := mod.Env()
+
+				serial := op.NewExplorer()
+				serial.Workers = 1
+				want, err := serial.Traces(op.NewState(p, env), s.depth)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, x := range map[string]*op.Explorer{
+					"adaptive":        {Workers: 8},
+					"forced-parallel": {Workers: 8, SerialCutover: 1},
+				} {
+					got, err := x.Traces(op.NewState(p, env), s.depth)
+					if err != nil {
+						t.Fatalf("explorer %s: %v", name, err)
+					}
+					if !want.Same(got) {
+						t.Fatalf("explorer %s: different canonical node than forced-serial (Equal=%v)",
+							name, want.Equal(got))
+					}
+				}
+
+				depth := s.depth
+				if d, ok := denoteDepths[s.file]; ok {
+					depth = d
+				}
+				ds := sem.NewDenoter(depth)
+				ds.Workers = 1
+				dwant, err := ds.Denote(p, env)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, cutover := range map[string]int{"adaptive": 0, "forced-parallel": 1} {
+					d := sem.NewDenoter(depth)
+					d.Workers = 8
+					d.SerialCutover = cutover
+					got, err := d.Denote(p, env)
+					if err != nil {
+						t.Fatalf("denoter %s: %v", name, err)
+					}
+					if !dwant.Same(got) {
+						t.Fatalf("denoter %s: different canonical node than forced-serial (Equal=%v)",
+							name, dwant.Equal(got))
 					}
 				}
 			})

@@ -110,7 +110,7 @@ func refTraces(t *testing.T, p syntax.Proc, env sem.Env, depth int) map[string]b
 }
 
 // TestInternedEngineMatchesStringReference compares the id-keyed engine's
-// trace sets against refTraces on all six specs at the standard depths.
+// trace sets against refTraces on all seven specs at the standard depths.
 func TestInternedEngineMatchesStringReference(t *testing.T) {
 	for _, s := range specRoots {
 		sys, err := core.LoadFile(specFile(s.file), core.Options{NatWidth: 2})

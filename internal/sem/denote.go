@@ -66,8 +66,16 @@ type Denoter struct {
 	// to the same least fixpoint on the finite window, so the final sets —
 	// and, thanks to canonical interning, the node pointers — coincide with
 	// the serial result; only the pass count may differ. Values ≤ 1 select
-	// the serial path.
+	// the serial path; pool.WorkersAuto sizes the pool to the machine.
 	Workers int
+
+	// SerialCutover tunes the adaptive serial/parallel cutover: a chain
+	// pass over fewer registered instances than the cutover runs inline on
+	// the calling goroutine — the equation system is too small to repay
+	// spawning a pool per pass, which is exactly the BENCH_2026-08-05
+	// small-workload regression. Zero means pool.DefaultSerialCutover; 1
+	// forces every pass through the pool (for the differential tests).
+	SerialCutover int
 
 	// Progress, when non-nil, receives a "fixpoint" stage event after each
 	// chain pass and a final Done event.
@@ -124,6 +132,7 @@ func (d *Denoter) DenoteContext(ctx context.Context, p syntax.Proc, env Env) (*c
 	// instances are registered finitely often for the same reason the
 	// alphabet walker terminates.
 	start := time.Now()
+	workers := pool.Resolve(d.Workers)
 	d.iters = 0
 	for {
 		if err := pool.Canceled(ctx); err != nil {
@@ -147,7 +156,7 @@ func (d *Denoter) DenoteContext(ctx context.Context, p syntax.Proc, env Env) (*c
 			insts[i] = d.instances[k]
 		}
 		nexts := make([]*closure.Set, len(keys))
-		err := pool.Run(ctx, d.Workers, len(keys), func(i int) error {
+		err := pool.Run(ctx, pool.Adaptive(workers, len(keys), d.SerialCutover), len(keys), func(i int) error {
 			next, err := d.eval(insts[i].body, insts[i].env, befores[i])
 			if err != nil {
 				return err
@@ -173,9 +182,19 @@ func (d *Denoter) DenoteContext(ctx context.Context, p syntax.Proc, env Env) (*c
 				changed = true // a deeper use site was discovered mid-pass
 			}
 		}
-		s, err := d.eval(p, env, d.Depth)
-		if err != nil {
-			return nil, err
+		// The root term is evaluated exactly twice, not once per pass: the
+		// first (discovery) pass registers every root-reachable instance
+		// and raises their budgets — both determined by the term structure
+		// alone, so repeating them is pure waste — and the stable pass
+		// computes the answer against the fixed approximations. For deeply
+		// composed roots (a hidden n-way parallel product) the root is the
+		// most expensive term in the system; skipping its re-evaluation
+		// cuts the chain's allocation rate severalfold, which is what
+		// flattens the GOMAXPROCS>cores GC slope of BENCH_2026-08-05.
+		if d.iters == 1 {
+			if _, err := d.eval(p, env, d.Depth); err != nil {
+				return nil, err
+			}
 		}
 		d.Progress.Emit(progress.Event{
 			Stage:           "fixpoint",
@@ -184,6 +203,10 @@ func (d *Denoter) DenoteContext(ctx context.Context, p syntax.Proc, env Env) (*c
 			Elapsed:         time.Since(start),
 		})
 		if !changed && len(d.instances) == budgetsBefore {
+			s, err := d.eval(p, env, d.Depth)
+			if err != nil {
+				return nil, err
+			}
 			d.Progress.Emit(progress.Event{
 				Stage:           "fixpoint",
 				ChainIterations: d.iters,
@@ -295,19 +318,7 @@ func (d *Denoter) eval(p syntax.Proc, env Env, budget int) (*closure.Set, error)
 		}
 		return closure.Union(l, r), nil
 	case syntax.Par:
-		x, y, err := ParAlphabets(t, env)
-		if err != nil {
-			return nil, err
-		}
-		l, err := d.eval(t.L, env, budget)
-		if err != nil {
-			return nil, err
-		}
-		r, err := d.eval(t.R, env, budget)
-		if err != nil {
-			return nil, err
-		}
-		return closure.Parallel(l, r, x, y).TruncateTo(budget), nil
+		return d.evalPar(t, env, budget)
 	case syntax.Hiding:
 		hidden, err := env.EvalChanItems(t.Channels)
 		if err != nil {
@@ -321,6 +332,95 @@ func (d *Denoter) eval(p syntax.Proc, env Env, budget int) (*closure.Set, error)
 	default:
 		return nil, fmt.Errorf("sem: cannot denote process form %T", p)
 	}
+}
+
+// parLeaf is one operand of a flattened parallel spine, paired with its
+// inferred alphabet.
+type parLeaf struct {
+	p     syntax.Proc
+	alpha trace.Set
+}
+
+// collectParLeaves flattens a spine of inferred-alphabet compositions into
+// its operand list. A node carrying an explicit alphabet is kept whole (it
+// becomes a single leaf), because the reorder in evalPar is only provably
+// sound when every operand's alphabet covers its actual events — which
+// inference guarantees and a declaration does not.
+func collectParLeaves(p syntax.Proc, env Env, out []parLeaf) ([]parLeaf, error) {
+	if t, ok := p.(syntax.Par); ok && t.AlphaL == nil && t.AlphaR == nil {
+		out, err := collectParLeaves(t.L, env, out)
+		if err != nil {
+			return nil, err
+		}
+		return collectParLeaves(t.R, env, out)
+	}
+	a, err := Alphabet(p, env)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, parLeaf{p: p, alpha: a}), nil
+}
+
+// evalPar denotes a parallel composition. Binary and explicit-alphabet
+// compositions take the direct product; a fully inferred spine of three or
+// more operands is folded in a greedily chosen order instead of source
+// order. Alphabetized parallel is associative and commutative in the trace
+// model — s is in the n-ary composition iff s↾αi ∈ Pi for every operand,
+// regardless of bracketing — so the final canonical set is identical for
+// any fold order, but the intermediate products are not: source order can
+// put mutually independent operands first (specs/philosophers.csp lists
+// the three forks before any philosopher), whose product is an
+// interleaving blow-up that the next fold steps mostly discard. Starting
+// from the first operand and always folding in the operand sharing the
+// most channels with the accumulated alphabet keeps every intermediate
+// product synchronised, which on the philosophers table cuts the trie work
+// (and so the fixpoint chain's allocation rate) severalfold.
+func (d *Denoter) evalPar(t syntax.Par, env Env, budget int) (*closure.Set, error) {
+	leaves, err := collectParLeaves(t, env, nil)
+	if err == nil && len(leaves) > 2 {
+		vals := make([]*closure.Set, len(leaves))
+		for i, lf := range leaves {
+			// Source evaluation order, so instance discovery and budget
+			// raising happen exactly as the direct fold would do them.
+			if vals[i], err = d.eval(lf.p, env, budget); err != nil {
+				return nil, err
+			}
+		}
+		used := make([]bool, len(leaves))
+		cur, alpha := vals[0], leaves[0].alpha
+		used[0] = true
+		for range leaves[1:] {
+			best, shared := -1, -1
+			for i, u := range used {
+				if u {
+					continue
+				}
+				if n := alpha.Intersect(leaves[i].alpha).Len(); n > shared {
+					best, shared = i, n
+				}
+			}
+			cur = closure.ParallelTo(cur, vals[best], alpha, leaves[best].alpha, budget)
+			alpha = alpha.Union(leaves[best].alpha)
+			used[best] = true
+		}
+		return cur, nil
+	}
+	// Binary or explicit-alphabet composition — and the fallback when
+	// alphabet inference fails, so ParAlphabets can surface that error
+	// with its usual context.
+	x, y, err := ParAlphabets(t, env)
+	if err != nil {
+		return nil, err
+	}
+	l, err := d.eval(t.L, env, budget)
+	if err != nil {
+		return nil, err
+	}
+	r, err := d.eval(t.R, env, budget)
+	if err != nil {
+		return nil, err
+	}
+	return closure.ParallelTo(l, r, x, y, budget), nil
 }
 
 func (d *Denoter) capBudget(b int) int {

@@ -7,6 +7,7 @@ package sem
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"cspsat/internal/syntax"
 	"cspsat/internal/trace"
@@ -27,6 +28,52 @@ type Env struct {
 	module   *syntax.Module
 	natWidth int
 	vars     *binding
+	chanSets *chanSetCache
+}
+
+// chanSetCache memoizes EvalChanItems for literal channel lists and
+// EvalSet for binding-independent set expressions, keyed by slice identity
+// (and set name). The op engine stamps every parallel composition in every
+// successor term with its (literal) alphabet items, and copy-on-write
+// substitution preserves the identity of closed subterms, so exploration
+// resolves the same few lists and domains once per state without this
+// cache and once per module with it. The keys' element pointers keep the
+// slices alive, so an address is never recycled under a live entry. All
+// environments derived from one NewEnv share the cache; the cached values
+// evaluate the same under any bindings (and NatWidth, which NAT depends
+// on, is fixed at NewEnv time).
+type chanSetCache struct {
+	m    sync.Map // chanItemsKey → trace.Set
+	doms sync.Map // string (set name) or enumKey → value.Domain
+}
+
+type chanItemsKey struct {
+	first *syntax.ChanItem
+	n     int
+}
+
+type enumKey struct {
+	first *syntax.Expr
+	n     int
+}
+
+// literalChanItems reports whether every subscript in the list is absent or
+// a literal — the condition under which the list's channel set cannot
+// depend on the environment's bindings.
+func literalChanItems(items []syntax.ChanItem) bool {
+	lit := func(e syntax.Expr) bool {
+		if e == nil {
+			return true
+		}
+		_, ok := e.(syntax.IntLit)
+		return ok
+	}
+	for _, it := range items {
+		if !lit(it.Sub) || !lit(it.Lo) || !lit(it.Hi) {
+			return false
+		}
+	}
+	return true
 }
 
 type binding struct {
@@ -38,7 +85,7 @@ type binding struct {
 // NewEnv returns an environment over the given module. natWidth sets the
 // enumeration width of NAT (0 means value.DefaultNatSample).
 func NewEnv(m *syntax.Module, natWidth int) Env {
-	return Env{module: m, natWidth: natWidth}
+	return Env{module: m, natWidth: natWidth, chanSets: &chanSetCache{}}
 }
 
 // Module returns the enclosing module.
@@ -155,8 +202,56 @@ func evalArith(op syntax.BinOp, l, r int64) (value.V, error) {
 	}
 }
 
-// EvalSet evaluates a set expression to a message domain.
+// EvalSet evaluates a set expression to a message domain. Named sets and
+// all-literal enumerations — the overwhelmingly common input domains — are
+// cached, since exploration re-evaluates each input's domain on every
+// state visit; domains are immutable, so the cached value is shared.
 func (e Env) EvalSet(s syntax.SetExpr) (value.Domain, error) {
+	if e.chanSets != nil {
+		switch t := s.(type) {
+		case syntax.SetName:
+			if v, ok := e.chanSets.doms.Load(t.Name); ok {
+				return v.(value.Domain), nil
+			}
+			d, err := e.evalSet(s)
+			if err != nil {
+				return nil, err
+			}
+			e.chanSets.doms.Store(t.Name, d)
+			return d, nil
+		case syntax.EnumSet:
+			if len(t.Elems) == 0 || !literalExprs(t.Elems) {
+				break
+			}
+			key := enumKey{first: &t.Elems[0], n: len(t.Elems)}
+			if v, ok := e.chanSets.doms.Load(key); ok {
+				return v.(value.Domain), nil
+			}
+			d, err := e.evalSet(s)
+			if err != nil {
+				return nil, err
+			}
+			e.chanSets.doms.Store(key, d)
+			return d, nil
+		}
+	}
+	return e.evalSet(s)
+}
+
+// literalExprs reports whether every expression is a literal, so that
+// evaluation cannot depend on the environment's bindings.
+func literalExprs(es []syntax.Expr) bool {
+	for _, e := range es {
+		switch e.(type) {
+		case syntax.IntLit, syntax.SymLit:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (e Env) evalSet(s syntax.SetExpr) (value.Domain, error) {
 	switch t := s.(type) {
 	case syntax.SetName:
 		if t.Name == "NAT" {
@@ -222,8 +317,31 @@ func (e Env) EvalChanRef(c syntax.ChanRef) (trace.Chan, error) {
 }
 
 // EvalChanItems resolves a channel list (names, subscripted names, and
-// array ranges such as col[0..3]) to a concrete channel set.
+// array ranges such as col[0..3]) to a concrete channel set. Literal lists
+// are cached by slice identity and the cached set is returned shared, so
+// the result must be treated as read-only — callers that need to mutate it
+// must Clone first (trace.Set's Add methods write through the backing
+// array).
 func (e Env) EvalChanItems(items []syntax.ChanItem) (trace.Set, error) {
+	cacheable := e.chanSets != nil && len(items) > 0 && literalChanItems(items)
+	var key chanItemsKey
+	if cacheable {
+		key = chanItemsKey{first: &items[0], n: len(items)}
+		if v, ok := e.chanSets.m.Load(key); ok {
+			return v.(trace.Set), nil
+		}
+	}
+	out, err := e.evalChanItems(items)
+	if err != nil {
+		return out, err
+	}
+	if cacheable {
+		e.chanSets.m.Store(key, out)
+	}
+	return out, nil
+}
+
+func (e Env) evalChanItems(items []syntax.ChanItem) (trace.Set, error) {
 	out := trace.NewSet()
 	for _, it := range items {
 		switch {

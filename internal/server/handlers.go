@@ -45,7 +45,9 @@ type runRequest struct {
 	// (/v1/refine only): does Impl refine Spec?
 	Impl string `json:"impl,omitempty"`
 	Spec string `json:"spec,omitempty"`
-	// Depth, Nat, Workers override the server defaults when positive.
+	// Depth, Nat, Workers override the server defaults when positive;
+	// Workers additionally accepts -1 (csp.WorkersAuto) for machine-sized
+	// pools behind the adaptive serial/parallel cutover.
 	Depth   int `json:"depth,omitempty"`
 	Nat     int `json:"nat,omitempty"`
 	Workers int `json:"workers,omitempty"`
@@ -116,8 +118,10 @@ func (s *Server) execute(ctx context.Context, kind string, req runRequest) (*run
 	if depth <= 0 {
 		depth = s.cfg.Depth
 	}
+	// A request may pin a positive count or csp.WorkersAuto (-1,
+	// machine-sized pools); anything else falls back to the server default.
 	workers := req.Workers
-	if workers <= 0 {
+	if workers <= 0 && workers != csp.WorkersAuto {
 		workers = s.cfg.Workers
 	}
 
@@ -377,8 +381,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
+	// A request may pin a positive count or csp.WorkersAuto (-1,
+	// machine-sized pools); anything else falls back to the server default.
 	workers := req.Workers
-	if workers <= 0 {
+	if workers <= 0 && workers != csp.WorkersAuto {
 		workers = s.cfg.Workers
 	}
 

@@ -8,7 +8,7 @@
 package syntax
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -76,7 +76,7 @@ func (Var) exprNode()    {}
 func (Binary) exprNode() {}
 func (Index) exprNode()  {}
 
-func (e IntLit) String() string { return fmt.Sprintf("%d", e.Val) }
+func (e IntLit) String() string { return strconv.FormatInt(e.Val, 10) }
 func (e SymLit) String() string { return e.Name }
 func (e Var) String() string    { return e.Name }
 func (e Binary) String() string {

@@ -1,6 +1,9 @@
 package syntax
 
-import "strings"
+import (
+	"strconv"
+	"sync"
+)
 
 // Proc is a process expression (§1.2). The constructors correspond one-for-
 // one with the paper's forms:
@@ -89,55 +92,154 @@ func (IChoice) procNode() {}
 func (Par) procNode()     {}
 func (Hiding) procNode()  {}
 
-func (Stop) String() string { return "STOP" }
+// The String methods render through one shared pooled buffer rather than
+// by concatenation: a rendered term is the op engine's state identity, so
+// exploration renders terms constantly, and per-level concatenation made
+// that quadratic in term depth — dominated by parallel networks whose
+// every composition node carries its full alphabet annotation. The only
+// per-render allocation is the final string copy.
 
-func (p Ref) String() string {
-	if p.Sub == nil {
-		return p.Name
+func (p Stop) String() string    { return render(p) }
+func (p Ref) String() string     { return render(p) }
+func (p Output) String() string  { return render(p) }
+func (p Input) String() string   { return render(p) }
+func (p Alt) String() string     { return render(p) }
+func (p IChoice) String() string { return render(p) }
+func (p Par) String() string     { return render(p) }
+func (p Hiding) String() string  { return render(p) }
+
+// pbuf is the append-only byte sink the renderer writes through; pooled so
+// the scratch buffer is reused across renders.
+type pbuf struct{ b []byte }
+
+func (w *pbuf) WriteString(s string) { w.b = append(w.b, s...) }
+func (w *pbuf) writeByte(c byte)     { w.b = append(w.b, c) }
+
+var renderPool = sync.Pool{New: func() any { return &pbuf{b: make([]byte, 0, 512)} }}
+
+func render(p Proc) string {
+	w := renderPool.Get().(*pbuf)
+	writeProc(w, p)
+	out := string(w.b)
+	w.b = w.b[:0]
+	renderPool.Put(w)
+	return out
+}
+
+func writeProc(b *pbuf, p Proc) {
+	switch t := p.(type) {
+	case Stop:
+		b.WriteString("STOP")
+	case Ref:
+		b.WriteString(t.Name)
+		if t.Sub != nil {
+			b.writeByte('[')
+			writeExpr(b, t.Sub)
+			b.writeByte(']')
+		}
+	case Output:
+		writeChanRef(b, t.Ch)
+		b.writeByte('!')
+		writeExpr(b, t.Val)
+		b.WriteString(" -> ")
+		writeCont(b, t.Cont)
+	case Input:
+		writeChanRef(b, t.Ch)
+		b.writeByte('?')
+		b.WriteString(t.Var)
+		b.writeByte(':')
+		b.WriteString(t.Dom.String())
+		b.WriteString(" -> ")
+		writeCont(b, t.Cont)
+	case Alt:
+		b.writeByte('(')
+		writeProc(b, t.L)
+		b.WriteString(" | ")
+		writeProc(b, t.R)
+		b.writeByte(')')
+	case IChoice:
+		b.writeByte('(')
+		writeProc(b, t.L)
+		b.WriteString(" |~| ")
+		writeProc(b, t.R)
+		b.writeByte(')')
+	case Par:
+		b.writeByte('(')
+		writeProc(b, t.L)
+		if t.AlphaL == nil && t.AlphaR == nil {
+			b.WriteString(" || ")
+		} else {
+			b.WriteString(" [")
+			writeChanItems(b, t.AlphaL)
+			b.WriteString(" || ")
+			writeChanItems(b, t.AlphaR)
+			b.WriteString("] ")
+		}
+		writeProc(b, t.R)
+		b.writeByte(')')
+	case Hiding:
+		b.WriteString("(chan ")
+		writeChanItems(b, t.Channels)
+		b.WriteString("; ")
+		writeProc(b, t.Body)
+		b.writeByte(')')
+	default:
+		b.WriteString(p.String())
 	}
-	return p.Name + "[" + p.Sub.String() + "]"
 }
 
-func (p Output) String() string {
-	return p.Ch.String() + "!" + p.Val.String() + " -> " + contString(p.Cont)
-}
-
-func (p Input) String() string {
-	return p.Ch.String() + "?" + p.Var + ":" + p.Dom.String() + " -> " + contString(p.Cont)
-}
-
-// contString renders a prefix continuation without extra parentheses,
+// writeCont renders a prefix continuation without extra parentheses,
 // matching the paper's right-associative arrow convention.
-func contString(p Proc) string {
+func writeCont(b *pbuf, p Proc) {
 	switch p.(type) {
 	case Output, Input, Stop, Ref:
-		return p.String()
+		writeProc(b, p)
 	default:
-		return "(" + p.String() + ")"
+		b.writeByte('(')
+		writeProc(b, p)
+		b.writeByte(')')
 	}
 }
 
-func (p Alt) String() string { return "(" + p.L.String() + " | " + p.R.String() + ")" }
-
-func (p IChoice) String() string { return "(" + p.L.String() + " |~| " + p.R.String() + ")" }
-
-func (p Par) String() string {
-	if p.AlphaL == nil && p.AlphaR == nil {
-		return "(" + p.L.String() + " || " + p.R.String() + ")"
+// writeExpr appends an expression, formatting integer literals — the
+// overwhelmingly common case in substituted terms and alphabet
+// annotations — without going through the fmt machinery.
+func writeExpr(b *pbuf, e Expr) {
+	if n, ok := e.(IntLit); ok {
+		b.b = strconv.AppendInt(b.b, n.Val, 10)
+		return
 	}
-	return "(" + p.L.String() + " [" + chanItems(p.AlphaL) + " || " + chanItems(p.AlphaR) + "] " + p.R.String() + ")"
+	b.WriteString(e.String())
 }
 
-func chanItems(items []ChanItem) string {
-	parts := make([]string, len(items))
+func writeChanRef(b *pbuf, c ChanRef) {
+	b.WriteString(c.Name)
+	if c.Sub != nil {
+		b.writeByte('[')
+		writeExpr(b, c.Sub)
+		b.writeByte(']')
+	}
+}
+
+func writeChanItems(b *pbuf, items []ChanItem) {
 	for i, it := range items {
-		parts[i] = it.String()
+		if i > 0 {
+			b.writeByte(',')
+		}
+		b.WriteString(it.Name)
+		switch {
+		case it.Lo != nil:
+			b.writeByte('[')
+			writeExpr(b, it.Lo)
+			b.WriteString("..")
+			writeExpr(b, it.Hi)
+			b.writeByte(']')
+		case it.Sub != nil:
+			b.writeByte('[')
+			writeExpr(b, it.Sub)
+			b.writeByte(']')
+		}
 	}
-	return strings.Join(parts, ",")
-}
-
-func (p Hiding) String() string {
-	return "(chan " + chanItems(p.Channels) + "; " + p.Body.String() + ")"
 }
 
 // ParAll folds a list of processes into a left-nested chain of inferred-

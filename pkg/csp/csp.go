@@ -201,6 +201,15 @@ func KnownModels() []Model { return model.Known() }
 // leaves Depth zero.
 const DefaultDepth = 8
 
+// WorkersAuto, set as the Workers field of EngineOptions or CheckOptions
+// (the CLI spelling is -workers auto), sizes worker pools to the machine
+// (runtime.GOMAXPROCS) with the adaptive serial/parallel cutover engaged:
+// each engine stage estimates its size (BFS frontier, equation system,
+// obligation batch) and runs inline when the stage is too small to repay
+// goroutine spawn, so auto parallelism on a tiny spec costs the same as
+// Workers: 1. See DESIGN.md §3.7 for the measured thresholds.
+const WorkersAuto = pool.WorkersAuto
+
 // DefaultMaxEvents bounds an EngineRuntime walk when EngineOptions leaves
 // MaxEvents zero.
 const DefaultMaxEvents = 40
@@ -221,8 +230,11 @@ type EngineOptions struct {
 	Engine Engine
 	// Depth is the trace-length bound; zero means DefaultDepth.
 	Depth int
-	// Workers fans the engine across a worker pool when > 1. The parallel
-	// paths return node-identical results to the serial ones.
+	// Workers fans the engine across a worker pool when > 1; WorkersAuto
+	// sizes the pool to the machine. The parallel paths return
+	// node-identical results to the serial ones, and the adaptive cutover
+	// routes stages below the measured threshold inline, so oversizing
+	// Workers never slows a small workload.
 	Workers int
 	// Progress, when non-nil, receives per-stage progress events.
 	// Callbacks must be cheap and goroutine-safe.
@@ -252,7 +264,8 @@ type CheckOptions struct {
 	// DefaultDepth.
 	Depth int
 	// Workers distributes independent obligations (asserts, batch proofs)
-	// across a worker pool when > 1.
+	// across a worker pool when > 1; WorkersAuto sizes the pool to the
+	// machine with the adaptive cutover engaged.
 	Workers int
 	// Progress, when non-nil, receives per-obligation progress events.
 	Progress Progress

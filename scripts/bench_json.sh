@@ -8,8 +8,16 @@
 #
 # Usage: scripts/bench_json.sh [extra go test args...]
 #   BENCH_OUT=path    override the output file
-#   BENCH_PATTERN=re  override the benchmark regex (default: the E01–E15 set)
+#   BENCH_PATTERN=re  override the benchmark regex (default: every
+#                     numbered experiment benchmark, E01 through the
+#                     E16/E17 width-N scaling matrix)
 #   BENCH_TIME=d      override -benchtime (default 1s)
+#   BENCH_GOGC=n      override GOGC for the run (default 400: snapshots
+#                     measure engine compute, not collector bookkeeping —
+#                     on a host with fewer cores than GOMAXPROCS the
+#                     collector's per-P overhead would otherwise dominate
+#                     the high-proc scaling rows; the value is recorded in
+#                     the JSON header)
 #
 # The JSON is a snapshot for EXPERIMENTS.md and the CI artifact, not a
 # benchstat replacement: re-run on the same machine before comparing.
@@ -19,6 +27,7 @@ cd "$(dirname "$0")/.."
 
 pattern="${BENCH_PATTERN:-^BenchmarkE[0-9]+}"
 benchtime="${BENCH_TIME:-1s}"
+gogc="${BENCH_GOGC:-400}"
 out="${BENCH_OUT:-BENCH_$(date +%Y-%m-%d).json}"
 commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 git diff --quiet HEAD 2>/dev/null || commit="$commit-dirty"
@@ -26,9 +35,19 @@ maxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" "$@" . | tee "$tmp"
+# A full 1s-benchtime sweep (plus the untimed per-iteration GC the
+# scaling benchmarks do) can outlast go test's default 10m timeout, and
+# POSIX sh has no pipefail — run to a file and fail hard before writing
+# any JSON, so a broken run can never produce a header-only snapshot.
+if ! GOGC="$gogc" go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
+	-timeout 45m "$@" . > "$tmp" 2>&1; then
+	cat "$tmp"
+	echo "bench_json.sh: go test failed; no JSON written" >&2
+	exit 1
+fi
+cat "$tmp"
 
-awk -v date="$(date +%Y-%m-%dT%H:%M:%S%z)" -v commit="$commit" -v maxprocs="$maxprocs" '
+awk -v date="$(date +%Y-%m-%dT%H:%M:%S%z)" -v commit="$commit" -v maxprocs="$maxprocs" -v gogc="$gogc" '
 BEGIN { n = 0 }
 /^goos: /   { goos = $2 }
 /^goarch: / { goarch = $2 }
@@ -51,6 +70,7 @@ END {
     printf "  \"date\": \"%s\",\n", date
     printf "  \"commit\": \"%s\",\n", commit
     printf "  \"gomaxprocs\": %s,\n", maxprocs
+    printf "  \"gogc\": %s,\n", gogc
     printf "  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"benchmarks\": [\n"
