@@ -111,8 +111,152 @@ func BenchmarkE19WarmBootFromStore(b *testing.B) {
 				if !ok {
 					b.Fatalf("%s: no cached traces after warm boot", s.file)
 				}
-				if res.Set.Size() == 0 {
+				if res.View().Size() == 0 {
 					b.Fatal("empty trace set")
+				}
+			}
+		}
+	})
+}
+
+// sprawlSpec is a history-dependent process whose trie defeats hash
+// consing: the out!s edge distinguishes every reachable accumulator
+// value, so depth 11 freezes to ~2048 distinct nodes. The committed
+// specs intern to a few dozen nodes each — far too shared for a boot
+// benchmark whose whole point is the per-node rebuild cost.
+const sprawlSpec = `
+hist[s:{0..4095}] = a!0 -> hist[(2*s) % 4096]
+                  | b!0 -> hist[(2*s+1) % 4096]
+                  | out!s -> STOP
+sprawl = hist[0]
+`
+
+// e21Specs is the E21 workload: the six committed specs at serving
+// depths plus the node-heavy sprawl module (inline source), together a
+// ~2400-node store. E19's smoke-depth tries are so small that file I/O
+// hides the rebuild cost; this workload is where the old boot
+// (re-intern every node) actually hurt and the frozen boot's advantage
+// is the point being measured.
+var e21Specs = []struct {
+	file  string // specs/ file name, "" when src is inline
+	src   string
+	proc  string
+	depth int
+}{
+	{file: "copier", proc: "copier", depth: 14},
+	{file: "protocol", proc: "protocol", depth: 12},
+	{file: "multiplier", proc: "multiplier", depth: 6},
+	{file: "buffers", proc: "buf1", depth: 12},
+	{file: "philosophers", proc: "safe", depth: 9},
+	{file: "tokenring", proc: "sys", depth: 10},
+	{src: sprawlSpec, proc: "sprawl", depth: 11},
+}
+
+// E21 (DESIGN.md §3.8): the frozen arena makes warm-boot readiness a
+// validation pass over mmap'd bytes instead of a trie rebuild. The two
+// boot legs run the identical warm workload and differ in one call:
+// "frozen" answers the post-boot queries straight off the frozen views,
+// "thaw" forces every result through TraceSet() — re-interning the stored
+// graphs exactly as the pre-arena codec did on every boot. The "reads"
+// leg pins the zero-allocation contract for read-only queries against an
+// already-bound frozen module.
+func BenchmarkE21FrozenBoot(b *testing.B) {
+	ctx := context.Background()
+	sources := make([]string, len(e21Specs))
+	for i, s := range e21Specs {
+		if s.file != "" {
+			sources[i] = readSpecSource(b, s.file)
+		} else {
+			sources[i] = s.src
+		}
+	}
+
+	dir := b.TempDir()
+	st, err := csp.OpenStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := csp.NewModuleCache(0)
+	seed.SetStore(st, nil)
+	for i, s := range e21Specs {
+		mod, _, _, err := seed.Load(ctx, sources[i], csp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := mod.Proc(s.proc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := mod.Traces(ctx, p, csp.EngineOptions{Engine: csp.EngineOp, Depth: s.depth})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod.StoreTraces(csp.EngineOp, s.depth, s.proc, res)
+	}
+
+	// boot maps every artifact and returns the cached results, one per spec.
+	boot := func(b *testing.B) []*csp.TraceResult {
+		cache := csp.NewModuleCache(0)
+		cache.SetStore(st, nil)
+		if loaded, _, err := cache.WarmBoot(ctx); err != nil || loaded != len(e21Specs) {
+			b.Fatalf("warm boot: loaded=%d err=%v", loaded, err)
+		}
+		results := make([]*csp.TraceResult, len(e21Specs))
+		for j, s := range e21Specs {
+			mod, _, hit, err := cache.Load(ctx, sources[j], csp.Options{})
+			if err != nil || !hit {
+				b.Fatalf("%s: hit=%v err=%v", s.proc, hit, err)
+			}
+			res, ok := mod.CachedTraces(csp.EngineOp, s.depth, s.proc)
+			if !ok {
+				b.Fatalf("%s: no cached traces after warm boot", s.proc)
+			}
+			results[j] = res
+		}
+		return results
+	}
+
+	b.Run("frozen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csp.ResetCaches()
+			for _, res := range boot(b) {
+				if res.View().Size() == 0 {
+					b.Fatal("empty trace set")
+				}
+			}
+		}
+	})
+
+	b.Run("thaw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csp.ResetCaches()
+			for _, res := range boot(b) {
+				if res.TraceSet().Size() == 0 {
+					b.Fatal("empty trace set")
+				}
+			}
+		}
+	})
+
+	b.Run("reads", func(b *testing.B) {
+		csp.ResetCaches()
+		results := boot(b)
+		views := make([]csp.TraceView, len(results))
+		probes := make([]csp.Trace, len(results))
+		for j, res := range results {
+			views[j] = res.View()
+			tr, _ := views[j].TracesMaxN(1)
+			if len(tr) == 0 {
+				b.Fatalf("%s: no maximal trace", e21Specs[j].proc)
+			}
+			probes[j] = tr[0]
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, v := range views {
+				if v.Size() == 0 || v.MaxLen() == 0 || !v.Contains(probes[j]) {
+					b.Fatal("frozen read lied")
 				}
 			}
 		}

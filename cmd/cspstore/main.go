@@ -3,14 +3,17 @@
 // into. It never runs an engine; it reads, validates, and deletes the
 // content-addressed .cspa files directly.
 //
-//	cspstore -store DIR ls                 list artifacts with sizes and result counts
-//	cspstore -store DIR verify [key...]    decode + rebuild each artifact, report corruption
+//	cspstore -store DIR ls                 list artifacts with arena sizes and result counts
+//	cspstore -store DIR verify [key...]    decode + validate each artifact, report corruption
 //	cspstore -store DIR gc                 remove quarantined files and temp droppings
 //	cspstore -store DIR rm key...          delete artifacts by key
 //
-// verify decodes every byte of each artifact (checksum, bounds, version)
-// and re-interns its trie graph, exactly the validation a cspserved warm
-// boot performs; with -quarantine, bad artifacts are renamed to
+// verify decodes every byte of each artifact — checksum, version, and the
+// frozen arena's structural validation (offsets, bounds, edge order, size
+// consistency) — exactly the validation a cspserved warm boot performs,
+// without interning a single symbol or trie node; with -thaw it
+// additionally rebuilds the trie graph through the interner, proving the
+// arena thaws cleanly. With -quarantine, bad artifacts are renamed to
 // <key>.cspa.corrupt so the next warm boot skips them without re-reading.
 //
 // Exit status 1 when verify finds a bad artifact, 2 on usage errors.
@@ -40,6 +43,7 @@ func fatal(err error) {
 func main() {
 	dir := flag.String("store", "", "artifact store directory (required)")
 	quarantine := flag.Bool("quarantine", false, "verify: rename bad artifacts to <key>.cspa.corrupt")
+	thaw := flag.Bool("thaw", false, "verify: additionally rebuild each trie graph through the interner")
 	flag.Usage = usage
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
@@ -58,7 +62,7 @@ func main() {
 		}
 		ls(st)
 	case "verify":
-		if !verify(st, keys, *quarantine) {
+		if !verify(st, keys, *quarantine, *thaw) {
 			os.Exit(1)
 		}
 	case "gc":
@@ -109,20 +113,22 @@ func ls(st *store.Store) {
 			fmt.Printf("%s  %8d bytes  UNREADABLE: %v\n", key, size, err)
 			continue
 		}
-		fmt.Printf("%s  %8d bytes  %s  nat=%d  %d nodes  %d trace roots  %d checks  %d proofs  %d refinements\n",
+		fmt.Printf("%s  %8d bytes  %s  nat=%d  arena %d B (%d nodes, %d edges)  %d trace roots  %d checks  %d proofs  %d refinements\n",
 			key, size, time.Unix(a.CreatedUnix, 0).UTC().Format("2006-01-02 15:04"),
-			a.NatWidth, len(a.Nodes), len(a.TraceRoots), len(a.Checks), len(a.Proves), len(a.Refinements))
+			a.NatWidth, len(a.Arena.Bytes()), a.Arena.NumNodes(), a.Arena.NumEdges(),
+			len(a.TraceRoots), len(a.Checks), len(a.Proves), len(a.Refinements))
 	}
 }
 
-// verify fully validates each artifact — decode (checksum, version,
-// bounds) plus re-interning the trie graph — and reports per key. It
-// returns false when any artifact is bad.
-func verify(st *store.Store, keys []string, quarantine bool) bool {
+// verify fully validates each artifact — decode covers the checksum, the
+// version word, and the arena's structural checks, all without interning —
+// and reports per key. With thaw it also rebuilds the trie graph through
+// the interner. It returns false when any artifact is bad.
+func verify(st *store.Store, keys []string, quarantine, thaw bool) bool {
 	ok := true
 	for _, key := range allKeys(st, keys) {
 		a, n, err := st.Get(key)
-		if err == nil {
+		if err == nil && thaw {
 			_, err = a.Sets()
 		}
 		switch {

@@ -82,13 +82,16 @@ func main() {
 	if engine == csp.EngineDenote {
 		fmt.Printf("-- approximation chain stabilised after %d iterations\n", res.Iterations)
 	}
-	traces := res.Set.Traces()
+	// View, not Set: a store-served result lists straight off the frozen
+	// arena image without rebuilding the trie.
+	view := res.View()
+	traces := view.Traces()
 	if *maxOnly {
-		traces = res.Set.TracesMax()
+		traces = view.TracesMax()
 	}
 	for _, t := range traces {
 		fmt.Println(t)
 	}
-	fmt.Printf("-- %d traces (of %d total, max length %d)\n", len(traces), res.Set.Size(), res.Set.MaxLen())
+	fmt.Printf("-- %d traces (of %d total, max length %d)\n", len(traces), view.Size(), view.MaxLen())
 	app.Finish()
 }

@@ -1,0 +1,77 @@
+package frozen
+
+import (
+	"math/rand"
+	"testing"
+
+	"cspsat/internal/trace"
+)
+
+// FuzzOpen feeds arbitrary bytes to the arena validator. The contract on
+// untrusted input: Open may only return an error — no panics, no index
+// escapes, and not one symbol interned into the process-global tables.
+// Inputs that *do* validate get fully traversed, which must also not
+// panic (traversal is entitled to trust Open's checks; the fuzzer's job
+// is to find an image that passes them and still breaks).
+func FuzzOpen(f *testing.F) {
+	// Seed with a genuine image and light mutations of it so the fuzzer
+	// starts at the format's doorstep rather than in magic-check land.
+	rng := rand.New(rand.NewSource(3))
+	s := randomSet(rng, testEvents(), 6, 4)
+	a, _, err := Freeze(s)
+	if err != nil {
+		f.Fatalf("Freeze: %v", err)
+	}
+	img := a.Bytes()
+	f.Add(append([]byte{}, img...))
+	f.Add(append([]byte{}, img[:len(img)/2]...))
+	for _, i := range []int{9, 13, 17, 25, len(img) - 3} {
+		mut := append([]byte{}, img...)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+	f.Add([]byte("CSPFRZN1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evBefore, chBefore := trace.NumEvents(), trace.NumChans()
+		arena, err := Open(data)
+		if err != nil {
+			if arena != nil {
+				t.Fatalf("Open returned both an arena and %v", err)
+			}
+			if trace.NumEvents() != evBefore || trace.NumChans() != chBefore {
+				t.Fatalf("failed Open interned symbols")
+			}
+			return
+		}
+		// A validated arena must survive full traversal of every node.
+		for i := 0; i < arena.NumNodes(); i++ {
+			v, err := arena.View(uint32(i))
+			if err != nil {
+				t.Fatalf("View(%d): %v", i, err)
+			}
+			traces := v.Traces()
+			if len(traces) == 0 {
+				t.Fatalf("node %d: prefix-closed set without the empty trace", i)
+			}
+			for _, tr := range traces {
+				if !v.Contains(tr) {
+					t.Fatalf("node %d: listed trace %v not a member", i, tr)
+				}
+			}
+			if got := v.Size(); v.MaxLen() == 0 && got != 1 {
+				t.Fatalf("node %d: height 0 but size %d", i, got)
+			}
+		}
+		// And thaw to canonical sets that agree with the frozen listings.
+		sets := arena.Thaw()
+		for i, set := range sets {
+			v, _ := arena.View(uint32(i))
+			if set.Size() != v.Size() || set.MaxLen() != v.MaxLen() {
+				t.Fatalf("node %d: thawed (%d,%d) vs frozen (%d,%d)",
+					i, set.Size(), set.MaxLen(), v.Size(), v.MaxLen())
+			}
+		}
+	})
+}

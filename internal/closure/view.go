@@ -1,0 +1,48 @@
+package closure
+
+import "cspsat/internal/trace"
+
+// View is the read-only traversal surface of a prefix-closed trace set,
+// implemented both by the live hash-consed *Set and by frozen arena nodes
+// (internal/closure/frozen) that serve the same queries straight off an
+// mmap-able flat image without rebuilding anything through the interner.
+//
+// The contract: a frozen node view and the *Set obtained by thawing it
+// answer every View method identically — same sizes, same membership, same
+// trace listings in the same order (listings are canonically sorted, and
+// truncated listings agree because both traversals visit edges in live
+// event-id order). Engines that need to build new sets on top of a view
+// call Thaw, the only method that may touch the interner.
+type View interface {
+	// Size returns the number of traces in the set (the empty trace
+	// counts), saturating at MaxInt.
+	Size() int
+	// MaxLen returns the length of the longest trace in the set.
+	MaxLen() int
+	// Contains reports whether t is a member. It never interns: an event
+	// that was never interned cannot label any edge, live or frozen.
+	Contains(t trace.T) bool
+	// Traces returns every trace in canonical (lexicographic) order.
+	Traces() []trace.T
+	// TracesN returns at most limit traces (limit <= 0: unlimited), sorted
+	// among themselves, and whether the listing was truncated.
+	TracesN(limit int) ([]trace.T, bool)
+	// TracesMax returns the maximal traces in canonical order.
+	TracesMax() []trace.T
+	// TracesMaxN is TracesN restricted to maximal traces.
+	TracesMaxN(limit int) ([]trace.T, bool)
+	// WalkDFS traverses the set depth-first; see Set.WalkDFS for the
+	// callback contract.
+	WalkDFS(visit func(path trace.T) bool, push, pop func(ev trace.Event)) bool
+	// Thaw returns the canonical interned *Set holding the same traces —
+	// the write-side escape hatch. A *Set thaws to itself; a frozen view
+	// rebuilds bottom-up through the interner (once per arena, cached), so
+	// thawed sets are pointer-canonical (Same) with freshly computed ones.
+	Thaw() *Set
+}
+
+// Thaw returns p itself: a live set is already interned. It completes the
+// View contract on *Set.
+func (p *Set) Thaw() *Set { return p }
+
+var _ View = (*Set)(nil)

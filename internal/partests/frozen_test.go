@@ -1,0 +1,85 @@
+// Differential tests for the frozen arena tier: on every root of all
+// seven specs, an engine-computed trace set frozen to an arena image and
+// reopened must answer every read query byte-identically to the live
+// interned set, and must thaw back to the very same canonical node
+// (pointer identity via Same). Run with -race; CI does — concurrent
+// readers exercise the arena's lazy bind and thaw paths.
+package partests
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"cspsat/internal/closure/frozen"
+	"cspsat/pkg/csp"
+)
+
+func TestFrozenViewIdenticalOnSpecs(t *testing.T) {
+	for _, s := range specRoots {
+		mod := loadSpec(t, s.file)
+		for _, root := range s.roots {
+			t.Run(s.file+"/"+root, func(t *testing.T) {
+				p, err := mod.Proc(root)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := mod.Traces(context.Background(), p, csp.EngineOptions{Depth: s.depth})
+				if err != nil {
+					t.Fatal(err)
+				}
+				live := res.Set
+
+				arena, rootIdx, err := frozen.Freeze(live)
+				if err != nil {
+					t.Fatalf("freeze: %v", err)
+				}
+				// Reopen from the raw bytes: the image crossing a
+				// serialization boundary is the whole point.
+				reopened, err := frozen.Open(arena.Bytes())
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				view, err := reopened.View(rootIdx)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Concurrent readers: first queries race on the lazy event
+				// binding, later ones on the memoised thaw. The race
+				// detector owns the verdict on both.
+				var wg sync.WaitGroup
+				for w := 0; w < 4; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if view.Size() != live.Size() || view.MaxLen() != live.MaxLen() {
+							t.Errorf("frozen (%d,%d) vs live (%d,%d)",
+								view.Size(), view.MaxLen(), live.Size(), live.MaxLen())
+						}
+						gotTr, gotTrunc := view.TracesN(100)
+						wantTr, wantTrunc := live.TracesN(100)
+						if gotTrunc != wantTrunc || len(gotTr) != len(wantTr) {
+							t.Errorf("listing shape differs")
+							return
+						}
+						for i := range gotTr {
+							if gotTr[i].Compare(wantTr[i]) != 0 {
+								t.Errorf("listing diverges at %d: %v vs %v", i, gotTr[i], wantTr[i])
+								return
+							}
+							if !view.Contains(gotTr[i]) {
+								t.Errorf("frozen view denies its own trace %v", gotTr[i])
+								return
+							}
+						}
+						if !view.Thaw().Same(live) {
+							t.Errorf("thaw is not pointer-canonical with the live set")
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cspsat/internal/closure/frozen"
 	"cspsat/pkg/csp"
 )
 
@@ -102,6 +103,10 @@ type Snapshot struct {
 	Statuses map[string]uint64 `json:"statuses"`
 	ModuleCache      csp.ModuleCacheStats        `json:"module_cache"`
 	Closure          csp.CacheStats              `json:"closure"`
+	// Frozen reports the zero-copy arena tier: arenas mapped and their
+	// resident bytes, read hits served without a thaw, and thaw counts
+	// (each thaw re-interns a stored trie on a write path).
+	Frozen frozen.Stats `json:"frozen"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -119,6 +124,7 @@ func (s *Server) Snapshot() Snapshot {
 		Statuses:         map[string]uint64{},
 		ModuleCache:      s.cache.Stats(),
 		Closure:          csp.Stats(),
+		Frozen:           frozen.Snapshot(),
 	}
 	keys := make([]string, 0, len(s.metrics.endpoints))
 	for k := range s.metrics.endpoints {

@@ -151,6 +151,21 @@ func TestStoreWarmRestart(t *testing.T) {
 	if mc["store_hits"].(float64) == 0 {
 		t.Fatalf("metrics store_hits is zero: %v", mc)
 	}
+	if mc["store_mapped"].(float64) == 0 {
+		t.Fatalf("metrics store_mapped is zero (warm hits bypassed the mapped path): %v", mc)
+	}
+	// The warm responses above were served off frozen arenas without a
+	// thaw, so the frozen tier reports mapped arenas and read hits.
+	// (Counters are process-global; >0 is the strongest safe assertion.)
+	fz, ok := out["frozen"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing frozen: %v", out)
+	}
+	for _, field := range []string{"arenas_opened", "arena_bytes", "hits"} {
+		if v, ok := fz[field].(float64); !ok || v == 0 {
+			t.Fatalf("metrics frozen %s missing or zero: %v", field, fz)
+		}
+	}
 }
 
 // TestStoreCorruptArtifactServes flips a byte in a stored artifact and

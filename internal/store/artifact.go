@@ -6,15 +6,15 @@
 // hash the module cache already computes is the natural address, and
 // artifacts never need invalidation, only garbage collection.
 //
-// An artifact carries the module source, a local symbol table (events by
-// channel name and message value), the closure trie graph in bottom-up
-// order, the named denotation roots (trace sets per process/engine/depth),
-// and the check/prove verdicts as opaque wire-format blobs. Everything
-// id-shaped is process-local in the live engines (trace.ChanID/EventID are
-// dense first-intern-order ids), so the codec serializes by symbol *name*
-// and the loader re-derives ids by re-interning through the live symbol
-// tables, rebuilding tries bottom-up so loaded nodes are pointer-canonical
-// with freshly computed ones (closure.FromEdges).
+// An artifact carries the module source, the closure trie graph as one
+// frozen arena image (internal/closure/frozen: dense node ids, flat edge
+// tables, its own local symbol table — written once at export, traversed
+// in place forever after), the named denotation roots (arena node indices
+// per process/engine/depth), and the check/prove/refine verdicts as opaque
+// wire-format blobs. The ids baked into the image are arena-local; the
+// live engines' dense trace ids are re-derived lazily on first traversal
+// (frozen's bind step), and rebuilding through the interner happens only
+// when a caller explicitly thaws — loads alone intern nothing.
 //
 // Files are written via temp file + atomic rename and read with strict
 // version, bounds, and checksum checks (codec.go); a corrupt artifact is a
@@ -25,13 +25,13 @@ import (
 	"fmt"
 
 	"cspsat/internal/closure"
-	"cspsat/internal/trace"
-	"cspsat/internal/value"
+	"cspsat/internal/closure/frozen"
 )
 
-// Artifact is the decoded form of one stored module. It is plain data:
-// decoding touches no global state, so a corrupt file is rejected (by
-// checksum and bounds checks) before anything is interned.
+// Artifact is the decoded form of one stored module. It is plain data
+// plus a validated frozen arena: decoding touches no global state, so a
+// corrupt file is rejected (by checksum and bounds checks) before anything
+// is interned.
 type Artifact struct {
 	// Key is the content address: the hex source hash pkg/csp computes
 	// (csp.SourceHash). It is stored inside the payload too, so a file
@@ -46,15 +46,13 @@ type Artifact struct {
 	// CreatedUnix records when the artifact was first written.
 	CreatedUnix int64
 
-	// Events is the local symbol table: every event appearing on a trie
-	// edge, identified by name, referenced by index from Nodes.
-	Events []EventSym
-	// Nodes is the trie graph in bottom-up order: Nodes[i]'s edges refer
-	// only to events by index and to children j < i, with the implicit
-	// node index 0 naming the empty trie {<>} (so Nodes[i] describes node
-	// index i+1).
-	Nodes [][]EdgeSpec
-	// TraceRoots names the precomputed trace sets.
+	// Arena is the trie graph as a validated frozen image: every node of
+	// every stored trace set, bottom-up, node 0 the empty trie {<>}. When
+	// the artifact was decoded from an mmap'd file the image bytes alias
+	// the mapping (the codec never copies them), so serving read queries
+	// from the arena costs file-backed pages, not heap.
+	Arena *frozen.Arena
+	// TraceRoots names the precomputed trace sets by arena node index.
 	TraceRoots []TraceRoot
 	// Checks, Proves, and Refinements hold verdict blocks in the facade's
 	// stable JSON wire encodings, opaque to this package.
@@ -63,22 +61,8 @@ type Artifact struct {
 	Refinements []RefineBlock
 }
 
-// EventSym identifies one event portably: channel by rendered name,
-// message by value.
-type EventSym struct {
-	Chan string
-	Msg  value.V
-}
-
-// EdgeSpec is one trie edge: an event index into Artifact.Events and a
-// child node index (0 = the empty trie).
-type EdgeSpec struct {
-	Event uint32
-	Child uint32
-}
-
 // TraceRoot names one precomputed trace set: which process, under which
-// engine and depth, denotes the trie rooted at node index Root.
+// engine and depth, denotes the trie rooted at arena node Root.
 type TraceRoot struct {
 	// Engine is "op" or "denote" (runtime walks are sampled, not pure
 	// functions of the source, and are never stored).
@@ -88,7 +72,7 @@ type TraceRoot struct {
 	// Process is the root process expression, canonically rendered (a
 	// plain name for the common case).
 	Process string
-	// Root is the node index of the set (0 = {<>}).
+	// Root is the arena node index of the set (0 = {<>}).
 	Root uint32
 	// Iterations preserves the approximation-chain pass count (denote
 	// only), so a served result is indistinguishable from a computed one.
@@ -121,33 +105,27 @@ type RefineBlock struct {
 	Result []byte
 }
 
-// Sets rebuilds every trie node into a canonical *closure.Set, bottom-up,
-// re-interning events by name. sets[0] is the empty trie; sets[i+1]
-// corresponds to Nodes[i]. Decode has already bounds-checked the graph, so
-// errors here indicate a logic bug or a hand-built Artifact; they are
-// reported, not panicked.
+// RootView returns the zero-rebuild read surface of a trace root: a
+// frozen view traversing the arena image in place. This is the warm-boot
+// fast path — nothing is interned until the view is first traversed, and
+// no trie node is ever rebuilt unless someone thaws.
+func (a *Artifact) RootView(r TraceRoot) (*frozen.NodeView, error) {
+	v, err := a.Arena.View(r.Root)
+	if err != nil {
+		return nil, fmt.Errorf("store: trace root %q: %w", r.Process, err)
+	}
+	return v, nil
+}
+
+// Sets rebuilds every arena node into a canonical *closure.Set, bottom-up,
+// re-interning events by name — the thaw-on-write escape hatch (and the
+// only path that re-interns; it runs once per arena, cached). sets[i]
+// corresponds to arena node i; sets[0] is the empty trie.
 func (a *Artifact) Sets() ([]*closure.Set, error) {
-	events := make([]trace.Event, len(a.Events))
-	for i, es := range a.Events {
-		events[i] = trace.Event{Chan: trace.Chan(es.Chan), Msg: es.Msg}
+	if a.Arena == nil {
+		return nil, fmt.Errorf("store: artifact has no arena")
 	}
-	sets := make([]*closure.Set, len(a.Nodes)+1)
-	sets[0] = closure.Stop()
-	edges := make([]closure.Edge, 0, 8)
-	for i, specs := range a.Nodes {
-		edges = edges[:0]
-		for _, sp := range specs {
-			if int(sp.Event) >= len(events) {
-				return nil, fmt.Errorf("store: node %d: event index %d out of range", i+1, sp.Event)
-			}
-			if int(sp.Child) > i {
-				return nil, fmt.Errorf("store: node %d: forward child reference %d", i+1, sp.Child)
-			}
-			edges = append(edges, closure.Edge{Ev: events[sp.Event], Child: sets[sp.Child]})
-		}
-		sets[i+1] = closure.FromEdges(edges)
-	}
-	return sets, nil
+	return a.Arena.Thaw(), nil
 }
 
 // RootSet returns the rebuilt set for a TraceRoot given the Sets() result.
@@ -158,68 +136,35 @@ func (a *Artifact) RootSet(sets []*closure.Set, r TraceRoot) (*closure.Set, erro
 	return sets[r.Root], nil
 }
 
-// Builder flattens canonical Sets into an Artifact, sharing the symbol
-// table and node graph across all added roots (two roots whose tries share
-// subtrees share their flattened nodes too).
+// Builder freezes canonical Sets into an Artifact, sharing the arena's
+// symbol table and node graph across all added roots (two roots whose
+// tries share subtrees share their frozen nodes too).
 type Builder struct {
-	art     *Artifact
-	nodeIdx map[*closure.Set]uint32
-	evIdx   map[trace.EventID]uint32
+	art *Artifact
+	fz  *frozen.Builder
 }
 
 // NewBuilder starts an artifact for one module.
 func NewBuilder(key, source string, natWidth int, createdUnix int64) *Builder {
-	b := &Builder{
+	return &Builder{
 		art: &Artifact{
 			Key:         key,
 			Source:      source,
 			NatWidth:    natWidth,
 			CreatedUnix: createdUnix,
 		},
-		nodeIdx: map[*closure.Set]uint32{closure.Stop(): 0},
-		evIdx:   map[trace.EventID]uint32{},
+		fz: frozen.NewBuilder(),
 	}
-	return b
 }
 
-// addSet flattens s (sharing already-added nodes) and returns its node
-// index.
-func (b *Builder) addSet(s *closure.Set) uint32 {
-	if idx, ok := b.nodeIdx[s]; ok {
-		return idx
-	}
-	s.Export(func(n *closure.Set, edges []closure.Edge) {
-		if _, ok := b.nodeIdx[n]; ok {
-			return
-		}
-		specs := make([]EdgeSpec, len(edges))
-		for i, e := range edges {
-			specs[i] = EdgeSpec{Event: b.eventIndex(e.Ev), Child: b.nodeIdx[e.Child]}
-		}
-		b.art.Nodes = append(b.art.Nodes, specs)
-		b.nodeIdx[n] = uint32(len(b.art.Nodes)) // implicit +1: index 0 is {<>}
-	})
-	return b.nodeIdx[s]
-}
-
-func (b *Builder) eventIndex(ev trace.Event) uint32 {
-	id := ev.ID()
-	if idx, ok := b.evIdx[id]; ok {
-		return idx
-	}
-	idx := uint32(len(b.art.Events))
-	b.art.Events = append(b.art.Events, EventSym{Chan: string(ev.Chan), Msg: ev.Msg})
-	b.evIdx[id] = idx
-	return idx
-}
-
-// AddTraceRoot records one precomputed trace set.
+// AddTraceRoot records one precomputed trace set, freezing its trie into
+// the shared arena.
 func (b *Builder) AddTraceRoot(engine string, depth int, process string, set *closure.Set, iterations int) {
 	b.art.TraceRoots = append(b.art.TraceRoots, TraceRoot{
 		Engine:     engine,
 		Depth:      uint32(depth),
 		Process:    process,
-		Root:       b.addSet(set),
+		Root:       b.fz.Add(set),
 		Iterations: uint32(iterations),
 	})
 }
@@ -245,6 +190,14 @@ func (b *Builder) AddRefinement(model string, depth int, impl, spec string, resu
 	})
 }
 
-// Artifact returns the built artifact. The builder must not be reused
-// afterwards.
-func (b *Builder) Artifact() *Artifact { return b.art }
+// Artifact finalises the arena image (self-validated through the same
+// checks every load runs) and returns the built artifact. The builder must
+// not be reused afterwards.
+func (b *Builder) Artifact() (*Artifact, error) {
+	arena, err := b.fz.Finish()
+	if err != nil {
+		return nil, err
+	}
+	b.art.Arena = arena
+	return b.art, nil
+}

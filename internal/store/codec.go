@@ -3,16 +3,19 @@ package store
 // The artifact wire format, versioned and checksummed:
 //
 //	magic   8 bytes  "CSPSTORE"
-//	version uint32   little-endian (currently 1)
+//	version uint32   little-endian (currently 3)
 //	payload uvarint-framed sections (see encodePayload)
 //	crc64   8 bytes  little-endian ECMA checksum of magic+version+payload
 //
 // Decode verifies the checksum over the whole prefix before looking at any
 // payload byte, then bounds-checks every count, index, and length against
-// the bytes actually present. Only a fully validated Artifact reaches the
-// caller, so a truncated or bit-flipped file can never intern partial
-// symbols or tries: decoding is pure, interning happens later in
-// Artifact.Sets on data that already passed validation.
+// the bytes actually present. The trie graph travels as one embedded
+// frozen arena image, validated structurally by frozen.Open and referenced
+// as a zero-copy subslice of the input — when the input is an mmap'd file,
+// the decoded artifact's trie data *is* the mapping. Only a fully
+// validated Artifact reaches the caller, so a truncated or bit-flipped
+// file can never intern partial symbols or tries: decoding is pure, and
+// interning happens later, lazily, on data that already passed validation.
 //
 // Integers are unsigned varints (zigzag for signed), strings and blobs are
 // length-prefixed. Counts are additionally sanity-bounded by the number of
@@ -25,7 +28,7 @@ import (
 	"fmt"
 	"hash/crc64"
 
-	"cspsat/internal/value"
+	"cspsat/internal/closure/frozen"
 )
 
 const (
@@ -33,12 +36,10 @@ const (
 	// Version is the current wire format version. Bump on any layout
 	// change; old files then read as ErrVersionSkew and are recomputed.
 	// History: 1 = initial layout; 2 = appended the Refinements section
-	// (model-tagged refinement verdict blocks).
-	Version uint32 = 2
-
-	// maxSeqDepth bounds value-sequence nesting on decode so a corrupt
-	// file cannot drive unbounded recursion.
-	maxSeqDepth = 64
+	// (model-tagged refinement verdict blocks); 3 = the Events and Nodes
+	// sections were replaced by an embedded frozen arena image (flat
+	// offset-addressed trie graph, mmap-traversable without rebuilding).
+	Version uint32 = 3
 )
 
 var (
@@ -53,6 +54,7 @@ var (
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
 // Encode serializes an artifact into the versioned, checksummed wire form.
+// The artifact must carry an arena (Builder.Artifact always does).
 func Encode(a *Artifact) []byte {
 	var w writer
 	w.buf = append(w.buf, magic...)
@@ -67,34 +69,10 @@ type writer struct {
 	buf []byte
 }
 
-func (w *writer) uvarint(v uint64)  { w.buf = binary.AppendUvarint(w.buf, v) }
-func (w *writer) varint(v int64)    { w.buf = binary.AppendVarint(w.buf, v) }
-func (w *writer) str(s string)      { w.uvarint(uint64(len(s))); w.buf = append(w.buf, s...) }
-func (w *writer) bytes(b []byte)    { w.uvarint(uint64(len(b))); w.buf = append(w.buf, b...) }
-
-func (w *writer) value(v value.V) {
-	w.buf = append(w.buf, byte(v.Kind()))
-	switch v.Kind() {
-	case value.KindInt:
-		w.varint(v.AsInt())
-	case value.KindSym:
-		w.str(v.AsSym())
-	case value.KindBool:
-		if v.AsBool() {
-			w.buf = append(w.buf, 1)
-		} else {
-			w.buf = append(w.buf, 0)
-		}
-	case value.KindSeq:
-		elems := v.AsSeq()
-		w.uvarint(uint64(len(elems)))
-		for _, e := range elems {
-			w.value(e)
-		}
-	default:
-		panic(fmt.Sprintf("store: cannot encode value kind %v", v.Kind()))
-	}
-}
+func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) str(s string)     { w.uvarint(uint64(len(s))); w.buf = append(w.buf, s...) }
+func (w *writer) bytes(b []byte)   { w.uvarint(uint64(len(b))); w.buf = append(w.buf, b...) }
 
 func (w *writer) encodePayload(a *Artifact) {
 	w.str(a.Key)
@@ -102,20 +80,10 @@ func (w *writer) encodePayload(a *Artifact) {
 	w.varint(int64(a.NatWidth))
 	w.varint(a.CreatedUnix)
 
-	w.uvarint(uint64(len(a.Events)))
-	for _, e := range a.Events {
-		w.str(e.Chan)
-		w.value(e.Msg)
+	if a.Arena == nil {
+		panic("store: Encode on an artifact without an arena")
 	}
-
-	w.uvarint(uint64(len(a.Nodes)))
-	for _, edges := range a.Nodes {
-		w.uvarint(uint64(len(edges)))
-		for _, sp := range edges {
-			w.uvarint(uint64(sp.Event))
-			w.uvarint(uint64(sp.Child))
-		}
-	}
+	w.bytes(a.Arena.Bytes())
 
 	w.uvarint(uint64(len(a.TraceRoots)))
 	for _, r := range a.TraceRoots {
@@ -152,6 +120,12 @@ func (w *writer) encodePayload(a *Artifact) {
 // (possibly wrapped, with detail) for malformed input and ErrVersionSkew
 // for a well-formed file from another codec version. Decode never touches
 // intern tables or any other global state.
+//
+// The returned artifact's arena aliases data (the image subslice is taken
+// zero-copy), so data must stay valid — and unmodified — for the
+// artifact's lifetime. Store.GetMapped relies on exactly this to serve
+// tries straight from the page cache; callers that cannot guarantee the
+// backing bytes outlive the artifact should copy data first.
 func Decode(data []byte) (*Artifact, error) {
 	// Frame: magic + version + payload + crc64 trailer.
 	if len(data) < len(magic)+4+8 {
@@ -244,53 +218,16 @@ func (r *reader) blob(what string) ([]byte, error) {
 	return b, nil
 }
 
-func (r *reader) value(depth int) (value.V, error) {
-	if depth > maxSeqDepth {
-		return value.V{}, r.corrupt("value nesting deeper than %d", maxSeqDepth)
+// view is blob without the copy: a capped subslice of the input, for the
+// arena image whose whole point is to be traversed where it lies.
+func (r *reader) view(what string) ([]byte, error) {
+	n, err := r.count(what)
+	if err != nil {
+		return nil, err
 	}
-	if len(r.buf) == 0 {
-		return value.V{}, r.corrupt("truncated value kind")
-	}
-	k := value.Kind(r.buf[0])
-	r.buf = r.buf[1:]
-	switch k {
-	case value.KindInt:
-		i, err := r.varint("int value")
-		if err != nil {
-			return value.V{}, err
-		}
-		return value.Int(i), nil
-	case value.KindSym:
-		s, err := r.str("sym value")
-		if err != nil {
-			return value.V{}, err
-		}
-		return value.Sym(s), nil
-	case value.KindBool:
-		if len(r.buf) == 0 {
-			return value.V{}, r.corrupt("truncated bool value")
-		}
-		b := r.buf[0]
-		r.buf = r.buf[1:]
-		if b > 1 {
-			return value.V{}, r.corrupt("bool value byte %d", b)
-		}
-		return value.Bool(b == 1), nil
-	case value.KindSeq:
-		n, err := r.count("seq value")
-		if err != nil {
-			return value.V{}, err
-		}
-		elems := make([]value.V, n)
-		for i := range elems {
-			if elems[i], err = r.value(depth + 1); err != nil {
-				return value.V{}, err
-			}
-		}
-		return value.SeqOf(elems), nil
-	default:
-		return value.V{}, r.corrupt("value kind byte %d", byte(k))
-	}
+	b := r.buf[:n:n]
+	r.buf = r.buf[n:]
+	return b, nil
 }
 
 func (r *reader) decodePayload() (*Artifact, error) {
@@ -311,51 +248,12 @@ func (r *reader) decodePayload() (*Artifact, error) {
 		return nil, err
 	}
 
-	nEvents, err := r.count("events")
+	img, err := r.view("arena image")
 	if err != nil {
 		return nil, err
 	}
-	a.Events = make([]EventSym, nEvents)
-	for i := range a.Events {
-		if a.Events[i].Chan, err = r.str("event chan"); err != nil {
-			return nil, err
-		}
-		if a.Events[i].Msg, err = r.value(0); err != nil {
-			return nil, err
-		}
-	}
-
-	nNodes, err := r.count("nodes")
-	if err != nil {
-		return nil, err
-	}
-	a.Nodes = make([][]EdgeSpec, nNodes)
-	for i := range a.Nodes {
-		nEdges, err := r.count("node edges")
-		if err != nil {
-			return nil, err
-		}
-		edges := make([]EdgeSpec, nEdges)
-		for j := range edges {
-			ev, err := r.uvarint("edge event")
-			if err != nil {
-				return nil, err
-			}
-			if ev >= uint64(nEvents) {
-				return nil, r.corrupt("node %d edge %d: event index %d out of %d", i+1, j, ev, nEvents)
-			}
-			child, err := r.uvarint("edge child")
-			if err != nil {
-				return nil, err
-			}
-			// Bottom-up invariant: children precede parents, and node
-			// index 0 is the implicit empty trie.
-			if child > uint64(i) {
-				return nil, r.corrupt("node %d edge %d: forward child reference %d", i+1, j, child)
-			}
-			edges[j] = EdgeSpec{Event: uint32(ev), Child: uint32(child)}
-		}
-		a.Nodes[i] = edges
+	if a.Arena, err = frozen.Open(img); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 
 	nRoots, err := r.count("trace roots")
@@ -380,8 +278,8 @@ func (r *reader) decodePayload() (*Artifact, error) {
 		if err != nil {
 			return nil, err
 		}
-		if root > uint64(nNodes) {
-			return nil, r.corrupt("trace root %d: node index %d out of %d", i, root, nNodes)
+		if root >= uint64(a.Arena.NumNodes()) {
+			return nil, r.corrupt("trace root %d: node index %d out of %d", i, root, a.Arena.NumNodes())
 		}
 		tr.Root = uint32(root)
 		iters, err := r.uvarint("root iterations")

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile on platforms without mmap falls back to reading the whole file;
+// the arena still traverses the single []byte in place, it just lives on
+// the heap instead of in file-backed pages.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -12,8 +12,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+
+	"cspsat/internal/closure/frozen"
 )
 
 // Ext is the artifact file extension.
@@ -113,6 +116,39 @@ func (s *Store) Get(key string) (*Artifact, int, error) {
 	if a.Key != key {
 		return nil, len(data), fmt.Errorf("%w: payload key %s under file key %s", ErrCorrupt, a.Key, key)
 	}
+	return a, len(data), nil
+}
+
+// GetMapped is Get with the artifact's arena served zero-copy from an
+// mmap of the file (falling back to a plain read where mmap is
+// unavailable): the decoded trie graph aliases the mapping, so a warm boot
+// touches no heap proportional to the graph and the kernel shares the
+// pages across processes. The mapping is released when the returned
+// artifact's arena is garbage collected (a finalizer calls munmap), or
+// eagerly via Artifact.Arena.Close. Decode failures unmap before
+// returning, so corrupt files leak nothing.
+func (s *Store) GetMapped(key string) (*Artifact, int, error) {
+	if err := validKey(key); err != nil {
+		return nil, 0, err
+	}
+	data, unmap, err := mapFile(s.Path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return nil, 0, fmt.Errorf("store: get %s: %w", key, err)
+	}
+	a, err := Decode(data)
+	if err != nil {
+		unmap()
+		return nil, len(data), err
+	}
+	if a.Key != key {
+		unmap()
+		return nil, len(data), fmt.Errorf("%w: payload key %s under file key %s", ErrCorrupt, a.Key, key)
+	}
+	a.Arena.AttachCloser(unmap)
+	runtime.SetFinalizer(a.Arena, (*frozen.Arena).Close)
 	return a, len(data), nil
 }
 

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -19,7 +20,11 @@ func testArtifact(key string) *Artifact {
 	ev := trace.Event{Chan: "b", Msg: value.Int(1)}
 	b.AddTraceRoot("op", 4, "Q", closure.Prefix(ev, closure.Stop()), 0)
 	b.AddCheck(4, []byte(`[]`))
-	return b.Artifact()
+	a, err := b.Artifact()
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 func TestStorePutGetDelete(t *testing.T) {
@@ -171,4 +176,79 @@ func TestStorePutReplacesAtomically(t *testing.T) {
 // artifact.
 func (a *Artifact) AddProveForTest(maxLen int, results []byte) {
 	a.Proves = append(a.Proves, ProveBlock{MaxLen: uint32(maxLen), Results: results})
+}
+
+// TestStoreGetMapped exercises the zero-copy load path: the mapped
+// artifact must be byte-identical to the Get one, serve reads and thaw to
+// the same canonical tries, and survive Close (unmap) without the arena
+// having been copied. A corrupt file must error (the mapping is released
+// internally) and ErrNotFound must pass through.
+func TestStoreGetMapped(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := testArtifact(testKey)
+	n, err := s.Put(art)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	mapped, mn, err := s.GetMapped(testKey)
+	if err != nil {
+		t.Fatalf("GetMapped: %v", err)
+	}
+	if mn != n {
+		t.Fatalf("mapped %d bytes, wrote %d", mn, n)
+	}
+	if mapped.Source != art.Source || mapped.Key != art.Key {
+		t.Fatalf("GetMapped mismatch: %+v", mapped)
+	}
+	if !bytes.Equal(mapped.Arena.Bytes(), art.Arena.Bytes()) {
+		t.Fatalf("mapped arena image differs from built one")
+	}
+	// Frozen reads and the thaw both work off the mapping.
+	v, err := mapped.RootView(mapped.TraceRoots[0])
+	if err != nil {
+		t.Fatalf("RootView: %v", err)
+	}
+	if v.Size() != 2 || v.MaxLen() != 1 {
+		t.Fatalf("mapped view size=%d maxlen=%d", v.Size(), v.MaxLen())
+	}
+	sets, err := mapped.Sets()
+	if err != nil {
+		t.Fatalf("Sets: %v", err)
+	}
+	want, err := mapped.RootSet(sets, mapped.TraceRoots[0])
+	if err != nil {
+		t.Fatalf("RootSet: %v", err)
+	}
+	if !want.Same(v.Thaw()) {
+		t.Fatalf("view thaw is not canonical with artifact Sets")
+	}
+	// Explicit Close releases the mapping exactly once; the thawed tries
+	// remain valid because they live in the interner, not the mapping.
+	mapped.Arena.Close()
+	mapped.Arena.Close()
+	if want.Size() != 2 {
+		t.Fatalf("thawed set damaged by unmap")
+	}
+
+	if _, _, err := s.GetMapped("0123456789abcdef0123456789abcdef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetMapped missing key: %v", err)
+	}
+
+	// Corrupt the stored file: GetMapped must reject it like Get does.
+	path := filepath.Join(s.Dir(), testKey+Ext)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GetMapped(testKey); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("GetMapped corrupt: %v", err)
+	}
 }

@@ -1,0 +1,129 @@
+package value
+
+// Binary codec for values, shared by the artifact store codec and the
+// frozen arena image (internal/closure/frozen). The encoding is canonical:
+// equal values encode to identical bytes (Encode is deterministic and
+// carries no framing choices), which lets consumers use the raw encoded
+// bytes as an identity key. Layout per value:
+//
+//	kind    1 byte   (Kind)
+//	int     varint
+//	sym     uvarint length + bytes
+//	bool    1 byte   (0 or 1)
+//	seq     uvarint count + elements
+//
+// Decoding is pure and bounds-checked; sequence nesting is capped so a
+// corrupt input cannot drive unbounded recursion.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MaxBinaryDepth bounds value-sequence nesting on decode so corrupt bytes
+// cannot drive unbounded recursion.
+const MaxBinaryDepth = 64
+
+// ErrBinary reports malformed value bytes: truncation, an unknown kind
+// byte, an out-of-range length, or nesting beyond MaxBinaryDepth.
+var ErrBinary = errors.New("value: malformed binary value")
+
+// AppendBinary appends the canonical binary encoding of v to buf and
+// returns the extended slice. It panics on the invalid zero V, like every
+// other operation on it.
+func AppendBinary(buf []byte, v V) []byte {
+	buf = append(buf, byte(v.Kind()))
+	switch v.Kind() {
+	case KindInt:
+		buf = binary.AppendVarint(buf, v.AsInt())
+	case KindSym:
+		s := v.AsSym()
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	case KindBool:
+		if v.AsBool() {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindSeq:
+		elems := v.AsSeq()
+		buf = binary.AppendUvarint(buf, uint64(len(elems)))
+		for _, e := range elems {
+			buf = AppendBinary(buf, e)
+		}
+	default:
+		panic(fmt.Sprintf("value: cannot encode value kind %v", v.Kind()))
+	}
+	return buf
+}
+
+// DecodeBinary decodes one value from the front of data, returning the
+// value and the number of bytes consumed. Errors wrap ErrBinary.
+func DecodeBinary(data []byte) (V, int, error) {
+	return decodeBinary(data, 0)
+}
+
+func binErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBinary, fmt.Sprintf(format, args...))
+}
+
+func decodeBinary(data []byte, depth int) (V, int, error) {
+	if depth > MaxBinaryDepth {
+		return V{}, 0, binErr("nesting deeper than %d", MaxBinaryDepth)
+	}
+	if len(data) == 0 {
+		return V{}, 0, binErr("truncated kind byte")
+	}
+	k := Kind(data[0])
+	pos := 1
+	switch k {
+	case KindInt:
+		i, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return V{}, 0, binErr("truncated int")
+		}
+		return Int(i), pos + n, nil
+	case KindSym:
+		l, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return V{}, 0, binErr("truncated sym length")
+		}
+		pos += n
+		if l > uint64(len(data)-pos) {
+			return V{}, 0, binErr("sym length %d exceeds %d remaining bytes", l, len(data)-pos)
+		}
+		return Sym(string(data[pos : pos+int(l)])), pos + int(l), nil
+	case KindBool:
+		if pos >= len(data) {
+			return V{}, 0, binErr("truncated bool")
+		}
+		b := data[pos]
+		if b > 1 {
+			return V{}, 0, binErr("bool byte %d", b)
+		}
+		return Bool(b == 1), pos + 1, nil
+	case KindSeq:
+		l, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return V{}, 0, binErr("truncated seq count")
+		}
+		pos += n
+		if l > uint64(len(data)-pos) {
+			return V{}, 0, binErr("seq count %d exceeds %d remaining bytes", l, len(data)-pos)
+		}
+		elems := make([]V, l)
+		for i := range elems {
+			v, n, err := decodeBinary(data[pos:], depth+1)
+			if err != nil {
+				return V{}, 0, err
+			}
+			elems[i] = v
+			pos += n
+		}
+		return SeqOf(elems), pos, nil
+	default:
+		return V{}, 0, binErr("value kind byte %d", byte(k))
+	}
+}

@@ -64,7 +64,11 @@ func (m *Module) buildArtifact(key string, createdUnix int64) (*store.Artifact, 
 	})
 	for _, k := range tkeys {
 		r := m.res.traces[k]
-		b.AddTraceRoot(k.engine.String(), k.depth, k.process, r.Set, r.Iterations)
+		// TraceSet, not Set: a store-rehydrated result being re-persisted
+		// (a warm module that computed something new) thaws here — the
+		// write side is the one place frozen data rebuilds through the
+		// interner. Pure serve traffic never reaches this.
+		b.AddTraceRoot(k.engine.String(), k.depth, k.process, r.TraceSet(), r.Iterations)
 	}
 
 	depths := make([]int, 0, len(m.res.checks))
@@ -118,35 +122,33 @@ func (m *Module) buildArtifact(key string, createdUnix int64) (*store.Artifact, 
 		b.AddRefinement(k.model.String(), k.depth, k.impl, k.spec, blob)
 	}
 
-	return b.Artifact(), nil
+	return b.Artifact()
 }
 
-// moduleFromArtifact rehydrates a decoded artifact into a deferred Module:
-// tries are re-interned bottom-up (pointer-canonical with freshly computed
-// ones), verdict blobs are decoded back into the wire types, and the
-// source is retained for a lazy parse should a request need more than the
-// precomputed results. The artifact's NatWidth is the load option baked
-// into its key, so the rehydrated module behaves exactly like one loaded
-// with those options.
+// moduleFromArtifact rehydrates a decoded artifact into a deferred Module
+// whose trace results stay frozen: each root is an arena view traversing
+// the stored image in place — nothing is re-interned, nothing rebuilt —
+// and thaws back to a pointer-canonical interned set only if a write path
+// asks (TraceResult.TraceSet). Verdict blobs are decoded back into the
+// wire types, and the source is retained for a lazy parse should a request
+// need more than the precomputed results. The artifact's NatWidth is the
+// load option baked into its key, so the rehydrated module behaves exactly
+// like one loaded with those options.
 func moduleFromArtifact(art *store.Artifact) (*Module, error) {
 	m := newDeferred(art.Source, Options{NatWidth: art.NatWidth})
 	m.createdUnix = art.CreatedUnix
 
-	sets, err := art.Sets()
-	if err != nil {
-		return nil, err
-	}
 	for _, r := range art.TraceRoots {
 		engine, ok := engineFromName(r.Engine)
 		if !ok {
 			return nil, fmt.Errorf("csp: artifact names unknown engine %q", r.Engine)
 		}
-		set, err := art.RootSet(sets, r)
+		view, err := art.RootView(r)
 		if err != nil {
 			return nil, err
 		}
 		m.StoreTraces(engine, int(r.Depth), r.Process, &TraceResult{
-			Set:        set,
+			frozen:     view,
 			Engine:     engine,
 			Iterations: int(r.Iterations),
 		})

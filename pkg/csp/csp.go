@@ -26,10 +26,12 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"cspsat/internal/assertion"
 	"cspsat/internal/check"
 	"cspsat/internal/closure"
+	"cspsat/internal/closure/frozen"
 	"cspsat/internal/core"
 	"cspsat/internal/csperr"
 	"cspsat/internal/failures"
@@ -283,8 +285,16 @@ func (o CheckOptions) depth() int {
 
 // TraceResult is the outcome of Module.Traces: the set plus engine-specific
 // measurements.
+//
+// An engine-computed result carries its live interned set in Set. A result
+// rehydrated from the artifact store instead carries a frozen arena view
+// (Set nil) and serves every read query straight off the stored image;
+// the interned set is rebuilt only if someone asks for it (TraceSet), and
+// read paths should go through View, which never triggers that rebuild.
 type TraceResult struct {
-	// Set is the computed prefix-closed trace set.
+	// Set is the computed prefix-closed trace set. Nil for store-backed
+	// results that have not been thawed — use View (reads) or TraceSet
+	// (writes) instead of touching Set directly.
 	Set *TraceSet
 	// Engine records which engine produced the set.
 	Engine Engine
@@ -293,6 +303,45 @@ type TraceResult struct {
 	// Events is the total communication count of the walk, hidden events
 	// included (EngineRuntime only).
 	Events int
+
+	// frozen is the arena-backed view for store-rehydrated results;
+	// thawed caches the one-time rebuild through the interner.
+	frozen closure.View
+	thawed atomic.Pointer[TraceSet]
+}
+
+// TraceView is the read-only query surface shared by live interned sets
+// and frozen arena-backed views: size, depth, membership, and listings.
+// Both implementations answer every query byte-identically.
+type TraceView = closure.View
+
+// View returns the result's read surface: the live set when the engine
+// computed one (or a thaw already happened), otherwise the frozen view —
+// zero rebuild, zero interning, queries answered off the arena image.
+func (r *TraceResult) View() TraceView {
+	if r.Set != nil {
+		return r.Set
+	}
+	if s := r.thawed.Load(); s != nil {
+		return s
+	}
+	frozen.CountHit()
+	return r.frozen
+}
+
+// TraceSet returns the canonical interned set, thawing a frozen-backed
+// result on first call (rebuilding bottom-up through the interner, so the
+// returned set is pointer-canonical with a freshly computed one). This is
+// the write-side escape hatch: persisting, or building new sets on top.
+func (r *TraceResult) TraceSet() *TraceSet {
+	if r.Set != nil {
+		return r.Set
+	}
+	if s := r.thawed.Load(); s != nil {
+		return s
+	}
+	r.thawed.CompareAndSwap(nil, r.frozen.Thaw())
+	return r.thawed.Load()
 }
 
 // Module is a loaded .csp module plus everything needed to analyse it.

@@ -59,16 +59,20 @@ type TraceSetJSON struct {
 // astronomically more members than any response could carry, so servers
 // must pass a limit.
 func EncodeTraceSet(r *TraceResult, maxOnly bool, limit int) TraceSetJSON {
-	traces, truncated := r.Set.TracesN(limit)
+	// View, not Set: a store-backed result encodes straight off the frozen
+	// arena — the response is byte-identical either way (the View contract),
+	// and serving never forces a rebuild.
+	v := r.View()
+	traces, truncated := v.TracesN(limit)
 	if maxOnly {
-		traces, truncated = r.Set.TracesMaxN(limit)
+		traces, truncated = v.TracesMaxN(limit)
 	}
 	out := TraceSetJSON{
 		Engine:     r.Engine.String(),
 		Truncated:  truncated,
 		Traces:     make([]TraceJSON, 0, len(traces)),
-		Count:      r.Set.Size(),
-		MaxLen:     r.Set.MaxLen(),
+		Count:      v.Size(),
+		MaxLen:     v.MaxLen(),
 		Iterations: r.Iterations,
 		Events:     r.Events,
 	}

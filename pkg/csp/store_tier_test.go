@@ -100,8 +100,6 @@ func TestStoreTierRoundTripSpecs(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s: no cached traces after store hit", sr.file)
 		}
-		// Recompute and demand pointer identity: the rebuilt trie must
-		// re-intern onto the canonical nodes a fresh computation yields.
 		p, err := mod2.Proc(sr.proc)
 		if err != nil {
 			t.Fatalf("%s: %v", sr.file, err)
@@ -110,7 +108,26 @@ func TestStoreTierRoundTripSpecs(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s recompute: %v", sr.file, err)
 		}
-		if !cached.Set.Same(fresh.Set) {
+		// First, the frozen view (no thaw yet): traversal off the stored
+		// arena image must be byte-identical to the fresh computation.
+		view := cached.View()
+		if view.Size() != fresh.Set.Size() || view.MaxLen() != fresh.Set.MaxLen() {
+			t.Fatalf("%s: frozen view (%d,%d) vs fresh (%d,%d)", sr.file,
+				view.Size(), view.MaxLen(), fresh.Set.Size(), fresh.Set.MaxLen())
+		}
+		gotTr, gotTrunc := view.TracesN(500)
+		wantTr, wantTrunc := fresh.Set.TracesN(500)
+		if gotTrunc != wantTrunc || len(gotTr) != len(wantTr) {
+			t.Fatalf("%s: frozen listing shape differs", sr.file)
+		}
+		for i := range gotTr {
+			if gotTr[i].Compare(wantTr[i]) != 0 {
+				t.Fatalf("%s: frozen listing diverges at %d: %v vs %v", sr.file, i, gotTr[i], wantTr[i])
+			}
+		}
+		// Then thaw and demand pointer identity: the rebuilt trie must
+		// re-intern onto the canonical nodes a fresh computation yields.
+		if !cached.TraceSet().Same(fresh.Set) {
 			t.Fatalf("%s: rehydrated trace set is not pointer-canonical with recompute", sr.file)
 		}
 
@@ -222,7 +239,11 @@ func TestStoreTierPropertyGen(t *testing.T) {
 			if err != nil {
 				t.Fatalf("case %d %v recompute: %v", i, engine, err)
 			}
-			if !cached.Set.Same(fresh.Set) {
+			if view := cached.View(); view.Size() != fresh.Set.Size() {
+				t.Fatalf("case %d %v: frozen view size %d, fresh %d\n%s",
+					i, engine, view.Size(), fresh.Set.Size(), src)
+			}
+			if !cached.TraceSet().Same(fresh.Set) {
 				t.Fatalf("case %d %v: rehydrated set not pointer-canonical\n%s", i, engine, src)
 			}
 			if engine == csp.EngineDenote && cached.Iterations != fresh.Iterations {

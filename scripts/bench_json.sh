@@ -1,12 +1,17 @@
 #!/bin/sh
-# bench_json.sh — run the experiment benchmarks (E01–E19) with -benchmem
+# bench_json.sh — run the experiment benchmarks (E01–E21) with -benchmem
 # and write the results as BENCH_<date>.json in the repo root, one object
 # per benchmark with ns/op, B/op, allocs/op, and any custom metrics the
 # benchmark reported (memo-hit-rate, interned-nodes, ...). The header
 # records the git commit and GOMAXPROCS so snapshots from different
 # commits or core counts are never compared blindly.
 #
-# Usage: scripts/bench_json.sh [extra go test args...]
+# Usage: scripts/bench_json.sh [--allow-dirty] [extra go test args...]
+#   --allow-dirty     permit running with uncommitted changes; the commit
+#                     is stamped "<sha>-dirty". Without it a dirty tree is
+#                     a hard error: a snapshot stamped with a commit whose
+#                     tree was never the one measured is worse than no
+#                     snapshot (BENCH_2026-08-08.json got that way once).
 #   BENCH_OUT=path    override the output file
 #   BENCH_PATTERN=re  override the benchmark regex (default: every
 #                     numbered experiment benchmark, E01 through the
@@ -25,12 +30,24 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+allow_dirty=0
+if [ "${1:-}" = "--allow-dirty" ]; then
+	allow_dirty=1
+	shift
+fi
+
 pattern="${BENCH_PATTERN:-^BenchmarkE[0-9]+}"
 benchtime="${BENCH_TIME:-1s}"
 gogc="${BENCH_GOGC:-400}"
 out="${BENCH_OUT:-BENCH_$(date +%Y-%m-%d).json}"
 commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
-git diff --quiet HEAD 2>/dev/null || commit="$commit-dirty"
+if ! git diff --quiet HEAD 2>/dev/null; then
+	if [ "$allow_dirty" -ne 1 ]; then
+		echo "bench_json.sh: working tree is dirty; commit first or pass --allow-dirty" >&2
+		exit 1
+	fi
+	commit="$commit-dirty"
+fi
 maxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT

@@ -59,17 +59,25 @@ drive cold
 stop
 ls "$STORE"/*.cspa >/dev/null || { echo "no artifacts persisted"; exit 1; }
 
-echo "== warm restart over the same store"
+echo "== warm restart serves byte-identical payloads off the mmap'd arenas"
 start
 drive warm
 for field in traces asserts proofs refine; do
   diff "$OUT/cold.$field" "$OUT/warm.$field" \
     || { echo "warm $field payload differs from cold"; exit 1; }
 done
+# The warm responses must have come through the frozen tier: every store
+# hit loaded via the zero-copy mapped path (store_mapped), arenas opened
+# and resident (arena_bytes), and the trace listings answered from frozen
+# views without a thaw (hits).
 curl -fsS "$BASE/metrics" | jq -e '
   .ready == true and
   .module_cache.store_hits >= 1 and
-  .module_cache.store_bytes_read >= 1' >/dev/null
+  .module_cache.store_mapped >= 1 and
+  .module_cache.store_bytes_read >= 1 and
+  .frozen.arenas_opened >= 1 and
+  .frozen.arena_bytes >= 1 and
+  .frozen.hits >= 1' >/dev/null
 stop
 
 echo "== flipped-byte artifact is quarantined and recomputed"
@@ -89,8 +97,9 @@ stop
 
 echo "== cspstore operates the directory"
 go build -o "$OUT/cspstore" ./cmd/cspstore
-"$OUT/cspstore" -store "$STORE" ls
+"$OUT/cspstore" -store "$STORE" ls | grep -q "arena" || { echo "ls shows no arena sizes"; exit 1; }
 "$OUT/cspstore" -store "$STORE" verify
+"$OUT/cspstore" -store "$STORE" -thaw verify
 "$OUT/cspstore" -store "$STORE" gc | grep -q "removed"
 if ls "$STORE"/*.corrupt >/dev/null 2>&1; then
   echo "gc left quarantined files behind"; exit 1
