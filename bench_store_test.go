@@ -121,7 +121,7 @@ func BenchmarkE19WarmBootFromStore(b *testing.B) {
 
 // sprawlSpec is a history-dependent process whose trie defeats hash
 // consing: the out!s edge distinguishes every reachable accumulator
-// value, so depth 11 freezes to ~2048 distinct nodes. The committed
+// value, so depth 13 freezes to ~8k distinct nodes. The committed
 // specs intern to a few dozen nodes each — far too shared for a boot
 // benchmark whose whole point is the per-node rebuild cost.
 const sprawlSpec = `
@@ -149,7 +149,7 @@ var e21Specs = []struct {
 	{file: "buffers", proc: "buf1", depth: 12},
 	{file: "philosophers", proc: "safe", depth: 9},
 	{file: "tokenring", proc: "sys", depth: 10},
-	{src: sprawlSpec, proc: "sprawl", depth: 11},
+	{src: sprawlSpec, proc: "sprawl", depth: 13},
 }
 
 // E21 (DESIGN.md §3.8): the frozen arena makes warm-boot readiness a
