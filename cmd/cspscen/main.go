@@ -1,0 +1,264 @@
+// Command cspscen is the scenario conformance harness: it loads YAML
+// scenario files (spec, engines, model, bounds, expectations), executes
+// them through pkg/csp, and diffs the results against committed golden
+// artifacts — the regression net that pins every engine's observable
+// behaviour file by file.
+//
+//	cspscen run specs/scenarios          execute and diff against goldens
+//	cspscen bless specs/scenarios        re-run and rewrite the goldens
+//	cspscen gen -seed 1 -count 200 -out specs/scenarios/gen
+//	                                     regenerate the random corpus
+//	cspscen replay JOURNAL -addr URL     re-issue a cspserved request
+//	                                     journal, verify byte-identical
+//	                                     responses (see cspserved -journal)
+//
+// run and bless accept scenario files or directories (searched
+// recursively for *.yaml); each file's golden sits next to it as
+// <name>.golden.json. replay proves restart determinism: record a
+// workload with cspserved -journal, restart the server over the same
+// store, and every journaled exchange must reproduce its status and
+// normalized response digest (internal/journal documents the volatile
+// fields the normalization forgives).
+//
+// Exit status: 0 on full conformance, 1 when any scenario diverges
+// (expectation failure, golden drift, replay mismatch), 2 on usage or
+// infrastructure errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cspsat/internal/cli"
+	"cspsat/internal/scenario"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cspscen run   [-v] [-timeout D] <file-or-dir>...
+  cspscen bless [-v] [-timeout D] <file-or-dir>...
+  cspscen gen   [-seed N] [-count M] [-per-file K] -out DIR
+  cspscen replay [-addr URL] [-timeout D] JOURNAL`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cspscen:", err)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "run":
+		runCmd(args, false)
+	case "bless":
+		runCmd(args, true)
+	case "gen":
+		genCmd(args)
+	case "replay":
+		replayCmd(args)
+	default:
+		usage()
+	}
+}
+
+// runCmd executes every scenario under the given paths. With bless it
+// rewrites the golden files instead of diffing against them; scenario
+// expectation failures are conformance failures either way.
+func runCmd(args []string, bless bool) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "print every scenario, not only failures")
+	timeout := fs.Duration("timeout", 2*time.Minute, "budget for the whole run")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+
+	ctx, cancel := cli.SignalContext(context.Background(), *timeout)
+	defer cancel()
+
+	var files []string
+	for _, path := range fs.Args() {
+		fl, err := scenario.Files(path)
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, fl...)
+	}
+
+	totalScenarios, totalProblems := 0, 0
+	for _, file := range files {
+		scenarios, err := scenario.LoadFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		var problems []string
+		artifacts := make([]scenario.Artifact, 0, len(scenarios))
+		for i := range scenarios {
+			out, err := scenario.Run(ctx, &scenarios[i])
+			if err != nil {
+				fatal(fmt.Errorf("%s: scenario %q: %w", file, scenarios[i].Name, err))
+			}
+			for _, p := range out.Problems {
+				problems = append(problems, fmt.Sprintf("%s: %s", scenarios[i].Name, p))
+			}
+			artifacts = append(artifacts, out.Artifact)
+			if *verbose {
+				fmt.Printf("  %s: ok=%v (%d problems)\n", scenarios[i].Name, out.Artifact.OK, len(out.Problems))
+			}
+		}
+		golden := scenario.GoldenPath(file)
+		if bless {
+			if err := scenario.WriteGolden(golden, artifacts); err != nil {
+				fatal(err)
+			}
+		} else {
+			gp, err := scenario.CompareGolden(golden, artifacts)
+			if err != nil {
+				fatal(err)
+			}
+			problems = append(problems, gp...)
+		}
+		totalScenarios += len(scenarios)
+		totalProblems += len(problems)
+		status := "ok"
+		if bless {
+			status = "blessed"
+		}
+		if len(problems) > 0 {
+			status = fmt.Sprintf("%d PROBLEMS", len(problems))
+		}
+		fmt.Printf("%s: %d scenarios, %s\n", file, len(scenarios), status)
+		for _, p := range problems {
+			fmt.Printf("  FAIL %s\n", p)
+		}
+	}
+	verb := "conforming"
+	if bless {
+		verb = "blessed"
+	}
+	fmt.Printf("cspscen: %d scenarios across %d files, %d problems, %s\n",
+		totalScenarios, len(files), totalProblems, verb)
+	if totalProblems > 0 {
+		os.Exit(1)
+	}
+}
+
+// genCmd regenerates the deterministic corpus. The output directory is
+// created; stale gen-*.yaml files beyond the regenerated set are
+// removed so shrinking the count never leaves orphans behind.
+func genCmd(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "corpus seed")
+	count := fs.Int("count", 200, "how many scenarios to generate")
+	perFile := fs.Int("per-file", 25, "scenarios per YAML file")
+	out := fs.String("out", "", "output directory (required)")
+	_ = fs.Parse(args)
+	if *out == "" || fs.NArg() != 0 {
+		usage()
+	}
+	files, skipped, err := scenario.GenerateCorpus(scenario.GenConfig{Seed: *seed, Count: *count, PerFile: *perFile})
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	fresh := map[string]bool{}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(*out, f.Name), f.Data, 0o644); err != nil {
+			fatal(err)
+		}
+		fresh[f.Name] = true
+	}
+	stale, err := filepath.Glob(filepath.Join(*out, "gen-*.yaml"))
+	if err != nil {
+		fatal(err)
+	}
+	removed := 0
+	for _, path := range stale {
+		if fresh[filepath.Base(path)] {
+			continue
+		}
+		_ = os.Remove(path)
+		_ = os.Remove(scenario.GoldenPath(path))
+		removed++
+	}
+	fmt.Printf("cspscen: generated %d scenarios into %d files under %s (%d unloadable draws skipped, %d stale files removed)\n",
+		*count, len(files), *out, skipped, removed)
+	fmt.Println("cspscen: run `cspscen bless` over the directory to create the goldens")
+}
+
+// replayCmd re-issues a journal against a live server.
+func replayCmd(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8777", "base URL of the server to replay against")
+	timeout := fs.Duration("timeout", 2*time.Minute, "budget for the whole replay")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	journalPath := fs.Arg(0)
+
+	ctx, cancel := cli.SignalContext(context.Background(), *timeout)
+	defer cancel()
+	client := &http.Client{}
+
+	// Provenance first: a schema-skewed server makes digest mismatches
+	// expected, so surface that before the per-record verdicts.
+	version, err := fetchVersion(ctx, client, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cspscen: warning: no /v1/version from %s: %v\n", *addr, err)
+	}
+	res, err := scenario.Replay(ctx, journalPath, *addr, client)
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range scenario.CheckMeta(res.Meta, version) {
+		fmt.Fprintf(os.Stderr, "cspscen: warning: %s\n", w)
+	}
+	report(res)
+}
+
+func report(res *scenario.ReplayResult) {
+	if res.Torn {
+		fmt.Fprintln(os.Stderr, "cspscen: warning: journal ends in a torn record; replaying the valid prefix")
+	}
+	for _, m := range res.Mismatches {
+		fmt.Printf("  MISMATCH %s\n", m)
+	}
+	fmt.Printf("cspscen: replayed %d records, %d mismatches\n", res.Records, len(res.Mismatches))
+	if !res.OK() {
+		os.Exit(1)
+	}
+}
+
+func fetchVersion(ctx context.Context, client *http.Client, base string) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/version", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -25,11 +25,19 @@
 // shards stay valid under cancellation, so a forced abort loses only the
 // aborted requests' work).
 //
+// With -journal DIR every deterministic /v1/* request is appended to a
+// checksummed journal file (one per run) together with a digest of the
+// response; `cspscen replay JOURNAL -addr URL` re-issues the recorded
+// workload against a restarted server and verifies the responses
+// reproduce byte-identically (modulo the documented timing fields — see
+// internal/journal). GET /v1/version reports the wire schema, store codec
+// version, and build info that stamp such journals.
+//
 // Usage:
 //
 //	cspserved [-addr HOST:PORT] [-depth N] [-nat W] [-workers N]
 //	          [-timeout D] [-max-inflight N] [-drain D] [-cache N]
-//	          [-store DIR] [-stats]
+//	          [-store DIR] [-journal DIR] [-stats]
 package main
 
 import (
@@ -49,7 +57,7 @@ import (
 
 func main() {
 	app := cli.New("cspserved",
-		"cspserved [-addr HOST:PORT] [-depth N] [-nat W] [-workers N] [-timeout D] [-max-inflight N] [-drain D] [-cache N] [-store DIR] [-stats]")
+		"cspserved [-addr HOST:PORT] [-depth N] [-nat W] [-workers N] [-timeout D] [-max-inflight N] [-drain D] [-cache N] [-store DIR] [-journal DIR] [-stats]")
 	app.NatFlag(3)
 	addr := flag.String("addr", "127.0.0.1:8777", "listen address")
 	depth := flag.Int("depth", 8, "default trace-length bound for requests that send none")
@@ -57,6 +65,7 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "how long a shutdown waits for in-flight requests before hard-canceling them")
 	cacheCap := flag.Int("cache", 0, "module cache capacity in specs (0 = default)")
 	storeDir := flag.String("store", "", "artifact store directory for persistent warm starts (empty = no persistence)")
+	journalDir := flag.String("journal", "", "directory for the append-only request journal (empty = no recording); replay with cspscen replay")
 	app.Parse(0)
 
 	reqTimeout := app.Timeout
@@ -71,6 +80,7 @@ func main() {
 		MaxInflight:    *maxInflight,
 		CacheCapacity:  *cacheCap,
 		StoreDir:       *storeDir,
+		JournalDir:     *journalDir,
 		Logf:           log.Printf,
 	})
 	httpSrv := &http.Server{
@@ -114,6 +124,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cspserved: drain deadline exceeded; hard-canceling in-flight requests")
 		srv.Abort()
 		_ = httpSrv.Close()
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "cspserved: closing journal: %v\n", err)
 	}
 	fmt.Fprintln(os.Stderr, "cspserved: drained, exiting")
 	app.Finish()

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioParse pins the decoder's safety contract: arbitrary input
+// either parses into scenarios or returns an error — never a panic. The
+// parse path touches no global state (in particular no intern tables —
+// scenario decoding happens strictly before any CSP compilation), so the
+// only properties to check are no-panic and error-or-value.
+func FuzzScenarioParse(f *testing.F) {
+	f.Add([]byte(sampleFile))
+	f.Add([]byte("- name: x\n  kind: check\n  source: |\n    p = STOP\n"))
+	f.Add([]byte("key: [1, 'two', \"three\"]\n"))
+	f.Add([]byte("a: &anchor 1\n"))
+	f.Add([]byte("\t\n"))
+	f.Add([]byte("- -\n- - -\n"))
+	f.Add([]byte(deepDoc(100)))
+	f.Add([]byte("a: \"unterminated\\"))
+	f.Add([]byte("---\n---\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scenarios, err := Parse(data)
+		if err != nil {
+			if len(scenarios) != 0 {
+				t.Fatalf("error %v alongside %d scenarios", err, len(scenarios))
+			}
+			return
+		}
+		// A successful parse yields validated scenarios: names unique and
+		// non-empty, kinds known.
+		seen := map[string]bool{}
+		for _, s := range scenarios {
+			if s.Name == "" || !validKinds[s.Kind] || seen[s.Name] {
+				t.Fatalf("invalid scenario escaped validation: %+v", s)
+			}
+			seen[s.Name] = true
+		}
+		// Reparsing the same bytes is deterministic.
+		again, err := Parse(data)
+		if err != nil || len(again) != len(scenarios) {
+			t.Fatalf("reparse diverged: %d scenarios then %d, err=%v", len(scenarios), len(again), err)
+		}
+	})
+}
+
+// FuzzYAMLSubset drives the low-level parser alone, where inputs that
+// could never validate as scenarios still must not panic.
+func FuzzYAMLSubset(f *testing.F) {
+	f.Add("a:\n  b: [1, 2]\n  c: |\n    text\n")
+	f.Add("- 'quote''d'\n- \"esc\\n\"\n")
+	f.Add(strings.Repeat("- ", 40) + "x")
+	f.Fuzz(func(t *testing.T, doc string) {
+		v, err := ParseYAML([]byte(doc))
+		if err != nil && v != nil {
+			t.Fatalf("error %v alongside value %v", err, v)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Golden artifacts: the committed record of what every scenario
+// produced. `cspscen run` demands byte-identical agreement; `cspscen
+// bless` rewrites the files. Golden files sit next to their scenario
+// file as <name>.golden.json.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"cspsat/pkg/csp"
+)
+
+// GoldenFile is the serialized form: a schema-stamped artifact list.
+type GoldenFile struct {
+	// Schema is the pkg/csp wire schema the embedded encodings use;
+	// Harness versions the artifact layout around them.
+	Schema    int        `json:"schema"`
+	Harness   int        `json:"harness"`
+	Artifacts []Artifact `json:"artifacts"`
+}
+
+// GoldenPath maps a scenario file to its golden sibling.
+func GoldenPath(scenarioPath string) string {
+	return strings.TrimSuffix(scenarioPath, ".yaml") + ".golden.json"
+}
+
+// EncodeGolden renders the golden file bytes for a run's artifacts.
+func EncodeGolden(artifacts []Artifact) ([]byte, error) {
+	data, err := json.MarshalIndent(GoldenFile{
+		Schema:    csp.WireSchema,
+		Harness:   HarnessSchema,
+		Artifacts: artifacts,
+	}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteGolden blesses path with the artifacts.
+func WriteGolden(path string, artifacts []Artifact) error {
+	data, err := EncodeGolden(artifacts)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// CompareGolden diffs a run's artifacts against the committed golden
+// file. The returned problems are per-artifact and human-readable; a
+// missing golden file is one problem ("bless to create").
+func CompareGolden(path string, artifacts []Artifact) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return []string{fmt.Sprintf("%s: missing golden file (run `cspscen bless` to create it)", path)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var committed GoldenFile
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return nil, fmt.Errorf("%s: corrupt golden file: %w", path, err)
+	}
+	var problems []string
+	if committed.Schema != csp.WireSchema || committed.Harness != HarnessSchema {
+		problems = append(problems, fmt.Sprintf(
+			"%s: golden schema %d/%d does not match this build's %d/%d (re-bless after a schema bump)",
+			path, committed.Schema, committed.Harness, csp.WireSchema, HarnessSchema))
+		return problems, nil
+	}
+	byName := map[string]*Artifact{}
+	for i := range committed.Artifacts {
+		byName[committed.Artifacts[i].Name] = &committed.Artifacts[i]
+	}
+	seen := map[string]bool{}
+	for i := range artifacts {
+		got := &artifacts[i]
+		seen[got.Name] = true
+		want, ok := byName[got.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: scenario %q has no golden artifact (bless to add)", path, got.Name))
+			continue
+		}
+		if diff := diffArtifact(got, want); diff != "" {
+			problems = append(problems, fmt.Sprintf("%s: scenario %q diverged from golden: %s", path, got.Name, diff))
+		}
+	}
+	for name := range byName {
+		if !seen[name] {
+			problems = append(problems, fmt.Sprintf("%s: golden artifact %q has no scenario (bless to drop)", path, name))
+		}
+	}
+	return problems, nil
+}
+
+// diffArtifact compares two artifacts by canonical JSON and names the
+// first top-level field that differs — enough to aim a human at the
+// divergence without reprinting both documents.
+func diffArtifact(got, want *Artifact) string {
+	g, err1 := json.Marshal(got)
+	w, err2 := json.Marshal(want)
+	if err1 != nil || err2 != nil {
+		return fmt.Sprintf("marshal: %v / %v", err1, err2)
+	}
+	if bytes.Equal(g, w) {
+		return ""
+	}
+	var gm, wm map[string]json.RawMessage
+	if json.Unmarshal(g, &gm) != nil || json.Unmarshal(w, &wm) != nil {
+		return "artifacts differ"
+	}
+	for _, key := range []string{"kind", "spec_hash", "ok", "error", "engines", "engines_agree", "runtime_subset", "deadlock", "asserts", "refine", "proofs", "hierarchy"} {
+		if !bytes.Equal(gm[key], wm[key]) {
+			return fmt.Sprintf("field %q: got %s, golden %s", key, clip(gm[key]), clip(wm[key]))
+		}
+	}
+	return "artifacts differ"
+}
+
+func clip(raw json.RawMessage) string {
+	s := string(raw)
+	if s == "" {
+		s = "(absent)"
+	}
+	if len(s) > 160 {
+		s = s[:157] + "..."
+	}
+	return s
+}

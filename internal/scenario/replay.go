@@ -1,0 +1,102 @@
+// Journal replay: re-issue a cspserved request journal against a live
+// server and verify every response reproduces — same status, same
+// normalized digest. This is the restart-determinism proof: record a
+// workload with -journal, restart the server over the same store, and
+// `cspscen replay` demands byte-identical behaviour (modulo the
+// documented volatile fields; see internal/journal.VolatileKeys).
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"cspsat/internal/journal"
+)
+
+// ReplayResult summarises one journal replay.
+type ReplayResult struct {
+	// Meta is the journal's provenance header.
+	Meta journal.Meta
+	// Records is how many exchanges were replayed; Torn reports the
+	// journal ended in a torn final record (the valid prefix was used).
+	Records int
+	Torn    bool
+	// Mismatches lists every divergence, one line per record.
+	Mismatches []string
+}
+
+// OK reports a clean replay.
+func (r *ReplayResult) OK() bool { return len(r.Mismatches) == 0 }
+
+// Replay reads a journal and re-issues every record against baseURL.
+// The error covers infrastructure failures (unreadable journal,
+// unreachable server); response divergences land in Mismatches.
+func Replay(ctx context.Context, journalPath, baseURL string, client *http.Client) (*ReplayResult, error) {
+	rr, err := journal.ReadFile(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	base := strings.TrimRight(baseURL, "/")
+	res := &ReplayResult{Meta: rr.Meta, Records: len(rr.Records), Torn: rr.Torn}
+	for _, rec := range rr.Records {
+		status, body, err := issue(ctx, client, base, rec)
+		if err != nil {
+			return nil, fmt.Errorf("replaying seq %d %s %s: %w", rec.Seq, rec.Method, rec.Path, err)
+		}
+		if status != rec.Status {
+			res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+				"seq %d %s %s: status %d, recorded %d", rec.Seq, rec.Method, rec.Path, status, rec.Status))
+			continue
+		}
+		if got := journal.Digest(body); got != rec.RespDigest {
+			res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+				"seq %d %s %s: response digest %s, recorded %s", rec.Seq, rec.Method, rec.Path, got[:12], rec.RespDigest[:12]))
+		}
+	}
+	return res, nil
+}
+
+func issue(ctx context.Context, client *http.Client, base string, rec journal.Record) (int, []byte, error) {
+	var body io.Reader
+	if len(rec.Request) > 0 {
+		body = bytes.NewReader(rec.Request)
+	}
+	req, err := http.NewRequestWithContext(ctx, rec.Method, base+rec.Path, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// CheckMeta compares a journal's provenance against a live server's
+// /v1/version document (decoded into a generic map), returning a
+// warning per incompatibility. A schema mismatch makes digest
+// divergence expected rather than alarming, so replayers surface this
+// before the per-record verdicts.
+func CheckMeta(meta journal.Meta, version map[string]any) []string {
+	var warnings []string
+	if ws, ok := version["wire_schema"].(float64); ok && int(ws) != meta.WireSchema {
+		warnings = append(warnings, fmt.Sprintf("journal wire schema %d, server %d", meta.WireSchema, int(ws)))
+	}
+	if sc, ok := version["store_codec"].(float64); ok && meta.StoreCodec != 0 && uint32(sc) != meta.StoreCodec {
+		warnings = append(warnings, fmt.Sprintf("journal store codec %d, server %d", meta.StoreCodec, uint32(sc)))
+	}
+	return warnings
+}

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"cspsat/internal/journal"
+)
+
+func TestReplayAgainstStub(t *testing.T) {
+	// Responses differing only in volatile fields must replay clean;
+	// a changed verdict must be flagged.
+	recorded := `{"ok":true,"count":3,"elapsed_ms":11}` + "\n"
+	served := map[string]string{
+		"/v1/traces": `{"ok":true,"count":3,"elapsed_ms":99}` + "\n", // volatile-only drift
+		"/v1/check":  `{"ok":false}` + "\n",                          // verdict flip
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(served[r.URL.Path]))
+	}))
+	defer srv.Close()
+
+	path := filepath.Join(t.TempDir(), "j.cspj")
+	w, err := journal.Create(path, journal.Meta{Schema: journal.Schema, WireSchema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/v1/traces", "/v1/check"} {
+		err := w.Append(journal.Record{
+			Method: "POST", Path: p, Status: 200,
+			Request:    []byte(`{"source":"p = STOP"}`),
+			RespDigest: journal.Digest([]byte(recorded)),
+			RespBytes:  len(recorded),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Replay(context.Background(), path, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 2 || res.Torn {
+		t.Fatalf("replay result: %+v", res)
+	}
+	if len(res.Mismatches) != 1 {
+		t.Fatalf("mismatches: %v", res.Mismatches)
+	}
+	if res.OK() {
+		t.Fatal("verdict flip not detected")
+	}
+}
+
+func TestCheckMeta(t *testing.T) {
+	meta := journal.Meta{WireSchema: 1, StoreCodec: 3}
+	if w := CheckMeta(meta, map[string]any{"wire_schema": 1.0, "store_codec": 3.0}); len(w) != 0 {
+		t.Fatalf("compatible meta warned: %v", w)
+	}
+	w := CheckMeta(meta, map[string]any{"wire_schema": 2.0, "store_codec": 4.0})
+	if len(w) != 2 {
+		t.Fatalf("incompatible meta: %v", w)
+	}
+	// A storeless journal (codec 0) never warns about the codec.
+	if w := CheckMeta(journal.Meta{WireSchema: 1}, map[string]any{"wire_schema": 1.0, "store_codec": 9.0}); len(w) != 0 {
+		t.Fatalf("storeless journal warned: %v", w)
+	}
+}

@@ -1,0 +1,300 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOne(t *testing.T, doc string) *Outcome {
+	t.Helper()
+	scenarios, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 1 {
+		t.Fatalf("want one scenario, got %d", len(scenarios))
+	}
+	out, err := Run(context.Background(), &scenarios[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRunTracesCrossEngine(t *testing.T) {
+	out := runOne(t, `
+- name: copier
+  kind: traces
+  source: |
+    copier = input?x:NAT -> wire!x -> copier
+  process: copier
+  depth: 4
+  nat: 2
+  engines: [op, denote, runtime]
+  expect:
+    ok: true
+    maxlen: 4
+    contains:
+      - ""
+      - "input.0 wire.0"
+      - "input.1 wire.1 input.0"
+    absent:
+      - "wire.0"
+      - "input.2"
+`)
+	if len(out.Problems) != 0 {
+		t.Fatalf("problems: %v", out.Problems)
+	}
+	a := out.Artifact
+	if !a.OK || a.EnginesAgree == nil || !*a.EnginesAgree {
+		t.Fatalf("artifact: %+v", a)
+	}
+	if a.RuntimeSubset == nil || !*a.RuntimeSubset {
+		t.Fatalf("runtime subset probe: %+v", a.RuntimeSubset)
+	}
+	op, denote := a.Engines["op"], a.Engines["denote"]
+	if op == nil || denote == nil || op.Count != denote.Count || op.Count < 5 {
+		t.Fatalf("engine listings: op=%+v denote=%+v", op, denote)
+	}
+	if a.SpecHash == "" {
+		t.Fatal("missing spec hash")
+	}
+}
+
+func TestRunExpectViolations(t *testing.T) {
+	out := runOne(t, `
+- name: wrong
+  kind: traces
+  source: |
+    p = a!1 -> STOP
+  process: p
+  depth: 4
+  expect:
+    count: 999
+    contains: ["b.2"]
+    absent: ["a.1"]
+`)
+	if len(out.Problems) != 3 {
+		t.Fatalf("want 3 expectation failures, got %v", out.Problems)
+	}
+}
+
+func TestRunCheckFailedAsserts(t *testing.T) {
+	out := runOne(t, `
+- name: violated
+  kind: check
+  source: |
+    p = a!1 -> a!2 -> STOP
+    assert p sat #a <= 1
+  depth: 5
+  expect:
+    ok: false
+    failed: ["#a <= 1"]
+`)
+	if len(out.Problems) != 0 {
+		t.Fatalf("problems: %v", out.Problems)
+	}
+	if out.Artifact.OK || len(out.Artifact.Asserts) != 1 || out.Artifact.Asserts[0].OK {
+		t.Fatalf("artifact: %+v", out.Artifact)
+	}
+}
+
+func TestRunRefineHierarchyAndWitness(t *testing.T) {
+	// The §4 separation: STOP |~| guarded has guarded's traces but can
+	// refuse everything, so ⊑T holds where ⊑F fails — and the hierarchy
+	// record must mark that consistent (the converse would not be).
+	out := runOne(t, `
+- name: separation
+  kind: refine
+  source: |
+    guarded = a!0 -> guarded
+    weak = guarded |~| STOP
+  impl: weak
+  spec: guarded
+  model: failures
+  depth: 4
+  expect:
+    ok: false
+    witness: ""
+`)
+	if len(out.Problems) != 0 {
+		t.Fatalf("problems: %v", out.Problems)
+	}
+	a := out.Artifact
+	if a.OK || a.Refine == nil || a.Refine.OK {
+		t.Fatalf("refine artifact: %+v", a)
+	}
+	if a.Hierarchy == nil || a.Hierarchy.FailuresOK || !a.Hierarchy.TracesOK || !a.Hierarchy.Consistent {
+		t.Fatalf("hierarchy: %+v", a.Hierarchy)
+	}
+	if a.Refine.Failure == nil || !a.Refine.Failure.Deadlock {
+		t.Fatalf("failure counterexample: %+v", a.Refine.Failure)
+	}
+}
+
+func TestRunDeadlockBoth(t *testing.T) {
+	for _, c := range []struct {
+		src  string
+		want bool
+	}{
+		{"p = a!0 -> STOP", true},
+		{"p = a!0 -> p", false},
+	} {
+		out := runOne(t, "- name: d\n  kind: traces\n  source: |\n    "+c.src+"\n  process: p\n  depth: 4\n  expect:\n    deadlock: "+boolStr(c.want)+"\n")
+		if len(out.Problems) != 0 {
+			t.Fatalf("%s: problems %v", c.src, out.Problems)
+		}
+		if out.Artifact.Deadlock == nil || *out.Artifact.Deadlock != c.want {
+			t.Fatalf("%s: deadlock=%v", c.src, out.Artifact.Deadlock)
+		}
+	}
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+func TestRunLoadErrorArtifact(t *testing.T) {
+	out := runOne(t, `
+- name: broken
+  kind: check
+  source: |
+    p = (((
+  expect:
+    ok: false
+`)
+	if len(out.Problems) != 0 {
+		t.Fatalf("problems: %v", out.Problems)
+	}
+	if out.Artifact.OK || out.Artifact.Error == "" {
+		t.Fatalf("artifact: %+v", out.Artifact)
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	scenarios, err := Parse([]byte(sampleRunnable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var artifacts []Artifact
+	for i := range scenarios {
+		out, err := Run(context.Background(), &scenarios[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, out.Artifact)
+	}
+	path := filepath.Join(dir, "s.golden.json")
+	if err := WriteGolden(path, artifacts); err != nil {
+		t.Fatal(err)
+	}
+
+	// A re-run compares clean.
+	problems, err := CompareGolden(path, artifacts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("golden self-compare: %v", problems)
+	}
+
+	// A diverged artifact is reported with its field.
+	mutated := make([]Artifact, len(artifacts))
+	copy(mutated, artifacts)
+	mutated[0].OK = !mutated[0].OK
+	problems, err = CompareGolden(path, mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], `"ok"`) {
+		t.Fatalf("mutation diff: %v", problems)
+	}
+
+	// Missing golden names the bless command.
+	problems, err = CompareGolden(filepath.Join(dir, "other.golden.json"), artifacts)
+	if err != nil || len(problems) != 1 || !strings.Contains(problems[0], "bless") {
+		t.Fatalf("missing golden: %v / %v", problems, err)
+	}
+}
+
+const sampleRunnable = `
+- name: walk
+  kind: traces
+  source: |
+    p = a!0 -> b!1 -> p
+  process: p
+  depth: 4
+- name: holds
+  kind: check
+  source: |
+    p = a!1 -> p
+    assert p sat 0 <= #a
+  depth: 4
+`
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 11, Count: 12, PerFile: 5}
+	a, skippedA, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, skippedB, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skippedA != skippedB || len(a) != len(b) || len(a) != 3 {
+		t.Fatalf("determinism: %d/%d files, %d/%d skips", len(a), len(b), skippedA, skippedB)
+	}
+	total := 0
+	for i := range a {
+		if a[i].Name != b[i].Name || string(a[i].Data) != string(b[i].Data) {
+			t.Fatalf("file %d differs between identical runs", i)
+		}
+		scenarios, err := Parse(a[i].Data)
+		if err != nil {
+			t.Fatalf("%s does not reparse: %v", a[i].Name, err)
+		}
+		total += len(scenarios)
+		for j := range scenarios {
+			out, err := Run(context.Background(), &scenarios[j])
+			if err != nil {
+				t.Fatalf("%s/%s: %v", a[i].Name, scenarios[j].Name, err)
+			}
+			if len(out.Problems) != 0 {
+				t.Fatalf("%s/%s: %v", a[i].Name, scenarios[j].Name, out.Problems)
+			}
+		}
+	}
+	if total != 12 {
+		t.Fatalf("corpus holds %d scenarios, want 12", total)
+	}
+}
+
+func TestGeneratedScenariosWriteLoad(t *testing.T) {
+	files, _, err := GenerateCorpus(GenConfig{Seed: 3, Count: 4, PerFile: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.Name), f.Data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := Files(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if _, err := LoadFile(p); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+// Package scenario is the conformance harness: executable descriptions
+// of verification runs — spec, engines, model, bounds, expectations —
+// loaded from YAML files, executed through pkg/csp, and diffed against
+// committed golden artifacts. cmd/cspscen is the CLI over this package;
+// specs/scenarios is the committed corpus. See DESIGN.md §3.9.
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Kinds a scenario can exercise, mirroring the /v1 endpoints.
+const (
+	KindTraces = "traces"
+	KindCheck  = "check"
+	KindRefine = "refine"
+	KindProve  = "prove"
+)
+
+// Scenario is one conformance case: a spec plus the run parameters and
+// the expectations the run must satisfy. Cross-engine agreement is
+// implicit — every listed engine must produce the same trace set.
+type Scenario struct {
+	// Name identifies the scenario; unique within its file.
+	Name string
+	// Kind is "traces", "check", "refine", or "prove".
+	Kind string
+	// Source is the inline .csp module text; File a path relative to the
+	// scenario file. Exactly one is set.
+	Source string
+	File   string
+	// Engines lists the trace engines to run and compare (default
+	// ["op", "denote"]; "runtime" requires "op" to be listed too, since
+	// sampled runs are verified as a subset of the op set rather than
+	// compared byte-for-byte).
+	Engines []string
+	// Model is "traces" (default) or "failures" (check and refine).
+	Model string
+	// Depth, Nat, MaxLen bound the run (defaults 8 / 3 / 3).
+	Depth  int
+	Nat    int
+	MaxLen int
+	// Process roots a traces scenario; Impl and Spec name a refinement.
+	Process string
+	Impl    string
+	Spec    string
+	// Seed and MaxEvents drive the runtime engine's sampler.
+	Seed      int64
+	MaxEvents int
+	// Expect is checked against the run's outcome.
+	Expect Expect
+
+	// Dir is the directory of the file the scenario was loaded from,
+	// for resolving File; set by LoadFile.
+	Dir string
+}
+
+// Expect is the assertion half of a scenario. Nil pointer fields are
+// unchecked; zero-length slices are unchecked.
+type Expect struct {
+	// OK is the overall verdict: traces computed, all asserts hold, the
+	// refinement holds, all proofs found.
+	OK *bool
+	// Count is the exact trace count (traces scenarios, op/denote set).
+	Count *int
+	// MaxLen is the length of the longest trace (traces scenarios).
+	MaxLen *int
+	// Contains and Absent name traces, rendered "chan.msg chan.msg ...",
+	// that must / must not be in the computed set ("" is the empty trace).
+	Contains []string
+	Absent   []string
+	// Deadlock asserts whether the process can refuse its whole
+	// alphabet after some trace (failures-model traces scenarios).
+	Deadlock *bool
+	// Failed lists assert names (1-based "assert N" labels) that must
+	// fail in a check scenario; all others must hold.
+	Failed []string
+	// Witness is a counterexample trace a failed refinement must report.
+	Witness *string
+}
+
+var validKinds = map[string]bool{KindTraces: true, KindCheck: true, KindRefine: true, KindProve: true}
+var validEngines = map[string]bool{"op": true, "denote": true, "runtime": true}
+var validModels = map[string]bool{"": true, "traces": true, "failures": true}
+
+// Validate checks internal consistency; Load* call it on every scenario.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario has no name")
+	}
+	if !validKinds[s.Kind] {
+		return fmt.Errorf("scenario %q: unknown kind %q", s.Name, s.Kind)
+	}
+	if (s.Source == "") == (s.File == "") {
+		return fmt.Errorf("scenario %q: exactly one of source and file must be set", s.Name)
+	}
+	if !validModels[s.Model] {
+		return fmt.Errorf("scenario %q: unknown model %q", s.Name, s.Model)
+	}
+	seen := map[string]bool{}
+	for _, e := range s.Engines {
+		if !validEngines[e] {
+			return fmt.Errorf("scenario %q: unknown engine %q", s.Name, e)
+		}
+		if seen[e] {
+			return fmt.Errorf("scenario %q: engine %q listed twice", s.Name, e)
+		}
+		seen[e] = true
+	}
+	if seen["runtime"] && !seen["op"] {
+		return fmt.Errorf("scenario %q: the runtime engine needs \"op\" listed for its subset check", s.Name)
+	}
+	switch s.Kind {
+	case KindTraces:
+		if s.Process == "" {
+			return fmt.Errorf("scenario %q: traces scenarios need a process", s.Name)
+		}
+	case KindRefine:
+		if s.Impl == "" || s.Spec == "" {
+			return fmt.Errorf("scenario %q: refine scenarios need impl and spec", s.Name)
+		}
+	}
+	if s.Kind != KindTraces && len(s.Engines) > 1 {
+		return fmt.Errorf("scenario %q: only traces scenarios compare engines", s.Name)
+	}
+	if s.Kind != KindTraces && seen["runtime"] {
+		return fmt.Errorf("scenario %q: the runtime engine only drives traces scenarios", s.Name)
+	}
+	return nil
+}
+
+// EngineList is Engines with the default applied.
+func (s *Scenario) EngineList() []string {
+	if len(s.Engines) > 0 {
+		return s.Engines
+	}
+	return []string{"op", "denote"}
+}
+
+// SourceText returns the module text, reading File when set.
+func (s *Scenario) SourceText() (string, error) {
+	if s.Source != "" {
+		return s.Source, nil
+	}
+	path := s.File
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(s.Dir, path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return string(data), nil
+}
+
+// Parse decodes one scenario file: a YAML sequence of scenario maps.
+// Every key must be known, every value well-typed, every scenario valid,
+// and names unique — a file that parses is a file the runner can run.
+func Parse(data []byte) ([]Scenario, error) {
+	doc, err := ParseYAML(data)
+	if err != nil {
+		return nil, err
+	}
+	if doc == nil {
+		return nil, fmt.Errorf("empty scenario file")
+	}
+	seq, ok := doc.([]Value)
+	if !ok {
+		return nil, fmt.Errorf("scenario file must be a sequence of scenarios")
+	}
+	scenarios := make([]Scenario, 0, len(seq))
+	names := map[string]bool{}
+	for i, item := range seq {
+		m, ok := item.(map[string]Value)
+		if !ok {
+			return nil, fmt.Errorf("scenario %d: not a mapping", i+1)
+		}
+		s, err := decodeScenario(m)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i+1, err)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if names[s.Name] {
+			return nil, fmt.Errorf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		scenarios = append(scenarios, s)
+	}
+	return scenarios, nil
+}
+
+// LoadFile parses path and stamps each scenario's Dir.
+func LoadFile(path string) ([]Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	scenarios, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	for i := range scenarios {
+		scenarios[i].Dir = dir
+	}
+	return scenarios, nil
+}
+
+// Files lists the scenario files under a path: the file itself, or every
+// *.yaml directly in or recursively under a directory, sorted.
+func Files(path string) ([]string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{path}, nil
+	}
+	var files []string
+	err = filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(p, ".yaml") {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no scenario files (*.yaml)", path)
+	}
+	return files, nil
+}
+
+func decodeScenario(m map[string]Value) (Scenario, error) {
+	var s Scenario
+	d := decoder{m: m}
+	s.Name = d.str("name")
+	s.Kind = d.str("kind")
+	s.Source = d.str("source")
+	s.File = d.str("file")
+	s.Engines = d.strs("engines")
+	s.Model = d.str("model")
+	s.Depth = d.num("depth")
+	s.Nat = d.num("nat")
+	s.MaxLen = d.num("maxlen")
+	s.Process = d.str("process")
+	s.Impl = d.str("impl")
+	s.Spec = d.str("spec")
+	s.Seed = d.num64("seed")
+	s.MaxEvents = d.num("max_events")
+	if raw, ok := m["expect"]; ok {
+		em, ok := raw.(map[string]Value)
+		if !ok {
+			return s, fmt.Errorf("expect: not a mapping")
+		}
+		ed := decoder{m: em}
+		s.Expect.OK = ed.boolPtr("ok")
+		s.Expect.Count = ed.numPtr("count")
+		s.Expect.MaxLen = ed.numPtr("maxlen")
+		s.Expect.Contains = ed.strs("contains")
+		s.Expect.Absent = ed.strs("absent")
+		s.Expect.Deadlock = ed.boolPtr("deadlock")
+		s.Expect.Failed = ed.strs("failed")
+		s.Expect.Witness = ed.strPtr("witness")
+		if err := ed.finish("expect"); err != nil {
+			return s, err
+		}
+		d.used["expect"] = true
+	}
+	if err := d.finish("scenario"); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// decoder pulls typed fields out of a parsed map, accumulating the first
+// error and tracking which keys were consumed so unknown keys fail.
+type decoder struct {
+	m    map[string]Value
+	used map[string]bool
+	err  error
+}
+
+func (d *decoder) take(key string) (Value, bool) {
+	if d.used == nil {
+		d.used = map[string]bool{}
+	}
+	v, ok := d.m[key]
+	if ok {
+		d.used[key] = true
+	}
+	return v, ok
+}
+
+func (d *decoder) fail(key, want string, got Value) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s: want %s, got %T (%v)", key, want, got, got)
+	}
+}
+
+func (d *decoder) str(key string) string {
+	v, ok := d.take(key)
+	if !ok || v == nil {
+		return ""
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.fail(key, "string", v)
+		return ""
+	}
+	return s
+}
+
+func (d *decoder) strPtr(key string) *string {
+	v, ok := d.take(key)
+	if !ok {
+		return nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.fail(key, "string", v)
+		return nil
+	}
+	return &s
+}
+
+func (d *decoder) strs(key string) []string {
+	v, ok := d.take(key)
+	if !ok || v == nil {
+		return nil
+	}
+	seq, ok := v.([]Value)
+	if !ok {
+		d.fail(key, "sequence of strings", v)
+		return nil
+	}
+	out := make([]string, 0, len(seq))
+	for _, item := range seq {
+		s, ok := item.(string)
+		if !ok {
+			d.fail(key, "sequence of strings", item)
+			return nil
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (d *decoder) num(key string) int {
+	return int(d.num64(key))
+}
+
+func (d *decoder) num64(key string) int64 {
+	v, ok := d.take(key)
+	if !ok || v == nil {
+		return 0
+	}
+	n, ok := v.(int64)
+	if !ok {
+		d.fail(key, "integer", v)
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) numPtr(key string) *int {
+	v, ok := d.take(key)
+	if !ok {
+		return nil
+	}
+	n, ok := v.(int64)
+	if !ok {
+		d.fail(key, "integer", v)
+		return nil
+	}
+	i := int(n)
+	return &i
+}
+
+func (d *decoder) boolPtr(key string) *bool {
+	v, ok := d.take(key)
+	if !ok {
+		return nil
+	}
+	b, ok := v.(bool)
+	if !ok {
+		d.fail(key, "bool", v)
+		return nil
+	}
+	return &b
+}
+
+// finish reports the accumulated error or the first unknown key.
+func (d *decoder) finish(what string) error {
+	if d.err != nil {
+		return d.err
+	}
+	keys := make([]string, 0, len(d.m))
+	for k := range d.m {
+		if !d.used[k] {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) > 0 {
+		sort.Strings(keys)
+		return fmt.Errorf("%s: unknown key %q", what, keys[0])
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleFile = `
+- name: copier-walk
+  kind: traces
+  file: copier.csp
+  process: copier
+  depth: 5
+  engines: [op, denote, runtime]
+  seed: 7
+  expect:
+    ok: true
+    contains:
+      - "input.0 wire.0"
+- name: inline-check
+  kind: check
+  source: |
+    p = a!1 -> p
+    assert p sat 0 <= #a
+  depth: 4
+  expect:
+    ok: true
+- name: weaken
+  kind: refine
+  source: |
+    impl = a!1 -> STOP
+    spec = a!1 -> a!1 -> STOP
+  impl: impl
+  spec: spec
+  model: failures
+  expect:
+    ok: false
+    witness: ""
+`
+
+func TestParseScenarios(t *testing.T) {
+	scenarios, err := Parse([]byte(sampleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 3 {
+		t.Fatalf("parsed %d scenarios", len(scenarios))
+	}
+	s := scenarios[0]
+	if s.Name != "copier-walk" || s.Kind != KindTraces || s.File != "copier.csp" ||
+		s.Depth != 5 || s.Seed != 7 || len(s.Engines) != 3 {
+		t.Fatalf("first scenario: %+v", s)
+	}
+	if s.Expect.OK == nil || !*s.Expect.OK || len(s.Expect.Contains) != 1 {
+		t.Fatalf("first expect: %+v", s.Expect)
+	}
+	if got := scenarios[1].Source; !strings.Contains(got, "assert p sat") {
+		t.Fatalf("inline source: %q", got)
+	}
+	w := scenarios[2]
+	if w.Model != "failures" || w.Expect.Witness == nil || *w.Expect.Witness != "" {
+		t.Fatalf("witness scenario: %+v", w)
+	}
+	if w.Expect.OK == nil || *w.Expect.OK {
+		t.Fatalf("witness expect: %+v", w.Expect)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"not a sequence", "name: x", "must be a sequence"},
+		{"unknown key", "- name: x\n  kind: check\n  source: p = STOP\n  bogus: 1", "unknown key"},
+		{"unknown expect key", "- name: x\n  kind: check\n  source: p = STOP\n  expect:\n    bogus: 1", "unknown key"},
+		{"bad kind", "- name: x\n  kind: nope\n  source: p = STOP", "unknown kind"},
+		{"no name", "- kind: check\n  source: p = STOP", "no name"},
+		{"source and file", "- name: x\n  kind: check\n  source: p = STOP\n  file: a.csp", "exactly one"},
+		{"neither source nor file", "- name: x\n  kind: check", "exactly one"},
+		{"traces without process", "- name: x\n  kind: traces\n  source: p = STOP", "need a process"},
+		{"refine without spec", "- name: x\n  kind: refine\n  source: p = STOP\n  impl: p", "impl and spec"},
+		{"runtime without op", "- name: x\n  kind: traces\n  source: p = STOP\n  process: p\n  engines: [runtime]", "subset check"},
+		{"bad engine", "- name: x\n  kind: traces\n  source: p = STOP\n  process: p\n  engines: [spin]", "unknown engine"},
+		{"bad model", "- name: x\n  kind: check\n  source: p = STOP\n  model: divergences", "unknown model"},
+		{"engines on check", "- name: x\n  kind: check\n  source: p = STOP\n  engines: [op, denote]", "only traces scenarios"},
+		{"duplicate name", "- name: x\n  kind: check\n  source: p = STOP\n- name: x\n  kind: check\n  source: q = STOP", "duplicate scenario name"},
+		{"typed field", "- name: x\n  kind: check\n  source: p = STOP\n  depth: deep", "want integer"},
+		{"empty file", "# nothing here\n", "empty scenario file"},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.in))
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLoadFileResolvesDir(t *testing.T) {
+	dir := t.TempDir()
+	spec := "p = a!1 -> STOP\n"
+	if err := os.WriteFile(filepath.Join(dir, "tiny.csp"), []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := "- name: t\n  kind: check\n  file: tiny.csp\n"
+	path := filepath.Join(dir, "t.yaml")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := scenarios[0].SourceText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != spec {
+		t.Fatalf("source = %q", src)
+	}
+}
+
+func TestFiles(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "gen")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{filepath.Join(dir, "b.yaml"), filepath.Join(dir, "a.yaml"), filepath.Join(sub, "c.yaml"), filepath.Join(dir, "x.golden.json")} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := Files(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(dir, "a.yaml"), filepath.Join(dir, "b.yaml"), filepath.Join(sub, "c.yaml")}
+	if len(files) != 3 || files[0] != want[0] || files[1] != want[1] || files[2] != want[2] {
+		t.Fatalf("files = %v, want %v", files, want)
+	}
+	if _, err := Files(filepath.Join(dir, "none")); err == nil {
+		t.Fatal("missing path: no error")
+	}
+}

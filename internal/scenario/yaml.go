@@ -1,0 +1,419 @@
+// A hand-rolled strict subset of YAML, enough to express scenario files
+// and nothing more. The repository takes no dependencies, and scenarios
+// need exactly: block maps, block sequences (including "- key: value"
+// inline map starts), flow sequences of scalars, single- and
+// double-quoted strings, block literals (| and |-), comments, and plain
+// scalars typed as bool/int/null/string.
+//
+// The subset is deliberately strict where YAML is forgiving: tabs in
+// indentation are errors, duplicate keys are errors, nesting is capped,
+// and anything outside the subset (anchors, aliases, flow maps, multiple
+// documents, type tags) is a parse error rather than a silent
+// misreading. A scenario file that parses here parses the same way under
+// any conforming YAML reader.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxYAMLDepth caps block nesting; scenario files are ~4 levels deep, so
+// the cap only exists to bound adversarial input (the fuzz target).
+const maxYAMLDepth = 64
+
+// Value is a parsed YAML value: map[string]Value, []Value, string,
+// int64, bool, or nil.
+type Value any
+
+type yamlLine struct {
+	indent  int
+	content string // without indentation, comments handled per-scalar
+	lineno  int
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	raw   []string // original lines, for block literals
+	pos   int
+}
+
+// ParseYAML parses one document of the YAML subset.
+func ParseYAML(data []byte) (Value, error) {
+	p, err := newYAMLParser(data)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos >= len(p.lines) {
+		return nil, nil
+	}
+	v, err := p.parseValue(p.lines[p.pos].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("line %d: unexpected content %q after document", l.lineno, l.content)
+	}
+	return v, nil
+}
+
+func newYAMLParser(data []byte) (*yamlParser, error) {
+	raw := strings.Split(string(data), "\n")
+	p := &yamlParser{raw: raw}
+	for i, line := range raw {
+		trimmed := strings.TrimRight(line, " \r")
+		body := strings.TrimLeft(trimmed, " ")
+		if body == "" || strings.HasPrefix(body, "#") {
+			continue
+		}
+		indent := len(trimmed) - len(body)
+		if strings.ContainsRune(line[:indent+1], '\t') || strings.HasPrefix(body, "\t") {
+			return nil, fmt.Errorf("line %d: tab in indentation", i+1)
+		}
+		if body == "---" || body == "..." {
+			if len(p.lines) > 0 {
+				return nil, fmt.Errorf("line %d: multiple documents are not supported", i+1)
+			}
+			continue
+		}
+		p.lines = append(p.lines, yamlLine{indent: indent, content: body, lineno: i + 1})
+	}
+	return p, nil
+}
+
+// parseValue parses the block value whose first line is at exactly
+// indent; every subsequent line of the value is at >= indent.
+func (p *yamlParser) parseValue(indent, depth int) (Value, error) {
+	if depth > maxYAMLDepth {
+		return nil, fmt.Errorf("line %d: nesting deeper than %d levels", p.lines[p.pos].lineno, maxYAMLDepth)
+	}
+	l := p.lines[p.pos]
+	if l.content == "-" || strings.HasPrefix(l.content, "- ") {
+		return p.parseSequence(indent, depth)
+	}
+	if key, _, ok := splitKey(l.content); ok && key != "" {
+		return p.parseMap(indent, depth)
+	}
+	// A single scalar line.
+	p.pos++
+	return parseScalar(l.content, l.lineno)
+}
+
+func (p *yamlParser) parseSequence(indent, depth int) (Value, error) {
+	seq := []Value{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.content != "-" && !strings.HasPrefix(l.content, "- ")) {
+			if l.indent > indent {
+				return nil, fmt.Errorf("line %d: bad indentation inside sequence", l.lineno)
+			}
+			break
+		}
+		if l.content == "-" {
+			// The item is the nested block on the following lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			item, err := p.parseValue(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, item)
+			continue
+		}
+		// "- inline": re-inject the rest of the line at its real column so
+		// "- key: value" opens a map whose siblings align under the key.
+		rest := l.content[2:]
+		pad := 2
+		for len(rest) > 0 && rest[0] == ' ' {
+			rest = rest[1:]
+			pad++
+		}
+		if rest == "" {
+			return nil, fmt.Errorf("line %d: empty sequence item", l.lineno)
+		}
+		p.lines[p.pos] = yamlLine{indent: indent + pad, content: rest, lineno: l.lineno}
+		item, err := p.parseValue(indent+pad, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, item)
+	}
+	return seq, nil
+}
+
+func (p *yamlParser) parseMap(indent, depth int) (Value, error) {
+	m := map[string]Value{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, fmt.Errorf("line %d: bad indentation inside mapping", l.lineno)
+			}
+			break
+		}
+		key, rest, ok := splitKey(l.content)
+		if !ok {
+			return nil, fmt.Errorf("line %d: expected \"key: value\", got %q", l.lineno, l.content)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.lineno, key)
+		}
+		switch {
+		case rest == "|" || rest == "|-":
+			p.pos++
+			text, err := p.parseBlockLiteral(indent, l.lineno, rest == "|-")
+			if err != nil {
+				return nil, err
+			}
+			m[key] = text
+		case rest != "":
+			v, err := parseScalar(rest, l.lineno)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			p.pos++
+		default:
+			// Value is the nested block, or null when nothing is nested.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				m[key] = nil
+				continue
+			}
+			v, err := p.parseValue(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		}
+	}
+	return m, nil
+}
+
+// parseBlockLiteral consumes the raw lines of a | literal introduced on
+// line keyLine at key indent keyIndent. Literals read from p.raw, not
+// p.lines: blank lines and #-prefixed lines belong to the text.
+func (p *yamlParser) parseBlockLiteral(keyIndent, keyLine int, strip bool) (string, error) {
+	// Find where the literal ends in the raw line numbering: the next
+	// parsed line at indent <= keyIndent.
+	endRaw := len(p.raw)
+	if p.pos < len(p.lines) && p.lines[p.pos].indent <= keyIndent {
+		return "", fmt.Errorf("line %d: block literal has no content", keyLine)
+	}
+	for i := p.pos; i < len(p.lines); i++ {
+		if p.lines[i].indent <= keyIndent {
+			endRaw = p.lines[i].lineno - 1
+			break
+		}
+	}
+	// Advance the parsed-line cursor past the literal.
+	for p.pos < len(p.lines) && p.lines[p.pos].lineno <= endRaw {
+		p.pos++
+	}
+
+	var body []string
+	blockIndent := -1
+	for i := keyLine; i < endRaw; i++ { // raw line keyLine is 0-indexed i=keyLine
+		line := strings.TrimRight(p.raw[i], "\r")
+		t := strings.TrimLeft(line, " ")
+		if t == "" {
+			body = append(body, "")
+			continue
+		}
+		ind := len(line) - len(t)
+		if blockIndent < 0 {
+			if ind <= keyIndent {
+				return "", fmt.Errorf("line %d: block literal content must be indented past its key", i+1)
+			}
+			blockIndent = ind
+		}
+		if ind < blockIndent {
+			return "", fmt.Errorf("line %d: block literal line under-indented", i+1)
+		}
+		body = append(body, line[blockIndent:])
+	}
+	// Trailing blank lines belong to the document, not the literal.
+	for len(body) > 0 && body[len(body)-1] == "" {
+		body = body[:len(body)-1]
+	}
+	if blockIndent < 0 {
+		return "", fmt.Errorf("line %d: block literal has no content", keyLine)
+	}
+	text := strings.Join(body, "\n")
+	if !strip {
+		text += "\n"
+	}
+	return text, nil
+}
+
+// splitKey splits "key: value" / "key:" into key and the remainder. The
+// key may be double- or single-quoted; a plain key runs to the first
+// colon. Returns ok=false when the line is not a mapping entry.
+func splitKey(s string) (key, rest string, ok bool) {
+	if s == "" {
+		return "", "", false
+	}
+	if s[0] == '"' || s[0] == '\'' {
+		q, n, err := scanQuoted(s)
+		if err != nil || n >= len(s) || s[n] != ':' {
+			return "", "", false
+		}
+		return q, strings.TrimLeft(s[n+1:], " "), true
+	}
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", false // "a:b" is a plain scalar, not a mapping
+	}
+	key = strings.TrimSpace(s[:i])
+	if key == "" || strings.ContainsAny(key, "{}[],&*!|>%@`\"'") {
+		return "", "", false
+	}
+	return key, strings.TrimLeft(s[i+1:], " "), true
+}
+
+// parseScalar parses an inline value: flow sequence, quoted string, or
+// plain scalar with an optional trailing comment.
+func parseScalar(s string, lineno int) (Value, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case s[0] == '[':
+		return parseFlowSeq(s, lineno)
+	case s[0] == '{':
+		return nil, fmt.Errorf("line %d: flow mappings are not supported", lineno)
+	case s[0] == '&' || s[0] == '*' || s[0] == '!':
+		return nil, fmt.Errorf("line %d: anchors, aliases, and tags are not supported", lineno)
+	case s[0] == '"' || s[0] == '\'':
+		q, n, err := scanQuoted(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno, err)
+		}
+		if tail := strings.TrimSpace(s[n:]); tail != "" && !strings.HasPrefix(tail, "#") {
+			return nil, fmt.Errorf("line %d: unexpected %q after quoted scalar", lineno, tail)
+		}
+		return q, nil
+	}
+	// Plain scalar: cut a trailing comment (space before '#', per YAML).
+	if i := strings.Index(s, " #"); i >= 0 {
+		s = strings.TrimRight(s[:i], " ")
+	}
+	if s == "" {
+		return nil, nil
+	}
+	return typeScalar(s), nil
+}
+
+// typeScalar resolves a plain scalar to bool, null, int64, or string.
+func typeScalar(s string) Value {
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	case "null", "~":
+		return nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	return s
+}
+
+// parseFlowSeq parses "[a, b, c]" of scalar items.
+func parseFlowSeq(s string, lineno int) (Value, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("line %d: unterminated flow sequence", lineno)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	seq := []Value{}
+	if inner == "" {
+		return seq, nil
+	}
+	for len(inner) > 0 {
+		inner = strings.TrimLeft(inner, " ")
+		var item Value
+		if len(inner) > 0 && (inner[0] == '"' || inner[0] == '\'') {
+			q, n, err := scanQuoted(inner)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineno, err)
+			}
+			item = q
+			inner = strings.TrimLeft(inner[n:], " ")
+			if len(inner) > 0 {
+				if inner[0] != ',' {
+					return nil, fmt.Errorf("line %d: expected ',' in flow sequence", lineno)
+				}
+				inner = inner[1:]
+			}
+		} else {
+			i := strings.IndexByte(inner, ',')
+			var raw string
+			if i < 0 {
+				raw, inner = inner, ""
+			} else {
+				raw, inner = inner[:i], inner[i+1:]
+			}
+			raw = strings.TrimSpace(raw)
+			if raw == "" {
+				return nil, fmt.Errorf("line %d: empty item in flow sequence", lineno)
+			}
+			if strings.ContainsAny(raw, "[]{}") {
+				return nil, fmt.Errorf("line %d: nested flow collections are not supported", lineno)
+			}
+			item = typeScalar(raw)
+		}
+		seq = append(seq, item)
+	}
+	return seq, nil
+}
+
+// scanQuoted scans a leading quoted string and returns its value and the
+// index just past the closing quote. Double quotes support \" \\ \n \t
+// escapes; single quotes are literal, a doubled quote escaping one.
+func scanQuoted(s string) (string, int, error) {
+	quote := s[0]
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == quote && quote == '\'':
+			if i+1 < len(s) && s[i+1] == '\'' {
+				b.WriteByte('\'')
+				i++
+				continue
+			}
+			return b.String(), i + 1, nil
+		case c == quote:
+			return b.String(), i + 1, nil
+		case c == '\\' && quote == '"':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("unterminated escape in quoted scalar")
+			}
+			i++
+			switch s[i] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", 0, fmt.Errorf("unsupported escape \\%c in quoted scalar", s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted scalar")
+}

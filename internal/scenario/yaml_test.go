@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLDocument(t *testing.T) {
+	doc := `
+# corpus header comment
+- name: first
+  kind: traces
+  depth: 5
+  engines: [op, denote]
+  expect:
+    ok: true
+    count: 63
+    contains:
+      - "input.0 wire.0"
+      - ""
+- name: second
+  kind: check
+  source: |
+    p = a!1 -> p
+    assert p sat 0 <= #a
+  expect:
+    ok: false
+`
+	v, err := ParseYAML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Value{
+		map[string]Value{
+			"name": "first", "kind": "traces", "depth": int64(5),
+			"engines": []Value{"op", "denote"},
+			"expect": map[string]Value{
+				"ok": true, "count": int64(63),
+				"contains": []Value{"input.0 wire.0", ""},
+			},
+		},
+		map[string]Value{
+			"name": "second", "kind": "check",
+			"source": "p = a!1 -> p\nassert p sat 0 <= #a\n",
+			"expect": map[string]Value{"ok": false},
+		},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("parsed:\n%#v\nwant:\n%#v", v, want)
+	}
+}
+
+func TestParseYAMLScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"key: true", map[string]Value{"key": true}},
+		{"key: false", map[string]Value{"key": false}},
+		{"key: null", map[string]Value{"key": nil}},
+		{"key: ~", map[string]Value{"key": nil}},
+		{"key:", map[string]Value{"key": nil}},
+		{"key: -42", map[string]Value{"key": int64(-42)}},
+		{"key: hello world", map[string]Value{"key": "hello world"}},
+		{"key: hello # comment", map[string]Value{"key": "hello"}},
+		{`key: "a: b # not a comment"`, map[string]Value{"key": "a: b # not a comment"}},
+		{`key: "tab\there"`, map[string]Value{"key": "tab\there"}},
+		{`key: 'it''s'`, map[string]Value{"key": "it's"}},
+		{"key: []", map[string]Value{"key": []Value{}}},
+		{"key: [1, two, true]", map[string]Value{"key": []Value{int64(1), "two", true}}},
+		{"key: a:b", map[string]Value{"key": "a:b"}},
+		{"key: http://example.com/x", map[string]Value{"key": "http://example.com/x"}},
+	}
+	for _, c := range cases {
+		v, err := ParseYAML([]byte(c.in))
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(v, c.want) {
+			t.Errorf("%q: got %#v, want %#v", c.in, v, c.want)
+		}
+	}
+}
+
+func TestParseYAMLBlockLiteral(t *testing.T) {
+	doc := "spec: |\n  p = a -> STOP\n\n  # a comment inside the spec\n  q = b -> STOP\nafter: 1\n"
+	v, err := ParseYAML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]Value)
+	want := "p = a -> STOP\n\n# a comment inside the spec\nq = b -> STOP\n"
+	if m["spec"] != want {
+		t.Fatalf("literal = %q, want %q", m["spec"], want)
+	}
+	if m["after"] != int64(1) {
+		t.Fatalf("key after literal: %v", m["after"])
+	}
+
+	// |- strips the final newline.
+	v, err = ParseYAML([]byte("spec: |-\n  p = STOP\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.(map[string]Value)["spec"]; got != "p = STOP" {
+		t.Fatalf("|- literal = %q", got)
+	}
+}
+
+// deepDoc nests n single-key maps, one per indentation level.
+func deepDoc(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(strings.Repeat(" ", i) + "a:\n")
+	}
+	b.WriteString(strings.Repeat(" ", n) + "b: 1")
+	return b.String()
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"tab indent", "key:\n\tnested: 1", "tab in indentation"},
+		{"duplicate key", "a: 1\na: 2", "duplicate key"},
+		{"flow map", "a: {b: 1}", "flow mappings"},
+		{"anchor", "a: &x 1", "anchors"},
+		{"alias", "a: *x", "anchors"},
+		{"tag", "a: !!int 3", "anchors"},
+		{"multi-doc", "a: 1\n---\nb: 2", "multiple documents"},
+		{"unterminated quote", `a: "oops`, "unterminated"},
+		{"unterminated flow", "a: [1, 2", "unterminated flow"},
+		{"nested flow", "a: [[1]]", "nested flow"},
+		{"empty literal", "a: |\nb: 1", "no content"},
+		{"bad map indent", "a: 1\n   b: 2", "bad indentation"},
+		{"bad seq indent", "- a\n  - b", "bad indentation"},
+		{"trailing junk", `a: "x" y`, "after quoted scalar"},
+		{"deep nesting", deepDoc(70), "nesting deeper"},
+	}
+	for _, c := range cases {
+		_, err := ParseYAML([]byte(c.in))
+		if err == nil {
+			t.Errorf("%s: no error for %q", c.name, c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseYAMLSequenceForms(t *testing.T) {
+	doc := "- plain\n- 42\n-\n  - nested\n- key: 1\n  other: 2\n"
+	v, err := ParseYAML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Value{
+		"plain", int64(42),
+		[]Value{"nested"},
+		map[string]Value{"key": int64(1), "other": int64(2)},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v, want %#v", v, want)
+	}
+}

@@ -7,9 +7,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -319,11 +321,13 @@ func parseModel(name string) (csp.Model, error) {
 }
 
 // runHandler serves one single-run endpoint: decode, admit, derive the
-// request context, execute, encode.
+// request context, execute, encode — and journal the exchange when the
+// server records and the outcome is deterministic.
 func (s *Server) runHandler(kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req runRequest
-		if !s.admitAndDecode(w, r, kind, &req) {
+		raw, ok := s.admitAndDecode(w, r, kind, &req)
+		if !ok {
 			return
 		}
 		defer s.release()
@@ -339,7 +343,9 @@ func (s *Server) runHandler(kind string) http.HandlerFunc {
 			resp.Error = err.Error()
 		}
 		s.metrics.record(kind, status, time.Since(started))
-		writeJSON(w, status, resp)
+		body := marshalJSON(resp)
+		writeBody(w, status, body)
+		s.record(r, status, raw, body)
 	}
 }
 
@@ -366,7 +372,8 @@ type batchResponse struct {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if !s.admitAndDecode(w, r, "batch", &req) {
+	raw, ok := s.admitAndDecode(w, r, "batch", &req)
+	if !ok {
 		return
 	}
 	defer s.release()
@@ -427,49 +434,96 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.metrics.record("batch", status, time.Since(started))
-	writeJSON(w, status, out)
+	body := marshalJSON(out)
+	writeBody(w, status, body)
+	// A batch is journalable only when the batch itself completed: any
+	// canceled/refused item makes the aggregate response load-dependent.
+	if journalable(status) {
+		for _, res := range results {
+			if res != nil && !journalable(statusOr200(res.Status)) {
+				return
+			}
+		}
+		s.record(r, status, raw, body)
+	}
+}
+
+// statusOr200 maps a batch item's Status field (zero when the item
+// succeeded) to the HTTP status it stands for.
+func statusOr200(status int) int {
+	if status == 0 {
+		return http.StatusOK
+	}
+	return status
 }
 
 // admitAndDecode performs the shared front half of every verification
-// endpoint: refuse while draining, decode the JSON body, and take an
-// admission slot. On success the caller owns one slot and one inflight
-// count. On failure it has already written the response.
-func (s *Server) admitAndDecode(w http.ResponseWriter, r *http.Request, kind string, into any) bool {
+// endpoint: refuse while draining, read and decode the JSON body, and take
+// an admission slot. On success the caller owns one slot and one inflight
+// count, and receives the raw body bytes for journaling. On failure it has
+// already written the response.
+func (s *Server) admitAndDecode(w http.ResponseWriter, r *http.Request, kind string, into any) ([]byte, bool) {
 	if s.Draining() {
 		s.metrics.admissionRefused.Add(1)
 		s.metrics.record(kind, http.StatusServiceUnavailable, 0)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, &runResponse{Schema: csp.WireSchema, Kind: kind, Error: "server draining"})
-		return false
+		return nil, false
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(into); err != nil {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes))
+	if err == nil {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		err = dec.Decode(into)
+	}
+	if err != nil {
+		// A malformed body is a deterministic outcome of the bytes sent, so
+		// the exchange is journaled like any other 400.
 		s.metrics.record(kind, http.StatusBadRequest, 0)
-		writeJSON(w, http.StatusBadRequest, &runResponse{Schema: csp.WireSchema, Kind: kind, Error: "decoding request: " + err.Error()})
-		return false
+		body := marshalJSON(&runResponse{Schema: csp.WireSchema, Kind: kind, Error: "decoding request: " + err.Error()})
+		writeBody(w, http.StatusBadRequest, body)
+		s.record(r, http.StatusBadRequest, raw, body)
+		return nil, false
 	}
 	if !s.acquire(r.Context()) {
 		s.metrics.admissionRefused.Add(1)
 		if r.Context().Err() != nil {
 			s.metrics.record(kind, StatusClientClosedRequest, 0)
 			writeJSON(w, StatusClientClosedRequest, &runResponse{Schema: csp.WireSchema, Kind: kind, Error: "client closed request"})
-			return false
+			return nil, false
 		}
 		s.metrics.record(kind, http.StatusServiceUnavailable, 0)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, &runResponse{Schema: csp.WireSchema, Kind: kind, Error: "admission limit reached"})
-		return false
+		return nil, false
 	}
 	s.inflight.Add(1)
-	return true
+	return raw, true
+}
+
+// marshalJSON renders a response body exactly as writeJSON has always
+// encoded it (no HTML escaping, trailing newline), so handlers can hold
+// the bytes they serve — the journal digests the same bytes the client
+// received.
+func marshalJSON(body any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(body); err != nil {
+		// Responses are plain structs of encodable fields; an error here
+		// is a programming bug, reported the way the streaming encoder
+		// would have: an empty body.
+		return nil
+	}
+	return buf.Bytes()
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(body)
+	writeBody(w, status, marshalJSON(body))
 }

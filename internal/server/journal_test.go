@@ -1,0 +1,292 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"cspsat/internal/journal"
+	"cspsat/internal/server"
+	"cspsat/internal/store"
+	"cspsat/pkg/csp"
+)
+
+// journalFile returns the single journal a server run left in dir.
+func journalFile(t testing.TB, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.cspj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("want exactly one journal in %s, got %v", dir, matches)
+	}
+	return matches[0]
+}
+
+// replayRecord re-issues one journaled exchange against a handler and
+// returns the status and body it produces now.
+func replayRecord(t testing.TB, h http.Handler, rec journal.Record) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(rec.Method, rec.Path, bytes.NewReader(rec.Request))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code, w.Body.Bytes()
+}
+
+// TestJournalRecordRestartReplay is the journal's end-to-end contract: a
+// store-backed server records a mixed workload (successes, deterministic
+// request errors, a batch), a second server warm boots over the same
+// store, and every journaled exchange reproduces with the same status and
+// the same normalized response digest.
+func TestJournalRecordRestartReplay(t *testing.T) {
+	storeDir, jdir := t.TempDir(), t.TempDir()
+	copier := readSpec(t, "copier.csp")
+	protocol := readSpec(t, "protocol.csp")
+
+	srv1 := server.New(server.Config{StoreDir: storeDir, JournalDir: jdir, Logf: t.Logf})
+	srv1.WarmBoot(context.Background())
+	h1 := srv1.Handler()
+
+	type exchange struct {
+		path string
+		body map[string]any
+	}
+	workload := []exchange{
+		{"/v1/traces", map[string]any{"source": copier, "process": "copier", "depth": 5}},
+		{"/v1/check", map[string]any{"source": copier, "depth": 5}},
+		{"/v1/check", map[string]any{"source": protocol, "depth": 5, "model": "failures"}},
+		{"/v1/prove", map[string]any{"source": copier}},
+		// Deterministic failures are journaled too: a spec that does not
+		// parse, and a process name the module does not define.
+		{"/v1/check", map[string]any{"source": "p = (((", "depth": 4}},
+		{"/v1/traces", map[string]any{"source": copier, "process": "nosuch", "depth": 4}},
+		{"/v1/batch", map[string]any{"requests": []map[string]any{
+			{"kind": "check", "source": copier, "depth": 4},
+			{"kind": "refine", "source": protocol, "impl": "protocol", "spec": "protonet", "depth": 4},
+		}}},
+	}
+	for _, ex := range workload {
+		code, body := postRaw(t, h1, ex.path, ex.body)
+		if !journalIsRecordable(code) {
+			t.Fatalf("%s returned non-journalable status %d: %s", ex.path, code, body)
+		}
+	}
+	// A request with no source (400 from execute) and a malformed body
+	// (400 straight out of the decoder) — both deterministic, both journaled.
+	if code, body := postRaw(t, h1, "/v1/check", nil); code != http.StatusBadRequest {
+		t.Fatalf("sourceless check: code=%d body=%s", code, body)
+	}
+	rec := httptest.NewRecorder()
+	h1.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/check", bytes.NewReader([]byte("{not json"))))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: code=%d", rec.Code)
+	}
+	wantRecords := len(workload) + 2 // workload + sourceless 400 + malformed 400
+
+	// /metrics surfaces the journal while it is open.
+	mcode, mout := get(t, h1, "/metrics")
+	if mcode != http.StatusOK {
+		t.Fatalf("metrics: %d", mcode)
+	}
+	jm, ok := mout["journal"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing journal: %v", mout)
+	}
+	if int(jm["records"].(float64)) != wantRecords || jm["bytes"].(float64) == 0 {
+		t.Fatalf("metrics journal snapshot: %v (want %d records)", jm, wantRecords)
+	}
+
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("closing server: %v", err)
+	}
+
+	rr, err := journal.ReadFile(journalFile(t, jdir))
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	if rr.Torn {
+		t.Fatalf("clean shutdown produced a torn journal: %v", rr.TornErr)
+	}
+	if rr.Meta.Schema != journal.Schema || rr.Meta.WireSchema != csp.WireSchema {
+		t.Fatalf("meta schema stamp: %+v", rr.Meta)
+	}
+	if rr.Meta.StoreCodec != store.Version {
+		t.Fatalf("meta store codec = %d, want %d", rr.Meta.StoreCodec, store.Version)
+	}
+	if rr.Meta.Go != runtime.Version() {
+		t.Fatalf("meta go = %q, want %q", rr.Meta.Go, runtime.Version())
+	}
+	if len(rr.Records) != wantRecords {
+		t.Fatalf("journal has %d records, want %d", len(rr.Records), wantRecords)
+	}
+	var sawError bool
+	for i, r := range rr.Records {
+		if r.Seq != i+1 {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if r.Status >= 400 {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Fatal("workload journaled no deterministic error statuses")
+	}
+
+	// The restart: a second server over the same store directory must
+	// reproduce every exchange — same status, same normalized digest.
+	srv2 := server.New(server.Config{StoreDir: storeDir, Logf: t.Logf})
+	srv2.WarmBoot(context.Background())
+	h2 := srv2.Handler()
+	for _, r := range rr.Records {
+		code, body := replayRecord(t, h2, r)
+		if code != r.Status {
+			t.Fatalf("replay %s seq %d: status %d, recorded %d", r.Path, r.Seq, code, r.Status)
+		}
+		if got := journal.Digest(body); got != r.RespDigest {
+			t.Fatalf("replay %s seq %d: digest mismatch\nnow      %s\nrecorded %s\nbody: %s",
+				r.Path, r.Seq, got, r.RespDigest, body)
+		}
+	}
+}
+
+// journalIsRecordable mirrors the server's deterministic-status rule for
+// the test's own sanity checks.
+func journalIsRecordable(status int) bool {
+	switch status {
+	case http.StatusOK, http.StatusBadRequest, http.StatusNotFound, http.StatusUnprocessableEntity:
+		return true
+	}
+	return false
+}
+
+// TestJournalTornTailReplay crashes the writer mid-record (simulated by
+// truncating the file) and checks the documented recovery: the valid
+// prefix survives, the reader flags the tear, and the prefix still
+// replays byte-identically against a fresh server.
+func TestJournalTornTailReplay(t *testing.T) {
+	jdir := t.TempDir()
+	copier := readSpec(t, "copier.csp")
+
+	srv1 := server.New(server.Config{JournalDir: jdir, Logf: t.Logf})
+	h1 := srv1.Handler()
+	for _, depth := range []int{3, 4, 5} {
+		code, body := postRaw(t, h1, "/v1/check", map[string]any{"source": copier, "depth": depth})
+		if code != http.StatusOK {
+			t.Fatalf("check depth %d: code=%d body=%s", depth, code, body)
+		}
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := journalFile(t, jdir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := journal.ReadFile(path)
+	if err != nil {
+		t.Fatalf("torn journal must still read: %v", err)
+	}
+	if !rr.Torn {
+		t.Fatal("truncated tail not reported as torn")
+	}
+	if len(rr.Records) != 2 {
+		t.Fatalf("torn journal has %d records, want the 2-record prefix", len(rr.Records))
+	}
+
+	srv2 := server.New(server.Config{Logf: t.Logf})
+	h2 := srv2.Handler()
+	for _, r := range rr.Records {
+		code, body := replayRecord(t, h2, r)
+		if code != r.Status {
+			t.Fatalf("replay seq %d: status %d, recorded %d", r.Seq, code, r.Status)
+		}
+		if got := journal.Digest(body); got != r.RespDigest {
+			t.Fatalf("replay seq %d: digest mismatch", r.Seq)
+		}
+	}
+}
+
+// TestJournalSkipsNondeterministicStatuses checks the admission rule: a
+// draining server's 503 refusals never enter the journal, while a
+// deterministic decode 400 does.
+func TestJournalSkipsNondeterministicStatuses(t *testing.T) {
+	jdir := t.TempDir()
+	srv := server.New(server.Config{JournalDir: jdir, Logf: t.Logf})
+	h := srv.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/check", bytes.NewReader([]byte("nope"))))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: code=%d", rec.Code)
+	}
+
+	srv.BeginDrain()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/check", bytes.NewReader([]byte(`{"source":"p = STOP\n"}`))))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server: code=%d", rec.Code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := journal.ReadFile(journalFile(t, jdir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Records) != 1 || rr.Records[0].Status != http.StatusBadRequest {
+		t.Fatalf("journal records = %+v, want exactly the deterministic 400", rr.Records)
+	}
+}
+
+// TestVersionEndpoint checks the provenance stamp: wire schema, store
+// codec, and the store/journal attachment flags.
+func TestVersionEndpoint(t *testing.T) {
+	t.Run("bare", func(t *testing.T) {
+		srv := server.New(server.Config{})
+		code, out := get(t, srv.Handler(), "/v1/version")
+		if code != http.StatusOK {
+			t.Fatalf("version: %d", code)
+		}
+		if out["service"] != "cspserved" {
+			t.Fatalf("service = %v", out["service"])
+		}
+		if int(out["schema"].(float64)) != csp.WireSchema || int(out["wire_schema"].(float64)) != csp.WireSchema {
+			t.Fatalf("schema stamps: %v", out)
+		}
+		if uint32(out["store_codec"].(float64)) != store.Version {
+			t.Fatalf("store_codec = %v, want %d", out["store_codec"], store.Version)
+		}
+		if out["store"] != false || out["journal"] != false {
+			t.Fatalf("bare server attachment flags: store=%v journal=%v", out["store"], out["journal"])
+		}
+		if out["go"] != runtime.Version() {
+			t.Fatalf("go = %v, want %s", out["go"], runtime.Version())
+		}
+	})
+
+	t.Run("attached", func(t *testing.T) {
+		srv := server.New(server.Config{StoreDir: t.TempDir(), JournalDir: t.TempDir(), Logf: t.Logf})
+		srv.WarmBoot(context.Background())
+		defer srv.Close()
+		code, out := get(t, srv.Handler(), "/v1/version")
+		if code != http.StatusOK {
+			t.Fatalf("version: %d", code)
+		}
+		if out["store"] != true || out["journal"] != true {
+			t.Fatalf("attached server flags: store=%v journal=%v", out["store"], out["journal"])
+		}
+	})
+}

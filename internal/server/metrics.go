@@ -42,7 +42,7 @@ func newMetrics() *metrics {
 		models:    map[string]*atomic.Uint64{},
 		statuses:  map[int]uint64{},
 	}
-	for _, kind := range []string{"traces", "check", "prove", "refine", "batch"} {
+	for _, kind := range []string{"traces", "check", "prove", "refine", "batch", "version"} {
 		m.endpoints[kind] = &endpointCounters{}
 	}
 	for _, mdl := range csp.KnownModels() {
@@ -99,14 +99,23 @@ type Snapshot struct {
 	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
 	// Models counts model-parameterised verifications (check and refine,
 	// batch items included) per semantic model.
-	Models   map[string]uint64 `json:"models"`
-	Statuses map[string]uint64 `json:"statuses"`
-	ModuleCache      csp.ModuleCacheStats        `json:"module_cache"`
-	Closure          csp.CacheStats              `json:"closure"`
+	Models      map[string]uint64    `json:"models"`
+	Statuses    map[string]uint64    `json:"statuses"`
+	ModuleCache csp.ModuleCacheStats `json:"module_cache"`
+	Closure     csp.CacheStats       `json:"closure"`
 	// Frozen reports the zero-copy arena tier: arenas mapped and their
 	// resident bytes, read hits served without a thaw, and thaw counts
 	// (each thaw re-interns a stored trie on a write path).
 	Frozen frozen.Stats `json:"frozen"`
+	// Journal reports the request log, when one is attached.
+	Journal *JournalSnapshot `json:"journal,omitempty"`
+}
+
+// JournalSnapshot is the /metrics view of the request journal.
+type JournalSnapshot struct {
+	Path    string `json:"path"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -125,6 +134,10 @@ func (s *Server) Snapshot() Snapshot {
 		ModuleCache:      s.cache.Stats(),
 		Closure:          csp.Stats(),
 		Frozen:           frozen.Snapshot(),
+	}
+	if s.journal != nil {
+		n, b := s.journal.Stats()
+		snap.Journal = &JournalSnapshot{Path: s.journal.Path(), Records: n, Bytes: b}
 	}
 	keys := make([]string, 0, len(s.metrics.endpoints))
 	for k := range s.metrics.endpoints {

@@ -38,12 +38,16 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cspsat/internal/csperr"
+	"cspsat/internal/journal"
+	"cspsat/internal/store"
 	"cspsat/pkg/csp"
 )
 
@@ -89,6 +93,17 @@ type Config struct {
 	// them on start. A store that cannot be opened is logged and the
 	// server runs storeless — persistence is never fatal.
 	StoreDir string
+	// JournalDir, when non-empty, appends every deterministic /v1/*
+	// request (status 200/400/404/422 — not admission refusals,
+	// cancellations, or timeouts, whose outcomes depend on server load) to
+	// a checksummed journal file in that directory, one file per server
+	// run, recording the request body and a digest of the normalized
+	// response. `cspscen replay` re-issues a journal against a restarted
+	// store-backed server and verifies the responses reproduce
+	// byte-identically (internal/journal documents the volatile fields
+	// excluded from the digest). A journal that cannot be created is
+	// logged and the server runs unjournaled — recording is never fatal.
+	JournalDir string
 	// Logf receives operational log lines (store warm boot, corrupt
 	// artifacts). Nil discards them.
 	Logf func(format string, args ...any)
@@ -135,6 +150,11 @@ type Server struct {
 	metrics *metrics
 	start   time.Time
 
+	// journal, when non-nil, records deterministic request/response
+	// exchanges for later replay; storeBacked feeds /v1/version.
+	journal     *journal.Writer
+	storeBacked bool
+
 	// ready gates /readyz: servers without a store are born ready; a
 	// store-backed server reports ready only once WarmBoot has finished
 	// (successfully or not), so load balancers keep traffic off a cold
@@ -175,7 +195,16 @@ func New(cfg Config) *Server {
 			cfg.Logf("cspserved: opening store %s: %v (serving without persistence)", cfg.StoreDir, err)
 		} else {
 			s.cache.SetStore(st, cfg.Logf)
+			s.storeBacked = true
 			s.ready.Store(false) // until WarmBoot finishes
+		}
+	}
+	if cfg.JournalDir != "" {
+		if jw, err := openJournal(cfg.JournalDir, s.storeBacked, s.start); err != nil {
+			cfg.Logf("cspserved: opening journal in %s: %v (serving without request log)", cfg.JournalDir, err)
+		} else {
+			s.journal = jw
+			cfg.Logf("cspserved: journaling requests to %s", jw.Path())
 		}
 	}
 
@@ -184,6 +213,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/prove", s.runHandler("prove"))
 	s.mux.HandleFunc("POST /v1/refine", s.runHandler("refine"))
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -194,6 +224,68 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	publishExpvar(s)
 	return s
+}
+
+// openJournal creates this run's journal file inside dir (created if
+// missing), named by the server's start time so successive runs never
+// collide and sort chronologically.
+func openJournal(dir string, storeBacked bool, start time.Time) (*journal.Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	meta := journal.Meta{
+		WireSchema: csp.WireSchema,
+		Go:         runtime.Version(),
+		Start:      start.UnixNano(),
+	}
+	if storeBacked {
+		meta.StoreCodec = store.Version
+	}
+	name := fmt.Sprintf("requests-%s-%d.cspj", start.UTC().Format("20060102T150405"), os.Getpid())
+	return journal.Create(filepath.Join(dir, name), meta)
+}
+
+// journalable reports whether a response with this status is a
+// deterministic function of the request against this store state — the
+// admission class (503), cancellation class (499/504), and internal
+// faults are functions of load and timing, so recording them would make
+// every faithful replay a mismatch.
+func journalable(status int) bool {
+	switch status {
+	case http.StatusOK, http.StatusBadRequest, http.StatusNotFound, http.StatusUnprocessableEntity:
+		return true
+	}
+	return false
+}
+
+// record journals one answered exchange; a nil journal or a non-journalable
+// status makes it a no-op. Journal write trouble is logged once per cause,
+// never surfaced to the client.
+func (s *Server) record(r *http.Request, status int, reqBody, respBody []byte) {
+	if s.journal == nil || !journalable(status) {
+		return
+	}
+	err := s.journal.Append(journal.Record{
+		Time:       time.Now().UnixNano(),
+		Method:     r.Method,
+		Path:       r.URL.Path,
+		Status:     status,
+		Request:    reqBody,
+		RespDigest: journal.Digest(respBody),
+		RespBytes:  len(respBody),
+	})
+	if err != nil {
+		s.cfg.Logf("cspserved: journal append failed: %v", err)
+	}
+}
+
+// Close releases the server's owned resources (today: the journal file).
+// It does not drain; call BeginDrain/DrainDone first for a graceful stop.
+func (s *Server) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Close()
 }
 
 // Handler returns the service's root handler.

@@ -1,0 +1,79 @@
+// GET /v1/version: the provenance stamp. Journals and golden scenario
+// artifacts are only comparable against a compatible server — same wire
+// schema, same store codec — and this endpoint is how an operator (or
+// scripts/scen_smoke.sh) checks that before trusting a replay verdict.
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"cspsat/internal/store"
+	"cspsat/pkg/csp"
+)
+
+// versionResponse is the GET /v1/version body. Schema stamps the response
+// itself like every /v1 body; WireSchema repeats it under the explicit
+// name provenance records use.
+type versionResponse struct {
+	Schema  int    `json:"schema"`
+	Service string `json:"service"`
+	// WireSchema is the version of every /v1 response body this server
+	// produces (csp.WireSchema).
+	WireSchema int `json:"wire_schema"`
+	// StoreCodec is the artifact codec version a -store directory is
+	// written with (internal/store.Version) — reported even for storeless
+	// servers, since it is a property of the build.
+	StoreCodec uint32 `json:"store_codec"`
+	// Store and Journal report whether this server runs with a persistent
+	// artifact store / a request journal attached.
+	Store   bool `json:"store"`
+	Journal bool `json:"journal"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+	// Module is the main module path@version from build info, when stamped.
+	Module string `json:"module,omitempty"`
+	// VCSRevision and VCSTime carry the build's VCS stamp, when present.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// buildVersion assembles the build-dependent half once; it cannot change
+// while the process lives.
+var buildVersion = sync.OnceValue(func() versionResponse {
+	v := versionResponse{
+		Schema:     csp.WireSchema,
+		Service:    "cspserved",
+		WireSchema: csp.WireSchema,
+		StoreCodec: store.Version,
+		Go:         runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v.Module = bi.Main.Path
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			v.Module += "@" + bi.Main.Version
+		}
+		for _, st := range bi.Settings {
+			switch st.Key {
+			case "vcs.revision":
+				v.VCSRevision = st.Value
+			case "vcs.time":
+				v.VCSTime = st.Value
+			case "vcs.modified":
+				v.VCSModified = st.Value == "true"
+			}
+		}
+	}
+	return v
+})
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	s.metrics.record("version", http.StatusOK, 0)
+	v := buildVersion()
+	v.Store = s.storeBacked
+	v.Journal = s.journal != nil
+	writeJSON(w, http.StatusOK, v)
+}

@@ -3,8 +3,9 @@
 # and write the results as BENCH_<date>.json in the repo root, one object
 # per benchmark with ns/op, B/op, allocs/op, and any custom metrics the
 # benchmark reported (memo-hit-rate, interned-nodes, ...). The header
-# records the git commit and GOMAXPROCS so snapshots from different
-# commits or core counts are never compared blindly.
+# records the git commit, the Go toolchain version, and GOMAXPROCS so
+# snapshots from different commits, toolchains, or core counts are never
+# compared blindly.
 #
 # Usage: scripts/bench_json.sh [--allow-dirty] [extra go test args...]
 #   --allow-dirty     permit running with uncommitted changes; the commit
@@ -49,6 +50,7 @@ if ! git diff --quiet HEAD 2>/dev/null; then
 	commit="$commit-dirty"
 fi
 maxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)}"
+gover="$(go env GOVERSION 2>/dev/null || echo unknown)"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -64,7 +66,7 @@ if ! GOGC="$gogc" go test -run '^$' -bench "$pattern" -benchmem -benchtime "$ben
 fi
 cat "$tmp"
 
-awk -v date="$(date +%Y-%m-%dT%H:%M:%S%z)" -v commit="$commit" -v maxprocs="$maxprocs" -v gogc="$gogc" '
+awk -v date="$(date +%Y-%m-%dT%H:%M:%S%z)" -v commit="$commit" -v maxprocs="$maxprocs" -v gogc="$gogc" -v gover="$gover" '
 BEGIN { n = 0 }
 /^goos: /   { goos = $2 }
 /^goarch: / { goarch = $2 }
@@ -86,6 +88,7 @@ END {
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"go\": \"%s\",\n", gover
     printf "  \"gomaxprocs\": %s,\n", maxprocs
     printf "  \"gogc\": %s,\n", gogc
     printf "  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch
